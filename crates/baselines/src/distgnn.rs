@@ -1,0 +1,168 @@
+//! DistGNN comparison data and CPU-cluster cost model (paper §6.6, Table 2).
+//!
+//! The paper could not run DistGNN ("the source code ... is not available")
+//! and compares against the numbers published in the DistGNN paper. We do
+//! the same: [`published_epoch_time`] carries Table 2 verbatim, and
+//! [`modeled_epoch_time`] is a coarse roofline model of the Xeon-9242
+//! cluster that reproduces those numbers within a small factor — enough to
+//! extrapolate socket counts the table does not list.
+
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::DatasetCard;
+
+/// Table 2 of the paper (epoch seconds). `None` where the original work
+/// reported no number.
+pub fn published_epoch_time(dataset: &str, sockets: usize) -> Option<f64> {
+    match (dataset, sockets) {
+        ("Reddit", 1) => Some(0.60),
+        ("Reddit", 16) => Some(0.61),
+        ("Papers", 1) => Some(1000.0),
+        ("Papers", 128) => Some(36.45),
+        ("Products", 1) => Some(11.0),
+        ("Products", 64) => Some(1.74),
+        ("Proteins", 1) => Some(100.0),
+        ("Protein", 1) => Some(100.0),
+        ("Proteins", 64) => Some(2.63),
+        ("Protein", 64) => Some(2.63),
+        _ => None,
+    }
+}
+
+/// Best published DistGNN epoch time for a dataset, `(sockets, seconds)`.
+pub fn best_published(dataset: &str) -> Option<(usize, f64)> {
+    match dataset {
+        "Reddit" => Some((1, 0.60)),
+        "Papers" => Some((128, 36.45)),
+        "Products" => Some((64, 1.74)),
+        "Proteins" | "Protein" => Some((64, 2.63)),
+        _ => None,
+    }
+}
+
+/// One dual-socket Xeon 9242 node as DistGNN used it, per socket.
+#[derive(Clone, Copy, Debug)]
+pub struct SocketSpec {
+    /// Effective fp32 FLOP/s a framework SpMM/GeMM extracts per socket.
+    pub flops: f64,
+    /// Memory bandwidth per socket (bytes/s).
+    pub mem_bw: f64,
+    /// Interconnect bandwidth per node (bytes/s, Mellanox HDR).
+    pub net_bw: f64,
+}
+
+impl Default for SocketSpec {
+    fn default() -> Self {
+        // 48 cores @ 2.3 GHz with AVX-512 peak ≈ 7 TFLOPs; frameworks on
+        // sparse workloads see a small fraction. 6-channel DDR4 ≈ 140 GB/s.
+        Self { flops: 0.35e12, mem_bw: 140.0e9, net_bw: 25.0e9 }
+    }
+}
+
+/// Coarse DistGNN epoch model: per-socket memory-bound aggregation plus
+/// vertex-cut halo exchange whose volume decays slowly with the partition
+/// count (Libra's replication factor grows with cuts).
+pub fn modeled_epoch_time(
+    card: &DatasetCard,
+    cfg: &GcnConfig,
+    sockets: usize,
+    spec: &SocketSpec,
+) -> f64 {
+    let p = sockets as f64;
+    // Aggregation traffic per layer at its hidden width: CSR structure +
+    // gathered neighbour rows + output rows. Forward and backward both
+    // aggregate, hence the factor 2.
+    let mut spmm_bytes = 0.0f64;
+    let mut d_sum = 0.0f64;
+    for l in 0..cfg.layers() {
+        let d = cfg.d_out(l) as f64;
+        d_sum += d;
+        spmm_bytes += card.m as f64 * (8.0 + 4.0 * d) + card.n as f64 * d * 4.0;
+    }
+    // Libra's vertex cut replicates high-degree vertices on many parts, so
+    // the aggregate work grows with the cut: replication ≈ 1 + k/6, capped
+    // at P. For Reddit (k = 492) this saturates and explains DistGNN's
+    // flat published scaling (0.60 s → 0.61 s from 1 to 16 sockets).
+    let replication = (1.0 + card.avg_degree / 6.0).min(p);
+    let compute = 2.0 * spmm_bytes * replication / (spec.mem_bw * p);
+    // Halo exchange of replicated feature rows per layer.
+    let comm = if sockets == 1 {
+        0.0
+    } else {
+        let replicated = card.n as f64 * replication.min(8.0) * 0.3;
+        2.0 * replicated * d_sum * 4.0 / (spec.net_bw * p)
+    };
+    compute + comm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_graph::datasets;
+
+    #[test]
+    fn table2_values_present() {
+        assert_eq!(published_epoch_time("Reddit", 1), Some(0.60));
+        assert_eq!(published_epoch_time("Papers", 128), Some(36.45));
+        assert_eq!(published_epoch_time("Products", 64), Some(1.74));
+        assert_eq!(published_epoch_time("Proteins", 64), Some(2.63));
+        assert_eq!(published_epoch_time("Reddit", 64), None);
+    }
+
+    #[test]
+    fn model_matches_published_single_socket_within_factor_three() {
+        for (card, cfg, name) in [
+            (datasets::REDDIT, GcnConfig::model_b(602, 41), "Reddit"),
+            (datasets::PRODUCTS, GcnConfig::model_c(104, 47), "Products"),
+            (datasets::PROTEINS, GcnConfig::model_c(128, 256), "Proteins"),
+        ] {
+            let published = published_epoch_time(name, 1).expect("has value");
+            let modeled = modeled_epoch_time(&card, &cfg, 1, &SocketSpec::default());
+            let ratio = modeled / published;
+            assert!(
+                (0.33..3.0).contains(&ratio),
+                "{name}: modeled {modeled:.2}s vs published {published}s (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn model_scales_down_with_sockets() {
+        let cfg = GcnConfig::model_c(128, 172);
+        let t1 = modeled_epoch_time(&datasets::PAPERS, &cfg, 1, &SocketSpec::default());
+        let t128 = modeled_epoch_time(&datasets::PAPERS, &cfg, 128, &SocketSpec::default());
+        assert!(t128 < t1 / 10.0, "t1 {t1} t128 {t128}");
+    }
+
+    #[test]
+    fn reddit_scaling_is_flat_like_published() {
+        // Table 2: Reddit barely improves from 1 to 16 sockets (0.60 ->
+        // 0.61 s); the replication model must reproduce that plateau.
+        let cfg = GcnConfig::model_b(602, 41);
+        let t1 = modeled_epoch_time(&datasets::REDDIT, &cfg, 1, &SocketSpec::default());
+        let t16 = modeled_epoch_time(&datasets::REDDIT, &cfg, 16, &SocketSpec::default());
+        assert!(
+            t16 > t1 * 0.8,
+            "Reddit should not scale under a saturating vertex cut: {t1} -> {t16}"
+        );
+    }
+
+    #[test]
+    fn products_scaling_matches_published_ratio() {
+        // Published: 11 s -> 1.74 s at 64 sockets (6.3x). Replication
+        // r = 1 + 52/6 ≈ 9.7 gives 64/9.7 ≈ 6.6x in the model.
+        let cfg = GcnConfig::model_c(104, 47);
+        let t1 = modeled_epoch_time(&datasets::PRODUCTS, &cfg, 1, &SocketSpec::default());
+        let t64 = modeled_epoch_time(&datasets::PRODUCTS, &cfg, 64, &SocketSpec::default());
+        let speedup = t1 / t64;
+        assert!(
+            (3.0..12.0).contains(&speedup),
+            "Products model speedup {speedup:.1} (published 6.3x)"
+        );
+    }
+
+    #[test]
+    fn best_published_is_consistent_with_table() {
+        let (s, t) = best_published("Products").unwrap();
+        assert_eq!(published_epoch_time("Products", s), Some(t));
+    }
+}

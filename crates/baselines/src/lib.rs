@@ -1,0 +1,27 @@
+//! Comparison systems for the MG-GCN evaluation.
+//!
+//! The paper measures against three systems; each is reproduced at the
+//! fidelity the comparison needs:
+//!
+//! * [`dgl`] — a DGL-like single-GPU trainer: correct numerics, per-layer
+//!   buffer allocation (no §4.2 reuse), fixed GeMM→SpMM order, no
+//!   first-layer-skip, and framework overheads. Expressed as a configured
+//!   [`mggcn_core::Trainer`], so it shares kernels and differs only in the
+//!   things the paper credits for its wins.
+//! * [`cagnet`] — a CAGNET-like 1D multi-GPU trainer (same broadcast
+//!   algorithm family, minus overlap/reuse/permutation) plus the 1.5D
+//!   communication variant used in the §5.1 analysis.
+//! * [`distgnn`] — DistGNN's published Table 2 epoch times and a CPU-cluster
+//!   cost model that reproduces them (the paper itself compares against
+//!   published numbers; so do we).
+//! * [`mlp`] — a graph-blind MLP trained on raw features, the accuracy foil
+//!   that shows the GCN actually uses the graph.
+//! * [`minibatch`] — a GraphSAGE-style sampling trainer, the approach the
+//!   paper's §1 argues against; it exposes the neighborhood-explosion
+//!   statistic the argument rests on.
+
+pub mod cagnet;
+pub mod dgl;
+pub mod distgnn;
+pub mod minibatch;
+pub mod mlp;

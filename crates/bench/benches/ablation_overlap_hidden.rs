@@ -1,0 +1,40 @@
+//! Ablation — §6.3's closing claim: "the size of the hidden dimension
+//! doesn't have an effect on our ability to overlap communication and
+//! computation as both of their runtimes scale linearly with the size of
+//! the hidden dimension if it is above a certain threshold."
+//!
+//! We sweep the hidden width and report the overlap benefit
+//! (non-overlapped / overlapped epoch time) — it should be flat above a
+//! small threshold, and degraded below it where fixed latencies dominate.
+
+use mggcn_bench::mggcn_epoch_with;
+use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_graph::datasets::{PRODUCTS, REDDIT};
+use mggcn_gpusim::MachineSpec;
+
+fn epoch(card: &mggcn_graph::DatasetCard, hidden: usize, overlap: bool) -> Option<f64> {
+    let cfg = GcnConfig::new(card.feat_dim, &[hidden], card.classes);
+    let mut opts = TrainOptions::full(MachineSpec::dgx_v100(), 8);
+    opts.overlap = overlap;
+    mggcn_epoch_with(card, &cfg, opts).map(|r| r.sim_seconds)
+}
+
+fn main() {
+    println!("Ablation: overlap benefit vs hidden dimension (§6.3), DGX-V100, 8 GPUs");
+    println!("{:<10} {:>8} {:>12} {:>12} {:>10}", "Dataset", "hidden", "serial (s)", "overlap (s)", "benefit");
+    for card in [PRODUCTS, REDDIT] {
+        for hidden in [8usize, 32, 128, 512, 1024] {
+            match (epoch(&card, hidden, false), epoch(&card, hidden, true)) {
+                (Some(s), Some(o)) => println!(
+                    "{:<10} {:>8} {:>12.4} {:>12.4} {:>9.2}x",
+                    card.name, hidden, s, o, s / o
+                ),
+                _ => println!("{:<10} {:>8}  Out of Memory", card.name, hidden),
+            }
+        }
+        println!();
+    }
+    println!("(the benefit column should be roughly constant above a small hidden");
+    println!(" width — the §6.3 claim — since broadcast bytes and SpMM traffic both");
+    println!(" scale linearly with the width)");
+}

@@ -1,0 +1,58 @@
+//! §5.1 — Choice of the partitioning strategy: 1D vs 1.5D communication
+//! time on both machines.
+//!
+//! Paper's arithmetic: on DGX-1 the 1.5D algorithm is 1.5× slower than 1D
+//! (its cross-quad reduction sees only 2 NVLinks); on DGX-A100 it is 4/3
+//! faster but needs 2× the memory — hence MG-GCN implements 1D only.
+
+use mggcn_baselines::cagnet::t_15d_epoch_comm;
+use mggcn_comm::analysis::analyze;
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::{PRODUCTS, REDDIT};
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Section 5.1 analysis: 1D vs 1.5D communication");
+    println!("\nPer-SpMM feature movement (n x d fp32):");
+    println!(
+        "{:<10} {:<10} {:>10} {:>10} {:>12} {:>10}",
+        "Machine", "Dataset", "t_1D (ms)", "t_1.5D", "1.5D/1D", "mem x"
+    );
+    for machine in [MachineSpec::dgx_v100(), MachineSpec::dgx_a100()] {
+        for (card, d) in [(REDDIT, 512usize), (PRODUCTS, 512)] {
+            let a = analyze(&machine, card.n as f64 * d as f64 * 4.0);
+            println!(
+                "{:<10} {:<10} {:>10.2} {:>10.2} {:>11.2}x {:>10.1}",
+                machine.name,
+                card.name,
+                a.t_1d * 1e3,
+                a.t_15d * 1e3,
+                a.slowdown_15d(),
+                a.mem_factor_15d
+            );
+        }
+    }
+
+    println!("\nWhole-epoch communication (model A, with first-layer skip):");
+    println!(
+        "{:<10} {:<10} {:>12} {:>12} {:>10}",
+        "Machine", "Dataset", "1D (ms)", "1.5D (ms)", "winner"
+    );
+    for machine in [MachineSpec::dgx_v100(), MachineSpec::dgx_a100()] {
+        for card in [REDDIT, PRODUCTS] {
+            let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+            let (t1, t15) = t_15d_epoch_comm(&machine, card.n, &cfg, true);
+            println!(
+                "{:<10} {:<10} {:>12.2} {:>12.2} {:>10}",
+                machine.name,
+                card.name,
+                t1 * 1e3,
+                t15 * 1e3,
+                if t1 <= t15 { "1D" } else { "1.5D" }
+            );
+        }
+    }
+    println!();
+    println!("(paper: 1D wins by 3/2 on DGX-1; 1.5D wins by 4/3 on DGX-A100 but at 2x");
+    println!(" memory, so MG-GCN ships 1D only)");
+}

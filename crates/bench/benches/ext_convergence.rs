@@ -1,0 +1,71 @@
+//! Extension — the §6 convergence claim, end to end.
+//!
+//! The paper trains Reddit (2 layers, h = 16) to 95.95% test accuracy "in
+//! the transductive setting after 466 epochs with eight V100s in only 1
+//! minute, 20 seconds of which is spent on preprocessing". Reddit itself
+//! is gated, so we run the same protocol on a ground-truth community
+//! replica: train with early stopping, report epochs-to-accuracy and the
+//! *simulated* training time on eight V100s, and show the MLP foil
+//! plateauing below the GCN.
+
+use mggcn_baselines::mlp::MlpTrainer;
+use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_core::fit::{fit, FitOptions};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Extension: convergence protocol (the paper's §6 accuracy claim)");
+    let mut sbm_cfg = SbmConfig::community_benchmark(6_000, 8);
+    sbm_cfg.noise = 2.0;
+    let graph = sbm::generate(&sbm_cfg, 2026);
+    println!(
+        "replica: n = {}, m = {}, {} classes, noisy features\n",
+        graph.n(),
+        graph.adj.nnz(),
+        graph.classes
+    );
+
+    let cfg = GcnConfig::new(graph.features.cols(), &[16], graph.classes);
+    let opts = TrainOptions::full(MachineSpec::dgx_v100(), 8);
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut trainer = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+    let result = fit(
+        &mut trainer,
+        &FitOptions { target_accuracy: 0.97, max_epochs: 500, patience: 80, ..Default::default() },
+    );
+    println!("MG-GCN (8 virtual V100s, 2 layers h=16):");
+    println!("  stopped: {:?} after {} epochs", result.stopped, result.history.len());
+    println!(
+        "  best test accuracy: {:.2}% at epoch {}",
+        result.best_accuracy * 100.0,
+        result.best_epoch
+    );
+    for level in [0.80, 0.90, 0.95] {
+        match result.epochs_to(level) {
+            Some(e) => {
+                let t: f64 = result.history[..=e].iter().map(|r| r.sim_seconds).sum();
+                println!(
+                    "  epochs to {:.0}%: {:>4}   (simulated {:.2} s of training)",
+                    level * 100.0,
+                    e,
+                    t
+                );
+            }
+            None => println!("  epochs to {:.0}%: not reached", level * 100.0),
+        }
+    }
+    println!("  total simulated training time: {:.2} s", result.sim_time);
+
+    let mut mlp = MlpTrainer::new(&graph, &cfg);
+    let mut best_mlp = 0.0f64;
+    for _ in 0..result.history.len().max(100) {
+        best_mlp = best_mlp.max(mlp.train_epoch().test_acc);
+    }
+    println!("\nMLP foil (same widths, no graph): best test accuracy {:.2}%", best_mlp * 100.0);
+    println!(
+        "\n(paper: 95.95% in 466 epochs, ~1 simulated minute on 8 V100s; the replica's\n community structure is easier, so convergence here is faster — the protocol,\n time accounting and GCN-vs-MLP gap are the reproduced quantities)"
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig 5 — Runtime decomposition of operations in the forward and backward
+//! pass (% of kernel time in Activation / Adam / GeMM / Loss-Layer / SpMM),
+//! per dataset and GPU count, on DGX-V100 with model A (2 layers, h = 512).
+//!
+//! Paper's headline: SpMM takes 60–94% on the large graphs (Products,
+//! Proteins, Reddit); GeMM dominates on the small ones (Cora, Arxiv);
+//! Proteins is OOM below 4 GPUs.
+
+use mggcn_bench::mggcn_epoch;
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::FIGURE_DATASETS;
+use mggcn_gpusim::{Category, MachineSpec};
+
+fn main() {
+    println!("Fig 5: runtime breakdown (%), DGX-V100, 2-layer GCN h=512");
+    let cats = [
+        Category::Activation,
+        Category::Adam,
+        Category::GeMM,
+        Category::LossLayer,
+        Category::SpMM,
+    ];
+    print!("{:<10} {:>5}", "Dataset", "#GPU");
+    for c in cats {
+        print!(" {:>11}", c.name());
+    }
+    println!();
+    for card in FIGURE_DATASETS {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        for gpus in [1usize, 2, 4, 8] {
+            print!("{:<10} {:>5}", card.name, gpus);
+            match mggcn_epoch(&card, &cfg, MachineSpec::dgx_v100(), gpus) {
+                Some(report) => {
+                    let pct = report.breakdown(true);
+                    for c in cats {
+                        let v = pct.iter().find(|(k, _)| *k == c).map(|(_, p)| *p).unwrap_or(0.0);
+                        print!(" {v:>10.1}%");
+                    }
+                    println!();
+                }
+                None => println!("  Out of Memory"),
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig 6 — Timeline of the staged SpMM on Products (4 GPUs), original vs
+//! permuted vertex ordering.
+//!
+//! Paper's headline: the original ordering has a badly imbalanced stage
+//! (one GPU's tiles carry far more nonzeros), and permutation drops the
+//! SpMM from ~50 ms to ~38 ms.
+
+use mggcn_bench::{gpu_compute_time, staged_spmm_timeline};
+use mggcn_graph::datasets::PRODUCTS;
+use mggcn_graph::tilestats::{TileStats, VertexOrdering};
+use mggcn_gpusim::MachineSpec;
+
+fn show(ordering: VertexOrdering, label: &str) -> f64 {
+    let stats = TileStats::model(&PRODUCTS, 4, ordering);
+    let (tl, total) = staged_spmm_timeline(&stats, 512, MachineSpec::dgx_v100(), false);
+    println!("{label}: SpMM completes in {:.1} ms", total * 1e3);
+    println!("  per-GPU compute busy time (ms): ");
+    for g in 0..4 {
+        println!("    GPU {g}: {:>6.1}", gpu_compute_time(&tl, g) * 1e3);
+    }
+    println!("  stage imbalance (max/mean per stage): ");
+    for s in 0..4 {
+        println!("    stage {s}: {:.2}", stats.stage_imbalance(s));
+    }
+    println!("{}", tl.ascii_gantt(72));
+    total
+}
+
+fn main() {
+    println!("Fig 6: staged SpMM timeline, Products, 4 GPUs, DGX-V100, d=512");
+    println!("(digits are stage ids; compute stream shown per GPU)\n");
+    let t_orig = show(VertexOrdering::Original, "Original ordering");
+    println!();
+    let t_perm = show(VertexOrdering::Permuted, "Permuted ordering");
+    println!();
+    println!(
+        "original {:.1} ms -> permuted {:.1} ms ({:.2}x improvement; paper: 50 ms -> 38 ms)",
+        t_orig * 1e3,
+        t_perm * 1e3,
+        t_orig / t_perm
+    );
+}

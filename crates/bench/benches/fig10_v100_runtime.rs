@@ -1,0 +1,37 @@
+//! Fig 10 — Baseline epoch runtime (seconds) on DGX-V100: CAGNET vs DGL vs
+//! MG-GCN, model A (2 layers, h = 512), 1–8 GPUs.
+//!
+//! Paper's headline: MG-GCN wins everywhere; DGL is single-GPU only; on
+//! Proteins CAGNET and DGL are OOM, MG-GCN is OOM at 1–2 GPUs and runs at 4.
+
+use mggcn_bench::{cagnet_epoch, dgl_epoch, fmt_time, mggcn_epoch};
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::FIGURE_DATASETS;
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Fig 10: epoch runtime (s), DGX-V100, model A (2 layers, h=512)");
+    println!(
+        "{:<10} {:>5} {:>10} {:>10} {:>10}",
+        "Dataset", "#GPU", "CAGNET", "DGL", "MG-GCN"
+    );
+    let m = MachineSpec::dgx_v100;
+    for card in FIGURE_DATASETS {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        for gpus in [1usize, 2, 4, 8] {
+            let cag = cagnet_epoch(&card, &cfg, m(), gpus);
+            let dgl = if gpus == 1 { dgl_epoch(&card, &cfg, m()) } else { None };
+            let mg = mggcn_epoch(&card, &cfg, m(), gpus).map(|r| r.sim_seconds);
+            println!(
+                "{:<10} {:>5} {:>10} {:>10} {:>10}",
+                card.name,
+                gpus,
+                fmt_time(cag),
+                if gpus == 1 { fmt_time(dgl) } else { "-".into() },
+                fmt_time(mg)
+            );
+        }
+    }
+    println!();
+    println!("(DGL is single-GPU only; '-' marks configurations it does not support)");
+}

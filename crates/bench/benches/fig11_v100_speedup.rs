@@ -1,0 +1,36 @@
+//! Fig 11 — Speedup w.r.t. single-GPU DGL on DGX-V100 (model A), for
+//! CAGNET and MG-GCN at 1–8 GPUs.
+//!
+//! Paper's headline single-GPU ratios: 2.72× Reddit, 1.42× Products,
+//! 1.76× Arxiv, 3.1× Cora; and at 8 GPUs MG-GCN beats CAGNET by 2.66×
+//! (Reddit), 8.6× (Products), 2.35× (Arxiv).
+
+use mggcn_bench::{cagnet_epoch, dgl_epoch, mggcn_epoch};
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::{ARXIV, CORA, PRODUCTS, REDDIT};
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Fig 11: speedup w.r.t. DGL (1 GPU), DGX-V100, model A");
+    println!(
+        "{:<10} {:>5} {:>10} {:>10} {:>14}",
+        "Dataset", "#GPU", "CAGNET", "MG-GCN", "MG/CAGNET"
+    );
+    let m = MachineSpec::dgx_v100;
+    // Proteins is excluded: DGL cannot run it, so there is no reference.
+    for card in [CORA, ARXIV, PRODUCTS, REDDIT] {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        let dgl = dgl_epoch(&card, &cfg, m()).expect("DGL reference fits");
+        for gpus in [1usize, 2, 4, 8] {
+            let cag = cagnet_epoch(&card, &cfg, m(), gpus);
+            let mg = mggcn_epoch(&card, &cfg, m(), gpus).map(|r| r.sim_seconds);
+            let cag_s = cag.map(|t| format!("{:.2}x", dgl / t)).unwrap_or("OOM".into());
+            let mg_s = mg.map(|t| format!("{:.2}x", dgl / t)).unwrap_or("OOM".into());
+            let ratio = match (cag, mg) {
+                (Some(c), Some(g)) => format!("{:.2}x", c / g),
+                _ => "-".into(),
+            };
+            println!("{:<10} {:>5} {:>10} {:>10} {:>14}", card.name, gpus, cag_s, mg_s, ratio);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig 12 — Per-GPU memory consumption on Reddit (h = 512) as the layer
+//! count grows: (a) single GPU, DGL vs MG-GCN; (b) 8 GPUs, CAGNET vs
+//! MG-GCN.
+//!
+//! Paper's headline: at a 30 GiB budget, DGL fits ~20 layers vs MG-GCN's
+//! ~50 on one GPU; CAGNET fits ~150 vs MG-GCN's ~450 on 8 GPUs. Memory
+//! grows linearly in the layer count for all systems.
+
+use mggcn_core::config::GcnConfig;
+use mggcn_core::memplan::{max_layers, BufferPolicy, MemoryPlan};
+
+const N: u64 = 233_000;
+const M: u64 = 115_000_000;
+const GIB30: u64 = 30 * (1 << 30);
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+fn curve(gpus: u64, policy: BufferPolicy, label: &str) {
+    println!("  {label}:");
+    print!("    layers: ");
+    let points: Vec<usize> = match gpus {
+        1 => vec![2, 5, 10, 20, 30, 40, 50, 60],
+        _ => vec![10, 50, 100, 150, 250, 350, 450, 550],
+    };
+    for &l in &points {
+        print!("{l:>8}");
+    }
+    println!();
+    print!("    GiB:    ");
+    for &l in &points {
+        let cfg = GcnConfig::new(602, &vec![512; l - 1], 41);
+        let plan = MemoryPlan::new(N, M, &cfg, gpus, policy);
+        print!("{:>8.1}", gib(plan.total()));
+    }
+    println!();
+    let cap = max_layers(N, M, 602, 512, 41, gpus, policy, GIB30);
+    println!("    max layers within 30 GiB: {cap}");
+}
+
+fn main() {
+    println!("Fig 12: per-GPU memory on Reddit, hidden 512, varying layers");
+    println!("\n(a) 1 GPU");
+    curve(1, BufferPolicy::PerLayer3, "DGL (per-layer buffers)");
+    curve(1, BufferPolicy::MgGcn, "MG-GCN (L + 3 shared buffers)");
+    println!("\n(b) 8 GPUs");
+    curve(8, BufferPolicy::CagnetFullGather, "CAGNET (per-layer + full gather)");
+    curve(8, BufferPolicy::MgGcn, "MG-GCN (L + 3 shared buffers)");
+    println!();
+    println!("(paper: ~20 vs ~50 layers at 1 GPU; ~150 vs ~450 at 8 GPUs)");
+}

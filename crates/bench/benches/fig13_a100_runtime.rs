@@ -1,0 +1,30 @@
+//! Fig 13 — Epoch runtime (s) comparison on DGX-A100: DGL vs MG-GCN,
+//! model A (2 layers, h = 512), 1–8 GPUs.
+//!
+//! Paper's headline: MG-GCN wins on every dataset at one GPU (1.5–2.2×)
+//! and keeps scaling to 8; DGL is OOM on Proteins.
+
+use mggcn_bench::{dgl_epoch, fmt_time, mggcn_epoch};
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::FIGURE_DATASETS;
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Fig 13: epoch runtime (s), DGX-A100, model A (2 layers, h=512)");
+    println!("{:<10} {:>5} {:>10} {:>10}", "Dataset", "#GPU", "DGL", "MG-GCN");
+    let m = MachineSpec::dgx_a100;
+    for card in FIGURE_DATASETS {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        for gpus in [1usize, 2, 4, 8] {
+            let dgl = if gpus == 1 { dgl_epoch(&card, &cfg, m()) } else { None };
+            let mg = mggcn_epoch(&card, &cfg, m(), gpus).map(|r| r.sim_seconds);
+            println!(
+                "{:<10} {:>5} {:>10} {:>10}",
+                card.name,
+                gpus,
+                if gpus == 1 { fmt_time(dgl) } else { "-".into() },
+                fmt_time(mg)
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig 14 — Speedup w.r.t. single-GPU DGL on DGX-A100, model A, MG-GCN at
+//! 1–8 GPUs.
+//!
+//! Paper's headline: single-GPU ratios of 2.2× (Cora), 1.8× (Arxiv),
+//! 1.5× (Products), 1.5× (Reddit); 8.5× multi-GPU scaling on Products and
+//! 8.3× on Reddit at 8 GPUs.
+
+use mggcn_bench::{dgl_epoch, mggcn_epoch};
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::{ARXIV, CORA, PRODUCTS, REDDIT};
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Fig 14: speedup w.r.t. DGL (1 GPU), DGX-A100, model A");
+    println!(
+        "{:<10} {:>5} {:>12} {:>18}",
+        "Dataset", "#GPU", "MG-GCN/DGL", "scaling vs 1 GPU"
+    );
+    let m = MachineSpec::dgx_a100;
+    for card in [ARXIV, CORA, PRODUCTS, REDDIT] {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        let dgl = dgl_epoch(&card, &cfg, m()).expect("DGL reference fits");
+        let mg1 = mggcn_epoch(&card, &cfg, m(), 1)
+            .map(|r| r.sim_seconds)
+            .expect("1 GPU fits");
+        for gpus in [1usize, 2, 4, 8] {
+            match mggcn_epoch(&card, &cfg, m(), gpus) {
+                Some(r) => println!(
+                    "{:<10} {:>5} {:>11.2}x {:>17.2}x",
+                    card.name,
+                    gpus,
+                    dgl / r.sim_seconds,
+                    mg1 / r.sim_seconds
+                ),
+                None => println!("{:<10} {:>5} {:>12}", card.name, gpus, "OOM"),
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for the kernel substrate: SpMM, GeMM,
+//! collectives, the BTER generator, permutation application, and the
+//! discrete-event engine itself.
+//!
+//! These wall-clock numbers are about *this machine's CPU kernels*, not the
+//! paper's GPUs — they guard against performance regressions in the
+//! substrate the simulator's real-compute mode runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mggcn_dense::{gemm, Accumulate, Dense};
+use mggcn_graph::generators::bter::{self, ClusteringProfile};
+use mggcn_graph::generators::{chung_lu, degree};
+use mggcn_graph::random_permutation;
+use mggcn_sparse::spmm;
+use std::hint::black_box;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for &(n, avg_deg, d) in &[(10_000usize, 16u32, 64usize), (50_000, 8, 32)] {
+        let degrees = vec![avg_deg; n];
+        let a = chung_lu::generate(&degrees, 42);
+        let b = Dense::from_fn(n, d, |r, cc| ((r * d + cc) as f32).sin());
+        let mut out = Dense::zeros(n, d);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{avg_deg}_d{d}")),
+            &(),
+            |bench, ()| {
+                bench.iter(|| {
+                    spmm(black_box(&a), black_box(&b), &mut out, Accumulate::Overwrite);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for &(m, k, n) in &[(4096usize, 256usize, 128usize), (16_384, 128, 64)] {
+        let a = Dense::from_fn(m, k, |r, cc| ((r + cc) as f32).cos());
+        let b = Dense::from_fn(k, n, |r, cc| ((r * 2 + cc) as f32).sin());
+        let mut out = Dense::zeros(m, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(),
+            |bench, ()| {
+                bench.iter(|| {
+                    gemm(black_box(&a), black_box(&b), &mut out, Accumulate::Overwrite);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let len = 1 << 20;
+    let src: Vec<f32> = (0..len).map(|i| i as f32).collect();
+    group.bench_function("broadcast_4x1M", |bench| {
+        let mut d1 = vec![0.0f32; len];
+        let mut d2 = vec![0.0f32; len];
+        let mut d3 = vec![0.0f32; len];
+        let mut d4 = vec![0.0f32; len];
+        bench.iter(|| {
+            mggcn_comm::broadcast(
+                black_box(&src),
+                &mut [&mut d1, &mut d2, &mut d3, &mut d4],
+            );
+        })
+    });
+    group.bench_function("all_reduce_4x1M", |bench| {
+        let mut b1 = src.clone();
+        let mut b2 = src.clone();
+        let mut b3 = src.clone();
+        let mut b4 = src.clone();
+        bench.iter(|| {
+            mggcn_comm::all_reduce_sum(&mut [&mut b1, &mut b2, &mut b3, &mut b4]);
+        })
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    let model = degree::DegreeModel::power_law(8.0, 2.4, 20_000);
+    let degrees = degree::sample_degrees(&model, 20_000, 7);
+    group.bench_function("chung_lu_20k", |bench| {
+        bench.iter(|| chung_lu::generate(black_box(&degrees), 1))
+    });
+    group.bench_function("bter_20k", |bench| {
+        bench.iter(|| bter::generate(black_box(&degrees), &ClusteringProfile::arxiv_like(), 1))
+    });
+    group.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let degrees = vec![12u32; 30_000];
+    let a = chung_lu::generate(&degrees, 3);
+    let perm = random_permutation(30_000, 9);
+    group.bench_function("permute_symmetric_30k", |bench| {
+        bench.iter(|| black_box(&a).permute_symmetric(black_box(&perm)))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use mggcn_gpusim::engine::OpDesc;
+    use mggcn_gpusim::{Category, MachineSpec, Schedule, Work};
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("schedule_1k_ops", |bench| {
+        bench.iter(|| {
+            let mut s: Schedule<()> = Schedule::new(MachineSpec::dgx_a100());
+            let mut prev = None;
+            for i in 0..1000usize {
+                let gpu = i % 8;
+                let waits: Vec<usize> = prev.into_iter().collect();
+                prev = Some(s.launch(
+                    gpu,
+                    0,
+                    Work::Compute { flops: 1.0e9, bytes: 1.0e6 },
+                    OpDesc::new(Category::Other, "op"),
+                    &waits,
+                    None,
+                ));
+            }
+            s.run(&mut ())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_gemm,
+    bench_collectives,
+    bench_generators,
+    bench_permutation,
+    bench_engine
+);
+criterion_main!(benches);

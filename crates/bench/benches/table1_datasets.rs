@@ -1,0 +1,71 @@
+//! Table 1 — Benchmark Datasets: n, m, d(0), d(L), k.
+//!
+//! Prints the dataset stat cards this reproduction uses (the paper's exact
+//! values) plus, for the materializable small replicas, the realized
+//! statistics of the synthetic graphs.
+
+use mggcn_graph::datasets::{scaled_arxiv, BENCHMARKS};
+
+fn human(x: usize) -> String {
+    if x >= 1_000_000_000 {
+        format!("{:.2}B", x as f64 / 1e9)
+    } else if x >= 1_000_000 {
+        format!("{:.2}M", x as f64 / 1e6)
+    } else if x >= 1_000 {
+        format!("{:.1}K", x as f64 / 1e3)
+    } else {
+        x.to_string()
+    }
+}
+
+fn main() {
+    println!("Table 1: Benchmark Datasets");
+    println!("{:<10} {:>9} {:>9} {:>7} {:>6} {:>6}", "Dataset", "n", "m", "d(0)", "d(L)", "k");
+    for card in BENCHMARKS {
+        println!(
+            "{:<10} {:>9} {:>9} {:>7} {:>6} {:>6.0}",
+            card.name,
+            human(card.n),
+            human(card.m),
+            card.feat_dim,
+            card.classes,
+            card.avg_degree
+        );
+    }
+    println!();
+    println!("Synthetic BTER family (Fig 9 input): Arxiv degree profile, scaled average degree");
+    println!("{:<6} {:>9} {:>9} {:>7} {:>6} {:>7}", "Name", "n", "m", "d(0)", "d(L)", "k");
+    for e in 0..8u32 {
+        let card = scaled_arxiv(1 << e);
+        println!(
+            "{:<6} {:>9} {:>9} {:>7} {:>6} {:>7.0}",
+            card.name,
+            human(card.n),
+            human(card.m),
+            card.feat_dim,
+            card.classes,
+            card.avg_degree
+        );
+    }
+    println!();
+    println!("Realized replica statistics (materialized at small scale):");
+    println!(
+        "{:<10} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "Replica", "n", "m", "k", "max", "CV", "Gini"
+    );
+    for (card, scale) in [
+        (mggcn_graph::datasets::ARXIV, 0.03),
+        (mggcn_graph::datasets::PRODUCTS, 0.002),
+        (mggcn_graph::datasets::REDDIT, 0.02),
+    ] {
+        let g = card.materialize(scale, 42);
+        let s = mggcn_graph::metrics::degree_stats(&g.adj);
+        println!(
+            "{:<10} {:>7} {:>9} {:>7.1} {:>7} {:>7.2} {:>7.2}",
+            card.name, s.n, s.m, s.mean, s.max, s.cv, s.gini
+        );
+    }
+    println!();
+    println!("(replicas preserve each card's average degree and heavy-tail shape;");
+    println!(" CV and Gini quantify the skew the §5.2 permutation must balance)");
+}

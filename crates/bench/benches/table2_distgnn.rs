@@ -1,0 +1,48 @@
+//! Table 2 — DistGNN epoch times (seconds): the numbers the paper quotes
+//! from the DistGNN publication, alongside our CPU-cluster cost model's
+//! reproduction of them.
+//!
+//! §6.6 context: MG-GCN at 8 GPUs beats DistGNN's best published numbers
+//! by 40× (Reddit), 12.6× (Papers), 12.4× (Products), 1.77× (Proteins);
+//! see `table3_a100` for the MG-GCN side.
+
+use mggcn_baselines::distgnn::{modeled_epoch_time, published_epoch_time, SocketSpec};
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::{PAPERS, PRODUCTS, PROTEINS, REDDIT};
+
+fn main() {
+    println!("Table 2: DistGNN epoch times (s) — published vs our CPU-cluster model");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "Dataset", "#Socket", "published", "modeled"
+    );
+    let spec = SocketSpec::default();
+    let rows = [
+        ("Reddit", REDDIT, GcnConfig::model_b(REDDIT.feat_dim, REDDIT.classes), vec![1usize, 16]),
+        ("Papers", PAPERS, GcnConfig::model_c(PAPERS.feat_dim, PAPERS.classes), vec![1, 128]),
+        (
+            "Products",
+            PRODUCTS,
+            GcnConfig::model_c(PRODUCTS.feat_dim, PRODUCTS.classes),
+            vec![1, 64],
+        ),
+        (
+            "Proteins",
+            PROTEINS,
+            GcnConfig::model_c(PROTEINS.feat_dim, PROTEINS.classes),
+            vec![1, 64],
+        ),
+    ];
+    for (name, card, cfg, sockets) in rows {
+        for s in sockets {
+            let published = published_epoch_time(name, s)
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or("-".into());
+            let modeled = modeled_epoch_time(&card, &cfg, s, &spec);
+            println!("{:<10} {:>8} {:>12} {:>12.2}", name, s, published, modeled);
+        }
+    }
+    println!();
+    println!("(published values are Table 2 of the MG-GCN paper, quoted from DistGNN;");
+    println!(" the model is calibrated within a small factor — see EXPERIMENTS.md)");
+}

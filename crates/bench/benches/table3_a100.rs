@@ -1,0 +1,54 @@
+//! Table 3 — MG-GCN epoch times (seconds) on DGX-A100 with the DistGNN
+//! comparison models: Reddit (2 layers, h = 16), Products/Proteins
+//! (3 layers, h = 256), Papers (3 layers, h = 208).
+//!
+//! Paper's values: Reddit 0.033/0.017/0.012/0.012; Papers —/—/—/2.89;
+//! Products 0.355/0.202/0.110/0.067; Proteins 4.221/2.272/1.191/0.641.
+//! The §6.6 punchline divides these into DistGNN's best published numbers:
+//! 40× (Reddit), 12.6× (Papers), 12.4× (Products), 1.77× (Proteins).
+
+use mggcn_baselines::distgnn::best_published;
+use mggcn_bench::{fmt_time, mggcn_epoch};
+use mggcn_core::config::GcnConfig;
+use mggcn_graph::datasets::{PAPERS, PRODUCTS, PROTEINS, REDDIT};
+use mggcn_gpusim::MachineSpec;
+
+fn main() {
+    println!("Table 3: MG-GCN epoch times (s) on DGX-A100");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>22}",
+        "Dataset", "1", "2", "4", "8", "vs DistGNN best @8"
+    );
+    let rows = [
+        ("Reddit", REDDIT, GcnConfig::model_b(REDDIT.feat_dim, REDDIT.classes)),
+        ("Papers", PAPERS, GcnConfig::model_d(PAPERS.feat_dim, PAPERS.classes)),
+        ("Products", PRODUCTS, GcnConfig::model_c(PRODUCTS.feat_dim, PRODUCTS.classes)),
+        ("Proteins", PROTEINS, GcnConfig::model_c(PROTEINS.feat_dim, PROTEINS.classes)),
+    ];
+    for (name, card, cfg) in rows {
+        let mut times = Vec::new();
+        for gpus in [1usize, 2, 4, 8] {
+            times.push(
+                mggcn_epoch(&card, &cfg, MachineSpec::dgx_a100(), gpus).map(|r| r.sim_seconds),
+            );
+        }
+        let vs = match (best_published(name), times[3]) {
+            (Some((sockets, t_dist)), Some(t_mg)) => {
+                format!("{:.1}x ({} sockets)", t_dist / t_mg, sockets)
+            }
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>22}",
+            name,
+            fmt_time(times[0]),
+            fmt_time(times[1]),
+            fmt_time(times[2]),
+            fmt_time(times[3]),
+            vs
+        );
+    }
+    println!();
+    println!("(dashes in the paper are OOM; paper ratios vs DistGNN best: 40x Reddit,");
+    println!(" 12.6x Papers, 12.4x Products, 1.77x Proteins)");
+}

@@ -1,0 +1,101 @@
+//! The paper's §5.1 communication analysis: 1D versus 1.5D partitioning.
+//!
+//! For moving the `n × d` feature matrix once per SpMM:
+//!
+//! * **1D** performs `P` broadcasts of `n·d/P` elements, each at the root's
+//!   full link fan-out;
+//! * **1.5D** (replication factor `c = 2`) performs two rounds of
+//!   group-local broadcasts (groups of `P/2`) followed by a cross-group
+//!   reduction of `n·d/(P/2)` elements over the inter-group links.
+//!
+//! On DGX-1's hybrid cube mesh the cross-group reduction sees only 2 links,
+//! making 1.5D 1.5× *slower* than 1D; on DGX-A100's NVSwitch every phase
+//! sees 12 links and 1.5D is 4/3 *faster* — but needs twice the memory,
+//! which is why MG-GCN ships 1D only (§5.1's conclusion).
+
+use mggcn_gpusim::MachineSpec;
+
+/// Communication times (seconds) for moving `nd_bytes` of feature data
+/// through one staged SpMM under each strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct CommAnalysis {
+    pub t_1d: f64,
+    pub t_15d: f64,
+    /// Memory replication factor of 1.5D relative to 1D.
+    pub mem_factor_15d: f64,
+}
+
+impl CommAnalysis {
+    /// Ratio `t_15d / t_1d` — above 1.0 means 1D wins.
+    pub fn slowdown_15d(&self) -> f64 {
+        self.t_15d / self.t_1d
+    }
+}
+
+/// Evaluate both strategies on `machine` for a feature payload of
+/// `nd_bytes` (the full `n × d × 4` matrix).
+pub fn analyze(machine: &MachineSpec, nd_bytes: f64) -> CommAnalysis {
+    let p = machine.gpu_count();
+    assert!(p >= 4 && p.is_multiple_of(2), "analysis assumes an even GPU count ≥ 4");
+    let all: Vec<usize> = (0..p).collect();
+
+    // 1D: P broadcasts of nd/P bytes at the full-group fan-out.
+    let bw_full = machine.broadcast_bw(0, &all);
+    let t_1d = p as f64 * (nd_bytes / p as f64) / bw_full;
+
+    // 1.5D with c = 2: groups are the machine's two halves.
+    let group: Vec<usize> = (0..p / 2).collect();
+    let bw_group = machine.broadcast_bw(0, &group);
+    let cross = vec![0usize, p / 2];
+    let bw_cross = machine.reduce_bw(0, &cross);
+    // Each of the two rounds broadcasts nd / (P/2) bytes inside each group
+    // (the two groups run concurrently), at group-local bandwidth.
+    let per_round = nd_bytes / (p as f64 / 2.0);
+    let t_broadcasts = 2.0 * per_round / bw_group;
+    // Final concurrent reduction between the groups.
+    let t_reduce = per_round / bw_cross;
+    CommAnalysis { t_1d, t_15d: t_broadcasts + t_reduce, mem_factor_15d: 2.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx_v100_1d_wins_by_three_halves() {
+        // §5.1: "the 1.5D algorithm is slower on DGX-1 by a factor of 2/3"
+        // i.e. t_1d / t_15d = 2/3 — 1.5D takes 1.5x as long.
+        let a = analyze(&MachineSpec::dgx_v100(), 1.0e9);
+        assert!(
+            (a.slowdown_15d() - 1.5).abs() < 0.05,
+            "slowdown {}",
+            a.slowdown_15d()
+        );
+    }
+
+    #[test]
+    fn dgx_a100_15d_wins_by_four_thirds() {
+        // §5.1: on DGX-A100 1.5D is faster by 4/3 (t_1d = nd/12l vs nd/16l).
+        let a = analyze(&MachineSpec::dgx_a100(), 1.0e9);
+        assert!(
+            (a.slowdown_15d() - 0.75).abs() < 0.05,
+            "slowdown {}",
+            a.slowdown_15d()
+        );
+    }
+
+    #[test]
+    fn memory_factor_is_two() {
+        let a = analyze(&MachineSpec::dgx_a100(), 1.0e9);
+        assert_eq!(a.mem_factor_15d, 2.0);
+    }
+
+    #[test]
+    fn times_scale_linearly_with_payload() {
+        let m = MachineSpec::dgx_v100();
+        let a1 = analyze(&m, 1.0e9);
+        let a2 = analyze(&m, 2.0e9);
+        assert!((a2.t_1d / a1.t_1d - 2.0).abs() < 1e-9);
+        assert!((a2.t_15d / a1.t_15d - 2.0).abs() < 1e-9);
+    }
+}

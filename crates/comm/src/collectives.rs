@@ -1,0 +1,140 @@
+//! Data-plane collectives over per-device buffers.
+//!
+//! The virtual machine keeps each device's memory as ordinary host slices,
+//! so the collectives are deterministic reference implementations with the
+//! same contracts as their NCCL namesakes. Reductions use a fixed
+//! peer order, so results are bit-reproducible run to run (stricter than
+//! NCCL, which only promises it for a fixed algorithm/topology).
+
+use rayon::prelude::*;
+
+/// Copy `src` into every destination buffer (NCCL `ncclBroadcast`).
+/// Destinations must match `src` in length.
+pub fn broadcast(src: &[f32], dsts: &mut [&mut [f32]]) {
+    dsts.par_iter_mut().for_each(|d| {
+        assert_eq!(d.len(), src.len(), "broadcast size mismatch");
+        d.copy_from_slice(src);
+    });
+}
+
+/// Sum `srcs` elementwise into `dst` (NCCL `ncclReduce` with `ncclSum`).
+pub fn reduce_sum(srcs: &[&[f32]], dst: &mut [f32]) {
+    assert!(!srcs.is_empty(), "reduce needs at least one source");
+    for s in srcs {
+        assert_eq!(s.len(), dst.len(), "reduce size mismatch");
+    }
+    dst.copy_from_slice(srcs[0]);
+    for s in &srcs[1..] {
+        for (d, x) in dst.iter_mut().zip(s.iter()) {
+            *d += x;
+        }
+    }
+}
+
+/// Sum all buffers elementwise and write the total back to every buffer
+/// (NCCL `ncclAllReduce` with `ncclSum`). This is how the replicated weight
+/// gradients stay consistent across GPUs.
+pub fn all_reduce_sum(bufs: &mut [&mut [f32]]) {
+    let Some((first, rest)) = bufs.split_first_mut() else {
+        return;
+    };
+    for b in rest.iter() {
+        assert_eq!(b.len(), first.len(), "all_reduce size mismatch");
+    }
+    // Reduce into the first buffer in fixed order…
+    for b in rest.iter() {
+        for (d, x) in first.iter_mut().zip(b.iter()) {
+            *d += x;
+        }
+    }
+    // …then broadcast the total back.
+    let total: &[f32] = first;
+    rest.par_iter_mut().for_each(|b| b.copy_from_slice(total));
+}
+
+/// Concatenate every rank's shard into each rank's output buffer
+/// (NCCL `ncclAllGather`). `out.len()` must be `Σ shards[i].len()`.
+pub fn all_gather(shards: &[&[f32]], outs: &mut [&mut [f32]]) {
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    outs.par_iter_mut().for_each(|out| {
+        assert_eq!(out.len(), total, "all_gather size mismatch");
+        let mut off = 0;
+        for s in shards {
+            out[off..off + s.len()].copy_from_slice(s);
+            off += s.len();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_copies_to_all() {
+        let src = vec![1.0f32, 2.0, 3.0];
+        let mut a = vec![0.0; 3];
+        let mut b = vec![9.0; 3];
+        broadcast(&src, &mut [&mut a, &mut b]);
+        assert_eq!(a, src);
+        assert_eq!(b, src);
+    }
+
+    #[test]
+    fn reduce_sum_adds_sources() {
+        let s1 = vec![1.0f32, 2.0];
+        let s2 = vec![10.0f32, 20.0];
+        let mut dst = vec![0.0; 2];
+        reduce_sum(&[&s1, &s2], &mut dst);
+        assert_eq!(dst, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn all_reduce_makes_buffers_identical() {
+        let mut a = vec![1.0f32, 0.0];
+        let mut b = vec![2.0f32, 5.0];
+        let mut c = vec![3.0f32, -1.0];
+        all_reduce_sum(&mut [&mut a, &mut b, &mut c]);
+        assert_eq!(a, vec![6.0, 4.0]);
+        assert_eq!(b, a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn all_reduce_single_buffer_noop() {
+        let mut a = vec![4.0f32];
+        all_reduce_sum(&mut [&mut a]);
+        assert_eq!(a, vec![4.0]);
+        all_reduce_sum(&mut []);
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let s0 = vec![1.0f32];
+        let s1 = vec![2.0f32, 3.0];
+        let mut o0 = vec![0.0; 3];
+        let mut o1 = vec![0.0; 3];
+        all_gather(&[&s0, &s1], &mut [&mut o0, &mut o1]);
+        assert_eq!(o0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(o1, o0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn broadcast_size_mismatch_panics() {
+        let src = vec![1.0f32, 2.0];
+        let mut bad = vec![0.0; 3];
+        broadcast(&src, &mut [&mut bad]);
+    }
+
+    #[test]
+    fn all_reduce_deterministic_order() {
+        // Floating-point reduction order is fixed: same inputs, same bits.
+        let mk = || (vec![0.1f32, 0.2], vec![0.3f32, 0.7], vec![1e-8f32, -0.9]);
+        let (mut a1, mut b1, mut c1) = mk();
+        all_reduce_sum(&mut [&mut a1, &mut b1, &mut c1]);
+        let (mut a2, mut b2, mut c2) = mk();
+        all_reduce_sum(&mut [&mut a2, &mut b2, &mut c2]);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,21 @@
+//! NCCL-substitute collectives for the MG-GCN reproduction.
+//!
+//! The paper drives all inter-GPU movement through NCCL broadcast (the
+//! staged SpMM of §4.1/§4.3) and all-reduce (the weight gradients, §4.1).
+//! Here each collective exists on two planes:
+//!
+//! * **data plane** ([`collectives`]) — operates on the per-device host
+//!   arenas of the virtual machine, producing exactly the values NCCL
+//!   would;
+//! * **cost plane** — the caller prices the transfer with
+//!   [`mggcn_gpusim::MachineSpec::broadcast_bw`] /
+//!   [`allreduce_bw`](mggcn_gpusim::MachineSpec::allreduce_bw) and enqueues
+//!   it as a [`Work::Comm`](mggcn_gpusim::Work) collective on the engine.
+//!
+//! [`analysis`] reproduces the paper's §5.1 link-count arithmetic comparing
+//! 1D against 1.5D partitioning on both machines.
+
+pub mod analysis;
+pub mod collectives;
+
+pub use collectives::{all_gather, all_reduce_sum, broadcast, reduce_sum};

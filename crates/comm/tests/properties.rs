@@ -1,0 +1,101 @@
+//! Property-based tests for the collectives: NCCL semantics on arbitrary
+//! payloads and rank counts, plus invariants of the §5.1 analysis.
+
+use mggcn_comm::analysis::analyze;
+use mggcn_comm::{all_gather, all_reduce_sum, broadcast, reduce_sum};
+use mggcn_gpusim::MachineSpec;
+use proptest::prelude::*;
+
+fn payloads() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (2usize..8, 1usize..64).prop_flat_map(|(ranks, len)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, len),
+            ranks,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn broadcast_makes_all_ranks_equal_to_root(mut bufs in payloads()) {
+        let src = bufs[0].clone();
+        let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        broadcast(&src, &mut refs);
+        for b in &bufs {
+            prop_assert_eq!(b, &src);
+        }
+    }
+
+    #[test]
+    fn all_reduce_equals_reduce_then_broadcast(bufs in payloads()) {
+        // Path A: all_reduce.
+        let mut a = bufs.clone();
+        {
+            let mut refs: Vec<&mut [f32]> = a.iter_mut().map(|b| b.as_mut_slice()).collect();
+            all_reduce_sum(&mut refs);
+        }
+        // Path B: reduce to rank 0, then broadcast.
+        let mut total = vec![0.0f32; bufs[0].len()];
+        {
+            let srcs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
+            reduce_sum(&srcs, &mut total);
+        }
+        let mut b = bufs.clone();
+        {
+            let mut refs: Vec<&mut [f32]> = b.iter_mut().map(|x| x.as_mut_slice()).collect();
+            broadcast(&total, &mut refs);
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_reduce_is_sum(bufs in payloads()) {
+        let expect: Vec<f32> = (0..bufs[0].len())
+            .map(|i| bufs.iter().map(|b| b[i]).sum())
+            .collect();
+        let mut work = bufs.clone();
+        let mut refs: Vec<&mut [f32]> = work.iter_mut().map(|b| b.as_mut_slice()).collect();
+        all_reduce_sum(&mut refs);
+        for b in &work {
+            for (got, want) in b.iter().zip(&expect) {
+                prop_assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_preserves_every_shard(bufs in payloads()) {
+        let total_len: usize = bufs.iter().map(Vec::len).sum();
+        let shards: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut out1 = vec![0.0f32; total_len];
+        let mut out2 = vec![0.0f32; total_len];
+        all_gather(&shards, &mut [&mut out1, &mut out2]);
+        prop_assert_eq!(&out1, &out2);
+        let mut off = 0;
+        for shard in &bufs {
+            prop_assert_eq!(&out1[off..off + shard.len()], shard.as_slice());
+            off += shard.len();
+        }
+    }
+
+    #[test]
+    fn analysis_is_positive_and_linear(nd in 1.0e6f64..1.0e12) {
+        for machine in [MachineSpec::dgx_v100(), MachineSpec::dgx_a100()] {
+            let a = analyze(&machine, nd);
+            prop_assert!(a.t_1d > 0.0);
+            prop_assert!(a.t_15d > 0.0);
+            let a2 = analyze(&machine, nd * 3.0);
+            prop_assert!((a2.t_1d / a.t_1d - 3.0).abs() < 1e-6);
+            prop_assert!((a2.t_15d / a.t_15d - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ratio_is_machine_constant(nd in 1.0e6f64..1.0e12) {
+        // The 1.5D/1D ratio depends only on topology, never on payload.
+        let v = analyze(&MachineSpec::dgx_v100(), nd).slowdown_15d();
+        prop_assert!((v - 1.5).abs() < 1e-9);
+        let a = analyze(&MachineSpec::dgx_a100(), nd).slowdown_15d();
+        prop_assert!((a - 0.75).abs() < 1e-9);
+    }
+}

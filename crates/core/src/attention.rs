@@ -1,0 +1,176 @@
+//! Graph-attention building blocks (the paper's §7 future work).
+//!
+//! "Another future direction is to accelerate the Sampled Dense Dense
+//! Matrix Multiplication (SDDMM) kernel to enable parallel training of
+//! several other models such as Graph Attention Networks." The SDDMM
+//! kernel lives in [`mggcn_sparse::sddmm()`](mggcn_sparse::sddmm::sddmm); this module assembles it into
+//! a GAT layer forward pass.
+//!
+//! GAT's edge score `e(u→v) = LeakyReLU(a_srcᵀ·W h_u + a_dstᵀ·W h_v)` is
+//! rank-1 additive, so it *is* an SDDMM with feature width 2:
+//! `dot([s_src(u), 1], [1, s_dst(v)]) = s_src(u) + s_dst(v)` — which means
+//! the distributed version inherits the staged-SpMM communication pattern
+//! unchanged.
+
+use mggcn_dense::{gemm, init, Accumulate, Dense};
+use mggcn_sparse::{rowwise_softmax, sddmm, spmm, Csr};
+
+/// One graph-attention layer (single head).
+#[derive(Clone, Debug)]
+pub struct GatLayer {
+    /// Feature transform, `d_in × d_out`.
+    pub w: Dense,
+    /// Source attention vector, length `d_out`.
+    pub a_src: Vec<f32>,
+    /// Destination attention vector, length `d_out`.
+    pub a_dst: Vec<f32>,
+    /// LeakyReLU negative slope (0.2 in the GAT paper).
+    pub slope: f32,
+}
+
+impl GatLayer {
+    /// Glorot-initialized layer.
+    pub fn new(d_in: usize, d_out: usize, seed: u64) -> Self {
+        let w = init::glorot_seeded(d_in, d_out, seed);
+        let a = init::glorot_seeded(2, d_out, seed ^ 0x47a7);
+        Self {
+            w,
+            a_src: a.row(0).to_vec(),
+            a_dst: a.row(1).to_vec(),
+            slope: 0.2,
+        }
+    }
+
+    /// Forward pass: `adj` is the (pattern-only) adjacency with rows =
+    /// destinations, columns = sources. Returns `(attention, output)` where
+    /// `attention` carries the per-edge softmax coefficients on `adj`'s
+    /// pattern and `output = attention · (H W)`.
+    pub fn forward(&self, adj: &Csr, h: &Dense) -> (Csr, Dense) {
+        assert_eq!(adj.rows(), adj.cols(), "GAT expects a square adjacency");
+        assert_eq!(adj.rows(), h.rows(), "feature rows must match vertices");
+        let n = h.rows();
+        let d_out = self.w.cols();
+        // HW = H · W.
+        let mut hw = Dense::zeros(n, d_out);
+        gemm(h, &self.w, &mut hw, Accumulate::Overwrite);
+        // Per-vertex score halves.
+        let s_src: Vec<f32> = (0..n)
+            .map(|v| hw.row(v).iter().zip(&self.a_src).map(|(x, a)| x * a).sum())
+            .collect();
+        let s_dst: Vec<f32> = (0..n)
+            .map(|v| hw.row(v).iter().zip(&self.a_dst).map(|(x, a)| x * a).sum())
+            .collect();
+        // The rank-1 SDDMM: A[v] = [s_dst(v), 1], B[u] = [1, s_src(u)]
+        // gives e(v←u) = s_dst(v) + s_src(u) on every edge (v, u).
+        let a_feat = Dense::from_fn(n, 2, |v, c| if c == 0 { s_dst[v] } else { 1.0 });
+        let b_feat = Dense::from_fn(n, 2, |u, c| if c == 0 { 1.0 } else { s_src[u] });
+        let mut pattern = adj.clone();
+        pattern.binarize();
+        let mut logits = sddmm(&pattern, &a_feat, &b_feat);
+        // LeakyReLU on edge logits.
+        let slope = self.slope;
+        let values: Vec<f32> = logits
+            .values()
+            .iter()
+            .map(|&x| if x > 0.0 { x } else { slope * x })
+            .collect();
+        logits = Csr::from_parts(
+            logits.rows(),
+            logits.cols(),
+            logits.row_ptr().to_vec(),
+            logits.col_idx().to_vec(),
+            values,
+        );
+        // Softmax over each destination's in-edges (rows).
+        let attention = rowwise_softmax(&logits);
+        // Output: attention-weighted aggregation of the transformed feats.
+        let mut out = Dense::zeros(n, d_out);
+        spmm(&attention, &hw, &mut out, Accumulate::Overwrite);
+        (attention, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_sparse::Coo;
+
+    fn ring(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n as u32 {
+            coo.push(i, (i + 1) % n as u32, 1.0);
+            coo.push(i, (i + 2) % n as u32, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let adj = ring(12);
+        let h = Dense::from_fn(12, 5, |r, c| ((r * 5 + c) as f32).sin());
+        let layer = GatLayer::new(5, 7, 3);
+        let (att, out) = layer.forward(&adj, &h);
+        assert_eq!(out.rows(), 12);
+        assert_eq!(out.cols(), 7);
+        for r in 0..12 {
+            let s: f32 = att.row(r).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} attention sums to {s}");
+        }
+    }
+
+    #[test]
+    fn scores_match_naive_gat_formula() {
+        let adj = ring(8);
+        let h = Dense::from_fn(8, 4, |r, c| ((r + c) as f32) * 0.3 - 1.0);
+        let layer = GatLayer::new(4, 3, 5);
+        let (att, _) = layer.forward(&adj, &h);
+
+        // Naive recomputation.
+        let n = 8;
+        let mut hw = Dense::zeros(n, 3);
+        gemm(&h, &layer.w, &mut hw, Accumulate::Overwrite);
+        for v in 0..n {
+            let mut logits: Vec<(u32, f32)> = adj
+                .row(v)
+                .map(|(u, _)| {
+                    let s_dst: f32 =
+                        hw.row(v).iter().zip(&layer.a_dst).map(|(x, a)| x * a).sum();
+                    let s_src: f32 =
+                        hw.row(u as usize).iter().zip(&layer.a_src).map(|(x, a)| x * a).sum();
+                    let e = s_dst + s_src;
+                    (u, if e > 0.0 { e } else { layer.slope * e })
+                })
+                .collect();
+            let max = logits.iter().map(|&(_, e)| e).fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = logits.iter().map(|&(_, e)| (e - max).exp()).sum();
+            for (u, e) in logits.iter_mut() {
+                let want = (*e - max).exp() / z;
+                let got = att.row(v).find(|&(uu, _)| uu == *u).expect("edge").1;
+                assert!((got - want).abs() < 1e-4, "({v},{u}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_attention_when_vectors_are_zero() {
+        let adj = ring(6);
+        let h = Dense::from_fn(6, 3, |r, _| r as f32);
+        let mut layer = GatLayer::new(3, 3, 1);
+        layer.a_src.fill(0.0);
+        layer.a_dst.fill(0.0);
+        let (att, out) = layer.forward(&adj, &h);
+        // All logits zero => uniform attention = mean aggregation.
+        for r in 0..6 {
+            for (_, v) in att.row(r) {
+                assert!((v - 0.5).abs() < 1e-6);
+            }
+        }
+        // Output equals plain normalized SpMM.
+        let norm = adj.normalize_rows();
+        let mut hw = Dense::zeros(6, 3);
+        gemm(&h, &layer.w, &mut hw, Accumulate::Overwrite);
+        let mut plain = Dense::zeros(6, 3);
+        spmm(&norm, &hw, &mut plain, Accumulate::Overwrite);
+        assert!(out.max_abs_diff(&plain) < 1e-5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Reference data-plane implementations of the distributed SpMM
+//! algorithms (§4.1 and §5.1).
+//!
+//! The production path schedules these algorithms on the engine
+//! ([`crate::trainer`]); the functions here run the same shard-level
+//! arithmetic eagerly over explicit per-GPU shards. They serve two
+//! purposes: executable documentation of exactly what each strategy
+//! computes and communicates, and an oracle the scheduled version is
+//! tested against.
+//!
+//! * [`spmm_1d`] — the paper's choice: symmetric `P × P` tiling, `P`
+//!   broadcast stages, every GPU accumulates its tile row. Communication:
+//!   each stage broadcasts one `n/P × d` shard to all `P` GPUs.
+//! * [`spmm_15d`] — the CAGNET replication-2 variant the paper analyzes
+//!   and rejects (§5.1): `P/2`-way tiling, two GPU groups each covering
+//!   half the stages against a full feature replica, followed by a
+//!   pairwise cross-group reduction. Communication per group is halved,
+//!   memory is doubled.
+
+use mggcn_dense::{Accumulate, Dense};
+use mggcn_sparse::{spmm, Csr, TileGrid};
+
+/// The per-GPU shards a distributed SpMM produces: entry `i` is the result
+/// rows owned by GPU `i` (1D) or by pair `i` (1.5D).
+pub type ResultShards = Vec<Dense>;
+
+/// 1D staged SpMM: computes `C = A · H` over `p` virtual GPUs and returns
+/// the `p` result shards. `H` is given whole for convenience; each stage
+/// uses only the shard a real run would broadcast.
+pub fn spmm_1d(a: &Csr, h: &Dense, p: usize) -> ResultShards {
+    assert_eq!(a.rows(), a.cols(), "square adjacency expected");
+    assert_eq!(a.cols(), h.rows(), "inner dimension mismatch");
+    assert!(p >= 1, "need at least one GPU");
+    let grid = TileGrid::symmetric_uniform(a, p);
+    let part = grid.row_partition().clone();
+    let d = h.cols();
+    let mut results: Vec<Dense> = (0..p).map(|i| Dense::zeros(part.len(i), d)).collect();
+    for s in 0..p {
+        // Stage s: GPU s broadcasts its H shard…
+        let h_s = h.row_block(part.start(s), part.len(s));
+        // …and every GPU j accumulates its (j, s) tile against it.
+        for (j, out) in results.iter_mut().enumerate() {
+            let acc = if s == 0 { Accumulate::Overwrite } else { Accumulate::Add };
+            spmm(&grid.tile(j, s).csr, &h_s, out, acc);
+        }
+    }
+    results
+}
+
+/// 1.5D staged SpMM with replication factor 2: `p` virtual GPUs as two
+/// groups of `p/2`, each holding a full `H` replica partitioned `p/2`
+/// ways. Group `g` covers the stages `s` with `s mod 2 == g`; the partial
+/// results of paired GPUs are then summed (the cross-group reduction of
+/// §5.1). Returns the `p/2` reduced result shards.
+pub fn spmm_15d(a: &Csr, h: &Dense, p: usize) -> ResultShards {
+    assert_eq!(a.rows(), a.cols(), "square adjacency expected");
+    assert_eq!(a.cols(), h.rows(), "inner dimension mismatch");
+    assert!(p >= 2 && p.is_multiple_of(2), "1.5D needs an even GPU count ≥ 2");
+    let half = p / 2;
+    let grid = TileGrid::symmetric_uniform(a, half);
+    let part = grid.row_partition().clone();
+    let d = h.cols();
+    // partials[g][i]: group g's partial for result part i.
+    let mut partials: [Vec<Dense>; 2] = [
+        (0..half).map(|i| Dense::zeros(part.len(i), d)).collect(),
+        (0..half).map(|i| Dense::zeros(part.len(i), d)).collect(),
+    ];
+    for s in 0..half {
+        let g = s % 2; // owning group: stages interleave across groups
+        let h_s = h.row_block(part.start(s), part.len(s));
+        for (i, out) in partials[g].iter_mut().enumerate() {
+            spmm(&grid.tile(i, s).csr, &h_s, out, Accumulate::Add);
+        }
+    }
+    // Cross-group reduction: pair (i, i + half) sums its partials.
+    let [group0, group1] = partials;
+    group0
+        .into_iter()
+        .zip(group1)
+        .map(|(mut a_part, b_part)| {
+            mggcn_dense::add_assign(b_part.as_slice(), a_part.as_mut_slice());
+            a_part
+        })
+        .collect()
+}
+
+/// Stitch result shards back into one matrix (test/inspection helper).
+pub fn concat_shards(shards: &[Dense]) -> Dense {
+    let rows: usize = shards.iter().map(Dense::rows).sum();
+    let cols = shards.first().map(Dense::cols).unwrap_or(0);
+    let mut out = Dense::zeros(rows, cols);
+    let mut at = 0;
+    for s in shards {
+        for r in 0..s.rows() {
+            out.row_mut(at + r).copy_from_slice(s.row(r));
+        }
+        at += s.rows();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_sparse::Coo;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_square(n: usize, density: f64, seed: u64) -> Csr {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for r in 0..n as u32 {
+            for c in 0..n as u32 {
+                if rng.gen_bool(density) {
+                    coo.push(r, c, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn dense_oracle(a: &Csr, h: &Dense) -> Dense {
+        let mut out = Dense::zeros(a.rows(), h.cols());
+        spmm(a, h, &mut out, Accumulate::Overwrite);
+        out
+    }
+
+    #[test]
+    fn spmm_1d_matches_oracle_for_any_gpu_count() {
+        let a = random_square(33, 0.15, 1);
+        let h = Dense::from_fn(33, 5, |r, c| ((r * 5 + c) as f32).sin());
+        let oracle = dense_oracle(&a, &h);
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let shards = spmm_1d(&a, &h, p);
+            assert_eq!(shards.len(), p);
+            let got = concat_shards(&shards);
+            assert!(got.max_abs_diff(&oracle) < 1e-4, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn spmm_15d_matches_oracle_for_even_gpu_counts() {
+        let a = random_square(30, 0.2, 2);
+        let h = Dense::from_fn(30, 4, |r, c| ((r + 2 * c) as f32).cos());
+        let oracle = dense_oracle(&a, &h);
+        for p in [2usize, 4, 6, 8] {
+            let shards = spmm_15d(&a, &h, p);
+            assert_eq!(shards.len(), p / 2);
+            let got = concat_shards(&shards);
+            assert!(got.max_abs_diff(&oracle) < 1e-4, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn both_strategies_agree_exactly_in_shape() {
+        // 1D over P/2 "fat" GPUs covers the same tile space as 1.5D over P;
+        // both must agree with each other to fp tolerance.
+        let a = random_square(24, 0.25, 3);
+        let h = Dense::from_fn(24, 6, |r, c| (r as f32 - c as f32) * 0.1);
+        let one_d = concat_shards(&spmm_1d(&a, &h, 4));
+        let one_half_d = concat_shards(&spmm_15d(&a, &h, 8));
+        assert!(one_d.max_abs_diff(&one_half_d) < 1e-4);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_shards() {
+        let a = Csr::empty(12, 12);
+        let h = Dense::from_fn(12, 3, |_, _| 1.0);
+        for shard in spmm_1d(&a, &h, 3) {
+            assert!(shard.as_slice().iter().all(|&x| x == 0.0));
+        }
+        for shard in spmm_15d(&a, &h, 4) {
+            assert!(shard.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even GPU count")]
+    fn spmm_15d_rejects_odd_gpu_counts() {
+        let a = random_square(10, 0.2, 4);
+        let h = Dense::zeros(10, 2);
+        let _ = spmm_15d(&a, &h, 3);
+    }
+
+    #[test]
+    fn concat_shards_roundtrips_row_blocks() {
+        let m = Dense::from_fn(9, 2, |r, c| (r * 2 + c) as f32);
+        let shards = vec![m.row_block(0, 4), m.row_block(4, 3), m.row_block(7, 2)];
+        assert_eq!(concat_shards(&shards), m);
+    }
+}

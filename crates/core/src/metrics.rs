@@ -1,0 +1,112 @@
+//! Epoch-level reports.
+
+use mggcn_gpusim::{Category, Timeline};
+
+/// Everything one epoch produces: simulated wall time, the op timeline, and
+/// (for materialized problems) learning metrics.
+#[derive(Debug)]
+pub struct EpochReport {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Simulated end-to-end epoch time on the virtual machine (seconds).
+    pub sim_seconds: f64,
+    /// Global training loss (0.0 for timing-only runs).
+    pub loss: f64,
+    /// Train / test accuracy on this epoch's forward pass (0.0 when
+    /// timing-only).
+    pub train_acc: f64,
+    pub test_acc: f64,
+    /// Per-op spans (Figs 6/8) and per-category totals (Fig 5).
+    pub timeline: Timeline,
+}
+
+impl EpochReport {
+    /// Per-category busy-time percentages, Fig 5 style. Communication is
+    /// excluded when `exclude_comm` is set (the paper's Fig 5 decomposes
+    /// kernel time; comm is hidden under SpMM's pipeline).
+    pub fn breakdown(&self, exclude_comm: bool) -> Vec<(Category, f64)> {
+        let mut totals: Vec<(Category, f64)> = self
+            .timeline
+            .category_totals()
+            .into_iter()
+            .filter(|(c, _)| !(exclude_comm && *c == Category::Comm))
+            .collect();
+        let sum: f64 = totals.iter().map(|(_, t)| t).sum();
+        if sum > 0.0 {
+            for (_, t) in &mut totals {
+                *t = 100.0 * *t / sum;
+            }
+        }
+        totals
+    }
+
+    /// Busy time of one category, seconds.
+    pub fn category_seconds(&self, cat: Category) -> f64 {
+        self.timeline
+            .category_totals()
+            .into_iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, t)| t)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_gpusim::Span;
+
+    fn report() -> EpochReport {
+        let mut tl = Timeline::default();
+        tl.spans.push(Span {
+            gpu: 0,
+            stream: 0,
+            category: Category::SpMM,
+            stage: None,
+            label: "s",
+            start: 0.0,
+            end: 3.0,
+        });
+        tl.spans.push(Span {
+            gpu: 0,
+            stream: 1,
+            category: Category::Comm,
+            stage: None,
+            label: "c",
+            start: 0.0,
+            end: 1.0,
+        });
+        EpochReport {
+            epoch: 0,
+            sim_seconds: 3.0,
+            loss: 0.5,
+            train_acc: 0.9,
+            test_acc: 0.8,
+            timeline: tl,
+        }
+    }
+
+    #[test]
+    fn breakdown_excluding_comm() {
+        let r = report();
+        let b = r.breakdown(true);
+        assert_eq!(b.len(), 1);
+        assert!((b[0].1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_including_comm() {
+        let r = report();
+        let b = r.breakdown(false);
+        let total: f64 = b.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn category_seconds_lookup() {
+        let r = report();
+        assert!((r.category_seconds(Category::SpMM) - 3.0).abs() < 1e-12);
+        assert_eq!(r.category_seconds(Category::Adam), 0.0);
+    }
+}

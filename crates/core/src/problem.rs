@@ -1,0 +1,233 @@
+//! The distributed training problem: 1D-row-partitioned data (§4.1).
+//!
+//! GPU `i` owns row-parts of every dense matrix and tile-row `i` of the
+//! sparse matrices: `(Âᵀ)^{i·}` for the forward SpMM and `Â^{i·}` for the
+//! backward one. Only the weights are replicated. A [`Problem`] can be
+//! built two ways:
+//!
+//! * [`Problem::from_graph`] — materialized tiles and shards for real
+//!   end-to-end training on the virtual machine;
+//! * [`Problem::from_stats`] — tile descriptors only (rows/cols/nnz), for
+//!   timing paper-scale datasets that were never materialized.
+
+use crate::config::{GcnConfig, TrainOptions};
+use mggcn_dense::Dense;
+use mggcn_graph::tilestats::{TileStats, VertexOrdering};
+use mggcn_graph::{random_permutation, DatasetCard, Graph};
+use mggcn_sparse::{Csr, PartitionVec, TileGrid};
+use std::rc::Rc;
+
+/// Materialized per-GPU data.
+pub struct RealData {
+    /// `P × P` row-major tiles of `Âᵀ` (forward; GPU `i` holds tile row `i`).
+    pub fwd_tiles: Vec<Csr>,
+    /// `P × P` row-major tiles of `Â` (backward).
+    pub bwd_tiles: Vec<Csr>,
+    /// Per-GPU feature shards `H⁰_i`.
+    pub features: Vec<Dense>,
+    /// Per-GPU label shards.
+    pub labels: Vec<Vec<u32>>,
+    /// Per-GPU train/test masks (local row indexing).
+    pub train_mask: Vec<Vec<bool>>,
+    pub test_mask: Vec<Vec<bool>>,
+}
+
+/// A partitioned GCN training problem.
+pub struct Problem {
+    pub name: String,
+    pub parts: usize,
+    pub n: usize,
+    pub classes: usize,
+    pub part: PartitionVec,
+    /// nnz of forward tile `(i, j)` at `i * parts + j`.
+    pub fwd_nnz: Vec<u64>,
+    /// nnz of backward tile `(i, j)`.
+    pub bwd_nnz: Vec<u64>,
+    /// Global number of training vertices (loss normalization).
+    pub train_count: usize,
+    /// Materialized data; `None` for timing-only problems.
+    pub real: Option<Rc<RealData>>,
+}
+
+impl Problem {
+    /// Partition a materialized graph for `opts.gpus` GPUs, applying the
+    /// §5.2 random permutation when `opts.permute` is set.
+    pub fn from_graph(graph: &Graph, cfg: &GcnConfig, opts: &TrainOptions) -> Self {
+        assert_eq!(
+            graph.features.cols(),
+            cfg.dims[0],
+            "feature width must match the model's d(0)"
+        );
+        assert_eq!(graph.classes, *cfg.dims.last().expect("dims"), "classes must match d(L)");
+        let permuted;
+        let graph = if opts.permute {
+            permuted = graph.permute(&random_permutation(graph.n(), opts.perm_seed));
+            &permuted
+        } else {
+            graph
+        };
+        let p = opts.gpus;
+        let (a_hat, a_hat_t) = graph.normalized_adj();
+        let fwd_grid = TileGrid::symmetric_uniform(&a_hat_t, p);
+        let bwd_grid = TileGrid::symmetric_uniform(&a_hat, p);
+        let part = fwd_grid.row_partition().clone();
+
+        let fwd_nnz = fwd_grid.tile_nnz().iter().map(|&x| x as u64).collect();
+        let bwd_nnz = bwd_grid.tile_nnz().iter().map(|&x| x as u64).collect();
+
+        let mut features = Vec::with_capacity(p);
+        let mut labels = Vec::with_capacity(p);
+        let mut train_mask = Vec::with_capacity(p);
+        let mut test_mask = Vec::with_capacity(p);
+        for i in 0..p {
+            let (s, e) = (part.start(i), part.end(i));
+            features.push(graph.features.row_block(s, e - s));
+            labels.push(graph.labels[s..e].to_vec());
+            train_mask.push(graph.split.train[s..e].to_vec());
+            test_mask.push(graph.split.test[s..e].to_vec());
+        }
+        let train_count = graph.split.train_count();
+
+        let real = RealData {
+            fwd_tiles: fwd_grid.tiles().iter().map(|t| t.csr.clone()).collect(),
+            bwd_tiles: bwd_grid.tiles().iter().map(|t| t.csr.clone()).collect(),
+            features,
+            labels,
+            train_mask,
+            test_mask,
+        };
+        Self {
+            name: "materialized".into(),
+            parts: p,
+            n: graph.n(),
+            classes: graph.classes,
+            part,
+            fwd_nnz,
+            bwd_nnz,
+            train_count,
+            real: Some(Rc::new(real)),
+        }
+    }
+
+    /// Build a timing-only problem from a dataset card. Tile nnz follows
+    /// the Chung–Lu expectation under the chosen ordering; `Â` and `Âᵀ`
+    /// share statistics (the underlying graphs are near-symmetric).
+    pub fn from_stats(card: &DatasetCard, opts: &TrainOptions) -> Self {
+        let ordering =
+            if opts.permute { VertexOrdering::Permuted } else { VertexOrdering::Original };
+        let stats = TileStats::model(card, opts.gpus, ordering);
+        Self::from_tile_stats(card.name, &stats, card.classes, card.n / 2)
+    }
+
+    /// Timing-only problem from explicit tile statistics.
+    pub fn from_tile_stats(name: &str, stats: &TileStats, classes: usize, train_count: usize) -> Self {
+        let p = stats.parts();
+        let part = PartitionVec::uniform(stats.n(), p);
+        let nnz: Vec<u64> =
+            (0..p).flat_map(|i| (0..p).map(move |j| (i, j))).map(|(i, j)| stats.nnz(i, j)).collect();
+        Self {
+            name: name.into(),
+            parts: p,
+            n: stats.n(),
+            classes,
+            part,
+            fwd_nnz: nnz.clone(),
+            bwd_nnz: nnz,
+            train_count,
+            real: None,
+        }
+    }
+
+    /// nnz of forward tile `(i, j)`.
+    pub fn fwd_tile_nnz(&self, i: usize, j: usize) -> u64 {
+        self.fwd_nnz[i * self.parts + j]
+    }
+
+    /// nnz of backward tile `(i, j)`.
+    pub fn bwd_tile_nnz(&self, i: usize, j: usize) -> u64 {
+        self.bwd_nnz[i * self.parts + j]
+    }
+
+    /// Rows owned by GPU `i`.
+    pub fn rows_of(&self, i: usize) -> usize {
+        self.part.len(i)
+    }
+
+    /// Largest part size (broadcast buffer rows).
+    pub fn max_rows(&self) -> usize {
+        self.part.max_len()
+    }
+
+    /// Whether real numerics are available.
+    pub fn is_materialized(&self) -> bool {
+        self.real.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_graph::generators::sbm::{self, SbmConfig};
+
+    fn problem(gpus: usize, permute: bool) -> Problem {
+        let g = sbm::generate(&SbmConfig::community_benchmark(120, 3), 1);
+        let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+        let mut opts = TrainOptions::quick(gpus);
+        opts.permute = permute;
+        Problem::from_graph(&g, &cfg, &opts)
+    }
+
+    #[test]
+    fn shards_cover_all_vertices() {
+        let p = problem(4, false);
+        let total: usize = (0..4).map(|i| p.rows_of(i)).sum();
+        assert_eq!(total, p.n);
+        let real = p.real.as_ref().unwrap();
+        assert_eq!(real.features.len(), 4);
+        for i in 0..4 {
+            assert_eq!(real.features[i].rows(), p.rows_of(i));
+            assert_eq!(real.labels[i].len(), p.rows_of(i));
+        }
+    }
+
+    #[test]
+    fn tile_nnz_matches_tiles() {
+        let p = problem(3, true);
+        let real = p.real.as_ref().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(p.fwd_tile_nnz(i, j), real.fwd_tiles[i * 3 + j].nnz() as u64);
+            }
+        }
+        let fwd_total: u64 = p.fwd_nnz.iter().sum();
+        let bwd_total: u64 = p.bwd_nnz.iter().sum();
+        assert_eq!(fwd_total, bwd_total, "Â and Âᵀ have the same nnz");
+    }
+
+    #[test]
+    fn from_stats_has_no_real_data() {
+        let opts = TrainOptions::quick(4);
+        let p = Problem::from_stats(&mggcn_graph::datasets::ARXIV, &opts);
+        assert!(!p.is_materialized());
+        assert_eq!(p.parts, 4);
+        let total: u64 = p.fwd_nnz.iter().sum();
+        let m = mggcn_graph::datasets::ARXIV.m as f64;
+        assert!((total as f64 - m).abs() / m < 0.05);
+    }
+
+    #[test]
+    fn single_gpu_problem() {
+        let p = problem(1, false);
+        assert_eq!(p.parts, 1);
+        assert_eq!(p.rows_of(0), p.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn wrong_feature_dim_rejected() {
+        let g = sbm::generate(&SbmConfig::community_benchmark(50, 2), 1);
+        let cfg = GcnConfig::new(g.features.cols() + 1, &[4], g.classes);
+        let opts = TrainOptions::quick(1);
+        let _ = Problem::from_graph(&g, &cfg, &opts);
+    }
+}

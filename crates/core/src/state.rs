@@ -1,0 +1,284 @@
+//! Per-GPU device state implementing the §4.2 shared-buffer scheme.
+//!
+//! Each GPU holds exactly the buffers of paper Fig 1: one `AHW` result
+//! buffer per layer plus the three shared buffers `HW` (GeMM↔SpMM
+//! temporary), `BC1` and `BC2` (double-buffered broadcast targets) —
+//! `L + 3` large buffers total — along with the replicated weights and
+//! their Adam state. The shared buffers are *re-viewed* (`Dense::resize`)
+//! at each use, never re-allocated, which is what keeps the footprint at
+//! `L + 3`.
+
+use crate::config::GcnConfig;
+use crate::problem::Problem;
+use mggcn_dense::{init, Dense};
+
+/// Which broadcast buffer a stage writes/reads (double buffering, §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcSlot {
+    Bc1,
+    Bc2,
+}
+
+impl BcSlot {
+    /// Stage `s` uses `BC1` when even, `BC2` when odd.
+    pub fn for_stage(s: usize) -> Self {
+        if s.is_multiple_of(2) {
+            BcSlot::Bc1
+        } else {
+            BcSlot::Bc2
+        }
+    }
+}
+
+/// One virtual GPU's memory.
+pub struct GpuState {
+    /// Input feature shard `H⁰_i` (read-only during training).
+    pub x: Dense,
+    /// Per-layer result buffers (`AHW` in the paper), shapes `n_i × d(l+1)`.
+    pub ahw: Vec<Dense>,
+    /// Shared GeMM↔SpMM temporary, re-viewed per layer.
+    pub hw: Dense,
+    /// Broadcast buffers (double-buffered).
+    pub bc1: Dense,
+    pub bc2: Dense,
+    /// Replicated weights, one per layer.
+    pub weights: Vec<Dense>,
+    /// Weight gradients.
+    pub wgrad: Vec<Dense>,
+    /// Adam first/second moments.
+    pub adam_m: Vec<Dense>,
+    pub adam_v: Vec<Dense>,
+    /// Local labels and masks.
+    pub labels: Vec<u32>,
+    pub train_mask: Vec<bool>,
+    pub test_mask: Vec<bool>,
+    /// Scratch: local loss sum and correct-prediction counters, filled by
+    /// the loss body each epoch.
+    pub loss_sum: f64,
+    pub train_correct: usize,
+    pub train_total: usize,
+    pub test_correct: usize,
+    pub test_total: usize,
+}
+
+impl GpuState {
+    pub fn bc(&mut self, slot: BcSlot) -> &mut Dense {
+        match slot {
+            BcSlot::Bc1 => &mut self.bc1,
+            BcSlot::Bc2 => &mut self.bc2,
+        }
+    }
+
+    pub fn bc_ref(&self, slot: BcSlot) -> &Dense {
+        match slot {
+            BcSlot::Bc1 => &self.bc1,
+            BcSlot::Bc2 => &self.bc2,
+        }
+    }
+
+    /// Borrow two distinct `AHW` buffers at once: `(read, write)` — the
+    /// split the in-place ReLU backward needs (incoming gradient in
+    /// `ahw[read]`, activation/output in `ahw[write]`).
+    pub fn ahw_pair_mut(&mut self, read: usize, write: usize) -> (&Dense, &mut Dense) {
+        assert_ne!(read, write, "ahw_pair_mut needs distinct buffers");
+        if read < write {
+            let (lo, hi) = self.ahw.split_at_mut(write);
+            (&lo[read], &mut hi[0])
+        } else {
+            let (lo, hi) = self.ahw.split_at_mut(read);
+            (&hi[0], &mut lo[write])
+        }
+    }
+}
+
+/// All device memory plus cross-GPU scratch. This is the `Ctx` the engine
+/// threads through kernel bodies.
+pub struct DeviceState {
+    pub gpus: Vec<GpuState>,
+    /// Adam step counter (shared; every GPU steps in lockstep).
+    pub adam_t: u64,
+}
+
+impl DeviceState {
+    /// Allocate real buffers for a materialized problem.
+    pub fn for_problem(problem: &Problem, cfg: &GcnConfig) -> Self {
+        let real = problem.real.as_ref().expect("DeviceState needs a materialized problem");
+        let layers = cfg.layers();
+        let max_d = cfg.max_dim();
+        let max_rows = problem.max_rows();
+        let gpus = (0..problem.parts)
+            .map(|i| {
+                let n_i = problem.rows_of(i);
+                GpuState {
+                    x: real.features[i].clone(),
+                    // All big buffers are sized for the widest layer and
+                    // re-viewed per use (paper: buffer sizes "on average
+                    // n × d"); the backward pass stores a width-d(l) input
+                    // gradient in a buffer that held a width-d(l+1) output.
+                    ahw: (0..layers).map(|_| Dense::zeros(n_i, max_d)).collect(),
+                    hw: Dense::zeros(n_i, max_d),
+                    bc1: Dense::zeros(max_rows, max_d),
+                    bc2: Dense::zeros(max_rows, max_d),
+                    // All GPUs seed identically: replicated weights agree.
+                    weights: (0..layers)
+                        .map(|l| init::glorot_seeded(cfg.d_in(l), cfg.d_out(l), cfg.seed + l as u64))
+                        .collect(),
+                    wgrad: (0..layers)
+                        .map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l)))
+                        .collect(),
+                    adam_m: (0..layers)
+                        .map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l)))
+                        .collect(),
+                    adam_v: (0..layers)
+                        .map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l)))
+                        .collect(),
+                    labels: real.labels[i].clone(),
+                    train_mask: real.train_mask[i].clone(),
+                    test_mask: real.test_mask[i].clone(),
+                    loss_sum: 0.0,
+                    train_correct: 0,
+                    train_total: 0,
+                    test_correct: 0,
+                    test_total: 0,
+                }
+            })
+            .collect();
+        Self { gpus, adam_t: 0 }
+    }
+
+    /// An empty state for timing-only runs (bodies are never attached).
+    pub fn empty() -> Self {
+        Self { gpus: Vec::new(), adam_t: 0 }
+    }
+
+    /// Broadcast `rows × cols` from `src`'s buffer selected by `read` into
+    /// every GPU's `slot` broadcast buffer (including the root's own — NCCL
+    /// roots read their send buffer through the collective too).
+    pub fn broadcast_into_bc(
+        &mut self,
+        src: usize,
+        read: impl Fn(&GpuState) -> &Dense,
+        rows: usize,
+        cols: usize,
+        slot: BcSlot,
+    ) {
+        // Stage through a send copy to keep borrows simple; this mirrors the
+        // real transfer anyway.
+        let payload: Vec<f32> = read(&self.gpus[src]).as_slice()[..rows * cols].to_vec();
+        for g in &mut self.gpus {
+            let bc = g.bc(slot);
+            bc.resize(rows, cols);
+            bc.as_mut_slice().copy_from_slice(&payload);
+        }
+    }
+
+    /// All-reduce (sum) the layer-`l` weight gradients across GPUs, fixed
+    /// order for bit reproducibility.
+    pub fn all_reduce_wgrad(&mut self, l: usize) {
+        let len = self.gpus[0].wgrad[l].len();
+        let mut acc = vec![0.0f32; len];
+        {
+            let srcs: Vec<&[f32]> = self.gpus.iter().map(|g| g.wgrad[l].as_slice()).collect();
+            mggcn_comm::reduce_sum(&srcs, &mut acc);
+        }
+        for g in &mut self.gpus {
+            g.wgrad[l].as_mut_slice().copy_from_slice(&acc);
+        }
+    }
+
+    /// Reset per-epoch scratch counters.
+    pub fn reset_scratch(&mut self) {
+        for g in &mut self.gpus {
+            g.loss_sum = 0.0;
+            g.train_correct = 0;
+            g.train_total = 0;
+            g.test_correct = 0;
+            g.test_total = 0;
+        }
+    }
+
+    /// Aggregate loss across GPUs.
+    pub fn total_loss(&self) -> f64 {
+        self.gpus.iter().map(|g| g.loss_sum).sum()
+    }
+
+    /// Aggregate train/test accuracy across GPUs.
+    pub fn accuracy(&self) -> (f64, f64) {
+        let (tc, tt, ec, et) = self.gpus.iter().fold((0, 0, 0, 0), |acc, g| {
+            (
+                acc.0 + g.train_correct,
+                acc.1 + g.train_total,
+                acc.2 + g.test_correct,
+                acc.3 + g.test_total,
+            )
+        });
+        let train = if tt == 0 { 0.0 } else { tc as f64 / tt as f64 };
+        let test = if et == 0 { 0.0 } else { ec as f64 / et as f64 };
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainOptions;
+    use mggcn_graph::generators::sbm::{self, SbmConfig};
+
+    fn setup(gpus: usize) -> (Problem, GcnConfig) {
+        let g = sbm::generate(&SbmConfig::community_benchmark(90, 3), 2);
+        let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+        let opts = TrainOptions::quick(gpus);
+        (Problem::from_graph(&g, &cfg, &opts), cfg)
+    }
+
+    #[test]
+    fn buffer_count_is_l_plus_3() {
+        let (p, cfg) = setup(2);
+        let st = DeviceState::for_problem(&p, &cfg);
+        // L AHW buffers + HW + BC1 + BC2 per GPU.
+        assert_eq!(st.gpus[0].ahw.len(), cfg.layers());
+        // The shared buffers exist exactly once each; together: L + 3.
+    }
+
+    #[test]
+    fn weights_replicated_identically() {
+        let (p, cfg) = setup(3);
+        let st = DeviceState::for_problem(&p, &cfg);
+        for l in 0..cfg.layers() {
+            assert_eq!(st.gpus[0].weights[l], st.gpus[1].weights[l]);
+            assert_eq!(st.gpus[1].weights[l], st.gpus[2].weights[l]);
+        }
+    }
+
+    #[test]
+    fn broadcast_into_bc_copies_prefix() {
+        let (p, cfg) = setup(2);
+        let mut st = DeviceState::for_problem(&p, &cfg);
+        let rows = 5;
+        let cols = st.gpus[1].x.cols();
+        st.broadcast_into_bc(1, |g| &g.x, rows, cols, BcSlot::Bc1);
+        let expect = st.gpus[1].x.as_slice()[..rows * cols].to_vec();
+        for g in &st.gpus {
+            assert_eq!(g.bc1.as_slice(), &expect[..]);
+            assert_eq!((g.bc1.rows(), g.bc1.cols()), (rows, cols));
+        }
+    }
+
+    #[test]
+    fn all_reduce_wgrad_sums_and_replicates() {
+        let (p, cfg) = setup(2);
+        let mut st = DeviceState::for_problem(&p, &cfg);
+        st.gpus[0].wgrad[0].as_mut_slice()[0] = 1.5;
+        st.gpus[1].wgrad[0].as_mut_slice()[0] = 2.5;
+        st.all_reduce_wgrad(0);
+        assert_eq!(st.gpus[0].wgrad[0].as_slice()[0], 4.0);
+        assert_eq!(st.gpus[1].wgrad[0].as_slice()[0], 4.0);
+    }
+
+    #[test]
+    fn bc_slot_parity() {
+        assert_eq!(BcSlot::for_stage(0), BcSlot::Bc1);
+        assert_eq!(BcSlot::for_stage(1), BcSlot::Bc2);
+        assert_eq!(BcSlot::for_stage(4), BcSlot::Bc1);
+    }
+}

@@ -1,0 +1,684 @@
+//! The MG-GCN trainer: schedule construction and the epoch loop.
+//!
+//! One training epoch is issued exactly as §4 describes:
+//!
+//! * **Forward, per layer** (eqs. 5–7): a local GeMM (`HW = H·W`), then the
+//!   staged distributed SpMM — `P` rounds, round `s` broadcasting GPU `s`'s
+//!   tile of the dense operand into the double-buffered `BC1`/`BC2` and
+//!   every GPU `j` accumulating `A^{js}·BC` into its result — then ReLU in
+//!   place. When `d(l) < d(l+1)` and the §4.4 flag is set, the SpMM runs
+//!   first on the narrower operand.
+//! * **Loss** (§6 Model): masked softmax cross-entropy, gradient written
+//!   over the logits in the last `AHW` buffer.
+//! * **Backward, per layer** (eqs. 8–11): ReLU backward merging the
+//!   incoming gradient over the saved activation, a staged SpMM with `Â`,
+//!   the weight-gradient GeMM, a gradient all-reduce, the input-gradient
+//!   GeMM, and Adam. Layer 0's backward SpMM is skipped under the §4.4
+//!   flag.
+//!
+//! With `overlap` on, broadcasts live on stream 1 and the engine enforces
+//! the paper's §4.3 dependency pattern: `spmm(s)` waits on `bcast(s)`, and
+//! `bcast(s)` waits on the previous reader of its double buffer
+//! (`spmm(s-2)` on every GPU).
+
+use crate::config::{GcnConfig, TrainOptions};
+use crate::loss::softmax_xent_inplace;
+use crate::memplan::MemoryPlan;
+use crate::metrics::EpochReport;
+use crate::optimizer::{adam_step, AdamParams};
+use crate::problem::{Problem, RealData};
+use crate::state::{BcSlot, DeviceState, GpuState};
+use mggcn_dense::{gemm, gemm_a_bt, gemm_at_b, relu_inplace, Accumulate, Dense};
+use mggcn_gpusim::engine::OpDesc;
+use mggcn_gpusim::{Category, OomError, OpId, Schedule};
+use mggcn_sparse::spmm;
+use std::rc::Rc;
+
+/// Which logical buffer a schedule step reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Buf {
+    /// The input feature shard.
+    X,
+    /// The shared GeMM↔SpMM temporary.
+    Hw,
+    /// Layer `l`'s result buffer.
+    Ahw(usize),
+}
+
+fn read_buf(g: &GpuState, b: Buf) -> &Dense {
+    match b {
+        Buf::X => &g.x,
+        Buf::Hw => &g.hw,
+        Buf::Ahw(l) => &g.ahw[l],
+    }
+}
+
+/// SpMM direction: forward uses `Âᵀ` tiles, backward `Â` tiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    Fwd,
+    Bwd,
+}
+
+/// The MG-GCN multi-GPU trainer.
+pub struct Trainer {
+    cfg: GcnConfig,
+    opts: TrainOptions,
+    problem: Problem,
+    state: DeviceState,
+    epoch: usize,
+    plan: MemoryPlan,
+}
+
+impl Trainer {
+    /// Validate memory, allocate device state (when the problem is
+    /// materialized), and get ready to train.
+    pub fn new(problem: Problem, cfg: GcnConfig, opts: TrainOptions) -> Result<Self, OomError> {
+        let m_total: u64 = problem.fwd_nnz.iter().sum();
+        let plan = MemoryPlan::new(
+            problem.n as u64,
+            m_total,
+            &cfg,
+            opts.gpus as u64,
+            opts.buffer_policy,
+        );
+        let capacity = opts.machine.gpus[0].mem_bytes;
+        if !plan.fits(capacity) {
+            return Err(OomError {
+                gpu: 0,
+                requested: plan.total(),
+                in_use: 0,
+                capacity,
+                tag: format!("{} epoch working set", problem.name),
+            });
+        }
+        let state = if problem.is_materialized() {
+            DeviceState::for_problem(&problem, &cfg)
+        } else {
+            DeviceState::empty()
+        };
+        Ok(Self { cfg, opts, problem, state, epoch: 0, plan })
+    }
+
+    /// Planned per-GPU memory (bytes) — the Fig 12 quantity.
+    pub fn memory_per_gpu(&self) -> u64 {
+        self.plan.total()
+    }
+
+    pub fn options(&self) -> &TrainOptions {
+        &self.opts
+    }
+
+    pub fn config(&self) -> &GcnConfig {
+        &self.cfg
+    }
+
+    pub fn state(&self) -> &DeviceState {
+        &self.state
+    }
+
+    /// Number of epochs trained so far.
+    pub fn epochs_trained(&self) -> usize {
+        self.epoch
+    }
+
+    /// Restore weights, Adam moments and the epoch counter from a
+    /// checkpoint. Every GPU replica receives the same state, preserving
+    /// the lockstep invariant. Errors on shape mismatch.
+    pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) -> Result<(), String> {
+        if ck.weights.len() != self.cfg.layers() {
+            return Err(format!(
+                "checkpoint has {} layers, model has {}",
+                ck.weights.len(),
+                self.cfg.layers()
+            ));
+        }
+        for (l, w) in ck.weights.iter().enumerate() {
+            if (w.rows(), w.cols()) != (self.cfg.d_in(l), self.cfg.d_out(l)) {
+                return Err(format!(
+                    "layer {l}: checkpoint {}x{} vs model {}x{}",
+                    w.rows(),
+                    w.cols(),
+                    self.cfg.d_in(l),
+                    self.cfg.d_out(l)
+                ));
+            }
+        }
+        for g in &mut self.state.gpus {
+            g.weights = ck.weights.clone();
+            g.adam_m = ck.adam_m.clone();
+            g.adam_v = ck.adam_v.clone();
+        }
+        self.epoch = ck.epoch as usize;
+        Ok(())
+    }
+
+    /// Run one full-batch epoch (forward, loss, backward, Adam) and report.
+    pub fn train_epoch(&mut self) -> EpochReport {
+        let sched = self.build_epoch();
+        self.state.reset_scratch();
+        let run = sched.run(&mut self.state);
+        let (train_acc, test_acc) = self.state.accuracy();
+        let report = EpochReport {
+            epoch: self.epoch,
+            sim_seconds: run.makespan + self.opts.epoch_host_overhead,
+            loss: self.state.total_loss(),
+            train_acc,
+            test_acc,
+            timeline: run.timeline,
+        };
+        self.epoch += 1;
+        report
+    }
+
+    /// Train `epochs` epochs, returning every report.
+    pub fn train(&mut self, epochs: usize) -> Vec<EpochReport> {
+        (0..epochs).map(|_| self.train_epoch()).collect()
+    }
+
+    /// Forward pass + loss only — inference. Weights are untouched (the
+    /// loss kernel overwrites the logits buffer with gradients, but no
+    /// backward step consumes them). Reports loss/accuracy and the
+    /// simulated inference time; does not advance the epoch counter.
+    pub fn evaluate(&mut self) -> EpochReport {
+        let mut b = EpochBuilder::new(&self.cfg, &self.opts, &self.problem, self.epoch);
+        b.forward();
+        b.loss();
+        let sched = b.sched;
+        self.state.reset_scratch();
+        let run = sched.run(&mut self.state);
+        let (train_acc, test_acc) = self.state.accuracy();
+        EpochReport {
+            epoch: self.epoch,
+            sim_seconds: run.makespan + self.opts.epoch_host_overhead,
+            loss: self.state.total_loss(),
+            train_acc,
+            test_acc,
+            timeline: run.timeline,
+        }
+    }
+
+    fn build_epoch(&self) -> Schedule<DeviceState> {
+        let mut b = EpochBuilder::new(&self.cfg, &self.opts, &self.problem, self.epoch);
+        b.forward();
+        b.loss();
+        b.backward();
+        b.sched
+    }
+}
+
+/// Per-epoch schedule builder.
+struct EpochBuilder<'a> {
+    sched: Schedule<DeviceState>,
+    cfg: &'a GcnConfig,
+    opts: &'a TrainOptions,
+    problem: &'a Problem,
+    real: Option<Rc<RealData>>,
+    /// Adam step (1-based) of this epoch.
+    t: u64,
+    /// Per-GPU op that produced the current layer-input buffer.
+    producers: Vec<Option<OpId>>,
+    /// Ops that last read each broadcast buffer (WAR guards).
+    bc_readers: [Vec<OpId>; 2],
+}
+
+impl<'a> EpochBuilder<'a> {
+    fn new(cfg: &'a GcnConfig, opts: &'a TrainOptions, problem: &'a Problem, epoch: usize) -> Self {
+        let mut sched = Schedule::new(opts.machine.clone());
+        sched.launch_overhead = opts.launch_overhead;
+        Self {
+            sched,
+            cfg,
+            opts,
+            problem,
+            real: problem.real.clone(),
+            t: epoch as u64 + 1,
+            producers: vec![None; opts.gpus],
+            bc_readers: [Vec::new(), Vec::new()],
+        }
+    }
+
+    fn p(&self) -> usize {
+        self.opts.gpus
+    }
+
+    fn gpu_spec(&self, g: usize) -> &mggcn_gpusim::GpuSpec {
+        &self.opts.machine.gpus[g]
+    }
+
+    /// Forward pass over all layers.
+    fn forward(&mut self) {
+        let layers = self.cfg.layers();
+        for l in 0..layers {
+            let d_in = self.cfg.d_in(l);
+            let d_out = self.cfg.d_out(l);
+            let input = if l == 0 { Buf::X } else { Buf::Ahw(l - 1) };
+            let spmm_first = self.opts.op_order_opt && d_in < d_out;
+
+            if spmm_first {
+                // AH = Âᵀ·H (width d_in) into HW, then AHW = AH·W.
+                let spmm_ops =
+                    self.staged_spmm(Dir::Fwd, input, Buf::Hw, d_in, self.producers.clone());
+                let gemm_ops = self.local_gemm_xw(l, Buf::Hw, Buf::Ahw(l), &spmm_ops);
+                self.producers = gemm_ops.into_iter().map(Some).collect();
+            } else {
+                // HW = H·W (width d_out) into HW, then AHW = Âᵀ·HW.
+                let gemm_ops = self.local_gemm_xw(l, input, Buf::Hw, &[]);
+                let srcs: Vec<Option<OpId>> = gemm_ops.into_iter().map(Some).collect();
+                let spmm_ops = self.staged_spmm(Dir::Fwd, Buf::Hw, Buf::Ahw(l), d_out, srcs);
+                self.producers = spmm_ops.into_iter().map(Some).collect();
+            }
+
+            if l + 1 < layers {
+                let relu_ops = self.relu_forward(l);
+                self.producers = relu_ops.into_iter().map(Some).collect();
+            }
+        }
+    }
+
+    /// Masked softmax cross-entropy over the final logits.
+    fn loss(&mut self) {
+        let last = self.cfg.layers() - 1;
+        let classes = self.cfg.d_out(last);
+        let train_count = self.problem.train_count.max(1);
+        let mut ops = Vec::with_capacity(self.p());
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.loss(n_g as u64, classes as u64);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    let gs = &mut ctx.gpus[g];
+                    let stats = softmax_xent_inplace(
+                        &mut gs.ahw[last],
+                        &gs.labels,
+                        &gs.train_mask,
+                        &gs.test_mask,
+                        train_count,
+                    );
+                    gs.loss_sum = stats.loss_sum;
+                    gs.train_correct = stats.train_correct;
+                    gs.train_total = stats.train_total;
+                    gs.test_correct = stats.test_correct;
+                    gs.test_total = stats.test_total;
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            let id = self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::LossLayer, "softmax-xent"),
+                &[],
+                body,
+            );
+            ops.push(id);
+        }
+        self.producers = ops.into_iter().map(Some).collect();
+    }
+
+    /// Backward pass, Adam included.
+    fn backward(&mut self) {
+        let layers = self.cfg.layers();
+        for l in (0..layers).rev() {
+            let d_in = self.cfg.d_in(l);
+            let d_out = self.cfg.d_out(l);
+
+            // (eq. 8) ReLU backward for every layer but the last (the loss
+            // already wrote the last layer's gradient into its AHW buffer).
+            if l + 1 < layers {
+                let ops = self.relu_backward_layer(l);
+                self.producers = ops.into_iter().map(Some).collect();
+            }
+
+            // (eq. 9) HW_G = Â · AHW_G — skipped at layer 0 under §4.4.
+            let skip_spmm = l == 0 && self.opts.skip_first_backward_spmm;
+            let hwg_buf = if skip_spmm { Buf::Ahw(0) } else { Buf::Hw };
+            if !skip_spmm {
+                let ops = self.staged_spmm(
+                    Dir::Bwd,
+                    Buf::Ahw(l),
+                    Buf::Hw,
+                    d_out,
+                    self.producers.clone(),
+                );
+                self.producers = ops.into_iter().map(Some).collect();
+            }
+
+            // (eq. 10) W_G = Hᵀ · HW_G, then all-reduce and Adam.
+            let x_buf = if l == 0 { Buf::X } else { Buf::Ahw(l - 1) };
+            let wgrad_ops = self.weight_grad(l, x_buf, hwg_buf);
+            let reduce_op = self.all_reduce_wgrad(l, &wgrad_ops);
+
+            // (eq. 11) H_G = HW_G · Wᵀ — only needed above layer 0. Must
+            // run before Adam mutates W.
+            if l > 0 {
+                let ops = self.input_grad(l, d_in);
+                self.producers = ops.into_iter().map(Some).collect();
+            }
+
+            self.adam(l, reduce_op);
+        }
+    }
+
+    /// The staged distributed SpMM (§4.1 solution 1, broadcast variant).
+    ///
+    /// `src` is the dense operand (each GPU owns one tile row of it), `dst`
+    /// the accumulation target, `d` the operand width. `src_producers[s]`
+    /// is the op that produced GPU `s`'s `src` tile. Returns the final
+    /// per-GPU SpMM op (the producer of `dst`).
+    fn staged_spmm(
+        &mut self,
+        dir: Dir,
+        src: Buf,
+        dst: Buf,
+        d: usize,
+        src_producers: Vec<Option<OpId>>,
+    ) -> Vec<OpId> {
+        let p = self.p();
+        let comm_stream = self.opts.comm_stream();
+        let group: Vec<usize> = self.opts.gpu_ids();
+        let lanes: Vec<(usize, usize)> = group.iter().map(|&g| (g, comm_stream)).collect();
+        let mut last_spmm: Vec<OpId> = Vec::with_capacity(p);
+        for (s, &src_producer) in src_producers.iter().enumerate() {
+            let slot = BcSlot::for_stage(s);
+            let slot_idx = s % 2;
+            let rows = self.problem.rows_of(s);
+            // Broadcast stage s: wait for the source tile's producer and for
+            // the previous readers of this double buffer (WAR).
+            let mut waits: Vec<OpId> = self.bc_readers[slot_idx].clone();
+            if let Some(prod) = src_producer {
+                waits.push(prod);
+            }
+            let bytes = rows as f64 * d as f64 * 4.0;
+            let bw = self.opts.machine.broadcast_bw(s, &group);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    ctx.broadcast_into_bc(s, move |g| read_buf(g, src), rows, d, slot);
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            let bcast = self.sched.collective(
+                &lanes,
+                bytes,
+                bw,
+                OpDesc::staged(Category::Comm, "bcast-H", s),
+                &waits,
+                body,
+            );
+
+            // SpMM stage s on every GPU.
+            let mut readers = Vec::with_capacity(p);
+            for j in 0..p {
+                let nnz = match dir {
+                    Dir::Fwd => self.problem.fwd_tile_nnz(j, s),
+                    Dir::Bwd => self.problem.bwd_tile_nnz(j, s),
+                };
+                let n_j = self.problem.rows_of(j);
+                let acc = s > 0;
+                let work = self.opts.cost.spmm(
+                    self.gpu_spec(j),
+                    n_j as u64,
+                    rows as u64,
+                    nnz,
+                    d as u64,
+                    acc,
+                );
+                let real = self.real.clone();
+                let body = real.map(|rc| {
+                    Box::new(move |ctx: &mut DeviceState| {
+                        let tile = match dir {
+                            Dir::Fwd => &rc.fwd_tiles[j * p + s],
+                            Dir::Bwd => &rc.bwd_tiles[j * p + s],
+                        };
+                        let g = &mut ctx.gpus[j];
+                        let accumulate =
+                            if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                        // Move the destination out so the broadcast buffer
+                        // can be borrowed from the same GpuState.
+                        let mut out = match dst {
+                            Buf::Hw => std::mem::take(&mut g.hw),
+                            Buf::Ahw(l) => std::mem::take(&mut g.ahw[l]),
+                            Buf::X => unreachable!("X is never an SpMM destination"),
+                        };
+                        if !acc {
+                            out.resize(n_j, d);
+                        }
+                        spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                        match dst {
+                            Buf::Hw => g.hw = out,
+                            Buf::Ahw(l) => g.ahw[l] = out,
+                            Buf::X => unreachable!(),
+                        }
+                    }) as Box<dyn FnOnce(&mut DeviceState)>
+                });
+                let op = self.sched.launch(
+                    j,
+                    0,
+                    work,
+                    OpDesc::staged(Category::SpMM, "spmm", s),
+                    &[bcast],
+                    body,
+                );
+                readers.push(op);
+                if s == p - 1 {
+                    last_spmm.push(op);
+                }
+            }
+            self.bc_readers[slot_idx] = readers;
+        }
+        last_spmm
+    }
+
+    /// Local GeMM `dst = src · W(l)` on every GPU (paper eq. 5).
+    fn local_gemm_xw(&mut self, l: usize, src: Buf, dst: Buf, extra_waits: &[OpId]) -> Vec<OpId> {
+        let d_in = self.cfg.d_in(l);
+        let d_out = self.cfg.d_out(l);
+        let mut ops = Vec::with_capacity(self.p());
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.gemm(self.gpu_spec(g), n_g as u64, d_in as u64, d_out as u64);
+            let mut waits: Vec<OpId> = extra_waits.to_vec();
+            if src != Buf::Hw {
+                if let Some(prod) = self.producers[g] {
+                    waits.push(prod);
+                }
+            }
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    let gs = &mut ctx.gpus[g];
+                    let mut out = match dst {
+                        Buf::Hw => std::mem::take(&mut gs.hw),
+                        Buf::Ahw(dl) => std::mem::take(&mut gs.ahw[dl]),
+                        Buf::X => unreachable!("X is never a GeMM destination"),
+                    };
+                    out.resize(n_g, d_out);
+                    gemm(read_buf(gs, src), &gs.weights[l], &mut out, Accumulate::Overwrite);
+                    match dst {
+                        Buf::Hw => gs.hw = out,
+                        Buf::Ahw(dl) => gs.ahw[dl] = out,
+                        Buf::X => unreachable!(),
+                    }
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            let op = self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::GeMM, "gemm-HW"),
+                &waits,
+                body,
+            );
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// In-place ReLU over `AHW(l)` (paper eq. 7).
+    fn relu_forward(&mut self, l: usize) -> Vec<OpId> {
+        let d_out = self.cfg.d_out(l);
+        let mut ops = Vec::with_capacity(self.p());
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.elementwise((n_g * d_out) as u64, 2.0);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    relu_inplace(ctx.gpus[g].ahw[l].as_mut_slice());
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            ops.push(self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::Activation, "relu"),
+                &[],
+                body,
+            ));
+        }
+        ops
+    }
+
+    /// ReLU backward (paper eq. 8): merge the incoming gradient in
+    /// `AHW(l+1)` over the saved activation in `AHW(l)`.
+    fn relu_backward_layer(&mut self, l: usize) -> Vec<OpId> {
+        let d = self.cfg.d_out(l);
+        let mut ops = Vec::with_capacity(self.p());
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.elementwise((n_g * d) as u64, 3.0);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    let gs = &mut ctx.gpus[g];
+                    let (grad, act) = gs.ahw_pair_mut(l + 1, l);
+                    mggcn_dense::relu_backward_merge(grad.as_slice(), act.as_mut_slice());
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            ops.push(self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::Activation, "relu-bwd"),
+                &[],
+                body,
+            ));
+        }
+        ops
+    }
+
+    /// Weight gradient `W_G(l) = Xᵀ · HW_G` (paper eq. 10).
+    fn weight_grad(&mut self, l: usize, x_buf: Buf, hwg_buf: Buf) -> Vec<OpId> {
+        let d_in = self.cfg.d_in(l);
+        let d_out = self.cfg.d_out(l);
+        let mut ops = Vec::with_capacity(self.p());
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.gemm(self.gpu_spec(g), d_in as u64, n_g as u64, d_out as u64);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    let gs = &mut ctx.gpus[g];
+                    let mut out = std::mem::take(&mut gs.wgrad[l]);
+                    out.resize(d_in, d_out);
+                    gemm_at_b(
+                        read_buf(gs, x_buf),
+                        read_buf(gs, hwg_buf),
+                        &mut out,
+                        Accumulate::Overwrite,
+                    );
+                    gs.wgrad[l] = out;
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            ops.push(self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::GeMM, "gemm-WG"),
+                &[],
+                body,
+            ));
+        }
+        ops
+    }
+
+    /// All-reduce the layer's weight gradients (ring volume `2(P−1)/P`).
+    fn all_reduce_wgrad(&mut self, l: usize, waits: &[OpId]) -> OpId {
+        let group = self.opts.gpu_ids();
+        let comm_stream = self.opts.comm_stream();
+        let lanes: Vec<(usize, usize)> = group.iter().map(|&g| (g, comm_stream)).collect();
+        let param_bytes = (self.cfg.d_in(l) * self.cfg.d_out(l) * 4) as f64;
+        let p = self.p() as f64;
+        let bytes = 2.0 * param_bytes * (p - 1.0) / p;
+        let bw = self.opts.machine.allreduce_bw(&group);
+        let body = self.real.as_ref().map(|_| {
+            Box::new(move |ctx: &mut DeviceState| ctx.all_reduce_wgrad(l))
+                as Box<dyn FnOnce(&mut DeviceState)>
+        });
+        self.sched.collective(
+            &lanes,
+            bytes,
+            bw,
+            OpDesc::new(Category::Comm, "allreduce-WG"),
+            waits,
+            body,
+        )
+    }
+
+    /// Input gradient `H_G = HW_G · Wᵀ` (paper eq. 11) into `AHW(l)`.
+    fn input_grad(&mut self, l: usize, d_in: usize) -> Vec<OpId> {
+        let d_out = self.cfg.d_out(l);
+        let mut ops = Vec::with_capacity(self.p());
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.gemm(self.gpu_spec(g), n_g as u64, d_out as u64, d_in as u64);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    let gs = &mut ctx.gpus[g];
+                    let mut out = std::mem::take(&mut gs.ahw[l]);
+                    out.resize(n_g, d_in);
+                    gemm_a_bt(&gs.hw, &gs.weights[l], &mut out, Accumulate::Overwrite);
+                    gs.ahw[l] = out;
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            ops.push(self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::GeMM, "gemm-HG"),
+                &[],
+                body,
+            ));
+        }
+        ops
+    }
+
+    /// Adam update of `W(l)` on every GPU (identical updates keep the
+    /// replicas in lockstep).
+    fn adam(&mut self, l: usize, reduce_op: OpId) {
+        let lr = self.cfg.lr * self.cfg.lr_schedule.factor(self.t as usize - 1);
+        let params = AdamParams { lr, ..AdamParams::default() };
+        let t = self.t;
+        for g in 0..self.p() {
+            let count = (self.cfg.d_in(l) * self.cfg.d_out(l)) as u64;
+            let work = self.opts.cost.adam(count);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &mut DeviceState| {
+                    let gs = &mut ctx.gpus[g];
+                    let grad = std::mem::take(&mut gs.wgrad[l]);
+                    adam_step(
+                        &params,
+                        t,
+                        gs.weights[l].as_mut_slice(),
+                        grad.as_slice(),
+                        gs.adam_m[l].as_mut_slice(),
+                        gs.adam_v[l].as_mut_slice(),
+                    );
+                    gs.wgrad[l] = grad;
+                }) as Box<dyn FnOnce(&mut DeviceState)>
+            });
+            self.sched.launch(
+                g,
+                0,
+                work,
+                OpDesc::new(Category::Adam, "adam"),
+                &[reduce_op],
+                body,
+            );
+        }
+    }
+}

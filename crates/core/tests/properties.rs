@@ -1,0 +1,157 @@
+//! Property-based tests for the trainer and its supporting pieces:
+//! distributed/serial equivalence on random graphs, loss/optimizer
+//! algebra, and memory-plan monotonicity.
+
+use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_core::loss::softmax_xent_inplace;
+use mggcn_core::memplan::{BufferPolicy, MemoryPlan};
+use mggcn_core::optimizer::{adam_step, AdamParams};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_dense::Dense;
+use mggcn_graph::generators::chung_lu;
+use mggcn_graph::Graph;
+use proptest::prelude::*;
+
+fn random_graph(n: usize, seed: u64) -> Graph {
+    let degrees = vec![4u32; n];
+    let adj = chung_lu::generate(&degrees, seed);
+    Graph::synthesize(adj, 5, 3, seed ^ 0xabcd)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn any_gpu_count_matches_single_gpu(n in 24usize..80, seed in 0u64..500, gpus in 2usize..6) {
+        let graph = random_graph(n, seed);
+        let cfg = GcnConfig::new(5, &[7], 3);
+        let run = |g: usize| {
+            let mut opts = TrainOptions::quick(g);
+            opts.permute = false;
+            let problem = Problem::from_graph(&graph, &cfg, &opts);
+            let mut t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+            t.train(2).into_iter().map(|r| r.loss).collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        let distributed = run(gpus);
+        for (a, b) in serial.iter().zip(&distributed) {
+            prop_assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "{a} vs {b} at {gpus} GPUs");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn loss_gradient_rows_sum_to_zero(
+        logits in proptest::collection::vec(-4.0f32..4.0, 6..60),
+        classes in 2usize..6,
+    ) {
+        let rows = logits.len() / classes;
+        prop_assume!(rows > 0);
+        let mut z = Dense::from_vec(rows, classes, logits[..rows * classes].to_vec());
+        let labels: Vec<u32> = (0..rows).map(|r| (r % classes) as u32).collect();
+        let train = vec![true; rows];
+        let test = vec![false; rows];
+        softmax_xent_inplace(&mut z, &labels, &train, &test, rows);
+        for r in 0..rows {
+            let s: f32 = z.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} grad sums to {s}");
+        }
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_finite(
+        logits in proptest::collection::vec(-30.0f32..30.0, 4..40),
+    ) {
+        let classes = 4;
+        let rows = logits.len() / classes;
+        prop_assume!(rows > 0);
+        let mut z = Dense::from_vec(rows, classes, logits[..rows * classes].to_vec());
+        let labels: Vec<u32> = (0..rows).map(|r| (r * 7 % classes) as u32).collect();
+        let train = vec![true; rows];
+        let test = vec![false; rows];
+        let stats = softmax_xent_inplace(&mut z, &labels, &train, &test, rows);
+        prop_assert!(stats.loss_sum >= 0.0);
+        prop_assert!(stats.loss_sum.is_finite());
+        prop_assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn adam_moves_every_weight_against_its_gradient_on_step_one(
+        grads in proptest::collection::vec(-5.0f32..5.0, 1..30),
+    ) {
+        let p = AdamParams::default();
+        let mut w = vec![0.0f32; grads.len()];
+        let mut m = vec![0.0f32; grads.len()];
+        let mut v = vec![0.0f32; grads.len()];
+        adam_step(&p, 1, &mut w, &grads, &mut m, &mut v);
+        for (wi, gi) in w.iter().zip(&grads) {
+            if *gi > 1e-6 {
+                prop_assert!(*wi < 0.0);
+            } else if *gi < -1e-6 {
+                prop_assert!(*wi > 0.0);
+            } else {
+                prop_assert_eq!(*wi, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_plan_monotone_in_everything(
+        n in 1_000u64..10_000_000,
+        m in 1_000u64..100_000_000,
+        hidden in 8usize..512,
+        layers in 1usize..12,
+        gpus in 1u64..8,
+    ) {
+        let cfg = GcnConfig::new(64, &vec![hidden; layers], 16);
+        let base = MemoryPlan::new(n, m, &cfg, gpus, BufferPolicy::MgGcn).total();
+        // More vertices, more edges, more layers => no less memory.
+        let bigger_n = MemoryPlan::new(n * 2, m, &cfg, gpus, BufferPolicy::MgGcn).total();
+        prop_assert!(bigger_n >= base);
+        let bigger_m = MemoryPlan::new(n, m * 2, &cfg, gpus, BufferPolicy::MgGcn).total();
+        prop_assert!(bigger_m >= base);
+        let deeper = GcnConfig::new(64, &vec![hidden; layers + 1], 16);
+        let deeper_total = MemoryPlan::new(n, m, &deeper, gpus, BufferPolicy::MgGcn).total();
+        prop_assert!(deeper_total >= base);
+        // More GPUs => no more memory per GPU.
+        let wider = MemoryPlan::new(n, m, &cfg, gpus * 2, BufferPolicy::MgGcn).total();
+        prop_assert!(wider <= base);
+    }
+
+    #[test]
+    fn mggcn_plan_never_exceeds_per_layer_plans(
+        n in 10_000u64..1_000_000,
+        m in 10_000u64..10_000_000,
+        hidden in 64usize..512,
+        layers in 2usize..20,
+    ) {
+        // §4.2's claim: the shared-buffer scheme is at most as expensive as
+        // per-layer allocation once models are deep enough (≥ 4 layers at
+        // uniform width it is strictly cheaper).
+        let cfg = GcnConfig::new(hidden, &vec![hidden; layers - 1], 16);
+        let mg = MemoryPlan::new(n, m, &cfg, 1, BufferPolicy::MgGcn).big_buffers;
+        let dgl = MemoryPlan::new(n, m, &cfg, 1, BufferPolicy::PerLayer3).big_buffers;
+        if layers >= 4 {
+            prop_assert!(mg <= dgl, "L+3 = {mg} should undercut 3L = {dgl} at {layers} layers");
+        }
+    }
+
+    #[test]
+    fn sim_time_decreases_or_holds_with_gpus_on_dense_cards(gpus in 1usize..8) {
+        // Monotone scaling on a dense (SpMM-bound) dataset card.
+        let card = mggcn_graph::datasets::REDDIT;
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        let time = |g: usize| {
+            let opts = TrainOptions::full(mggcn_gpusim::MachineSpec::dgx_a100(), g);
+            let problem = Problem::from_stats(&card, &opts);
+            Trainer::new(problem, cfg.clone(), opts)
+                .expect("fits")
+                .train_epoch()
+                .sim_seconds
+        };
+        if gpus < 8 {
+            prop_assert!(time(gpus + 1) <= time(gpus) * 1.05);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Elementwise kernels: activation functions and vector updates.
+//!
+//! These are the paper's "Activation" and part of its "Adam" runtime
+//! categories (Fig 5). All kernels are Rayon-parallel over contiguous chunks.
+
+use rayon::prelude::*;
+
+/// Minimum slice length before a kernel bothers going parallel.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// `out[i] = max(in[i], 0)` — the paper's σ (eq. 7, ReLU).
+///
+/// Writing to a separate output supports the shared-buffer scheme where the
+/// SpMM result and the activation output live in the same `AHW` buffer (the
+/// call then takes the same slice for both via [`relu_inplace`]).
+pub fn relu(input: &[f32], out: &mut [f32]) {
+    assert_eq!(input.len(), out.len());
+    if input.len() < PAR_THRESHOLD {
+        for (o, &x) in out.iter_mut().zip(input) {
+            *o = x.max(0.0);
+        }
+    } else {
+        out.par_iter_mut().zip(input.par_iter()).for_each(|(o, &x)| *o = x.max(0.0));
+    }
+}
+
+/// In-place ReLU, used when input and output share a buffer (paper eq. 18).
+pub fn relu_inplace(buf: &mut [f32]) {
+    if buf.len() < PAR_THRESHOLD {
+        for x in buf.iter_mut() {
+            *x = x.max(0.0);
+        }
+    } else {
+        buf.par_iter_mut().for_each(|x| *x = x.max(0.0));
+    }
+}
+
+/// ReLU backward: `out[i] = grad[i] * (pre_act[i] > 0)` (paper eq. 8, σ′).
+///
+/// `pre_act` here is the *post*-activation value, which for ReLU has the
+/// same sign pattern as the pre-activation — this is exactly the trick that
+/// lets the paper keep only the shared `AHW` buffer alive.
+pub fn relu_backward(grad: &[f32], act: &[f32], out: &mut [f32]) {
+    assert_eq!(grad.len(), act.len());
+    assert_eq!(grad.len(), out.len());
+    if grad.len() < PAR_THRESHOLD {
+        for ((o, &g), &a) in out.iter_mut().zip(grad).zip(act) {
+            *o = if a > 0.0 { g } else { 0.0 };
+        }
+    } else {
+        out.par_iter_mut()
+            .zip(grad.par_iter())
+            .zip(act.par_iter())
+            .for_each(|((o, &g), &a)| *o = if a > 0.0 { g } else { 0.0 });
+    }
+}
+
+/// ReLU backward writing the masked gradient over the activation buffer:
+/// `act_out[i] = if act_out[i] > 0 { grad[i] } else { 0 }`.
+///
+/// This is the §4.2 buffer-reuse form: the layer's saved activation and the
+/// resulting `AHW_G` share one buffer (paper eq. 19), so the mask value is
+/// consumed in the same store that replaces it.
+pub fn relu_backward_merge(grad: &[f32], act_out: &mut [f32]) {
+    assert_eq!(grad.len(), act_out.len());
+    if grad.len() < PAR_THRESHOLD {
+        for (a, &g) in act_out.iter_mut().zip(grad) {
+            *a = if *a > 0.0 { g } else { 0.0 };
+        }
+    } else {
+        act_out
+            .par_iter_mut()
+            .zip(grad.par_iter())
+            .for_each(|(a, &g)| *a = if *a > 0.0 { g } else { 0.0 });
+    }
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| *yi += alpha * xi);
+    }
+}
+
+/// `y += x`.
+pub fn add_assign(x: &[f32], y: &mut [f32]) {
+    axpy(1.0, x, y);
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    if x.len() < PAR_THRESHOLD {
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    } else {
+        x.par_iter_mut().for_each(|xi| *xi *= alpha);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let input = [-1.0, 0.0, 2.5, -0.1];
+        let mut out = [9.0; 4];
+        relu(&input, &mut out);
+        assert_eq!(out, [0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn relu_inplace_matches_relu() {
+        let mut a = vec![-2.0, 3.0, -0.5, 7.0];
+        let mut b = vec![0.0; 4];
+        relu(&a.clone(), &mut b);
+        relu_inplace(&mut a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let grad = [1.0, 2.0, 3.0];
+        let act = [0.5, 0.0, -1.0];
+        let mut out = [0.0; 3];
+        relu_backward(&grad, &act, &mut out);
+        assert_eq!(out, [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_merge_matches_separate() {
+        let grad = [1.0, 2.0, 3.0, 4.0];
+        let act = [0.5f32, -1.0, 0.0, 2.0];
+        let mut merged = act;
+        relu_backward_merge(&grad, &mut merged);
+        let mut separate = [0.0; 4];
+        relu_backward(&grad, &act, &mut separate);
+        assert_eq!(merged, separate);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let mut x = [2.0, -4.0];
+        scale(0.25, &mut x);
+        assert_eq!(x, [0.5, -1.0]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let n = PAR_THRESHOLD + 17;
+        let input: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let mut par_out = vec![0.0; n];
+        relu(&input, &mut par_out);
+        for (o, &x) in par_out.iter().zip(&input) {
+            assert_eq!(*o, x.max(0.0));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! General matrix-matrix multiplication kernels (the paper's cuBLAS calls).
+//!
+//! The GCN forward/backward pass needs three transpose combinations
+//! (eqs. 5, 10, 11 of the paper):
+//!
+//! * `C = H · W`        — [`gemm`]
+//! * `C = HW_G · Wᵀ`    — [`gemm_a_bt`]
+//! * `C = HW_Gᵀ · H`    — [`gemm_at_b`] (weight gradient)
+//!
+//! All kernels parallelize over row blocks of the output with Rayon and use
+//! an i-k-j loop order so the inner loop is a contiguous AXPY over the output
+//! row, which auto-vectorizes well.
+
+use crate::matrix::Dense;
+use rayon::prelude::*;
+
+/// Whether a GeMM overwrites its output (`beta = 0`) or accumulates into it
+/// (`beta = 1`), mirroring the BLAS `beta` parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Accumulate {
+    /// `C = A · B`
+    Overwrite,
+    /// `C += A · B`
+    Add,
+}
+
+/// Rows per parallel task. Small enough to load-balance, large enough to
+/// amortize task overhead.
+const ROW_BLOCK: usize = 64;
+
+/// `C = alpha_op(A · B)` with `A: m×k`, `B: k×n`, `C: m×n`.
+pub fn gemm(a: &Dense, b: &Dense, c: &mut Dense, acc: Accumulate) {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    assert_eq!(a.rows(), c.rows(), "gemm output rows mismatch");
+    assert_eq!(b.cols(), c.cols(), "gemm output cols mismatch");
+    let (k, n) = (a.cols(), b.cols());
+    let b_data = b.as_slice();
+    let a_data = a.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let row0 = blk * ROW_BLOCK;
+            for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+                if acc == Accumulate::Overwrite {
+                    c_row.fill(0.0);
+                }
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        });
+}
+
+/// `C = Aᵀ · B` with `A: k×m`, `B: k×n`, `C: m×n`.
+///
+/// Used for the weight gradient `W_G = HW_Gᵀ · H` (paper eq. 10). The output
+/// is small (`d×d`), so we parallelize over the reduction dimension `k` with
+/// per-thread partial outputs and a tree reduce.
+pub fn gemm_at_b(a: &Dense, b: &Dense, c: &mut Dense, acc: Accumulate) {
+    assert_eq!(a.rows(), b.rows(), "gemm_at_b reduction dimension mismatch");
+    assert_eq!(a.cols(), c.rows(), "gemm_at_b output rows mismatch");
+    assert_eq!(b.cols(), c.cols(), "gemm_at_b output cols mismatch");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    let partial = (0..k)
+        .into_par_iter()
+        .fold(
+            || vec![0.0f32; m * n],
+            |mut acc_buf, kk| {
+                let a_row = &a_data[kk * m..(kk + 1) * m];
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (i, &aki) in a_row.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut acc_buf[i * n..(i + 1) * n];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aki * bj;
+                    }
+                }
+                acc_buf
+            },
+        )
+        .reduce(
+            || vec![0.0f32; m * n],
+            |mut x, y| {
+                for (a, b) in x.iter_mut().zip(y) {
+                    *a += b;
+                }
+                x
+            },
+        );
+
+    let c_slice = c.as_mut_slice();
+    match acc {
+        Accumulate::Overwrite => c_slice.copy_from_slice(&partial),
+        Accumulate::Add => {
+            for (ci, pi) in c_slice.iter_mut().zip(partial) {
+                *ci += pi;
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` with `A: m×k`, `B: n×k`, `C: m×n`.
+///
+/// Used for the input gradient `H_G = HW_G · Wᵀ` (paper eq. 11). `B` (the
+/// weight matrix) is small, so a dot-product inner kernel is fine.
+pub fn gemm_a_bt(a: &Dense, b: &Dense, c: &mut Dense, acc: Accumulate) {
+    assert_eq!(a.cols(), b.cols(), "gemm_a_bt inner dimension mismatch");
+    assert_eq!(a.rows(), c.rows(), "gemm_a_bt output rows mismatch");
+    assert_eq!(b.rows(), c.cols(), "gemm_a_bt output cols mismatch");
+    let (k, n) = (a.cols(), b.rows());
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let row0 = blk * ROW_BLOCK;
+            for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+                for (j, cj) in c_row.iter_mut().enumerate() {
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                    match acc {
+                        Accumulate::Overwrite => *cj = dot,
+                        Accumulate::Add => *cj += dot,
+                    }
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Dense, b: &Dense) -> Dense {
+        let mut c = Dense::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for kk in 0..a.cols() {
+                    s += a.get(i, kk) * b.get(kk, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn arange(rows: usize, cols: usize, scale: f32) -> Dense {
+        Dense::from_fn(rows, cols, |r, c| ((r * cols + c) as f32).sin() * scale)
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = arange(7, 5, 1.0);
+        let b = arange(5, 9, 0.5);
+        let mut c = Dense::zeros(7, 9);
+        gemm(&a, &b, &mut c, Accumulate::Overwrite);
+        assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_accumulate_adds() {
+        let a = arange(4, 3, 1.0);
+        let b = arange(3, 4, 1.0);
+        let mut c = Dense::from_fn(4, 4, |_, _| 1.0);
+        gemm(&a, &b, &mut c, Accumulate::Add);
+        let mut expect = naive(&a, &b);
+        for x in expect.as_mut_slice() {
+            *x += 1.0;
+        }
+        assert!(c.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_at_b_matches_naive_transpose() {
+        let a = arange(6, 4, 1.0); // k=6, m=4
+        let b = arange(6, 3, 1.0); // k=6, n=3
+        let mut c = Dense::zeros(4, 3);
+        gemm_at_b(&a, &b, &mut c, Accumulate::Overwrite);
+        assert!(c.max_abs_diff(&naive(&a.transpose(), &b)) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_a_bt_matches_naive_transpose() {
+        let a = arange(5, 4, 1.0); // m=5, k=4
+        let b = arange(6, 4, 1.0); // n=6, k=4
+        let mut c = Dense::zeros(5, 6);
+        gemm_a_bt(&a, &b, &mut c, Accumulate::Overwrite);
+        assert!(c.max_abs_diff(&naive(&a, &b.transpose())) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_large_parallel_path() {
+        // Exceed ROW_BLOCK so multiple parallel chunks are exercised.
+        let a = arange(200, 17, 1.0);
+        let b = arange(17, 13, 1.0);
+        let mut c = Dense::zeros(200, 13);
+        gemm(&a, &b, &mut c, Accumulate::Overwrite);
+        assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_at_b_accumulates() {
+        let a = arange(6, 2, 1.0);
+        let b = arange(6, 2, 1.0);
+        let mut c = Dense::from_fn(2, 2, |_, _| 2.0);
+        gemm_at_b(&a, &b, &mut c, Accumulate::Add);
+        let mut expect = naive(&a.transpose(), &b);
+        for x in expect.as_mut_slice() {
+            *x += 2.0;
+        }
+        assert!(c.max_abs_diff(&expect) < 1e-4);
+    }
+}

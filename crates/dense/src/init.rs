@@ -1,0 +1,47 @@
+//! Weight initialization.
+
+use crate::matrix::Dense;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Glorot/Xavier uniform initialization, the standard for GCN weights
+/// (used by both the Kipf & Welling reference and DGL).
+pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut SmallRng) -> Dense {
+    let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    Dense::from_vec(rows, cols, data)
+}
+
+/// Deterministic Glorot init from a seed; every virtual GPU seeds identically
+/// so replicated weights start (and stay) bit-identical, as in the paper
+/// where `W` is the only replicated state.
+pub fn glorot_seeded(rows: usize, cols: usize, seed: u64) -> Dense {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    glorot_uniform(rows, cols, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_within_limits() {
+        let w = glorot_seeded(64, 32, 7);
+        let limit = (6.0 / 96.0f64).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn glorot_seeded_is_deterministic() {
+        let a = glorot_seeded(8, 8, 42);
+        let b = glorot_seeded(8, 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn glorot_different_seeds_differ() {
+        let a = glorot_seeded(8, 8, 1);
+        let b = glorot_seeded(8, 8, 2);
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+}

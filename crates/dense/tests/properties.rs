@@ -1,0 +1,143 @@
+//! Property-based tests for the dense kernels: GeMM identities across all
+//! transpose variants, elementwise algebra, and buffer-resize semantics.
+
+use mggcn_dense::{
+    axpy, gemm, gemm_a_bt, gemm_at_b, relu, relu_backward, relu_backward_merge, relu_inplace,
+    scale, Accumulate, Dense,
+};
+use proptest::prelude::*;
+
+fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Dense> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0f32..5.0, r * c)
+            .prop_map(move |data| Dense::from_vec(r, c, data))
+    })
+}
+
+fn naive(a: &Dense, b: &Dense) -> Dense {
+    let mut out = Dense::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut s = 0.0f64;
+            for k in 0..a.cols() {
+                s += a.get(i, k) as f64 * b.get(k, j) as f64;
+            }
+            out.set(i, j, s as f32);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn gemm_matches_f64_oracle(a in matrix(12, 10), b_cols in 1usize..9, seed in 0u64..50) {
+        let b = Dense::from_fn(a.cols(), b_cols, |r, c| ((r * 7 + c + seed as usize) as f32).sin());
+        let mut fast = Dense::zeros(a.rows(), b_cols);
+        gemm(&a, &b, &mut fast, Accumulate::Overwrite);
+        prop_assert!(fast.max_abs_diff(&naive(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_at_b_equals_explicit_transpose(a in matrix(10, 8), n in 1usize..7) {
+        let b = Dense::from_fn(a.rows(), n, |r, c| ((r + 2 * c) as f32).cos());
+        let mut fast = Dense::zeros(a.cols(), n);
+        gemm_at_b(&a, &b, &mut fast, Accumulate::Overwrite);
+        prop_assert!(fast.max_abs_diff(&naive(&a.transpose(), &b)) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_a_bt_equals_explicit_transpose(a in matrix(10, 8), n in 1usize..7) {
+        let b = Dense::from_fn(n, a.cols(), |r, c| ((3 * r + c) as f32).sin());
+        let mut fast = Dense::zeros(a.rows(), n);
+        gemm_a_bt(&a, &b, &mut fast, Accumulate::Overwrite);
+        prop_assert!(fast.max_abs_diff(&naive(&a, &b.transpose())) < 1e-3);
+    }
+
+    #[test]
+    fn accumulate_equals_two_overwrites_summed(a in matrix(8, 6), b_cols in 1usize..6) {
+        let b = Dense::from_fn(a.cols(), b_cols, |r, c| (r as f32 - c as f32) * 0.3);
+        let mut acc = Dense::zeros(a.rows(), b_cols);
+        gemm(&a, &b, &mut acc, Accumulate::Overwrite);
+        gemm(&a, &b, &mut acc, Accumulate::Add);
+        let mut once = Dense::zeros(a.rows(), b_cols);
+        gemm(&a, &b, &mut once, Accumulate::Overwrite);
+        for x in once.as_mut_slice() {
+            *x *= 2.0;
+        }
+        prop_assert!(acc.max_abs_diff(&once) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_involution(a in matrix(12, 12)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn relu_idempotent(v in proptest::collection::vec(-10.0f32..10.0, 1..200)) {
+        let mut once = vec![0.0; v.len()];
+        relu(&v, &mut once);
+        let mut twice = once.clone();
+        relu_inplace(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn relu_backward_merge_equals_separate(
+        grad in proptest::collection::vec(-5.0f32..5.0, 1..100),
+        seed in 0u64..50,
+    ) {
+        let act: Vec<f32> = (0..grad.len()).map(|i| ((i as u64 + seed) as f32 * 0.7).sin()).collect();
+        let mut merged = act.clone();
+        relu_backward_merge(&grad, &mut merged);
+        let mut separate = vec![0.0; grad.len()];
+        relu_backward(&grad, &act, &mut separate);
+        prop_assert_eq!(merged, separate);
+    }
+
+    #[test]
+    fn axpy_then_negate_roundtrips(
+        x in proptest::collection::vec(-5.0f32..5.0, 1..100),
+        alpha in -3.0f32..3.0,
+    ) {
+        let y0: Vec<f32> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        let mut y = y0.clone();
+        axpy(alpha, &x, &mut y);
+        axpy(-alpha, &x, &mut y);
+        for (after, before) in y.iter().zip(&y0) {
+            prop_assert!((after - before).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_composes_multiplicatively(
+        mut x in proptest::collection::vec(-5.0f32..5.0, 1..100),
+        a in 0.1f32..2.0,
+        b in 0.1f32..2.0,
+    ) {
+        let orig = x.clone();
+        scale(a, &mut x);
+        scale(b, &mut x);
+        for (after, before) in x.iter().zip(&orig) {
+            prop_assert!((after - before * a * b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn resize_total_matches_shape(r1 in 1usize..20, c1 in 1usize..20, r2 in 1usize..20, c2 in 1usize..20) {
+        let mut m = Dense::zeros(r1, c1);
+        m.resize(r2, c2);
+        prop_assert_eq!(m.rows(), r2);
+        prop_assert_eq!(m.cols(), c2);
+        prop_assert_eq!(m.len(), r2 * c2);
+    }
+
+    #[test]
+    fn row_block_matches_rows(a in matrix(12, 6), frac in 0.0f64..1.0) {
+        let start = ((a.rows() - 1) as f64 * frac) as usize;
+        let n = a.rows() - start;
+        let b = a.row_block(start, n);
+        for i in 0..n {
+            prop_assert_eq!(b.row(i), a.row(start + i));
+        }
+    }
+}

@@ -1,0 +1,628 @@
+//! CUDA-like scheduling and a rate-based discrete-event simulator.
+//!
+//! A [`Schedule`] is built the way an MG-GCN epoch is issued on real
+//! hardware: kernels are launched onto per-GPU *streams* (stream 0 compute,
+//! stream 1 communication, per §4.3), collectives rendezvous across GPUs,
+//! and cross-stream dependencies are expressed by waiting on a previous
+//! op's completion (CUDA events). [`Schedule::run`] then plays the whole
+//! DAG forward in simulated time.
+//!
+//! The simulator is *rate-based*: every running op drains work dimensions
+//! (seconds, FLOPs, bytes) at rates set by its GPU, and those rates are
+//! recomputed whenever anything starts or finishes. Crucially, an active
+//! collective drains its link bandwidth **out of its GPUs' memory
+//! bandwidth**, so a memory-bound SpMM overlapped with a broadcast slows
+//! down — the effect the paper measures in §6.3 ("communication ... takes
+//! up some of the global memory bandwidth").
+//!
+//! Ops may carry a *body*: a closure over a caller-supplied context that
+//! executes when the op completes in simulated time. Completion order is a
+//! topological order of the dependency DAG, so bodies compute real numerics
+//! under exactly the schedule being timed — and a schedule missing a
+//! double-buffer WAR dependency will corrupt real data the same way real
+//! hardware would.
+
+use crate::specs::MachineSpec;
+use crate::timeline::{Category, Span, Timeline};
+use std::collections::BTreeMap;
+
+/// Identifier of a launched op; also usable as a dependency handle.
+pub type OpId = usize;
+
+/// The work an op represents.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Work {
+    /// A kernel with a FLOP count and a DRAM traffic estimate; its duration
+    /// is `max(flops / flop_rate, bytes / available_mem_bw)` (roofline).
+    Compute { flops: f64, bytes: f64 },
+    /// A data transfer at a fixed link bandwidth (bytes/second).
+    Comm { bytes: f64, bw: f64 },
+    /// A fixed-duration op (host-side work, latency stubs).
+    Fixed { seconds: f64 },
+}
+
+/// Descriptive metadata recorded into the timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct OpDesc {
+    pub category: Category,
+    pub label: &'static str,
+    pub stage: Option<usize>,
+}
+
+impl OpDesc {
+    pub fn new(category: Category, label: &'static str) -> Self {
+        Self { category, label, stage: None }
+    }
+
+    pub fn staged(category: Category, label: &'static str, stage: usize) -> Self {
+        Self { category, label, stage: Some(stage) }
+    }
+}
+
+type Body<Ctx> = Box<dyn FnOnce(&mut Ctx)>;
+
+struct Op<Ctx> {
+    desc: OpDesc,
+    work: Work,
+    /// `(gpu, stream)` lanes this op occupies — one for kernels, all
+    /// participants for collectives.
+    lanes: Vec<(usize, usize)>,
+    waits: Vec<OpId>,
+    body: Option<Body<Ctx>>,
+}
+
+/// Result of running a schedule.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Simulated end-to-end time in seconds.
+    pub makespan: f64,
+    pub timeline: Timeline,
+    pub ops_executed: usize,
+}
+
+/// A recorded multi-GPU schedule, generic over the real-execution context.
+pub struct Schedule<Ctx> {
+    machine: MachineSpec,
+    ops: Vec<Op<Ctx>>,
+    queues: BTreeMap<(usize, usize), Vec<OpId>>,
+    /// Fixed per-op launch overhead in seconds (kernel-launch cost; larger
+    /// for framework baselines).
+    pub launch_overhead: f64,
+}
+
+impl<Ctx> Schedule<Ctx> {
+    pub fn new(machine: MachineSpec) -> Self {
+        Self { machine, ops: Vec::new(), queues: BTreeMap::new(), launch_overhead: 5.0e-6 }
+    }
+
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Launch a kernel on `(gpu, stream)` after `waits` complete (in
+    /// addition to the implicit in-order dependency on the same stream).
+    pub fn launch(
+        &mut self,
+        gpu: usize,
+        stream: usize,
+        work: Work,
+        desc: OpDesc,
+        waits: &[OpId],
+        body: Option<Body<Ctx>>,
+    ) -> OpId {
+        assert!(gpu < self.machine.gpu_count(), "gpu index out of range");
+        let id = self.ops.len();
+        self.ops.push(Op { desc, work, lanes: vec![(gpu, stream)], waits: waits.to_vec(), body });
+        self.queues.entry((gpu, stream)).or_default().push(id);
+        id
+    }
+
+    /// Launch a collective occupying one lane on every participant. It
+    /// starts only when it is at the head of *all* participant lanes (NCCL
+    /// rendezvous semantics) and its `waits` are satisfied.
+    pub fn collective(
+        &mut self,
+        lanes: &[(usize, usize)],
+        bytes: f64,
+        bw: f64,
+        desc: OpDesc,
+        waits: &[OpId],
+        body: Option<Body<Ctx>>,
+    ) -> OpId {
+        assert!(!lanes.is_empty(), "collective needs participants");
+        let id = self.ops.len();
+        let work = if bw.is_infinite() {
+            Work::Fixed { seconds: 0.0 }
+        } else {
+            Work::Comm { bytes, bw }
+        };
+        self.ops.push(Op { desc, work, lanes: lanes.to_vec(), waits: waits.to_vec(), body });
+        for &lane in lanes {
+            assert!(lane.0 < self.machine.gpu_count(), "gpu index out of range");
+            self.queues.entry(lane).or_default().push(id);
+        }
+        id
+    }
+
+    /// Play the schedule forward. Bodies run against `ctx` in completion
+    /// order. Panics on deadlock (a schedule bug: circular waits or
+    /// mismatched collective enqueue order).
+    pub fn run(self, ctx: &mut Ctx) -> RunReport {
+        let Schedule { machine, mut ops, queues, launch_overhead } = self;
+        let n_ops = ops.len();
+        let mut heads: BTreeMap<(usize, usize), usize> =
+            queues.keys().map(|&k| (k, 0usize)).collect();
+        let mut completed = vec![false; n_ops];
+        let mut running: Vec<OpId> = Vec::new();
+        let mut remaining: Vec<Rem> = ops
+            .iter()
+            .map(|op| Rem::from_work(op.work, launch_overhead, machine.comm_latency))
+            .collect();
+        let mut started_at = vec![0.0f64; n_ops];
+        let mut now = 0.0f64;
+        let mut timeline = Timeline::default();
+        let mut executed = 0usize;
+
+        loop {
+            // Promote every ready head op. A collective is ready when at the
+            // head of each of its lanes; repeat until fixpoint since one
+            // promotion can expose another lane's head.
+            let mut promoted = true;
+            while promoted {
+                promoted = false;
+                let candidates: Vec<OpId> = heads
+                    .iter()
+                    .filter_map(|(&lane, &h)| queues[&lane].get(h).copied())
+                    .collect();
+                for id in candidates {
+                    if completed[id] || running.contains(&id) {
+                        continue;
+                    }
+                    let op = &ops[id];
+                    let at_all_heads = op
+                        .lanes
+                        .iter()
+                        .all(|lane| queues[lane].get(heads[lane]) == Some(&id));
+                    let deps_done = op.waits.iter().all(|&w| completed[w]);
+                    if at_all_heads && deps_done {
+                        running.push(id);
+                        started_at[id] = now;
+                        promoted = true;
+                    }
+                }
+            }
+
+            if running.is_empty() {
+                let all_done = completed.iter().all(|&c| c);
+                if all_done {
+                    break;
+                }
+                let stuck: Vec<String> = heads
+                    .iter()
+                    .filter_map(|(&lane, &h)| {
+                        queues[&lane].get(h).map(|&id| {
+                            format!("lane {:?} head op {} ({})", lane, id, ops[id].desc.label)
+                        })
+                    })
+                    .collect();
+                panic!("schedule deadlock at t={now}: {stuck:?}");
+            }
+
+            // Rates: communication drains link bandwidth from each
+            // participant GPU's memory system; concurrent compute kernels on
+            // one GPU share what is left.
+            let gpu_count = machine.gpu_count();
+            let mut comm_draw = vec![0.0f64; gpu_count];
+            let mut compute_count = vec![0usize; gpu_count];
+            for &id in &running {
+                match ops[id].work {
+                    Work::Comm { bw, .. } => {
+                        for &(g, _) in &ops[id].lanes {
+                            comm_draw[g] += bw;
+                        }
+                    }
+                    Work::Compute { .. } => {
+                        compute_count[ops[id].lanes[0].0] += 1;
+                    }
+                    Work::Fixed { .. } => {}
+                }
+            }
+
+            let rate_of = |id: OpId| -> Rates {
+                match ops[id].work {
+                    Work::Comm { bw, .. } => Rates { byte: bw, flop: f64::INFINITY },
+                    Work::Compute { .. } => {
+                        let g = ops[id].lanes[0].0;
+                        let spec = &machine.gpus[g];
+                        let share = compute_count[g].max(1) as f64;
+                        // Floor at 10% so a saturating comm storm cannot
+                        // starve compute entirely (hardware arbiters don't).
+                        let bw = ((spec.mem_bw - comm_draw[g]).max(0.1 * spec.mem_bw)) / share;
+                        Rates { byte: bw, flop: spec.flops / share }
+                    }
+                    Work::Fixed { .. } => Rates { byte: f64::INFINITY, flop: f64::INFINITY },
+                }
+            };
+
+            // Earliest completion under current rates.
+            let mut dt = f64::INFINITY;
+            for &id in &running {
+                dt = dt.min(remaining[id].eta(rate_of(id)));
+            }
+            debug_assert!(dt.is_finite(), "running op with infinite ETA");
+            now += dt;
+
+            // Drain work and collect completions.
+            let mut finished: Vec<OpId> = Vec::new();
+            for &id in &running {
+                let rates = rate_of(id);
+                remaining[id].advance(dt, rates);
+                if remaining[id].done() {
+                    finished.push(id);
+                }
+            }
+            for id in finished {
+                running.retain(|&r| r != id);
+                completed[id] = true;
+                executed += 1;
+                let op = &mut ops[id];
+                for &(gpu, stream) in &op.lanes {
+                    timeline.spans.push(Span {
+                        gpu,
+                        stream,
+                        category: op.desc.category,
+                        stage: op.desc.stage,
+                        label: op.desc.label,
+                        start: started_at[id],
+                        end: now,
+                    });
+                }
+                for lane in &op.lanes {
+                    // Advance each lane head past this op.
+                    let h = heads.get_mut(lane).expect("lane exists");
+                    while queues[lane].get(*h).is_some_and(|&q| completed[q]) {
+                        *h += 1;
+                    }
+                }
+                if let Some(body) = op.body.take() {
+                    body(ctx);
+                }
+            }
+        }
+
+        RunReport { makespan: now, timeline, ops_executed: executed }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Rates {
+    byte: f64,
+    flop: f64,
+}
+
+/// Remaining work of a running op.
+#[derive(Clone, Copy, Debug)]
+struct Rem {
+    seconds: f64,
+    flops: f64,
+    bytes: f64,
+}
+
+impl Rem {
+    fn from_work(w: Work, overhead: f64, comm_latency: f64) -> Self {
+        match w {
+            Work::Compute { flops, bytes } => Self { seconds: overhead, flops, bytes },
+            Work::Comm { bytes, .. } => Self { seconds: overhead + comm_latency, flops: 0.0, bytes },
+            Work::Fixed { seconds } => Self { seconds: seconds + overhead, flops: 0.0, bytes: 0.0 },
+        }
+    }
+
+    /// Time to finish at the given rates (dimensions drain concurrently).
+    fn eta(&self, r: Rates) -> f64 {
+        let mut t = self.seconds;
+        if self.flops > 0.0 {
+            t = t.max(self.flops / r.flop);
+        }
+        if self.bytes > 0.0 {
+            t = t.max(self.bytes / r.byte);
+        }
+        t
+    }
+
+    fn advance(&mut self, dt: f64, r: Rates) {
+        self.seconds = (self.seconds - dt).max(0.0);
+        self.flops = (self.flops - r.flop * dt).max(0.0);
+        self.bytes = (self.bytes - r.byte * dt).max(0.0);
+    }
+
+    fn done(&self) -> bool {
+        const EPS: f64 = 1e-12;
+        self.seconds <= EPS && self.flops <= EPS && self.bytes <= EPS * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{GpuSpec, MachineSpec};
+
+    fn machine(n: usize) -> MachineSpec {
+        let mut m = MachineSpec::uniform("test", GpuSpec::v100(), n, 6, 25.0e9);
+        m.comm_latency = 0.0;
+        m
+    }
+
+    fn desc(cat: Category) -> OpDesc {
+        OpDesc::new(cat, "test")
+    }
+
+    #[test]
+    fn single_fixed_op_duration() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_overhead = 0.0;
+        s.launch(0, 0, Work::Fixed { seconds: 1.5 }, desc(Category::Other), &[], None);
+        let r = s.run(&mut ());
+        assert!((r.makespan - 1.5).abs() < 1e-9);
+        assert_eq!(r.ops_executed, 1);
+    }
+
+    #[test]
+    fn stream_is_fifo() {
+        let mut s: Schedule<Vec<u32>> = Schedule::new(machine(1));
+        s.launch_overhead = 0.0;
+        for i in 0..3u32 {
+            s.launch(
+                0,
+                0,
+                Work::Fixed { seconds: 0.1 },
+                desc(Category::Other),
+                &[],
+                Some(Box::new(move |v: &mut Vec<u32>| v.push(i))),
+            );
+        }
+        let mut order = Vec::new();
+        let r = s.run(&mut order);
+        assert_eq!(order, vec![0, 1, 2]);
+        assert!((r.makespan - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_streams_run_in_parallel() {
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.launch_overhead = 0.0;
+        s.launch(0, 0, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
+        s.launch(1, 0, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
+        let r = s.run(&mut ());
+        assert!((r.makespan - 1.0).abs() < 1e-9, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn cross_stream_wait_serializes() {
+        let mut s: Schedule<Vec<&'static str>> = Schedule::new(machine(1));
+        s.launch_overhead = 0.0;
+        let a = s.launch(
+            0,
+            0,
+            Work::Fixed { seconds: 1.0 },
+            desc(Category::Other),
+            &[],
+            Some(Box::new(|v: &mut Vec<&str>| v.push("a"))),
+        );
+        s.launch(
+            0,
+            1,
+            Work::Fixed { seconds: 0.5 },
+            desc(Category::Other),
+            &[a],
+            Some(Box::new(|v: &mut Vec<&str>| v.push("b"))),
+        );
+        let mut order = Vec::new();
+        let r = s.run(&mut order);
+        assert_eq!(order, vec!["a", "b"]);
+        assert!((r.makespan - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_roofline_uses_max_of_dimensions() {
+        // bytes-bound: 900e9 bytes at 900 GB/s = 1s even though flops tiny.
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_overhead = 0.0;
+        s.launch(
+            0,
+            0,
+            Work::Compute { flops: 1.0, bytes: 900.0e9 },
+            desc(Category::SpMM),
+            &[],
+            None,
+        );
+        let r = s.run(&mut ());
+        assert!((r.makespan - 1.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn overlapping_comm_slows_membound_compute() {
+        // Without comm: 900e9 bytes -> 1s. With a concurrent 150 GB/s comm
+        // stream the SpMM sees 750 GB/s -> 1.2s. This is the paper's §6.3
+        // contention effect.
+        let mk = || {
+            let mut s: Schedule<()> = Schedule::new(machine(2));
+            s.launch_overhead = 0.0;
+            s
+        };
+        let mut alone = mk();
+        alone.launch(
+            0,
+            0,
+            Work::Compute { flops: 0.0, bytes: 900.0e9 },
+            desc(Category::SpMM),
+            &[],
+            None,
+        );
+        let t_alone = alone.run(&mut ()).makespan;
+
+        let mut overlapped = mk();
+        overlapped.launch(
+            0,
+            0,
+            Work::Compute { flops: 0.0, bytes: 900.0e9 },
+            desc(Category::SpMM),
+            &[],
+            None,
+        );
+        // A long-running broadcast on the comm stream of the same GPU.
+        overlapped.collective(
+            &[(0, 1), (1, 1)],
+            600.0e9,
+            150.0e9,
+            desc(Category::Comm),
+            &[],
+            None,
+        );
+        let t_over = overlapped.run(&mut ()).makespan;
+        assert!(t_over > t_alone * 1.15, "alone {t_alone}, overlapped {t_over}");
+    }
+
+    #[test]
+    fn collective_rendezvous_waits_for_all_lanes() {
+        // GPU 1 is busy for 1s before it reaches the collective; GPU 0
+        // reaches it immediately. The collective (0.1s) must end after 1.1s.
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.launch_overhead = 0.0;
+        s.launch(1, 1, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
+        s.collective(&[(0, 1), (1, 1)], 2.5e9, 25.0e9, desc(Category::Comm), &[], None);
+        let r = s.run(&mut ());
+        assert!((r.makespan - 1.1).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn timeline_records_all_lanes_of_collective() {
+        let mut s: Schedule<()> = Schedule::new(machine(3));
+        s.launch_overhead = 0.0;
+        s.collective(
+            &[(0, 1), (1, 1), (2, 1)],
+            1.0e9,
+            25.0e9,
+            desc(Category::Comm),
+            &[],
+            None,
+        );
+        let r = s.run(&mut ());
+        assert_eq!(r.timeline.spans.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn fifo_dependency_cycle_deadlocks() {
+        // Op X is at the head of stream (0,0) but waits on op Y, which sits
+        // *behind* X in the same stream — the FIFO can never advance. This
+        // is the stream-ordering bug class the detector exists for.
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        let placeholder =
+            s.launch(0, 1, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[], None);
+        let _x = s.launch(
+            0,
+            0,
+            Work::Fixed { seconds: 0.1 },
+            desc(Category::Other),
+            &[placeholder + 2], // forward reference to y, launched next
+            None,
+        );
+        let _y = s.launch(0, 0, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[], None);
+        let _ = s.run(&mut ());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_collective_order_deadlocks() {
+        // GPU0's stream enqueues collective A then B; GPU1's stream enqueues
+        // B's slot first via a blocker that waits on B. Classic NCCL-style
+        // rendezvous deadlock: A needs GPU1's head, which B's blocker holds.
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        // B is op index 1 (launched second); blocker waits on it but is
+        // queued first on GPU1's lane.
+        s.launch(1, 1, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[1], None);
+        s.collective(&[(0, 1), (1, 1)], 1.0e9, 25.0e9, desc(Category::Comm), &[], None);
+        let _ = s.run(&mut ());
+    }
+
+    #[test]
+    fn concurrent_compute_ops_share_the_gpu() {
+        // Two FLOP-bound kernels on different streams of one GPU must each
+        // run at half rate: together they take as long as running them
+        // back to back.
+        let flops = GpuSpec::v100().flops; // 1 second solo
+        let mk = |streams: [usize; 2]| {
+            let mut s: Schedule<()> = Schedule::new(machine(1));
+            s.launch_overhead = 0.0;
+            for st in streams {
+                s.launch(
+                    0,
+                    st,
+                    Work::Compute { flops, bytes: 0.0 },
+                    desc(Category::GeMM),
+                    &[],
+                    None,
+                );
+            }
+            s.run(&mut ()).makespan
+        };
+        let serial = mk([0, 0]);
+        let shared = mk([0, 1]);
+        assert!((serial - 2.0).abs() < 1e-6, "serial {serial}");
+        assert!((shared - 2.0).abs() < 1e-6, "shared {shared}");
+    }
+
+    #[test]
+    fn compute_on_different_gpus_does_not_share() {
+        let flops = GpuSpec::v100().flops;
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.launch_overhead = 0.0;
+        for g in 0..2 {
+            s.launch(
+                g,
+                0,
+                Work::Compute { flops, bytes: 0.0 },
+                desc(Category::GeMM),
+                &[],
+                None,
+            );
+        }
+        let t = s.run(&mut ()).makespan;
+        assert!((t - 1.0).abs() < 1e-6, "makespan {t}");
+    }
+
+    #[test]
+    fn comm_rate_is_not_affected_by_compute() {
+        // A broadcast's link bandwidth is independent of GPU compute load.
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.launch_overhead = 0.0;
+        s.launch(
+            0,
+            0,
+            Work::Compute { flops: GpuSpec::v100().flops, bytes: 0.0 },
+            desc(Category::GeMM),
+            &[],
+            None,
+        );
+        s.collective(&[(0, 1), (1, 1)], 25.0e9, 25.0e9, desc(Category::Comm), &[], None);
+        let r = s.run(&mut ());
+        // Comm finishes at 1.0 s despite the busy GPU; makespan is the
+        // 1-second compute.
+        let comm_span = r
+            .timeline
+            .spans
+            .iter()
+            .find(|sp| sp.category == Category::Comm)
+            .expect("comm span");
+        assert!((comm_span.duration() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn launch_overhead_is_charged() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_overhead = 0.25;
+        s.launch(0, 0, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
+        let r = s.run(&mut ());
+        assert!((r.makespan - 1.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! nvprof-style profiling reports over a [`Timeline`].
+//!
+//! The paper identified its bottlenecks by profiling "single GPU GCN
+//! training with nvprof" (§4). This module renders the same view from the
+//! engine's timeline: per-kernel-label statistics (invocations, total/avg
+//! time, share of busy time), per-GPU busy/idle utilization, and exposed
+//! (non-overlapped) communication time.
+
+use crate::timeline::{Category, Timeline};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one kernel label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelStats {
+    pub label: &'static str,
+    pub category: Category,
+    pub calls: usize,
+    pub total_seconds: f64,
+    pub max_seconds: f64,
+}
+
+impl KernelStats {
+    pub fn avg_seconds(&self) -> f64 {
+        self.total_seconds / self.calls.max(1) as f64
+    }
+}
+
+/// A rendered profile of one run.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    pub kernels: Vec<KernelStats>,
+    /// Per-GPU (busy compute seconds, busy comm seconds).
+    pub gpu_busy: Vec<(f64, f64)>,
+    pub makespan: f64,
+}
+
+impl Profile {
+    /// Aggregate a timeline (with its makespan) into a profile.
+    pub fn from_timeline(tl: &Timeline, makespan: f64) -> Self {
+        let mut by_label: BTreeMap<&'static str, KernelStats> = BTreeMap::new();
+        let gpu_count = tl.spans.iter().map(|s| s.gpu + 1).max().unwrap_or(0);
+        let mut gpu_busy = vec![(0.0f64, 0.0f64); gpu_count];
+        for s in &tl.spans {
+            let e = by_label.entry(s.label).or_insert(KernelStats {
+                label: s.label,
+                category: s.category,
+                calls: 0,
+                total_seconds: 0.0,
+                max_seconds: 0.0,
+            });
+            e.calls += 1;
+            e.total_seconds += s.duration();
+            e.max_seconds = e.max_seconds.max(s.duration());
+            let slot = &mut gpu_busy[s.gpu];
+            if s.category == Category::Comm {
+                slot.1 += s.duration();
+            } else {
+                slot.0 += s.duration();
+            }
+        }
+        let mut kernels: Vec<KernelStats> = by_label.into_values().collect();
+        kernels.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+        Self { kernels, gpu_busy, makespan }
+    }
+
+    /// Total busy kernel time (all GPUs, compute categories only).
+    pub fn total_compute(&self) -> f64 {
+        self.gpu_busy.iter().map(|(c, _)| c).sum()
+    }
+
+    /// Mean compute utilization across GPUs (busy / makespan).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0.0 || self.gpu_busy.is_empty() {
+            return 0.0;
+        }
+        self.total_compute() / (self.makespan * self.gpu_busy.len() as f64)
+    }
+
+    /// Render as an nvprof-like text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>12} {:>12} {:>12} {:>8}\n",
+            "kernel", "calls", "total (ms)", "avg (us)", "max (us)", "share"
+        ));
+        let grand: f64 = self.kernels.iter().map(|k| k.total_seconds).sum();
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>12.3} {:>12.1} {:>12.1} {:>7.1}%\n",
+                k.label,
+                k.calls,
+                k.total_seconds * 1e3,
+                k.avg_seconds() * 1e6,
+                k.max_seconds * 1e6,
+                100.0 * k.total_seconds / grand.max(f64::MIN_POSITIVE)
+            ));
+        }
+        out.push_str(&format!(
+            "\nmakespan {:.3} ms, mean compute utilization {:.1}%\n",
+            self.makespan * 1e3,
+            self.utilization() * 100.0
+        ));
+        for (g, (compute, comm)) in self.gpu_busy.iter().enumerate() {
+            out.push_str(&format!(
+                "  GPU {g}: compute {:>8.3} ms, comm {:>8.3} ms\n",
+                compute * 1e3,
+                comm * 1e3
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Span;
+
+    fn tl() -> Timeline {
+        Timeline {
+            spans: vec![
+                Span {
+                    gpu: 0,
+                    stream: 0,
+                    category: Category::SpMM,
+                    stage: None,
+                    label: "spmm",
+                    start: 0.0,
+                    end: 2.0,
+                },
+                Span {
+                    gpu: 0,
+                    stream: 0,
+                    category: Category::SpMM,
+                    stage: None,
+                    label: "spmm",
+                    start: 2.0,
+                    end: 3.0,
+                },
+                Span {
+                    gpu: 1,
+                    stream: 1,
+                    category: Category::Comm,
+                    stage: None,
+                    label: "bcast",
+                    start: 0.0,
+                    end: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn kernel_stats_aggregate() {
+        let p = Profile::from_timeline(&tl(), 3.0);
+        assert_eq!(p.kernels.len(), 2);
+        let spmm = &p.kernels[0]; // sorted by total time desc
+        assert_eq!(spmm.label, "spmm");
+        assert_eq!(spmm.calls, 2);
+        assert!((spmm.total_seconds - 3.0).abs() < 1e-12);
+        assert!((spmm.avg_seconds() - 1.5).abs() < 1e-12);
+        assert!((spmm.max_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_split_by_category() {
+        let p = Profile::from_timeline(&tl(), 3.0);
+        assert_eq!(p.gpu_busy.len(), 2);
+        assert!((p.gpu_busy[0].0 - 3.0).abs() < 1e-12);
+        assert_eq!(p.gpu_busy[0].1, 0.0);
+        assert!((p.gpu_busy[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_fractional() {
+        let p = Profile::from_timeline(&tl(), 3.0);
+        // GPU0 busy 3/3, GPU1 compute 0/3 -> mean 0.5.
+        assert!((p.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let text = Profile::from_timeline(&tl(), 3.0).render();
+        assert!(text.contains("spmm"));
+        assert!(text.contains("bcast"));
+        assert!(text.contains("utilization"));
+    }
+
+    #[test]
+    fn empty_timeline_profile() {
+        let p = Profile::from_timeline(&Timeline::default(), 0.0);
+        assert!(p.kernels.is_empty());
+        assert_eq!(p.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Machine and GPU specifications.
+//!
+//! Numbers follow the paper's §6 hardware description: DGX-1 has 8 V100s
+//! (32 GB, 900 GB/s HBM, 6 NVLink links of 25 GB/s per direction each,
+//! asymmetric hybrid cube mesh); DGX-A100 has 8 A100s (80 GB, 2 TB/s HBM,
+//! 12 links through an NVSwitch giving uniform all-to-all bandwidth).
+
+/// One GPU's capabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Device memory bandwidth, bytes/second.
+    pub mem_bw: f64,
+    /// Peak fp32 throughput, FLOP/s.
+    pub flops: f64,
+    /// Effective last-level cache for SpMM dense-operand reuse, bytes.
+    /// Tuned slightly above the physical L2 to account for row-run locality.
+    pub l2_bytes: u64,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100 SXM2 32 GB.
+    pub fn v100() -> Self {
+        Self {
+            mem_bytes: 32 * (1 << 30),
+            mem_bw: 900.0e9,
+            flops: 15.7e12,
+            l2_bytes: 3 * 6 * (1 << 20), // 6 MB L2, ~3x effective for streaming reuse
+        }
+    }
+
+    /// NVIDIA A100 SXM4 80 GB.
+    pub fn a100() -> Self {
+        Self {
+            mem_bytes: 80 * (1 << 30),
+            mem_bw: 2.0e12,
+            flops: 19.5e12,
+            l2_bytes: 3 * 40 * (1 << 20), // 40 MB L2
+        }
+    }
+
+    /// NVIDIA H100 SXM5 80 GB — released after the paper; used in what-if
+    /// studies of where the next hardware generation moves the bottleneck.
+    pub fn h100() -> Self {
+        Self {
+            mem_bytes: 80 * (1 << 30),
+            mem_bw: 3.35e12,
+            flops: 66.9e12,
+            l2_bytes: 3 * 50 * (1 << 20), // 50 MB L2
+        }
+    }
+}
+
+/// Inter-GPU interconnect topology.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Interconnect {
+    /// Every GPU reaches every other at full fan-out through a switch
+    /// (DGX-A100): any collective sees `links_per_gpu × link_bw` per GPU.
+    NvSwitch { links_per_gpu: u32, link_bw: f64 },
+    /// Direct point-to-point links with per-pair link counts (DGX-1).
+    /// `links[i][j]` is the number of links between GPUs `i` and `j`.
+    PointToPoint { links: Vec<Vec<u32>>, link_bw: f64 },
+    /// Multi-node cluster (the paper's §7 future-work target): full-speed
+    /// switched links within a node, a shared NIC between nodes. Any
+    /// collective that crosses a node boundary is throttled to the NIC —
+    /// the effect that stopped CAGNET from scaling past 4 GPUs (§1).
+    Hierarchical {
+        gpus_per_node: usize,
+        links_per_gpu: u32,
+        link_bw: f64,
+        /// Per-node network bandwidth, bytes/second (e.g. HDR InfiniBand
+        /// ≈ 25 GB/s).
+        node_nic_bw: f64,
+    },
+}
+
+/// A single-node multi-GPU machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    pub name: String,
+    pub gpus: Vec<GpuSpec>,
+    pub interconnect: Interconnect,
+    /// Per-hop collective latency, seconds.
+    pub comm_latency: f64,
+}
+
+impl MachineSpec {
+    /// NVIDIA DGX-1 with 8 V100s ("DGX-V100" in the paper).
+    ///
+    /// Hybrid cube mesh: two quads {0..3}, {4..7}. Within a quad each GPU
+    /// has 4 links spread over its 3 neighbours; across quads each GPU has
+    /// 2 links to its mirror. This reproduces the §5.1 arithmetic exactly:
+    /// full-machine broadcast sees 6 links, intra-quad broadcast 4, and the
+    /// cross-quad reduction only 2.
+    pub fn dgx_v100() -> Self {
+        let mut links = vec![vec![0u32; 8]; 8];
+        let mut connect = |a: usize, b: usize, n: u32| {
+            links[a][b] = n;
+            links[b][a] = n;
+        };
+        for quad in [0usize, 4] {
+            // Within each quad: one double link per GPU + two single links.
+            connect(quad, quad + 1, 1);
+            connect(quad, quad + 2, 1);
+            connect(quad, quad + 3, 2);
+            connect(quad + 1, quad + 2, 2);
+            connect(quad + 1, quad + 3, 1);
+            connect(quad + 2, quad + 3, 1);
+        }
+        for i in 0..4 {
+            // Mirror links between the quads.
+            connect(i, i + 4, 2);
+        }
+        Self {
+            name: "DGX-V100".into(),
+            gpus: vec![GpuSpec::v100(); 8],
+            interconnect: Interconnect::PointToPoint { links, link_bw: 25.0e9 },
+            comm_latency: 10.0e-6,
+        }
+    }
+
+    /// NVIDIA DGX-A100 (8× A100, NVSwitch, 12 links per GPU).
+    pub fn dgx_a100() -> Self {
+        Self {
+            name: "DGX-A100".into(),
+            gpus: vec![GpuSpec::a100(); 8],
+            interconnect: Interconnect::NvSwitch { links_per_gpu: 12, link_bw: 25.0e9 },
+            comm_latency: 8.0e-6,
+        }
+    }
+
+    /// A uniform custom machine (testing / what-if studies).
+    pub fn uniform(name: &str, gpu: GpuSpec, count: usize, links_per_gpu: u32, link_bw: f64) -> Self {
+        Self {
+            name: name.into(),
+            gpus: vec![gpu; count],
+            interconnect: Interconnect::NvSwitch { links_per_gpu, link_bw },
+            comm_latency: 10.0e-6,
+        }
+    }
+
+    /// A cluster of `nodes` DGX-A100-like nodes connected by a per-node NIC
+    /// of `node_nic_bw` bytes/second — the §7 multi-node future-work
+    /// scenario. GPU indices are node-major: GPUs `0..8` are node 0, etc.
+    pub fn a100_cluster(nodes: usize, node_nic_bw: f64) -> Self {
+        Self {
+            name: format!("{nodes}x DGX-A100 cluster"),
+            gpus: vec![GpuSpec::a100(); nodes * 8],
+            interconnect: Interconnect::Hierarchical {
+                gpus_per_node: 8,
+                links_per_gpu: 12,
+                link_bw: 25.0e9,
+                node_nic_bw,
+            },
+            comm_latency: 8.0e-6,
+        }
+    }
+
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Number of links `root` has toward the members of `group`
+    /// (excluding itself).
+    pub fn effective_links(&self, root: usize, group: &[usize]) -> u32 {
+        match &self.interconnect {
+            Interconnect::NvSwitch { links_per_gpu, .. }
+            | Interconnect::Hierarchical { links_per_gpu, .. } => {
+                if group.iter().any(|&g| g != root) {
+                    *links_per_gpu
+                } else {
+                    0
+                }
+            }
+            Interconnect::PointToPoint { links, .. } => {
+                group.iter().filter(|&&g| g != root).map(|&g| links[root][g]).sum()
+            }
+        }
+    }
+
+    /// Whether `group` spans more than one node (single-node machines never
+    /// do).
+    fn crosses_nodes(&self, group: &[usize]) -> bool {
+        match &self.interconnect {
+            Interconnect::Hierarchical { gpus_per_node, .. } => {
+                let mut nodes = group.iter().map(|g| g / gpus_per_node);
+                let first = nodes.next();
+                nodes.any(|n| Some(n) != first)
+            }
+            _ => false,
+        }
+    }
+
+    /// The inter-node cap that applies when a collective crosses nodes.
+    fn nic_cap(&self) -> f64 {
+        match &self.interconnect {
+            Interconnect::Hierarchical { node_nic_bw, .. } => *node_nic_bw,
+            _ => f64::INFINITY,
+        }
+    }
+
+    fn link_bw(&self) -> f64 {
+        match &self.interconnect {
+            Interconnect::NvSwitch { link_bw, .. }
+            | Interconnect::PointToPoint { link_bw, .. }
+            | Interconnect::Hierarchical { link_bw, .. } => *link_bw,
+        }
+    }
+
+    /// Bandwidth available to a broadcast from `root` to `group`
+    /// (bytes/second). NCCL pipelines the payload over every usable link of
+    /// the root, which is the model the paper's §5.1 analysis uses.
+    pub fn broadcast_bw(&self, root: usize, group: &[usize]) -> f64 {
+        let l = self.effective_links(root, group);
+        if l == 0 {
+            f64::INFINITY // single-GPU "broadcast" is a no-op
+        } else {
+            let intra = l as f64 * self.link_bw();
+            if self.crosses_nodes(group) {
+                intra.min(self.nic_cap())
+            } else {
+                intra
+            }
+        }
+    }
+
+    /// Bandwidth for a reduction onto `root` — symmetric to broadcast.
+    pub fn reduce_bw(&self, root: usize, group: &[usize]) -> f64 {
+        self.broadcast_bw(root, group)
+    }
+
+    /// Ring all-reduce bandwidth over `group`: limited by the member with
+    /// the fewest links into the group.
+    pub fn allreduce_bw(&self, group: &[usize]) -> f64 {
+        if group.len() <= 1 {
+            return f64::INFINITY;
+        }
+        let min_links = group
+            .iter()
+            .map(|&g| self.effective_links(g, group))
+            .min()
+            .expect("nonempty group");
+        let intra = min_links as f64 * self.link_bw();
+        if self.crosses_nodes(group) {
+            intra.min(self.nic_cap())
+        } else {
+            intra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx_v100_each_gpu_has_six_links() {
+        let m = MachineSpec::dgx_v100();
+        let all: Vec<usize> = (0..8).collect();
+        for g in 0..8 {
+            assert_eq!(m.effective_links(g, &all), 6, "gpu {g}");
+        }
+    }
+
+    #[test]
+    fn dgx_v100_quad_has_four_links_cross_has_two() {
+        // The §5.1 numbers: intra-quad broadcast 4 links, cross-quad 2.
+        let m = MachineSpec::dgx_v100();
+        let quad: Vec<usize> = (0..4).collect();
+        assert_eq!(m.effective_links(0, &quad), 4);
+        assert_eq!(m.effective_links(2, &quad), 4);
+        let cross = vec![0usize, 4];
+        assert_eq!(m.effective_links(0, &cross), 2);
+    }
+
+    #[test]
+    fn dgx_a100_uniform_twelve_links() {
+        let m = MachineSpec::dgx_a100();
+        let all: Vec<usize> = (0..8).collect();
+        assert_eq!(m.effective_links(3, &all), 12);
+        let pair = vec![1usize, 2];
+        assert_eq!(m.effective_links(1, &pair), 12);
+    }
+
+    #[test]
+    fn broadcast_bw_scales_with_links() {
+        let m = MachineSpec::dgx_v100();
+        let all: Vec<usize> = (0..8).collect();
+        assert!((m.broadcast_bw(0, &all) - 150.0e9).abs() < 1.0);
+        let a = MachineSpec::dgx_a100();
+        assert!((a.broadcast_bw(0, &all) - 300.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_gpu_collectives_are_free() {
+        let m = MachineSpec::dgx_a100();
+        assert!(m.broadcast_bw(0, &[0]).is_infinite());
+        assert!(m.allreduce_bw(&[5]).is_infinite());
+    }
+
+    #[test]
+    fn cluster_throttles_cross_node_collectives() {
+        let m = MachineSpec::a100_cluster(2, 25.0e9);
+        assert_eq!(m.gpu_count(), 16);
+        // Within node 0: full NVSwitch bandwidth.
+        let intra: Vec<usize> = (0..8).collect();
+        assert!((m.broadcast_bw(0, &intra) - 300.0e9).abs() < 1.0);
+        // Across nodes: capped at the NIC.
+        let cross: Vec<usize> = (0..16).collect();
+        assert!((m.broadcast_bw(0, &cross) - 25.0e9).abs() < 1.0);
+        assert!((m.allreduce_bw(&cross) - 25.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_node_cluster_behaves_like_dgx() {
+        let c = MachineSpec::a100_cluster(1, 25.0e9);
+        let d = MachineSpec::dgx_a100();
+        let all: Vec<usize> = (0..8).collect();
+        assert_eq!(c.broadcast_bw(0, &all), d.broadcast_bw(0, &all));
+    }
+
+    #[test]
+    fn paper_51_analysis_ratio() {
+        // §5.1: on DGX-1 the 1D algorithm moves n·d bytes at 6 links while
+        // 1.5D pays 2 intra-quad broadcasts (4 links, double speed groups)
+        // plus a cross reduction at 2 links; 1D wins by 3/2.
+        let m = MachineSpec::dgx_v100();
+        let nd: f64 = 1.0e9; // arbitrary payload
+        let l: f64 = 25.0e9;
+        let t_1d = 8.0 * nd / (8.0 * 6.0 * l);
+        let t_15d = 2.0 * nd / (4.0 * 4.0 * l) + nd / (4.0 * 2.0 * l);
+        assert!((t_15d / t_1d - 1.5).abs() < 1e-9);
+        // And the machine spec exposes exactly those link counts.
+        assert_eq!(m.effective_links(0, &[0, 1, 2, 3]), 4);
+        assert_eq!(m.effective_links(0, &[0, 4]), 2);
+    }
+}

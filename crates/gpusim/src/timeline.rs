@@ -1,0 +1,220 @@
+//! Timeline recording and aggregation.
+//!
+//! Every completed op leaves a [`Span`]; Figs 5 (per-category runtime
+//! breakdown), 6 and 8 (per-stage SpMM timelines) are views over these.
+
+/// Kernel category, matching the paper's Fig 5 legend plus `Comm`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    SpMM,
+    GeMM,
+    Activation,
+    Adam,
+    LossLayer,
+    Comm,
+    Other,
+}
+
+impl Category {
+    pub const ALL: [Category; 7] = [
+        Category::SpMM,
+        Category::GeMM,
+        Category::Activation,
+        Category::Adam,
+        Category::LossLayer,
+        Category::Comm,
+        Category::Other,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::SpMM => "SpMM",
+            Category::GeMM => "GeMM",
+            Category::Activation => "Activation",
+            Category::Adam => "Adam",
+            Category::LossLayer => "Loss-Layer",
+            Category::Comm => "Comm",
+            Category::Other => "Other",
+        }
+    }
+}
+
+/// One executed op on one GPU's stream.
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub gpu: usize,
+    pub stream: usize,
+    pub category: Category,
+    /// Broadcast stage index for the staged SpMM, when applicable
+    /// (drives the stage annotations of Figs 6 and 8).
+    pub stage: Option<usize>,
+    pub label: &'static str,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Span {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An ordered collection of spans with aggregation helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    pub spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Total busy time per category, summed over all GPUs and streams.
+    /// This is the paper's Fig 5 statistic (communication hidden inside the
+    /// SpMM pipeline is attributed to `Comm`).
+    pub fn category_totals(&self) -> Vec<(Category, f64)> {
+        let mut totals = Category::ALL.map(|c| (c, 0.0f64));
+        for s in &self.spans {
+            let slot = totals
+                .iter_mut()
+                .find(|(c, _)| *c == s.category)
+                .expect("category in ALL");
+            slot.1 += s.duration();
+        }
+        totals.into_iter().filter(|(_, t)| *t > 0.0).collect()
+    }
+
+    /// Percentage breakdown per category (sums to 100).
+    pub fn category_percentages(&self) -> Vec<(Category, f64)> {
+        let totals = self.category_totals();
+        let sum: f64 = totals.iter().map(|(_, t)| t).sum();
+        if sum == 0.0 {
+            return vec![];
+        }
+        totals.into_iter().map(|(c, t)| (c, 100.0 * t / sum)).collect()
+    }
+
+    /// Spans of one GPU and stream, in start order.
+    pub fn lane(&self, gpu: usize, stream: usize) -> Vec<&Span> {
+        let mut v: Vec<&Span> =
+            self.spans.iter().filter(|s| s.gpu == gpu && s.stream == stream).collect();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Latest end time (the makespan if recording started at 0).
+    pub fn end_time(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Busy time of one category on one GPU.
+    pub fn gpu_category_time(&self, gpu: usize, category: Category) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.gpu == gpu && s.category == category)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Render lanes as a proportional ASCII Gantt chart (Figs 6 / 8 style):
+    /// one row per (gpu, stream), `#` compute / `~` comm, stage digits when
+    /// present.
+    pub fn ascii_gantt(&self, width: usize) -> String {
+        let end = self.end_time();
+        if end == 0.0 {
+            return String::new();
+        }
+        let mut lanes: Vec<(usize, usize)> = self
+            .spans
+            .iter()
+            .map(|s| (s.gpu, s.stream))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        lanes.sort_unstable();
+        let mut out = String::new();
+        for (gpu, stream) in lanes {
+            let mut row = vec![' '; width];
+            for s in self.lane(gpu, stream) {
+                let a = ((s.start / end) * width as f64) as usize;
+                let b = (((s.end / end) * width as f64).ceil() as usize).clamp(a + 1, width);
+                let glyph = match (s.category, s.stage) {
+                    (Category::Comm, Some(st)) => {
+                        char::from_digit((st % 10) as u32, 10).unwrap_or('~')
+                    }
+                    (Category::Comm, None) => '~',
+                    (_, Some(st)) => char::from_digit((st % 10) as u32, 10).unwrap_or('#'),
+                    _ => '#',
+                };
+                for cell in row.iter_mut().take(b.min(width)).skip(a) {
+                    *cell = glyph;
+                }
+            }
+            out.push_str(&format!("GPU {gpu} s{stream} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(gpu: usize, cat: Category, start: f64, end: f64) -> Span {
+        Span { gpu, stream: 0, category: cat, stage: None, label: "t", start, end }
+    }
+
+    #[test]
+    fn category_totals_sum_durations() {
+        let tl = Timeline {
+            spans: vec![
+                span(0, Category::SpMM, 0.0, 2.0),
+                span(1, Category::SpMM, 0.0, 3.0),
+                span(0, Category::GeMM, 2.0, 3.0),
+            ],
+        };
+        let totals = tl.category_totals();
+        assert_eq!(totals.len(), 2);
+        let spmm = totals.iter().find(|(c, _)| *c == Category::SpMM).unwrap().1;
+        assert!((spmm - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let tl = Timeline {
+            spans: vec![span(0, Category::SpMM, 0.0, 3.0), span(0, Category::Adam, 3.0, 4.0)],
+        };
+        let pct: f64 = tl.category_percentages().iter().map(|(_, p)| p).sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_filters_and_sorts() {
+        let mut tl = Timeline::default();
+        tl.spans.push(span(0, Category::SpMM, 5.0, 6.0));
+        tl.spans.push(span(0, Category::SpMM, 1.0, 2.0));
+        tl.spans.push(span(1, Category::SpMM, 0.0, 1.0));
+        let lane = tl.lane(0, 0);
+        assert_eq!(lane.len(), 2);
+        assert!(lane[0].start < lane[1].start);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let tl = Timeline {
+            spans: vec![span(0, Category::SpMM, 0.0, 1.0), span(1, Category::Comm, 0.0, 0.5)],
+        };
+        let g = tl.ascii_gantt(20);
+        assert!(g.contains("GPU 0"));
+        assert!(g.contains("GPU 1"));
+        assert!(g.contains('#'));
+        assert!(g.contains('~'));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let tl = Timeline::default();
+        assert!(tl.category_percentages().is_empty());
+        assert_eq!(tl.end_time(), 0.0);
+        assert_eq!(tl.ascii_gantt(10), "");
+    }
+}

@@ -1,0 +1,143 @@
+//! Chrome-trace export (`chrome://tracing` / Perfetto JSON).
+//!
+//! Turns an engine [`Timeline`] into the Trace Event Format so epoch
+//! schedules can be inspected interactively — the visual equivalent of the
+//! paper's Figs 6 and 8. Each `(gpu, stream)` lane becomes a thread; each
+//! op becomes a complete (`"X"`) event with its category and stage in
+//! `args`. The writer is hand-rolled (the format is trivial JSON) so no
+//! serializer dependency is needed.
+
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+/// Render a timeline as a Trace Event Format JSON string. Durations are
+/// exported in microseconds, as the format expects.
+pub fn to_chrome_trace(tl: &Timeline) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    // Thread name metadata per lane.
+    let mut lanes: Vec<(usize, usize)> = tl
+        .spans
+        .iter()
+        .map(|s| (s.gpu, s.stream))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    lanes.sort_unstable();
+    for &(gpu, stream) in &lanes {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let kind = if stream == 0 { "compute" } else { "comm" };
+        write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{gpu},\"tid\":{stream},\
+             \"args\":{{\"name\":\"GPU {gpu} {kind}\"}}}}"
+        )
+        .expect("write to string");
+    }
+    for s in &tl.spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts = s.start * 1e6;
+        let dur = s.duration() * 1e6;
+        let stage = s.stage.map(|x| x as i64).unwrap_or(-1);
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+             \"pid\":{},\"tid\":{},\"args\":{{\"stage\":{stage}}}}}",
+            s.label,
+            s.category.name(),
+            s.gpu,
+            s.stream
+        )
+        .expect("write to string");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write a timeline to a `.json` trace file.
+pub fn write_chrome_trace(tl: &Timeline, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_chrome_trace(tl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Category, Span};
+
+    fn tl() -> Timeline {
+        Timeline {
+            spans: vec![
+                Span {
+                    gpu: 0,
+                    stream: 0,
+                    category: Category::SpMM,
+                    stage: Some(2),
+                    label: "spmm",
+                    start: 0.001,
+                    end: 0.002,
+                },
+                Span {
+                    gpu: 1,
+                    stream: 1,
+                    category: Category::Comm,
+                    stage: None,
+                    label: "bcast",
+                    start: 0.0,
+                    end: 0.0005,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_contains_events_and_metadata() {
+        let json = to_chrome_trace(&tl());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"spmm\""));
+        assert!(json.contains("\"cat\":\"SpMM\""));
+        assert!(json.contains("\"stage\":2"));
+        assert!(json.contains("\"stage\":-1"));
+        assert!(json.contains("GPU 0 compute"));
+        assert!(json.contains("GPU 1 comm"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let json = to_chrome_trace(&tl());
+        // 0.001 s -> 1000 us.
+        assert!(json.contains("\"ts\":1000.000"));
+        assert!(json.contains("\"dur\":1000.000"));
+    }
+
+    #[test]
+    fn empty_timeline_is_valid() {
+        let json = to_chrome_trace(&Timeline::default());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir()
+            .join(format!("mggcn_trace_{}.json", std::process::id()));
+        write_chrome_trace(&tl(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("spmm"));
+    }
+
+    #[test]
+    fn event_count_matches_spans_plus_lanes() {
+        let json = to_chrome_trace(&tl());
+        let events = json.matches("\"ph\":\"X\"").count();
+        let metas = json.matches("\"ph\":\"M\"").count();
+        assert_eq!(events, 2);
+        assert_eq!(metas, 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Connected components and largest-component extraction.
+//!
+//! Benchmark preprocessing routinely restricts training to the largest
+//! connected component (isolated vertices never receive neighbor signal
+//! and pollute accuracy numbers); synthetic generators can also emit
+//! fragments. BFS-based labeling plus an induced-subgraph extractor cover
+//! both needs.
+
+use crate::graph::{Graph, Split};
+use mggcn_dense::Dense;
+use mggcn_sparse::{Coo, Csr};
+use std::collections::VecDeque;
+
+/// Component label per vertex plus component count.
+#[derive(Clone, Debug)]
+pub struct Components {
+    pub label: Vec<u32>,
+    pub count: usize,
+}
+
+impl Components {
+    /// Sizes of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Label of the largest component.
+    pub fn largest(&self) -> u32 {
+        self.sizes()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// Label connected components (treating edges as undirected).
+pub fn connected_components(adj: &Csr) -> Components {
+    let n = adj.rows();
+    // Union of A and Aᵀ for directed inputs.
+    let adj_t = adj.transpose();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (u, _) in adj.row(v).chain(adj_t.row(v)) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push_back(u as usize);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count: count as usize }
+}
+
+/// Extract the induced subgraph of the vertices where `keep` is true,
+/// preserving features, labels and masks. Vertex ids are compacted in
+/// original order.
+pub fn induced_subgraph(graph: &Graph, keep: &[bool]) -> Graph {
+    assert_eq!(keep.len(), graph.n());
+    let mut new_id = vec![u32::MAX; graph.n()];
+    let mut kept: Vec<usize> = Vec::new();
+    for (v, &k) in keep.iter().enumerate() {
+        if k {
+            new_id[v] = kept.len() as u32;
+            kept.push(v);
+        }
+    }
+    let n_new = kept.len();
+    assert!(n_new > 0, "induced subgraph would be empty");
+    let mut coo = Coo::new(n_new, n_new);
+    for (new_v, &old_v) in kept.iter().enumerate() {
+        for (u, w) in graph.adj.row(old_v) {
+            if new_id[u as usize] != u32::MAX {
+                coo.push(new_v as u32, new_id[u as usize], w);
+            }
+        }
+    }
+    let mut features = Dense::zeros(n_new, graph.features.cols());
+    let mut labels = Vec::with_capacity(n_new);
+    let mut split =
+        Split { train: Vec::with_capacity(n_new), val: Vec::with_capacity(n_new), test: Vec::with_capacity(n_new) };
+    for (new_v, &old_v) in kept.iter().enumerate() {
+        features.row_mut(new_v).copy_from_slice(graph.features.row(old_v));
+        labels.push(graph.labels[old_v]);
+        split.train.push(graph.split.train[old_v]);
+        split.val.push(graph.split.val[old_v]);
+        split.test.push(graph.split.test[old_v]);
+    }
+    Graph::new(coo.to_csr(), features, labels, graph.classes, split)
+}
+
+/// Restrict a graph to its largest connected component.
+pub fn largest_component(graph: &Graph) -> Graph {
+    let comps = connected_components(&graph.adj);
+    let big = comps.largest();
+    let keep: Vec<bool> = comps.label.iter().map(|&l| l == big).collect();
+    induced_subgraph(graph, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn two_triangles_and_a_loner() -> Csr {
+        // {0,1,2} triangle, {3,4,5} triangle, vertex 6 isolated.
+        let mut coo = Coo::new(7, 7);
+        for &(a, b) in &[(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            coo.push(a, b, 1.0);
+            coo.push(b, a, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn counts_components() {
+        let c = connected_components(&two_triangles_and_a_loner());
+        assert_eq!(c.count, 3);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn directed_edges_connect_both_ways() {
+        // Only 0 -> 1 stored; still one component.
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        let c = connected_components(&coo.to_csr());
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let adj = two_triangles_and_a_loner();
+        let g = Graph::synthesize(adj, 3, 2, 1);
+        let lcc = largest_component(&g);
+        assert_eq!(lcc.n(), 3);
+        assert_eq!(lcc.adj.nnz(), 6);
+        // Every vertex keeps a valid label/mask/feature row.
+        assert_eq!(lcc.labels.len(), 3);
+        assert_eq!(lcc.features.rows(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_attributes() {
+        let adj = two_triangles_and_a_loner();
+        let g = Graph::synthesize(adj, 4, 3, 2);
+        let keep: Vec<bool> = (0..7).map(|v| v < 3).collect();
+        let sub = induced_subgraph(&g, &keep);
+        for v in 0..3 {
+            assert_eq!(sub.labels[v], g.labels[v]);
+            assert_eq!(sub.features.row(v), g.features.row(v));
+            assert_eq!(sub.split.train[v], g.split.train[v]);
+        }
+    }
+
+    #[test]
+    fn fully_connected_graph_is_one_component() {
+        let mut coo = Coo::new(5, 5);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    coo.push(i, j, 1.0);
+                }
+            }
+        }
+        assert_eq!(connected_components(&coo.to_csr()).count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_induced_subgraph_rejected() {
+        let g = Graph::synthesize(two_triangles_and_a_loner(), 2, 2, 3);
+        let _ = induced_subgraph(&g, &[false; 7]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic graph generators.
+//!
+//! * [`degree`] — power-law degree models and degree-sequence sampling;
+//! * [`chung_lu`] — expected-degree random graphs (BTER's phase-2 engine and
+//!   the fast default for dataset replicas);
+//! * [`bter`] — Block Two-level Erdős–Rényi, the generator the paper uses
+//!   for its Fig 9 density-scaling study;
+//! * [`sbm`] — planted-partition graphs with community-correlated labels and
+//!   features, for accuracy experiments with known ground truth;
+//! * [`rmat`] — recursive-matrix scale-free graphs (Graph500 flavour), the
+//!   community-less heavy-tail stress case for load balancing.
+
+pub mod bter;
+pub mod chung_lu;
+pub mod degree;
+pub mod rmat;
+pub mod sbm;

@@ -1,0 +1,142 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti, Zhan & Faloutsos).
+//!
+//! The standard scale-free generator for HPC graph benchmarks (Graph500
+//! uses a = 0.57, b = c = 0.19, d = 0.05). Complements BTER: R-MAT gives
+//! the heavy-tailed, community-less worst case for load balance, which
+//! makes it a good stress input for the §5.2 permutation machinery.
+
+use mggcn_sparse::{Coo, Csr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities; must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// `d` is implied: `1 - a - b - c`.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters.
+    pub fn graph500() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate an R-MAT graph with `2^scale` vertices and
+/// `edge_factor · 2^scale` undirected edges (both directions inserted,
+/// binarized, loop-free).
+pub fn generate(scale: u32, edge_factor: usize, params: &RmatParams, seed: u64) -> Csr {
+    assert!(params.d() >= 0.0, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, m * 2);
+    for _ in 0..m {
+        let (mut r0, mut r1, mut c0, mut c1) = (0usize, n, 0usize, n);
+        for _ in 0..scale {
+            // Per-level parameter noise keeps the degree tail realistic.
+            let jitter = |p: f64, rng: &mut SmallRng| {
+                (p * (1.0 - params.noise + 2.0 * params.noise * rng.gen::<f64>())).max(1e-6)
+            };
+            let (a, b, cq) =
+                (jitter(params.a, &mut rng), jitter(params.b, &mut rng), jitter(params.c, &mut rng));
+            let dq = jitter(params.d().max(1e-6), &mut rng);
+            let total = a + b + cq + dq;
+            let x: f64 = rng.gen::<f64>() * total;
+            let (row_hi, col_hi) = if x < a {
+                (false, false)
+            } else if x < a + b {
+                (false, true)
+            } else if x < a + b + cq {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let rm = (r0 + r1) / 2;
+            let cm = (c0 + c1) / 2;
+            if row_hi {
+                r0 = rm;
+            } else {
+                r1 = rm;
+            }
+            if col_hi {
+                c0 = cm;
+            } else {
+                c1 = cm;
+            }
+        }
+        let (u, v) = (r0 as u32, c0 as u32);
+        if u != v {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+    }
+    let mut csr = coo.to_csr();
+    csr.binarize();
+    csr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_scale() {
+        let g = generate(8, 8, &RmatParams::graph500(), 1);
+        assert_eq!(g.rows(), 256);
+        // Collisions lose some edges; expect within a factor of the target.
+        let avg = g.nnz() as f64 / 256.0;
+        assert!(avg > 4.0 && avg < 16.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn skewed_parameters_make_hubs() {
+        let g = generate(9, 8, &RmatParams::graph500(), 2);
+        let max_deg = (0..g.rows()).map(|r| g.row_nnz(r)).max().unwrap();
+        let avg = g.nnz() / g.rows();
+        assert!(max_deg > avg * 5, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn uniform_parameters_are_balanced() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, noise: 0.0 };
+        let g = generate(9, 8, &p, 3);
+        let max_deg = (0..g.rows()).map(|r| g.row_nnz(r)).max().unwrap();
+        let avg = g.nnz() / g.rows();
+        assert!(max_deg < avg * 4, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn symmetric_and_loop_free() {
+        let g = generate(6, 4, &RmatParams::graph500(), 4);
+        let d = g.to_dense();
+        for i in 0..64 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..64 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(7, 4, &RmatParams::graph500(), 5);
+        let b = generate(7, 4, &RmatParams::graph500(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn invalid_params_rejected() {
+        let p = RmatParams { a: 0.6, b: 0.3, c: 0.3, noise: 0.0 };
+        let _ = generate(4, 2, &p, 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! The labeled-graph container consumed by trainers.
+
+use mggcn_dense::Dense;
+use mggcn_sparse::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Train/validation/test vertex masks for transductive node classification
+/// (the paper's task; §6 trains Reddit in the transductive setting).
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: Vec<bool>,
+    pub val: Vec<bool>,
+    pub test: Vec<bool>,
+}
+
+impl Split {
+    /// Random split with the given train/val fractions (rest is test).
+    pub fn random(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut train = vec![false; n];
+        let mut val = vec![false; n];
+        let mut test = vec![false; n];
+        for i in 0..n {
+            let x: f64 = rng.gen();
+            if x < train_frac {
+                train[i] = true;
+            } else if x < train_frac + val_frac {
+                val[i] = true;
+            } else {
+                test[i] = true;
+            }
+        }
+        Self { train, val, test }
+    }
+
+    pub fn train_count(&self) -> usize {
+        self.train.iter().filter(|&&b| b).count()
+    }
+}
+
+/// A node-classification dataset: adjacency, features, labels, split.
+///
+/// `adj` is the raw (un-normalized) adjacency; trainers derive the paper's
+/// `Â` (eq. 2) from it. An edge `(u, v)` means `u → v`; vertex `v` averages
+/// over its in-neighbors.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    pub adj: Csr,
+    pub features: Dense,
+    pub labels: Vec<u32>,
+    pub classes: usize,
+    pub split: Split,
+}
+
+impl Graph {
+    pub fn new(adj: Csr, features: Dense, labels: Vec<u32>, classes: usize, split: Split) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        assert_eq!(adj.rows(), features.rows(), "feature rows must match vertices");
+        assert_eq!(adj.rows(), labels.len(), "labels must match vertices");
+        Self { adj, features, labels, classes, split }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Attach random features, structure-free random labels, and a 60/20/20
+    /// split to a bare adjacency — used for throughput-oriented replicas
+    /// where only the sparsity pattern matters.
+    pub fn synthesize(adj: Csr, feat_dim: usize, classes: usize, seed: u64) -> Self {
+        let n = adj.rows();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let features =
+            Dense::from_fn(n, feat_dim, |_, _| rng.gen_range(-1.0f32..1.0) * 0.5);
+        let labels = (0..n).map(|_| rng.gen_range(0..classes as u32)).collect();
+        let split = Split::random(n, 0.6, 0.2, seed ^ 0xc2b2_ae35);
+        Self::new(adj, features, labels, classes, split)
+    }
+
+    /// The normalized adjacency `Â` of paper eq. 2 (columns sum to one) and
+    /// its transpose `Âᵀ` (used in the forward pass, eq. 6).
+    pub fn normalized_adj(&self) -> (Csr, Csr) {
+        let a_hat = self.adj.normalize_columns();
+        let a_hat_t = a_hat.transpose();
+        (a_hat, a_hat_t)
+    }
+
+    /// Apply a symmetric vertex permutation to every aligned component
+    /// (adjacency, features, labels, masks) — the §5.2 preprocessing step.
+    /// `perm[old] = new`.
+    pub fn permute(&self, perm: &[u32]) -> Graph {
+        let n = self.n();
+        assert_eq!(perm.len(), n);
+        let adj = self.adj.permute_symmetric(perm);
+        let mut features = Dense::zeros(n, self.features.cols());
+        let mut labels = vec![0u32; n];
+        let mut split = Split { train: vec![false; n], val: vec![false; n], test: vec![false; n] };
+        for (old, &new) in perm.iter().enumerate() {
+            let new = new as usize;
+            features.row_mut(new).copy_from_slice(self.features.row(old));
+            labels[new] = self.labels[old];
+            split.train[new] = self.split.train[old];
+            split.val[new] = self.split.val[old];
+            split.test[new] = self.split.test[old];
+        }
+        Graph { adj, features, labels, classes: self.classes, split }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_sparse::Coo;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i as u32, (i + 1) as u32, 1.0);
+            coo.push((i + 1) as u32, i as u32, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn synthesize_shapes() {
+        let g = Graph::synthesize(path_graph(10), 4, 3, 1);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.features.cols(), 4);
+        assert!(g.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn split_covers_all_vertices_once() {
+        let s = Split::random(1000, 0.5, 0.25, 3);
+        for i in 0..1000 {
+            let count = [s.train[i], s.val[i], s.test[i]].iter().filter(|&&b| b).count();
+            assert_eq!(count, 1, "vertex {i} in {count} splits");
+        }
+    }
+
+    #[test]
+    fn normalized_adj_columns_sum_to_one() {
+        let g = Graph::synthesize(path_graph(6), 2, 2, 5);
+        let (a_hat, a_hat_t) = g.normalized_adj();
+        let d = a_hat.to_dense();
+        for c in 0..6 {
+            let s: f32 = (0..6).map(|r| d.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Transpose relationship.
+        assert_eq!(a_hat_t.to_dense().max_abs_diff(&d.transpose()), 0.0);
+    }
+
+    #[test]
+    fn permute_keeps_labels_aligned_with_structure() {
+        let g = Graph::synthesize(path_graph(8), 3, 4, 9);
+        let perm: Vec<u32> = (0..8).rev().collect(); // reversal
+        let pg = g.permute(&perm);
+        // Vertex old=2 becomes new=5: same label, same feature row.
+        assert_eq!(pg.labels[5], g.labels[2]);
+        assert_eq!(pg.features.row(5), g.features.row(2));
+        // Degree sequence preserved under relabeling.
+        let mut d1: Vec<usize> = (0..8).map(|r| g.adj.row_nnz(r)).collect();
+        let mut d2: Vec<usize> = (0..8).map(|r| pg.adj.row_nnz(r)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+}

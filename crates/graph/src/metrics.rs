@@ -1,0 +1,158 @@
+//! Graph statistics — the numbers Table 1 reports and the properties the
+//! synthetic generators must reproduce (degree distribution shape,
+//! clustering, load-balance skew).
+
+use mggcn_sparse::Csr;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub n: usize,
+    pub m: usize,
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    /// Coefficient of variation (σ / μ) — heavy tails push this up.
+    pub cv: f64,
+    /// Gini coefficient of the degree sequence in `[0, 1)` — 0 is
+    /// perfectly regular, near 1 is hub-dominated.
+    pub gini: f64,
+}
+
+/// Compute degree statistics of a CSR adjacency (out-degrees).
+pub fn degree_stats(a: &Csr) -> DegreeStats {
+    let n = a.rows();
+    let degrees: Vec<usize> = (0..n).map(|r| a.row_nnz(r)).collect();
+    let m = a.nnz();
+    let mean = m as f64 / n.max(1) as f64;
+    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n.max(1) as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    let mut sorted = degrees.clone();
+    sorted.sort_unstable();
+    // Gini via the sorted-rank identity.
+    let total: f64 = sorted.iter().map(|&d| d as f64).sum();
+    let gini = if total > 0.0 {
+        let weighted: f64 =
+            sorted.iter().enumerate().map(|(i, &d)| (i + 1) as f64 * d as f64).sum();
+        (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+    } else {
+        0.0
+    };
+    DegreeStats {
+        n,
+        m,
+        min: sorted.first().copied().unwrap_or(0),
+        max: sorted.last().copied().unwrap_or(0),
+        mean,
+        cv,
+        gini,
+    }
+}
+
+/// Log₂-bucketed degree histogram: `hist[k]` counts vertices with degree
+/// in `[2^k, 2^(k+1))`; `hist[0]` also includes degree-0 and degree-1.
+pub fn degree_histogram(a: &Csr) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for r in 0..a.rows() {
+        let d = a.row_nnz(r);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Fraction of edges whose endpoints both land in the heaviest `frac`
+/// of vertices (by degree) — a quick hub-concentration measure.
+pub fn hub_edge_fraction(a: &Csr, frac: f64) -> f64 {
+    let n = a.rows();
+    if n == 0 || a.nnz() == 0 {
+        return 0.0;
+    }
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(a.row_nnz(v)));
+    let k = ((n as f64 * frac).ceil() as usize).max(1);
+    let mut is_hub = vec![false; n];
+    for &v in &by_degree[..k] {
+        is_hub[v] = true;
+    }
+    let mut hub_edges = 0usize;
+    for r in 0..n {
+        if !is_hub[r] {
+            continue;
+        }
+        hub_edges += a.row(r).filter(|&(c, _)| is_hub[c as usize]).count();
+    }
+    hub_edges as f64 / a.nnz() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{chung_lu, degree};
+    use mggcn_sparse::Coo;
+
+    fn regular_ring(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n as u32 {
+            coo.push(i, (i + 1) % n as u32, 1.0);
+            coo.push((i + 1) % n as u32, i, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn regular_graph_has_zero_gini() {
+        let s = degree_stats(&regular_ring(50));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert!(s.cv < 1e-9);
+        assert!(s.gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_graph_has_high_gini() {
+        let model = degree::DegreeModel::power_law(8.0, 2.0, 3000);
+        let degrees = degree::sample_degrees(&model, 3000, 1);
+        let g = chung_lu::generate(&degrees, 1);
+        let s = degree_stats(&g);
+        assert!(s.gini > 0.3, "gini {}", s.gini);
+        assert!(s.cv > 0.8, "cv {}", s.cv);
+        assert!(s.max > 20 * s.mean as usize / 2, "max {}", s.max);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_vertices() {
+        let g = regular_ring(64);
+        let h = degree_histogram(&g);
+        let total: usize = h.iter().sum();
+        assert_eq!(total, 64);
+        // All vertices have degree 2 -> bucket 1.
+        assert_eq!(h[1], 64);
+    }
+
+    #[test]
+    fn hub_fraction_bounds() {
+        let model = degree::DegreeModel::power_law(10.0, 2.0, 1000);
+        let degrees = degree::sample_degrees(&model, 1000, 3);
+        let g = chung_lu::generate(&degrees, 3);
+        let f = hub_edge_fraction(&g, 0.1);
+        assert!((0.0..=1.0).contains(&f));
+        // In a heavy-tailed graph the top decile concentrates edges well
+        // above the 1% a uniform graph would give.
+        assert!(f > 0.05, "hub edge fraction {f}");
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = Csr::empty(10, 10);
+        let s = degree_stats(&g);
+        assert_eq!(s.m, 0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(hub_edge_fraction(&g, 0.5), 0.0);
+        assert_eq!(degree_histogram(&g), vec![10]);
+    }
+}

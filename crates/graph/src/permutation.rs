@@ -1,0 +1,82 @@
+//! Random vertex permutations (paper §5.2).
+//!
+//! "In order to balance the number of nonzeros in each part `A^{ij}` in the
+//! uniformly partitioned sparse matrices, we randomly permute their
+//! vertices." The permutation is the *entire* load-balancing strategy —
+//! no graph partitioner — which is what makes it cheap enough to absorb
+//! into preprocessing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+/// `perm[old] = new`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Invert a permutation: `inv[new] = old`.
+pub fn invert(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    inv
+}
+
+/// Check that `perm` is a bijection on `0..n`.
+pub fn is_permutation(perm: &[u32]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        let idx = p as usize;
+        if idx >= perm.len() || seen[idx] {
+            return false;
+        }
+        seen[idx] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_permutation_is_bijection() {
+        let p = random_permutation(1000, 1);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let p = random_permutation(257, 2);
+        let inv = invert(&p);
+        for old in 0..257 {
+            assert_eq!(inv[p[old] as usize] as usize, old);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_permutation(64, 1), random_permutation(64, 2));
+    }
+
+    #[test]
+    fn is_permutation_rejects_duplicates() {
+        assert!(!is_permutation(&[0, 0, 2]));
+        assert!(!is_permutation(&[0, 3]));
+        assert!(is_permutation(&[2, 0, 1]));
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        assert_eq!(random_permutation(0, 1), Vec::<u32>::new());
+        assert_eq!(random_permutation(1, 1), vec![0]);
+    }
+}

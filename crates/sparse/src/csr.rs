@@ -1,0 +1,370 @@
+//! COO and CSR sparse matrices.
+
+/// Coordinate-format builder for sparse matrices.
+///
+/// Duplicate entries are summed on conversion to [`Csr`], matching the
+/// behaviour graph loaders expect for multigraph edge lists.
+#[derive(Clone, Debug)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Self { rows, cols, entries: Vec::with_capacity(nnz) }
+    }
+
+    /// Add entry `(r, c) = v`. Panics on out-of-range coordinates.
+    pub fn push(&mut self, r: u32, c: u32, v: f32) {
+        debug_assert!((r as usize) < self.rows && (c as usize) < self.cols);
+        self.entries.push((r, c, v));
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn entries(&self) -> &[(u32, u32, f32)] {
+        &self.entries
+    }
+
+    /// Convert to CSR, summing duplicate `(r, c)` entries.
+    pub fn to_csr(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &self.entries {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("duplicate follows an emitted entry") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed Sparse Row matrix with `f32` values and `u32` column indices
+/// (the paper's storage format; §6: "cuSPARSE ... with the Compressed Sparse
+/// Row format").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Build directly from raw parts, validating the CSR invariants.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
+        assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len(), "row_ptr terminal");
+        assert_eq!(col_idx.len(), values.len(), "col/val length");
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
+        debug_assert!(col_idx.iter().all(|&c| (c as usize) < cols), "col index range");
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// An empty `rows × cols` matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterate the `(col, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let range = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+    }
+
+    /// Number of nonzeros in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Transpose via counting sort — `O(nnz + rows + cols)`.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let pos = cursor[c as usize];
+                cursor[c as usize] += 1;
+                col_idx[pos] = r as u32;
+                values[pos] = v;
+            }
+        }
+        // `row_ptr` kept from pre-scatter counts; terminal already == nnz.
+        row_ptr[self.cols] = self.nnz();
+        Csr { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// In-degree normalization (paper eq. 2): divide each entry `A(u, v)` by
+    /// the total in-weight of `v` (its column sum), so every column of the
+    /// result sums to 1 and `Âᵀ·H` averages each vertex's in-neighbors.
+    pub fn normalize_columns(&self) -> Csr {
+        let mut col_sums = vec![0.0f64; self.cols];
+        for (c, v) in self.col_idx.iter().zip(&self.values) {
+            col_sums[*c as usize] += *v as f64;
+        }
+        let values = self
+            .col_idx
+            .iter()
+            .zip(&self.values)
+            .map(|(&c, &v)| {
+                let s = col_sums[c as usize];
+                if s == 0.0 {
+                    0.0
+                } else {
+                    (v as f64 / s) as f32
+                }
+            })
+            .collect();
+        Csr { values, ..self.clone() }
+    }
+
+    /// Row normalization: divide each entry by its row sum, so `Â·H`
+    /// averages each row's neighbors (mean aggregation over out-lists —
+    /// the form mini-batch blocks use, where edges already point from a
+    /// vertex to its sampled neighbors).
+    pub fn normalize_rows(&self) -> Csr {
+        let mut values = self.values.clone();
+        for r in 0..self.rows {
+            let range = self.row_ptr[r]..self.row_ptr[r + 1];
+            let sum: f64 = values[range.clone()].iter().map(|&v| v as f64).sum();
+            if sum != 0.0 {
+                for v in &mut values[range] {
+                    *v = (*v as f64 / sum) as f32;
+                }
+            }
+        }
+        Csr { values, ..self.clone() }
+    }
+
+    /// Symmetric relabeling by a permutation: entry `(u, v)` moves to
+    /// `(perm[u], perm[v])`. This is the paper's §5.2 random-permutation
+    /// load-balancing step applied to the adjacency matrix.
+    pub fn permute_symmetric(&self, perm: &[u32]) -> Csr {
+        assert_eq!(self.rows, self.cols, "symmetric permutation needs a square matrix");
+        assert_eq!(perm.len(), self.rows);
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                coo.push(perm[r], perm[c as usize], v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Densify (tests / tiny examples only).
+    pub fn to_dense(&self) -> mggcn_dense::Dense {
+        let mut d = mggcn_dense::Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                d.set(r, c as usize, d.get(r, c as usize) + v);
+            }
+        }
+        d
+    }
+
+    /// Set every stored value to 1.0 — turns a weighted/multigraph adjacency
+    /// into a binary one after duplicate-summing.
+    pub fn binarize(&mut self) {
+        self.values.fill(1.0);
+    }
+
+    /// Extract the listed rows (in the given order) into a new matrix with
+    /// the same column space.
+    ///
+    /// ```
+    /// use mggcn_sparse::{Coo, Csr};
+    /// let mut coo = Coo::new(3, 3);
+    /// coo.push(0, 1, 1.0);
+    /// coo.push(2, 0, 2.0);
+    /// let a = coo.to_csr();
+    /// let picked = a.select_rows(&[2, 0]);
+    /// assert_eq!(picked.rows(), 2);
+    /// assert_eq!(picked.row(0).collect::<Vec<_>>(), vec![(0, 2.0)]);
+    /// assert_eq!(picked.row(1).collect::<Vec<_>>(), vec![(1, 1.0)]);
+    /// ```
+    pub fn select_rows(&self, rows: &[u32]) -> Csr {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        let nnz: usize = rows.iter().map(|&r| self.row_nnz(r as usize)).sum();
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for &r in rows {
+            for (c, v) in self.row(r as usize) {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr { rows: rows.len(), cols: self.cols, row_ptr, col_idx, values }
+    }
+
+    /// Bytes this matrix occupies on a device: row_ptr (8B each) +
+    /// col_idx (4B) + values (4B). Used by the memory tracker.
+    pub fn device_bytes(&self) -> u64 {
+        (self.row_ptr.len() * 8 + self.col_idx.len() * 4 + self.values.len() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 3x4: [[1,0,2,0],[0,0,0,3],[4,5,0,0]]
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 3, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 1, 5.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_basic() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row_ptr(), &[0, 2, 3, 5]);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 1.0);
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 3.5)]);
+    }
+
+    #[test]
+    fn duplicates_do_not_merge_across_rows() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 1, 2.0); // same column, different row: must stay separate
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(1).collect::<Vec<_>>(), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let td = m.transpose().to_dense();
+        let d = m.to_dense().transpose();
+        assert_eq!(td.max_abs_diff(&d), 0.0);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn normalize_columns_sums_to_one() {
+        let m = sample().normalize_columns();
+        let d = m.to_dense();
+        for c in 0..4 {
+            let s: f32 = (0..3).map(|r| d.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6 || s == 0.0, "col {c} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn normalize_rows_sums_to_one() {
+        let m = sample().normalize_rows();
+        let d = m.to_dense();
+        for r in 0..3 {
+            let s: f32 = (0..4).map(|c| d.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6 || s == 0.0, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn permute_symmetric_relabels() {
+        // 2x2 with single entry (0,1); perm swaps 0 and 1 -> entry at (1,0).
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 7.0);
+        let m = coo.to_csr();
+        let p = m.permute_symmetric(&[1, 0]);
+        assert_eq!(p.row(1).collect::<Vec<_>>(), vec![(0, 7.0)]);
+        assert_eq!(p.row_nnz(0), 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csr::empty(5, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_nnz(3), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Partition vectors and 2D tiling (paper §4.1, eqs. 13–15).
+//!
+//! A partition vector `p` with `P` parts is a monotone sequence
+//! `0 = p(0) ≤ … ≤ p(P) = n`; tile `(i, j)` of a matrix is the sub-matrix
+//! with rows `[p(i), p(i+1))` and columns `[q(j), q(j+1))`, re-indexed to
+//! local coordinates. MG-GCN uses symmetric uniform partitioning (`p = q`,
+//! equal-size ranges) and relies on a random vertex permutation — not on a
+//! smarter partitioner — for nnz balance (§5.2).
+
+use crate::csr::{Coo, Csr};
+
+/// A partition vector (paper eq. 13).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionVec {
+    bounds: Vec<usize>,
+}
+
+impl PartitionVec {
+    /// Uniform partition of `n` items into `parts` parts; the first
+    /// `n mod parts` parts get one extra item.
+    pub fn uniform(n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one part");
+        let base = n / parts;
+        let extra = n % parts;
+        let mut bounds = Vec::with_capacity(parts + 1);
+        let mut acc = 0;
+        bounds.push(0);
+        for i in 0..parts {
+            acc += base + usize::from(i < extra);
+            bounds.push(acc);
+        }
+        Self { bounds }
+    }
+
+    /// Build from explicit boundaries. Panics unless monotone and starting
+    /// at zero.
+    pub fn from_bounds(bounds: Vec<usize>) -> Self {
+        assert!(bounds.len() >= 2, "need at least one part");
+        assert_eq!(bounds[0], 0, "partition must start at 0");
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "partition must be monotone");
+        Self { bounds }
+    }
+
+    pub fn parts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    pub fn total(&self) -> usize {
+        *self.bounds.last().expect("bounds nonempty")
+    }
+
+    /// Start of part `i`.
+    pub fn start(&self, i: usize) -> usize {
+        self.bounds[i]
+    }
+
+    /// Exclusive end of part `i`.
+    pub fn end(&self, i: usize) -> usize {
+        self.bounds[i + 1]
+    }
+
+    /// Size of part `i`.
+    pub fn len(&self, i: usize) -> usize {
+        self.end(i) - self.start(i)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Largest part size (broadcast buffers are sized to this).
+    pub fn max_len(&self) -> usize {
+        (0..self.parts()).map(|i| self.len(i)).max().unwrap_or(0)
+    }
+
+    /// Which part an index belongs to (binary search).
+    pub fn part_of(&self, idx: usize) -> usize {
+        assert!(idx < self.total());
+        match self.bounds.binary_search(&idx) {
+            Ok(mut i) => {
+                // Boundary of an empty part: advance to the part that owns it.
+                while self.bounds[i + 1] == idx {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// One tile of a 2D-partitioned sparse matrix: a local-coordinate [`Csr`]
+/// plus its global position.
+#[derive(Clone, Debug)]
+pub struct Tile {
+    /// Tile row (stage owner in the 1D-row algorithm).
+    pub i: usize,
+    /// Tile column.
+    pub j: usize,
+    /// Global row offset of local row 0.
+    pub row_offset: usize,
+    /// Global column offset of local column 0.
+    pub col_offset: usize,
+    /// The tile contents in local coordinates.
+    pub csr: Csr,
+}
+
+/// All `P × Q` tiles of a sparse matrix (paper Fig 2).
+#[derive(Clone, Debug)]
+pub struct TileGrid {
+    p: PartitionVec,
+    q: PartitionVec,
+    /// Row-major `P × Q` tiles.
+    tiles: Vec<Tile>,
+}
+
+impl TileGrid {
+    /// Tile `a` by row partition `p` and column partition `q`.
+    pub fn new(a: &Csr, p: PartitionVec, q: PartitionVec) -> Self {
+        assert_eq!(p.total(), a.rows(), "row partition must cover the matrix");
+        assert_eq!(q.total(), a.cols(), "column partition must cover the matrix");
+        let (np, nq) = (p.parts(), q.parts());
+        let mut builders: Vec<Coo> = (0..np * nq)
+            .map(|t| Coo::new(p.len(t / nq), q.len(t % nq)))
+            .collect();
+        for r in 0..a.rows() {
+            let ti = p.part_of(r);
+            let local_r = (r - p.start(ti)) as u32;
+            for (c, v) in a.row(r) {
+                let tj = q.part_of(c as usize);
+                let local_c = (c as usize - q.start(tj)) as u32;
+                builders[ti * nq + tj].push(local_r, local_c, v);
+            }
+        }
+        let tiles = builders
+            .into_iter()
+            .enumerate()
+            .map(|(t, coo)| {
+                let (i, j) = (t / nq, t % nq);
+                Tile { i, j, row_offset: p.start(i), col_offset: q.start(j), csr: coo.to_csr() }
+            })
+            .collect();
+        Self { p, q, tiles }
+    }
+
+    /// Symmetric uniform tiling into `parts × parts` (the MG-GCN layout).
+    pub fn symmetric_uniform(a: &Csr, parts: usize) -> Self {
+        assert_eq!(a.rows(), a.cols(), "symmetric tiling needs a square matrix");
+        let p = PartitionVec::uniform(a.rows(), parts);
+        Self::new(a, p.clone(), p)
+    }
+
+    pub fn row_partition(&self) -> &PartitionVec {
+        &self.p
+    }
+
+    pub fn col_partition(&self) -> &PartitionVec {
+        &self.q
+    }
+
+    pub fn tile(&self, i: usize, j: usize) -> &Tile {
+        &self.tiles[i * self.q.parts() + j]
+    }
+
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Total nnz across tiles (equals the source matrix's nnz).
+    pub fn nnz(&self) -> usize {
+        self.tiles.iter().map(|t| t.csr.nnz()).sum()
+    }
+
+    /// nnz of each tile as a `P × Q` row-major vector — the load-balance
+    /// statistic behind the paper's Fig 6.
+    pub fn tile_nnz(&self) -> Vec<usize> {
+        self.tiles.iter().map(|t| t.csr.nnz()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_partition_covers_exactly() {
+        let p = PartitionVec::uniform(10, 3);
+        assert_eq!(p.parts(), 3);
+        assert_eq!(p.total(), 10);
+        assert_eq!((p.len(0), p.len(1), p.len(2)), (4, 3, 3));
+    }
+
+    #[test]
+    fn uniform_partition_single_part() {
+        let p = PartitionVec::uniform(7, 1);
+        assert_eq!(p.start(0), 0);
+        assert_eq!(p.end(0), 7);
+    }
+
+    #[test]
+    fn part_of_roundtrips() {
+        let p = PartitionVec::uniform(100, 7);
+        for idx in 0..100 {
+            let part = p.part_of(idx);
+            assert!(p.start(part) <= idx && idx < p.end(part));
+        }
+    }
+
+    #[test]
+    fn max_len_is_first_part_for_uniform() {
+        let p = PartitionVec::uniform(11, 4);
+        assert_eq!(p.max_len(), 3);
+    }
+
+    fn ring(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i as u32, ((i + 1) % n) as u32, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn tiling_preserves_nnz_and_values() {
+        let a = ring(10);
+        let grid = TileGrid::symmetric_uniform(&a, 4);
+        assert_eq!(grid.nnz(), a.nnz());
+        // Reassemble and compare densified.
+        let mut re = mggcn_dense::Dense::zeros(10, 10);
+        for t in grid.tiles() {
+            for r in 0..t.csr.rows() {
+                for (c, v) in t.csr.row(r) {
+                    re.set(t.row_offset + r, t.col_offset + c as usize, v);
+                }
+            }
+        }
+        assert_eq!(re.max_abs_diff(&a.to_dense()), 0.0);
+    }
+
+    #[test]
+    fn tile_shapes_match_partition() {
+        let a = ring(11);
+        let grid = TileGrid::symmetric_uniform(&a, 3);
+        for t in grid.tiles() {
+            assert_eq!(t.csr.rows(), grid.row_partition().len(t.i));
+            assert_eq!(t.csr.cols(), grid.col_partition().len(t.j));
+        }
+    }
+
+    #[test]
+    fn rectangular_tiling() {
+        // 1 x P column tiling — the paper's rejected "solution 2" layout.
+        let a = ring(9);
+        let p = PartitionVec::uniform(9, 1);
+        let q = PartitionVec::uniform(9, 3);
+        let grid = TileGrid::new(&a, p, q);
+        assert_eq!(grid.tiles().len(), 3);
+        assert_eq!(grid.nnz(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_bounds_rejects_decreasing() {
+        let _ = PartitionVec::from_bounds(vec![0, 5, 3]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the sparse substrate: CSR construction,
+//! transposition, normalization, tiling, and SpMM against a dense oracle.
+
+use mggcn_dense::{gemm, Accumulate, Dense};
+use mggcn_sparse::{spmm, Coo, Csr, PartitionVec, TileGrid};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse matrix as (rows, cols, entries).
+fn sparse_matrix() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
+    (1usize..20, 1usize..20).prop_flat_map(|(r, c)| {
+        let entry = (0..r as u32, 0..c as u32, -10.0f32..10.0);
+        (Just(r), Just(c), proptest::collection::vec(entry, 0..60))
+    })
+}
+
+/// Strategy: a random square sparse matrix.
+fn square_sparse() -> impl Strategy<Value = (usize, Vec<(u32, u32, f32)>)> {
+    (2usize..16).prop_flat_map(|n| {
+        let entry = (0..n as u32, 0..n as u32, 0.1f32..5.0);
+        (Just(n), proptest::collection::vec(entry, 0..50))
+    })
+}
+
+fn build(r: usize, c: usize, entries: &[(u32, u32, f32)]) -> Csr {
+    let mut coo = Coo::new(r, c);
+    for &(i, j, v) in entries {
+        coo.push(i, j, v);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #[test]
+    fn csr_rows_are_sorted_and_in_range((r, c, entries) in sparse_matrix()) {
+        let m = build(r, c, &entries);
+        for row in 0..m.rows() {
+            let cols: Vec<u32> = m.row(row).map(|(cc, _)| cc).collect();
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {row} not strictly sorted");
+            prop_assert!(cols.iter().all(|&cc| (cc as usize) < c));
+        }
+        prop_assert_eq!(*m.row_ptr().last().unwrap(), m.nnz());
+    }
+
+    #[test]
+    fn duplicate_summing_preserves_dense_equivalent((r, c, entries) in sparse_matrix()) {
+        let m = build(r, c, &entries);
+        let mut expect = Dense::zeros(r, c);
+        for &(i, j, v) in &entries {
+            let cur = expect.get(i as usize, j as usize);
+            expect.set(i as usize, j as usize, cur + v);
+        }
+        prop_assert!(m.to_dense().max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_is_involutive((r, c, entries) in sparse_matrix()) {
+        let m = build(r, c, &entries);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose((r, c, entries) in sparse_matrix()) {
+        let m = build(r, c, &entries);
+        let d = m.to_dense().transpose();
+        prop_assert!(m.transpose().to_dense().max_abs_diff(&d) < 1e-5);
+    }
+
+    #[test]
+    fn normalize_columns_is_column_stochastic((n, entries) in square_sparse()) {
+        let m = build(n, n, &entries).normalize_columns();
+        let d = m.to_dense();
+        for col in 0..n {
+            let s: f32 = (0..n).map(|row| d.get(row, col)).sum();
+            prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-5, "col {col} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_oracle(
+        (r, c, entries) in sparse_matrix(),
+        d in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = build(r, c, &entries);
+        let b = Dense::from_fn(c, d, |i, j| ((i * d + j) as f32 + seed as f32).sin());
+        let mut fast = Dense::zeros(r, d);
+        spmm(&a, &b, &mut fast, Accumulate::Overwrite);
+        let mut slow = Dense::zeros(r, d);
+        gemm(&a.to_dense(), &b, &mut slow, Accumulate::Overwrite);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-3);
+    }
+
+    #[test]
+    fn tiling_conserves_every_entry((n, entries) in square_sparse(), parts in 1usize..5) {
+        let a = build(n, n, &entries);
+        let grid = TileGrid::symmetric_uniform(&a, parts.min(n));
+        prop_assert_eq!(grid.nnz(), a.nnz());
+        // Reassemble and compare densified.
+        let mut re = Dense::zeros(n, n);
+        for t in grid.tiles() {
+            for lr in 0..t.csr.rows() {
+                for (lc, v) in t.csr.row(lr) {
+                    let cur = re.get(t.row_offset + lr, t.col_offset + lc as usize);
+                    re.set(t.row_offset + lr, t.col_offset + lc as usize, cur + v);
+                }
+            }
+        }
+        prop_assert!(re.max_abs_diff(&a.to_dense()) < 1e-5);
+    }
+
+    #[test]
+    fn staged_tile_spmm_equals_monolithic(
+        (n, entries) in square_sparse(),
+        parts in 1usize..5,
+        d in 1usize..6,
+    ) {
+        // The §4.1 algorithm in miniature: sum over column tiles of
+        // A^{i s} · B_s equals A · B.
+        let parts = parts.min(n);
+        let a = build(n, n, &entries);
+        let b = Dense::from_fn(n, d, |i, j| ((i + 3 * j) as f32).cos());
+        let grid = TileGrid::symmetric_uniform(&a, parts);
+        let p = grid.row_partition().clone();
+        let mut staged = Dense::zeros(n, d);
+        for s in 0..parts {
+            let b_tile = b.row_block(p.start(s), p.len(s));
+            for i in 0..parts {
+                let tile = grid.tile(i, s);
+                let mut out = staged.row_block(p.start(i), p.len(i));
+                spmm(&tile.csr, &b_tile, &mut out, Accumulate::Add);
+                // Write back the block.
+                for lr in 0..p.len(i) {
+                    staged.row_mut(p.start(i) + lr).copy_from_slice(out.row(lr));
+                }
+            }
+        }
+        let mut mono = Dense::zeros(n, d);
+        spmm(&a, &b, &mut mono, Accumulate::Overwrite);
+        prop_assert!(staged.max_abs_diff(&mono) < 1e-3);
+    }
+
+    #[test]
+    fn partition_vector_invariants(n in 0usize..500, parts in 1usize..12) {
+        let p = PartitionVec::uniform(n, parts);
+        prop_assert_eq!(p.parts(), parts);
+        prop_assert_eq!(p.total(), n);
+        let sum: usize = (0..parts).map(|i| p.len(i)).sum();
+        prop_assert_eq!(sum, n);
+        // Uniformity: sizes differ by at most one.
+        let max = (0..parts).map(|i| p.len(i)).max().unwrap();
+        let min = (0..parts).map(|i| p.len(i)).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn part_of_is_consistent(n in 1usize..300, parts in 1usize..10, idx_frac in 0.0f64..1.0) {
+        let p = PartitionVec::uniform(n, parts);
+        let idx = ((n - 1) as f64 * idx_frac) as usize;
+        let part = p.part_of(idx);
+        prop_assert!(p.start(part) <= idx);
+        prop_assert!(idx < p.end(part));
+    }
+
+    #[test]
+    fn permute_symmetric_preserves_multiset((n, entries) in square_sparse(), seed in 0u64..100) {
+        let a = build(n, n, &entries);
+        let perm = mggcn_graph_free_permutation(n, seed);
+        let pa = a.permute_symmetric(&perm);
+        prop_assert_eq!(pa.nnz(), a.nnz());
+        let mut v1: Vec<i64> = a.values().iter().map(|&v| (v * 1e4) as i64).collect();
+        let mut v2: Vec<i64> = pa.values().iter().map(|&v| (v * 1e4) as i64).collect();
+        v1.sort_unstable();
+        v2.sort_unstable();
+        prop_assert_eq!(v1, v2);
+    }
+}
+
+/// Minimal Fisher–Yates so this crate's tests need no graph dependency.
+fn mggcn_graph_free_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #[test]
+    fn select_rows_matches_per_row_reads((r, c, entries) in sparse_matrix(), seed in 0u64..50) {
+        let a = build(r, c, &entries);
+        // A pseudo-random subset of rows, possibly with repeats.
+        let picks: Vec<u32> = (0..r)
+            .filter(|i| !(i * 7 + seed as usize).is_multiple_of(3))
+            .map(|i| i as u32)
+            .collect();
+        prop_assume!(!picks.is_empty());
+        let sub = a.select_rows(&picks);
+        prop_assert_eq!(sub.rows(), picks.len());
+        prop_assert_eq!(sub.cols(), a.cols());
+        for (new_r, &old_r) in picks.iter().enumerate() {
+            let want: Vec<(u32, f32)> = a.row(old_r as usize).collect();
+            let got: Vec<(u32, f32)> = sub.row(new_r).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! GAT attention on the SDDMM kernel — the paper's §7 future-work item,
+//! working.
+//!
+//! ```sh
+//! cargo run --release --example gat_attention
+//! ```
+//!
+//! Builds a community graph, runs one graph-attention layer forward, and
+//! shows that attention concentrates on same-community neighbors once the
+//! transform separates the communities (here we cheat and feed low-noise
+//! features so the effect is visible without training the layer).
+
+use mg_gcn::core::attention::GatLayer;
+use mg_gcn::prelude::*;
+
+fn main() {
+    let mut cfg = SbmConfig::community_benchmark(600, 3);
+    cfg.noise = 0.3;
+    let graph = sbm::generate(&cfg, 77);
+    println!(
+        "graph: {} vertices, {} edges, {} communities",
+        graph.n(),
+        graph.adj.nnz(),
+        graph.classes
+    );
+
+    let layer = GatLayer::new(graph.features.cols(), 16, 9);
+    let (attention, out) = layer.forward(&graph.adj, &graph.features);
+    println!("output: {} x {}", out.rows(), out.cols());
+
+    // Every vertex's attention is a distribution over its in-neighbors.
+    let mut max_dev = 0.0f32;
+    for v in 0..graph.n() {
+        let s: f32 = attention.row(v).map(|(_, a)| a).sum();
+        if attention.row(v).next().is_some() {
+            max_dev = max_dev.max((s - 1.0).abs());
+        }
+    }
+    println!("max |Σ attention - 1| over vertices: {max_dev:.2e}");
+    assert!(max_dev < 1e-4);
+
+    // How much attention flows within vs across communities?
+    let mut intra = 0.0f64;
+    let mut inter = 0.0f64;
+    for v in 0..graph.n() {
+        for (u, a) in attention.row(v) {
+            if graph.labels[v] == graph.labels[u as usize] {
+                intra += a as f64;
+            } else {
+                inter += a as f64;
+            }
+        }
+    }
+    println!(
+        "attention mass: {:.1}% within community, {:.1}% across",
+        100.0 * intra / (intra + inter),
+        100.0 * inter / (intra + inter)
+    );
+    println!(
+        "\n(the distributed version of this layer would reuse the staged-SpMM\n broadcast pipeline unchanged: GAT scores are an SDDMM of width 2)"
+    );
+}

@@ -1,0 +1,95 @@
+//! Memory planner: "will my model fit?" — the §4.2 / Fig 12 capacity story
+//! as a tool.
+//!
+//! ```sh
+//! cargo run --release --example memory_planner [dataset] [hidden] [layers]
+//! ```
+//!
+//! Prints the per-GPU memory plan for MG-GCN and the baseline buffer
+//! policies across GPU counts on both machines, plus the deepest model
+//! that fits each budget.
+
+use mg_gcn::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "Proteins".into());
+    let hidden: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let layers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let card = datasets::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown dataset {name:?}");
+        std::process::exit(1);
+    });
+    let cfg = GcnConfig::new(card.feat_dim, &vec![hidden; layers - 1], card.classes);
+    println!(
+        "memory plan: {} with a {layers}-layer, hidden-{hidden} GCN\n",
+        card.name
+    );
+
+    let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+    println!(
+        "{:>5} {:>14} {:>14} {:>14}",
+        "#GPU", "MG-GCN (GiB)", "DGL-ish (GiB)", "CAGNET (GiB)"
+    );
+    for gpus in [1u64, 2, 4, 8] {
+        let mg = MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::MgGcn);
+        let dgl =
+            MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::PerLayer3);
+        let cag = MemoryPlan::new(
+            card.n as u64,
+            card.m as u64,
+            &cfg,
+            gpus,
+            BufferPolicy::CagnetFullGather,
+        );
+        println!(
+            "{:>5} {:>14.1} {:>14.1} {:>14.1}",
+            gpus,
+            gib(mg.total()),
+            gib(dgl.total()),
+            gib(cag.total())
+        );
+    }
+
+    println!("\nfit check (V100 = 32 GiB, A100 = 80 GiB), MG-GCN policy:");
+    for (machine, cap) in [("DGX-V100", 32u64 << 30), ("DGX-A100", 80u64 << 30)] {
+        print!("  {machine}: ");
+        let mut fits_at = None;
+        for gpus in [1u64, 2, 4, 8] {
+            let plan =
+                MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::MgGcn);
+            if plan.fits(cap) {
+                fits_at = Some(gpus);
+                break;
+            }
+        }
+        match fits_at {
+            Some(g) => println!("fits from {g} GPU(s)"),
+            None => println!("does not fit even at 8 GPUs"),
+        }
+    }
+
+    println!("\ndeepest hidden-{hidden} model per budget (MG-GCN policy, 8 GPUs):");
+    for cap_gib in [16u64, 30, 40, 78] {
+        let deepest = max_layers(
+            card.n as u64,
+            card.m as u64,
+            card.feat_dim,
+            hidden,
+            card.classes,
+            8,
+            BufferPolicy::MgGcn,
+            cap_gib << 30,
+        );
+        println!("  {cap_gib:>3} GiB -> {deepest} layers");
+    }
+
+    let breakdown =
+        MemoryPlan::new(card.n as u64, card.m as u64, &cfg, 8, BufferPolicy::MgGcn);
+    println!("\nplan breakdown at 8 GPUs (MG-GCN):");
+    println!("  adjacency tiles : {:>8.2} GiB", gib(breakdown.adjacency));
+    println!("  feature shard   : {:>8.2} GiB", gib(breakdown.features));
+    println!("  L+3 big buffers : {:>8.2} GiB", gib(breakdown.big_buffers));
+    println!("  weights + Adam  : {:>8.2} GiB", gib(breakdown.weights));
+    println!("  labels/reserved : {:>8.2} GiB", gib(breakdown.labels));
+}

@@ -1,0 +1,75 @@
+//! Scaling study: how epoch time falls with GPU count, and what each paper
+//! optimization contributes — an interactive version of Figs 7, 9, 10, 13.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study [dataset]
+//! ```
+//!
+//! `dataset` is one of the Table 1 names (default: Reddit). Runs the
+//! paper-scale timing model on both machines, sweeping GPU counts and the
+//! ablation flags.
+
+use mg_gcn::prelude::*;
+
+fn epoch(
+    card: &datasets::DatasetCard,
+    machine: MachineSpec,
+    gpus: usize,
+    permute: bool,
+    overlap: bool,
+) -> Option<f64> {
+    let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+    let mut opts = TrainOptions::full(machine, gpus);
+    opts.permute = permute;
+    opts.overlap = overlap;
+    let problem = Problem::from_stats(card, &opts);
+    Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+}
+
+fn fmt(t: Option<f64>) -> String {
+    t.map(|v| format!("{:.4}", v)).unwrap_or_else(|| "OOM".into())
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Reddit".into());
+    let card = datasets::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown dataset {name:?}; pick one of Cora/Arxiv/Papers/Products/Proteins/Reddit");
+        std::process::exit(1);
+    });
+    println!(
+        "scaling study: {} (n = {}, m = {}, k = {:.0}), model A (2 layers, h = 512)\n",
+        card.name, card.n, card.m, card.avg_degree
+    );
+
+    for machine in [MachineSpec::dgx_v100(), MachineSpec::dgx_a100()] {
+        println!("== {} ==", machine.name);
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>10}",
+            "#GPU", "original", "+permute", "+overlap", "speedup"
+        );
+        let mut base1 = None;
+        for gpus in [1usize, 2, 4, 8] {
+            let orig = epoch(&card, machine.clone(), gpus, false, false);
+            let perm = epoch(&card, machine.clone(), gpus, true, false);
+            let full = epoch(&card, machine.clone(), gpus, true, true);
+            if gpus == 1 {
+                base1 = full;
+            }
+            let speedup = match (base1, full) {
+                (Some(b), Some(f)) => format!("{:.2}x", b / f),
+                _ => "-".into(),
+            };
+            println!(
+                "{:>5} {:>12} {:>12} {:>12} {:>10}",
+                gpus,
+                fmt(orig),
+                fmt(perm),
+                fmt(full),
+                speedup
+            );
+        }
+        println!();
+    }
+    println!("(columns are cumulative: original ordering, after §5.2 permutation,");
+    println!(" after §4.3 overlap; speedup is vs the fully-optimized 1-GPU run)");
+}

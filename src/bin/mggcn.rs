@@ -1,0 +1,226 @@
+//! `mggcn` — command-line front end for the MG-GCN reproduction.
+//!
+//! ```text
+//! mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]
+//!                [--no-overlap] [--no-permute] [--checkpoint PATH]
+//!                [--resume PATH]
+//! mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N]
+//!                [--model a|b|c|d] [--profile] [--trace PATH.json]
+//! mggcn memory   --dataset NAME [--hidden H] [--layers L]
+//! mggcn datasets
+//! ```
+//!
+//! `train` runs real full-batch training on a generated community graph;
+//! `simulate` runs the paper-scale timing model on a Table 1 dataset card.
+
+use mg_gcn::core::checkpoint::Checkpoint;
+use mg_gcn::gpusim::Profile;
+use mg_gcn::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+            if takes_value {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (_, flags) = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "memory" => cmd_memory(&flags),
+        "datasets" => cmd_datasets(),
+        _ => usage(),
+    }
+}
+
+fn cmd_train(flags: &HashMap<String, String>) {
+    let gpus: usize = get(flags, "gpus", 4);
+    let epochs: usize = get(flags, "epochs", 40);
+    let hidden: usize = get(flags, "hidden", 32);
+    let vertices: usize = get(flags, "vertices", 2000);
+    let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
+    let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
+    let mut opts = TrainOptions::quick(gpus);
+    opts.overlap = !flags.contains_key("no-overlap");
+    opts.permute = !flags.contains_key("no-permute");
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut trainer = match Trainer::new(problem, cfg, opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    if let Some(path) = flags.get("resume") {
+        match Checkpoint::load(std::path::Path::new(path))
+            .and_then(|ck| ck.restore_into(&mut trainer).map(|()| ck.epoch))
+        {
+            Ok(epoch) => println!("resumed from {path} at epoch {epoch}"),
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    println!(
+        "training: {} vertices, {} edges, {} GPUs, hidden {}",
+        graph.n(),
+        graph.adj.nnz(),
+        gpus,
+        hidden
+    );
+    let mut last_report = None;
+    for e in 0..epochs {
+        let r = trainer.train_epoch();
+        if e % 10 == 0 || e + 1 == epochs {
+            println!(
+                "epoch {:>4}  loss {:>9.4}  train {:>5.1}%  test {:>5.1}%  ({:.2} sim ms)",
+                e,
+                r.loss,
+                r.train_acc * 100.0,
+                r.test_acc * 100.0,
+                r.sim_seconds * 1e3
+            );
+        }
+        last_report = Some(r);
+    }
+    if let Some(path) = flags.get("checkpoint") {
+        let ck = Checkpoint::from_trainer(&trainer);
+        match ck.save(std::path::Path::new(path)) {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(e) => eprintln!("checkpoint failed: {e}"),
+        }
+    }
+    if let Some(r) = last_report {
+        println!("final test accuracy: {:.1}%", r.test_acc * 100.0);
+    }
+}
+
+fn model_for(name: &str, card: &datasets::DatasetCard) -> GcnConfig {
+    match name {
+        "a" => GcnConfig::model_a(card.feat_dim, card.classes),
+        "b" => GcnConfig::model_b(card.feat_dim, card.classes),
+        "c" => GcnConfig::model_c(card.feat_dim, card.classes),
+        "d" => GcnConfig::model_d(card.feat_dim, card.classes),
+        other => {
+            eprintln!("unknown model {other:?} (expected a, b, c or d)");
+            exit(2)
+        }
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) {
+    let name = flags.get("dataset").cloned().unwrap_or_else(|| usage());
+    let Some(card) = datasets::by_name(&name) else {
+        eprintln!("unknown dataset {name:?}; try `mggcn datasets`");
+        exit(1)
+    };
+    let machine = match flags.get("machine").map(String::as_str).unwrap_or("a100") {
+        "v100" => MachineSpec::dgx_v100(),
+        "a100" => MachineSpec::dgx_a100(),
+        other => {
+            eprintln!("unknown machine {other:?} (expected v100 or a100)");
+            exit(2)
+        }
+    };
+    let gpus: usize = get(flags, "gpus", 8);
+    let cfg = model_for(flags.get("model").map(String::as_str).unwrap_or("a"), &card);
+    let opts = TrainOptions::full(machine.clone(), gpus);
+    let problem = Problem::from_stats(&card, &opts);
+    let mut trainer = match Trainer::new(problem, cfg, opts) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("{}: {e}", card.name);
+            exit(0)
+        }
+    };
+    let report = trainer.train_epoch();
+    println!(
+        "{} on {} x{}: epoch {:.4} s  ({:.1} MiB/GPU planned)",
+        card.name,
+        machine.name,
+        gpus,
+        report.sim_seconds,
+        trainer.memory_per_gpu() as f64 / (1 << 20) as f64
+    );
+    println!("breakdown (kernel %):");
+    for (cat, pct) in report.breakdown(true) {
+        println!("  {:<12} {:>5.1}%", cat.name(), pct);
+    }
+    if flags.contains_key("profile") {
+        println!("\nprofile:");
+        let profile = Profile::from_timeline(&report.timeline, report.sim_seconds);
+        print!("{}", profile.render());
+    }
+    if let Some(path) = flags.get("trace") {
+        match mg_gcn::gpusim::trace::write_chrome_trace(
+            &report.timeline,
+            std::path::Path::new(path),
+        ) {
+            Ok(()) => println!("chrome trace written to {path} (open in chrome://tracing)"),
+            Err(e) => eprintln!("trace failed: {e}"),
+        }
+    }
+}
+
+fn cmd_memory(flags: &HashMap<String, String>) {
+    let name = flags.get("dataset").cloned().unwrap_or_else(|| usage());
+    let Some(card) = datasets::by_name(&name) else {
+        eprintln!("unknown dataset {name:?}");
+        exit(1)
+    };
+    let hidden: usize = get(flags, "hidden", 512);
+    let layers: usize = get(flags, "layers", 2);
+    let cfg = GcnConfig::new(card.feat_dim, &vec![hidden; layers - 1], card.classes);
+    println!("{}: {layers}-layer, hidden {hidden}", card.name);
+    for gpus in [1u64, 2, 4, 8] {
+        let plan =
+            MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::MgGcn);
+        let gib = plan.total() as f64 / (1u64 << 30) as f64;
+        let v100 = if plan.fits(32 << 30) { "fits" } else { "OOM" };
+        let a100 = if plan.fits(80 << 30) { "fits" } else { "OOM" };
+        println!("  {gpus} GPU(s): {gib:>7.1} GiB   V100: {v100:<5} A100: {a100}");
+    }
+}
+
+fn cmd_datasets() {
+    println!("{:<10} {:>12} {:>14} {:>6} {:>6} {:>5}", "name", "vertices", "edges", "d(0)", "cls", "k");
+    for card in mg_gcn::graph::datasets::BENCHMARKS {
+        println!(
+            "{:<10} {:>12} {:>14} {:>6} {:>6} {:>5.0}",
+            card.name, card.n, card.m, card.feat_dim, card.classes, card.avg_degree
+        );
+    }
+}

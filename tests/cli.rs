@@ -1,0 +1,146 @@
+//! Smoke tests for the `mggcn` CLI binary — the interface most downstream
+//! users touch first.
+
+use std::process::Command;
+
+fn mggcn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mggcn"))
+}
+
+#[test]
+fn datasets_lists_table1() {
+    let out = mggcn().arg("datasets").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Cora", "Arxiv", "Papers", "Products", "Proteins", "Reddit"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn simulate_reports_epoch_and_breakdown() {
+    let out = mggcn()
+        .args(["simulate", "--dataset", "Arxiv", "--machine", "v100", "--gpus", "4"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Arxiv on DGX-V100 x4"), "{text}");
+    assert!(text.contains("SpMM"), "{text}");
+}
+
+#[test]
+fn simulate_profile_and_trace() {
+    let trace = std::env::temp_dir().join(format!("mggcn_cli_{}.json", std::process::id()));
+    let out = mggcn()
+        .args([
+            "simulate",
+            "--dataset",
+            "Reddit",
+            "--gpus",
+            "8",
+            "--profile",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("utilization"), "{text}");
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    std::fs::remove_file(&trace).ok();
+    assert!(json.contains("traceEvents"));
+}
+
+#[test]
+fn simulate_reports_oom_gracefully() {
+    let out = mggcn()
+        .args(["simulate", "--dataset", "Papers", "--machine", "v100", "--gpus", "2"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "OOM is a report, not a crash");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("out of memory"), "{text}");
+}
+
+#[test]
+fn train_and_checkpoint() {
+    let ckpt = std::env::temp_dir().join(format!("mggcn_cli_{}.ckpt", std::process::id()));
+    let out = mggcn()
+        .args([
+            "train",
+            "--vertices",
+            "300",
+            "--gpus",
+            "2",
+            "--epochs",
+            "8",
+            "--checkpoint",
+            ckpt.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final test accuracy"), "{text}");
+    assert!(ckpt.exists(), "checkpoint file written");
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn memory_shows_fit_matrix() {
+    let out = mggcn()
+        .args(["memory", "--dataset", "Proteins", "--hidden", "512", "--layers", "2"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GiB"), "{text}");
+    assert!(text.contains("OOM"), "Proteins at 1 GPU should be OOM:\n{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = mggcn().arg("bogus").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn train_resume_roundtrip() {
+    let ckpt = std::env::temp_dir().join(format!("mggcn_cli_resume_{}.ckpt", std::process::id()));
+    let args_base = ["train", "--vertices", "250", "--gpus", "2", "--epochs", "5"];
+    let out = mggcn()
+        .args(args_base)
+        .args(["--checkpoint", ckpt.to_str().expect("utf8 path")])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    // Resume from the checkpoint and train further.
+    let out = mggcn()
+        .args(args_base)
+        .args(["--resume", ckpt.to_str().expect("utf8 path")])
+        .output()
+        .expect("run");
+    std::fs::remove_file(&ckpt).ok();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("resumed from"), "{text}");
+}
+
+#[test]
+fn train_resume_from_garbage_fails_cleanly() {
+    let bad = std::env::temp_dir().join(format!("mggcn_cli_bad_{}.ckpt", std::process::id()));
+    std::fs::write(&bad, b"definitely not a checkpoint").expect("write");
+    let out = mggcn()
+        .args(["train", "--vertices", "200", "--gpus", "2", "--epochs", "2"])
+        .args(["--resume", bad.to_str().expect("utf8 path")])
+        .output()
+        .expect("run");
+    std::fs::remove_file(&bad).ok();
+    assert!(!out.status.success(), "bad checkpoint must be an error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("resume failed"), "{err}");
+}

@@ -1,0 +1,175 @@
+//! Workspace-level integration tests: exercise the public facade the way a
+//! downstream user would, spanning graph generation → partitioning →
+//! distributed training → reporting, plus the full baseline comparison
+//! path on paper-scale stat cards.
+
+use mg_gcn::baselines::{cagnet, dgl, distgnn, mlp::MlpTrainer};
+use mg_gcn::prelude::*;
+
+fn community_graph(n: usize, seed: u64) -> Graph {
+    sbm::generate(&SbmConfig::community_benchmark(n, 4), seed)
+}
+
+#[test]
+fn facade_quickstart_path_works() {
+    let graph = community_graph(300, 1);
+    let cfg = GcnConfig::new(graph.features.cols(), &[16], graph.classes);
+    let opts = TrainOptions::quick(2);
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
+    let reports = trainer.train(10);
+    assert_eq!(reports.len(), 10);
+    assert!(reports[9].loss < reports[0].loss);
+    assert!(reports.iter().all(|r| r.sim_seconds > 0.0));
+}
+
+#[test]
+fn gcn_beats_mlp_on_noisy_communities() {
+    let mut sbm_cfg = SbmConfig::community_benchmark(800, 4);
+    sbm_cfg.noise = 2.5;
+    let graph = sbm::generate(&sbm_cfg, 2);
+    let cfg = GcnConfig::new(graph.features.cols(), &[24], graph.classes);
+
+    let opts = TrainOptions::quick(4);
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut gcn = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+    let gcn_acc = gcn.train(60).last().expect("trained").test_acc;
+
+    let mut mlp = MlpTrainer::new(&graph, &cfg);
+    let mlp_acc = mlp.train(60).test_acc;
+
+    assert!(
+        gcn_acc > mlp_acc + 0.05,
+        "GCN {gcn_acc:.3} should beat MLP {mlp_acc:.3}"
+    );
+}
+
+#[test]
+fn every_figure_dataset_runs_on_both_machines() {
+    for card in mg_gcn::graph::datasets::FIGURE_DATASETS {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        for machine in [MachineSpec::dgx_v100(), MachineSpec::dgx_a100()] {
+            let mut any_ran = false;
+            for gpus in [1usize, 2, 4, 8] {
+                let opts = TrainOptions::full(machine.clone(), gpus);
+                let problem = Problem::from_stats(&card, &opts);
+                if let Ok(mut t) = Trainer::new(problem, cfg.clone(), opts) {
+                    let r = t.train_epoch();
+                    assert!(r.sim_seconds > 0.0, "{} on {}", card.name, machine.name);
+                    any_ran = true;
+                }
+            }
+            assert!(any_ran, "{} should fit somewhere on {}", card.name, machine.name);
+        }
+    }
+}
+
+#[test]
+fn full_comparison_matrix_is_sane() {
+    // On every dataset both baselines (where they fit) are slower than
+    // MG-GCN at the same GPU count — the paper's headline claim.
+    let m = MachineSpec::dgx_v100;
+    for card in [
+        mg_gcn::graph::datasets::ARXIV,
+        mg_gcn::graph::datasets::PRODUCTS,
+        mg_gcn::graph::datasets::REDDIT,
+    ] {
+        let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+        // DGL at 1 GPU.
+        let opts = dgl::options(m(), &cfg);
+        let problem = Problem::from_stats(&card, &opts);
+        let t_dgl = Trainer::new(problem, cfg.clone(), opts)
+            .expect("dgl fits")
+            .train_epoch()
+            .sim_seconds;
+        let opts = TrainOptions::full(m(), 1);
+        let problem = Problem::from_stats(&card, &opts);
+        let t_mg1 = Trainer::new(problem, cfg.clone(), opts)
+            .expect("mg fits")
+            .train_epoch()
+            .sim_seconds;
+        assert!(t_mg1 < t_dgl, "{}: MG-GCN {t_mg1} vs DGL {t_dgl}", card.name);
+
+        // CAGNET at 8 GPUs.
+        let opts = cagnet::options(m(), 8);
+        let problem = Problem::from_stats(&card, &opts);
+        let t_cag = Trainer::new(problem, cfg.clone(), opts)
+            .expect("cagnet fits")
+            .train_epoch()
+            .sim_seconds;
+        let opts = TrainOptions::full(m(), 8);
+        let problem = Problem::from_stats(&card, &opts);
+        let t_mg8 = Trainer::new(problem, cfg.clone(), opts)
+            .expect("mg fits")
+            .train_epoch()
+            .sim_seconds;
+        assert!(t_mg8 < t_cag, "{}: MG-GCN {t_mg8} vs CAGNET {t_cag}", card.name);
+    }
+}
+
+#[test]
+fn distgnn_headline_ratios_hold() {
+    // §6.6: MG-GCN at 8 A100s vs DistGNN's best published numbers —
+    // 40× Reddit, 12.4× Products, 1.77× Proteins (ours should be the same
+    // order of magnitude and always a win).
+    let cases = [
+        ("Reddit", mg_gcn::graph::datasets::REDDIT, GcnConfig::model_b(602, 41), 40.0),
+        ("Products", mg_gcn::graph::datasets::PRODUCTS, GcnConfig::model_c(104, 47), 12.4),
+        ("Proteins", mg_gcn::graph::datasets::PROTEINS, GcnConfig::model_c(128, 256), 1.77),
+    ];
+    for (name, card, cfg, paper_ratio) in cases {
+        let (_, t_dist) = distgnn::best_published(name).expect("published");
+        let opts = TrainOptions::full(MachineSpec::dgx_a100(), 8);
+        let problem = Problem::from_stats(&card, &opts);
+        let t_mg = Trainer::new(problem, cfg, opts)
+            .expect("fits")
+            .train_epoch()
+            .sim_seconds;
+        let ratio = t_dist / t_mg;
+        assert!(ratio > 1.0, "{name}: MG-GCN must win ({ratio:.1})");
+        // Our virtual machine has a lower per-epoch host floor than the
+        // paper's testbed, so tiny-model ratios run high (see
+        // EXPERIMENTS.md); bound loosely but require the same order.
+        assert!(
+            ratio > paper_ratio / 5.0 && ratio < paper_ratio * 12.0,
+            "{name}: ratio {ratio:.1} vs paper {paper_ratio}"
+        );
+    }
+}
+
+#[test]
+fn io_roundtrip_through_training() {
+    // Write a generated graph to disk, read it back, train on it.
+    let graph = community_graph(150, 3);
+    let path = std::env::temp_dir().join(format!("mggcn_e2e_{}.el", std::process::id()));
+    mg_gcn::graph::io::write_edge_list(&path, &graph.adj).expect("write");
+    let adj = mg_gcn::graph::io::read_edge_list(&path, Some(graph.n())).expect("read");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(adj, graph.adj);
+    let rebuilt = Graph::new(
+        adj,
+        graph.features.clone(),
+        graph.labels.clone(),
+        graph.classes,
+        graph.split.clone(),
+    );
+    let cfg = GcnConfig::new(rebuilt.features.cols(), &[8], rebuilt.classes);
+    let opts = TrainOptions::quick(3);
+    let problem = Problem::from_graph(&rebuilt, &cfg, &opts);
+    let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
+    assert!(trainer.train_epoch().loss.is_finite());
+}
+
+#[test]
+fn reproducibility_across_runs() {
+    // The same seed must give bit-identical losses, twice.
+    let run = || {
+        let graph = community_graph(200, 9);
+        let cfg = GcnConfig::new(graph.features.cols(), &[12], graph.classes);
+        let opts = TrainOptions::quick(3);
+        let problem = Problem::from_graph(&graph, &cfg, &opts);
+        let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
+        trainer.train(5).into_iter().map(|r| r.loss).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
