@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Hermetic CI for the MG-GCN reproduction. Everything runs offline: all
+# third-party dependencies are in-tree path crates (crates/rand, crates/rayon,
+# crates/proptest, crates/criterion), so no registry access is attempted.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> rustfmt (serve crate)"
+cargo fmt -p mggcn-serve --check
+
+echo "==> clippy -D warnings (serve crate)"
+cargo clippy -p mggcn-serve --all-targets -- -D warnings
+
+echo "==> build (release, workspace)"
+cargo build --release --workspace
+
+echo "==> tests (workspace)"
+cargo test -q --workspace
+
+echo "==> CI green"

@@ -1,0 +1,208 @@
+//! In-tree, dependency-free stand-in for `criterion`.
+//!
+//! The build environment resolves crates hermetically (no registry
+//! access), so this crate provides the criterion 0.5 API subset the
+//! workspace's benchmarks use: `Criterion`, `benchmark_group` with
+//! `sample_size`/`measurement_time`, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warmup,
+//! then times `sample_size` batches and prints min/mean per-iteration
+//! times. Good enough to eyeball regressions; not a statistics suite.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Display label for one parameterized benchmark case.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), p) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Self { sample_size, measurement_time, samples: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Time `routine`: calibrate iterations per sample against the
+    /// measurement budget, then record `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: one untimed call, then estimate cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let per_sample = budget.as_nanos() / self.sample_size.max(1) as u128;
+        self.iters_per_sample = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (bencher.iter never called)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{group}/{id}: min {:.3} ms, mean {:.3} ms ({} samples x {} iters)",
+            min * 1e3,
+            mean * 1e3,
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with --test; nothing to do.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut hits = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &(), |b, ()| {
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

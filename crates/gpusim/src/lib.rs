@@ -65,5 +65,5 @@ pub use engine::{OpId, RunReport, Schedule, Work};
 pub use memory::{MemoryTracker, OomError};
 pub use model::CostModel;
 pub use specs::{GpuSpec, Interconnect, MachineSpec};
-pub use report::Profile;
+pub use report::{LatencyStats, Profile};
 pub use timeline::{Category, Span, Timeline};

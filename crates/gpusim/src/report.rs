@@ -111,6 +111,82 @@ impl Profile {
     }
 }
 
+/// Online latency accounting for serving-style workloads: collects
+/// per-request latencies and reports count/mean/quantiles. Quantiles use
+/// the nearest-rank method on the sorted sample set, so p50/p95/p99 are
+/// actual observed latencies, not interpolations.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency observation (seconds).
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+        self.sorted = false;
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`. Returns 0 with no samples.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// One-line human-readable summary (milliseconds).
+    pub fn render(&mut self) -> String {
+        format!(
+            "n={} mean={:.3}ms p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms",
+            self.count(),
+            self.mean() * 1e3,
+            self.p50() * 1e3,
+            self.p95() * 1e3,
+            self.p99() * 1e3,
+            self.max() * 1e3,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +267,38 @@ mod tests {
         let p = Profile::from_timeline(&Timeline::default(), 0.0);
         assert!(p.kernels.is_empty());
         assert_eq!(p.utilization(), 0.0);
+    }
+
+    #[test]
+    fn latency_quantiles_nearest_rank() {
+        let mut l = LatencyStats::new();
+        // Record 1..=100 ms out of order.
+        for i in (1..=100u32).rev() {
+            l.record(i as f64 * 1e-3);
+        }
+        assert_eq!(l.count(), 100);
+        assert!((l.p50() - 0.050).abs() < 1e-12);
+        assert!((l.p95() - 0.095).abs() < 1e-12);
+        assert!((l.p99() - 0.099).abs() < 1e-12);
+        assert!((l.quantile(1.0) - 0.100).abs() < 1e-12);
+        assert!((l.mean() - 0.0505).abs() < 1e-12);
+        assert!((l.max() - 0.100).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_empty_is_zero() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.p99(), 0.0);
+        assert_eq!(l.mean(), 0.0);
+    }
+
+    #[test]
+    fn latency_single_sample() {
+        let mut l = LatencyStats::new();
+        l.record(0.25);
+        assert_eq!(l.p50(), 0.25);
+        assert_eq!(l.p99(), 0.25);
+        assert!(l.render().contains("n=1"));
     }
 }

@@ -68,6 +68,93 @@ pub fn khop_neighborhood(adj: &Csr, batch: &[u32], hops: usize) -> Vec<u32> {
     all
 }
 
+/// The induced k-hop computation block of one inference batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InducedBlock {
+    /// Global ids of the block's vertices, in **ascending** order.
+    pub vertices: Vec<u32>,
+    /// BFS hop distance from the seed set, indexed by local vertex id.
+    pub dist: Vec<u32>,
+    /// Induced subgraph in local indices, original edge values preserved.
+    pub adj: Csr,
+}
+
+impl InducedBlock {
+    /// Local indices of all vertices at distance ≤ `d` from the seeds.
+    pub fn locals_within(&self, d: u32) -> Vec<u32> {
+        (0..self.vertices.len() as u32).filter(|&l| self.dist[l as usize] <= d).collect()
+    }
+
+    /// Local index of a global vertex id, if it is in the block.
+    pub fn local_of(&self, global: u32) -> Option<u32> {
+        self.vertices.binary_search(&global).ok().map(|i| i as u32)
+    }
+}
+
+/// Exact `hops`-hop induced subgraph around `seeds` — the computation
+/// block a batched inference request needs.
+///
+/// Unlike [`khop_neighborhood`] this also extracts the edges (with their
+/// values) among the reached vertices, relabeled to local indices. Local
+/// ids are assigned in **ascending global order**, so every induced row's
+/// columns appear in the same relative order as in the full graph; for a
+/// vertex at distance < `hops` (whose neighborhood is entirely inside the
+/// block) an SpMM over its induced row therefore accumulates in exactly
+/// the full-graph order and is bit-identical to the full-graph result.
+pub fn khop_induced(adj: &Csr, seeds: &[u32], hops: usize) -> InducedBlock {
+    let n = adj.rows();
+    let mut dist_of = vec![u32::MAX; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    for &v in seeds {
+        if dist_of[v as usize] == u32::MAX {
+            dist_of[v as usize] = 0;
+            frontier.push(v);
+        }
+    }
+    let mut reached: Vec<u32> = frontier.clone();
+    for h in 1..=hops as u32 {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for (u, _) in adj.row(v as usize) {
+                if dist_of[u as usize] == u32::MAX {
+                    dist_of[u as usize] = h;
+                    reached.push(u);
+                    next.push(u);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    reached.sort_unstable();
+    let mut local_of = vec![u32::MAX; n];
+    for (l, &g) in reached.iter().enumerate() {
+        local_of[g as usize] = l as u32;
+    }
+
+    let mut row_ptr = Vec::with_capacity(reached.len() + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0usize);
+    for &g in &reached {
+        for (u, v) in adj.row(g as usize) {
+            let lu = local_of[u as usize];
+            if lu != u32::MAX {
+                col_idx.push(lu);
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let n_local = reached.len();
+    let sub = Csr::from_parts(n_local, n_local, row_ptr, col_idx, values);
+    let dist = reached.iter().map(|&g| dist_of[g as usize]).collect();
+    InducedBlock { vertices: reached, dist, adj: sub }
+}
+
 /// GraphSAGE-style sampling: at each hop keep at most `fanout` random
 /// neighbors per frontier vertex. Returns the sampled block with its local
 /// subgraph (edges from each layer's vertices to their sampled neighbors).
@@ -169,6 +256,63 @@ mod tests {
         let g = star(10);
         let zero = khop_neighborhood(&g, &[3, 7, 3], 0);
         assert_eq!(zero, vec![3, 7]);
+    }
+
+    #[test]
+    fn induced_block_on_star_has_expected_shape() {
+        let g = star(20);
+        let block = khop_induced(&g, &[5], 1);
+        // 5 and the hub, ascending.
+        assert_eq!(block.vertices, vec![0, 5]);
+        assert_eq!(block.dist, vec![1, 0]);
+        // Induced edges: 0<->5 in both directions.
+        assert_eq!(block.adj.nnz(), 2);
+        assert_eq!(block.local_of(5), Some(1));
+        assert_eq!(block.local_of(7), None);
+        assert_eq!(block.locals_within(0), vec![1]);
+    }
+
+    #[test]
+    fn induced_interior_rows_keep_full_degree() {
+        let degrees = vec![6u32; 150];
+        let g = chung_lu::generate(&degrees, 11);
+        let block = khop_induced(&g, &[3, 40, 90], 2);
+        for (l, &gid) in block.vertices.iter().enumerate() {
+            if block.dist[l] < 2 {
+                // Whole neighborhood is inside the block.
+                assert_eq!(
+                    block.adj.row_nnz(l),
+                    g.row_nnz(gid as usize),
+                    "vertex {gid} lost edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn induced_vertices_ascend_and_cover_khop() {
+        let degrees = vec![5u32; 120];
+        let g = chung_lu::generate(&degrees, 13);
+        let block = khop_induced(&g, &[7, 7, 22], 2);
+        assert!(block.vertices.windows(2).all(|w| w[0] < w[1]));
+        let mut reach = khop_neighborhood(&g, &[7, 22], 2);
+        reach.sort_unstable();
+        assert_eq!(block.vertices, reach);
+    }
+
+    #[test]
+    fn induced_rows_preserve_values_and_order() {
+        let degrees = vec![6u32; 100];
+        let g = chung_lu::generate(&degrees, 17);
+        let block = khop_induced(&g, &[0, 50], 1);
+        for (l, &gid) in block.vertices.iter().enumerate() {
+            let induced: Vec<(u32, f32)> = block.adj.row(l).collect();
+            let expect: Vec<(u32, f32)> = g
+                .row(gid as usize)
+                .filter_map(|(u, v)| block.local_of(u).map(|lu| (lu, v)))
+                .collect();
+            assert_eq!(induced, expect);
+        }
     }
 
     #[test]

@@ -140,3 +140,48 @@ proptest! {
         }
     }
 }
+
+// Serving-path kernels: an induced k-hop block's SpMM must reproduce the
+// full-graph SpMM rows it covers *exactly* (bit-identical), for any vertex
+// permutation and any number of requested seeds. This is the invariant the
+// propagation cache in `mggcn-serve` relies on.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn induced_spmm_bit_identical_to_full_rows(
+        gseed in 0u64..500,
+        pseed in 0u64..500,
+        hops in 1usize..4,
+        d in 1usize..6,
+        seeds in proptest::collection::vec(0u32..120, 1..8),
+    ) {
+        use mggcn_dense::{Accumulate, Dense};
+        use mggcn_graph::sampling::khop_induced;
+        use mggcn_sparse::{spmm, spmm_rows};
+
+        let degrees = vec![5u32; 120];
+        // Normalized + transposed adjacency: non-trivial float values, and
+        // the matrix the GCN forward pass actually multiplies by.
+        let adj = chung_lu::generate(&degrees, gseed)
+            .permute_symmetric(&random_permutation(120, pseed))
+            .normalize_columns()
+            .transpose();
+        let b = Dense::from_fn(120, d, |r, c| ((r * d + c) as f32).sin());
+        let mut full = Dense::zeros(120, d);
+        spmm(&adj, &b, &mut full, Accumulate::Overwrite);
+
+        let block = khop_induced(&adj, &seeds, hops);
+        let bl = Dense::from_fn(block.vertices.len(), d, |r, c| {
+            b.get(block.vertices[r] as usize, c)
+        });
+        // Vertices at distance < hops have their whole in-neighborhood
+        // inside the block, so their induced rows are complete.
+        let rows = block.locals_within(hops as u32 - 1);
+        let mut out = Dense::zeros(rows.len(), d);
+        spmm_rows(&block.adj, &rows, &bl, &mut out, Accumulate::Overwrite);
+        for (i, &l) in rows.iter().enumerate() {
+            let g = block.vertices[l as usize] as usize;
+            prop_assert_eq!(out.row(i), full.row(g), "vertex {} differs", g);
+        }
+    }
+}

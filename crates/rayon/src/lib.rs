@@ -1,0 +1,150 @@
+//! In-tree, dependency-free stand-in for `rayon`.
+//!
+//! The build environment resolves crates hermetically (no registry
+//! access), so this crate provides the rayon 1.x API surface the
+//! workspace uses — `par_iter`/`par_iter_mut`/`par_chunks_mut`/
+//! `into_par_iter`, the two-closure `fold`/`reduce` pair, and
+//! `current_num_threads` — executing *sequentially*. Every kernel in the
+//! workspace was written to be deterministic regardless of rayon's split
+//! points (per-row/per-chunk independence), so sequential execution is
+//! observationally identical, just single-threaded. Simulated timing
+//! comes from `gpusim`'s cost model, not wall-clock, so tier-1 behavior
+//! is unchanged.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+///
+/// Implements [`Iterator`] by delegation, so the std adapters
+/// (`enumerate`, `map`, `zip`, `for_each`, `collect`, ...) all work.
+/// The rayon-specific two-closure `fold`/`reduce` are inherent methods,
+/// which take precedence over the single-closure std versions.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon-style fold: one accumulator per "thread" (here: exactly one),
+    /// yielding an iterator of partial results.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(Iterator::fold(self.0, identity(), fold_op)))
+    }
+
+    /// rayon-style reduce with an identity-producing closure.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        Iterator::fold(self.0, identity(), op)
+    }
+}
+
+/// Anything iterable can be a "parallel" iterator.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter`/`par_chunks` on slices (and, via deref, `Vec`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Number of worker threads rayon would use: the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_and_enumerate() {
+        let mut buf = vec![0u32; 10];
+        buf.par_chunks_mut(3).enumerate().for_each(|(blk, chunk)| {
+            for c in chunk {
+                *c = blk as u32;
+            }
+        });
+        assert_eq!(buf, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn fold_reduce_pair() {
+        let total = (0usize..10)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, x| acc + x)
+            .reduce(|| 0usize, |a, b| a + b);
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn collect_results() {
+        let parsed: Result<Vec<u32>, ()> =
+            vec!["1", "2", "3"].into_par_iter().map(|s| s.parse().map_err(|_| ())).collect();
+        assert_eq!(parsed, Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn zip_with_plain_vec() {
+        let keys = [1u32, 2, 3];
+        let vals = vec!["a", "b", "c"];
+        let pairs: Vec<(u32, &str)> = keys.par_iter().map(|&k| k).zip(vals).collect();
+        assert_eq!(pairs, [(1, "a"), (2, "b"), (3, "c")]);
+    }
+}

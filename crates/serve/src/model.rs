@@ -1,0 +1,224 @@
+//! The frozen serving model: checkpoint weights + graph, replicated on
+//! every simulated GPU.
+//!
+//! Serving freezes a trained checkpoint into immutable state shared by all
+//! replicas (`Arc`s, so per-batch execution contexts can hold it without
+//! copying): the layer weights, the feature matrix `H⁰`, and the
+//! column-normalized transposed adjacency `Âᵀ` the forward pass multiplies
+//! by. The forward pass is aggregation-first at every layer,
+//! `H⁽ˡ⁺¹⁾ = σ((Âᵀ·H⁽ˡ⁾)·Wˡ)`, which makes the layer-0 aggregation rows
+//! (`Âᵀ·H⁰`) pure per-vertex functions of frozen state — exactly what the
+//! propagation cache stores.
+//!
+//! Graph deltas (new edges) re-normalize the adjacency and report the
+//! 1-hop out-neighborhood of the touched endpoints as the invalidation
+//! set — a superset of the rows whose aggregations actually change under
+//! any of the usual normalizations, so cached entries that survive remain
+//! bit-exact.
+
+use mggcn_core::checkpoint::Checkpoint;
+use mggcn_dense::{gemm, relu_inplace, Accumulate, Dense};
+use mggcn_graph::sampling::khop_neighborhood;
+use mggcn_graph::Graph;
+use mggcn_sparse::{spmm, spmm_rows, Coo, Csr};
+use std::sync::Arc;
+
+/// A frozen GCN ready to answer queries.
+#[derive(Clone, Debug)]
+pub struct ServingModel {
+    /// Raw adjacency, kept for delta application.
+    adj: Csr,
+    a_hat_t: Arc<Csr>,
+    features: Arc<Dense>,
+    weights: Arc<Vec<Dense>>,
+}
+
+impl ServingModel {
+    /// Freeze `checkpoint`'s weights over `graph`. Fails when the weight
+    /// chain does not compose with the feature width.
+    pub fn from_checkpoint(checkpoint: &Checkpoint, graph: &Graph) -> Result<Self, String> {
+        Self::from_parts(checkpoint.weights.clone(), graph.adj.clone(), graph.features.clone())
+    }
+
+    /// Freeze explicit weights over an adjacency + feature matrix.
+    pub fn from_parts(weights: Vec<Dense>, adj: Csr, features: Dense) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("serving model needs at least one layer".into());
+        }
+        if adj.rows() != adj.cols() {
+            return Err(format!("adjacency must be square, got {}x{}", adj.rows(), adj.cols()));
+        }
+        if adj.rows() != features.rows() {
+            return Err(format!("feature rows {} != vertex count {}", features.rows(), adj.rows()));
+        }
+        let mut d = features.cols();
+        for (l, w) in weights.iter().enumerate() {
+            if w.rows() != d {
+                return Err(format!("layer {l} expects input width {}, got {d}", w.rows()));
+            }
+            d = w.cols();
+        }
+        let a_hat_t = adj.normalize_columns().transpose();
+        Ok(Self {
+            adj,
+            a_hat_t: Arc::new(a_hat_t),
+            features: Arc::new(features),
+            weights: Arc::new(weights),
+        })
+    }
+
+    pub fn layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn vertices(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Input feature width (`H⁰` columns) — the propagation-cache stride.
+    pub fn feat_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Output width (class count).
+    pub fn out_dim(&self) -> usize {
+        self.weights.last().expect("nonempty").cols()
+    }
+
+    pub fn a_hat_t(&self) -> &Arc<Csr> {
+        &self.a_hat_t
+    }
+
+    pub fn features(&self) -> &Arc<Dense> {
+        &self.features
+    }
+
+    pub fn weights(&self) -> &Arc<Vec<Dense>> {
+        &self.weights
+    }
+
+    /// Reference full-graph forward pass, `H⁽ˡ⁺¹⁾ = σ((Âᵀ·H⁽ˡ⁾)·Wˡ)` with
+    /// no activation on the last layer. The batched/cached serving path
+    /// must reproduce these rows bit-for-bit.
+    pub fn forward_full(&self) -> Dense {
+        let n = self.vertices();
+        let mut h = (*self.features).clone();
+        for (l, w) in self.weights.iter().enumerate() {
+            let mut agg = Dense::zeros(n, h.cols());
+            spmm(&self.a_hat_t, &h, &mut agg, Accumulate::Overwrite);
+            let mut z = Dense::zeros(n, w.cols());
+            gemm(&agg, w, &mut z, Accumulate::Overwrite);
+            if l + 1 < self.weights.len() {
+                relu_inplace(z.as_mut_slice());
+            }
+            h = z;
+        }
+        h
+    }
+
+    /// Layer-0 aggregation rows `(Âᵀ·H⁰)[v]` for the given vertices —
+    /// what the propagation cache stores, computed from scratch.
+    pub fn aggregation_rows(&self, vertices: &[u32]) -> Dense {
+        let mut out = Dense::zeros(vertices.len(), self.feat_dim());
+        spmm_rows(&self.a_hat_t, vertices, &self.features, &mut out, Accumulate::Overwrite);
+        out
+    }
+
+    /// Apply a graph delta: add undirected edges (unit weight, both
+    /// directions), re-normalize, and return the vertices whose cached
+    /// aggregations must be invalidated — the endpoints plus their 1-hop
+    /// out-neighborhood in the updated operator.
+    pub fn apply_delta(&mut self, edges: &[(u32, u32)]) -> Vec<u32> {
+        if edges.is_empty() {
+            return Vec::new();
+        }
+        let n = self.adj.rows();
+        let mut coo = Coo::with_capacity(n, n, self.adj.nnz() + edges.len() * 2);
+        for r in 0..n {
+            for (c, v) in self.adj.row(r) {
+                coo.push(r as u32, c, v);
+            }
+        }
+        let mut endpoints = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "delta endpoint out of range");
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        self.adj = coo.to_csr();
+        self.a_hat_t = Arc::new(self.adj.normalize_columns().transpose());
+        khop_neighborhood(&self.a_hat_t, &endpoints, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_graph::generators::chung_lu;
+
+    fn tiny_model(n: usize, d0: usize, hidden: usize, classes: usize, seed: u64) -> ServingModel {
+        let adj = chung_lu::generate(&vec![4u32; n], seed);
+        let feats = Dense::from_fn(n, d0, |r, c| ((r * d0 + c) as f32).sin());
+        let w0 = Dense::from_fn(d0, hidden, |r, c| ((r + 3 * c) as f32).cos() * 0.3);
+        let w1 = Dense::from_fn(hidden, classes, |r, c| ((2 * r + c) as f32).sin() * 0.3);
+        ServingModel::from_parts(vec![w0, w1], adj, feats).expect("valid model")
+    }
+
+    #[test]
+    fn shape_validation_rejects_mismatches() {
+        let adj = chung_lu::generate(&[3u32; 10], 1);
+        let feats = Dense::zeros(10, 4);
+        let bad_w = Dense::zeros(5, 2); // expects input width 4
+        assert!(ServingModel::from_parts(vec![bad_w], adj.clone(), feats.clone()).is_err());
+        let feats_short = Dense::zeros(9, 4);
+        let w = Dense::zeros(4, 2);
+        assert!(ServingModel::from_parts(vec![w], adj, feats_short).is_err());
+    }
+
+    #[test]
+    fn forward_full_shapes_and_finiteness() {
+        let m = tiny_model(30, 6, 5, 3, 2);
+        let out = m.forward_full();
+        assert_eq!(out.rows(), 30);
+        assert_eq!(out.cols(), 3);
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn aggregation_rows_match_full_spmm() {
+        let m = tiny_model(25, 5, 4, 2, 3);
+        let mut full = Dense::zeros(25, 5);
+        spmm(m.a_hat_t(), m.features(), &mut full, Accumulate::Overwrite);
+        let some = m.aggregation_rows(&[0, 7, 24]);
+        assert_eq!(some.row(0), full.row(0));
+        assert_eq!(some.row(1), full.row(7));
+        assert_eq!(some.row(2), full.row(24));
+    }
+
+    #[test]
+    fn delta_adds_edges_and_reports_neighborhood() {
+        let mut m = tiny_model(20, 4, 3, 2, 4);
+        let before = m.adj.nnz();
+        let invalidated = m.apply_delta(&[(0, 19)]);
+        assert!(m.adj.nnz() >= before + 2);
+        assert!(invalidated.contains(&0) && invalidated.contains(&19));
+        // The invalidation set is the 1-hop out-neighborhood of {0, 19}.
+        let expect = khop_neighborhood(m.a_hat_t(), &[0, 19], 1);
+        let mut a = invalidated.clone();
+        let mut b = expect.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_changes_forward_output() {
+        let mut m = tiny_model(20, 4, 3, 2, 5);
+        let before = m.forward_full();
+        m.apply_delta(&[(0, 10)]);
+        let after = m.forward_full();
+        assert_ne!(before, after, "adding an edge must change some output");
+    }
+}

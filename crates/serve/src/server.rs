@@ -1,0 +1,458 @@
+//! The serving engine: batches → tagged op schedules on the simulated
+//! machine → bit-exact outputs + latency accounting.
+//!
+//! Each batch becomes one [`Schedule`] on a replica GPU's stream 0:
+//!
+//! * `serve-extract` — k-hop induced-subgraph extraction (fixed cost plus
+//!   a per-edge term), paid **once per batch** — the quantity
+//!   micro-batching amortizes;
+//! * `serve-gather` — feature rows + cached aggregation rows into device
+//!   buffers;
+//! * `serve-spmm` — row-sliced SpMM per layer; at layer 0 only the
+//!   **cache-miss** rows are computed, so a warm propagation cache
+//!   shrinks the dominant kernel;
+//! * `serve-gemm` / `serve-relu` — the dense tail of each layer;
+//! * `serve-output` — gather per-request output rows.
+//!
+//! Op bodies execute the real numerics against a [`BatchCtx`], so the
+//! same schedule that is timed also produces the answers — and those
+//! answers are bit-identical to [`ServingModel::forward_full`] rows (the
+//! induced block preserves full-graph accumulation order; see
+//! `graph::sampling::khop_induced`).
+//!
+//! Replica scheduling is earliest-free: batches are executed in arrival
+//! order on the least-loaded GPU, and a request's latency is its batch's
+//! completion time minus its own arrival.
+
+use crate::batcher::{form_batches, BatchPolicy, Request};
+use crate::cache::{CacheStats, PropagationCache};
+use crate::model::ServingModel;
+use mggcn_dense::{gemm, relu_inplace, Accumulate, Dense};
+use mggcn_gpusim::engine::OpDesc;
+use mggcn_gpusim::{Category, CostModel, LatencyStats, MachineSpec, Schedule, Work};
+use mggcn_graph::sampling::{khop_induced, InducedBlock};
+use mggcn_sparse::spmm_rows;
+use std::sync::Arc;
+
+/// Serving configuration: hardware, cost model, batching and cache knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub machine: MachineSpec,
+    pub cost: CostModel,
+    pub policy: BatchPolicy,
+    /// Propagation-cache budget in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Fixed host-side cost of one k-hop extraction, seconds.
+    pub extract_fixed: f64,
+    /// Per-induced-edge extraction cost, seconds.
+    pub extract_per_edge: f64,
+}
+
+impl ServeConfig {
+    pub fn new(machine: MachineSpec, policy: BatchPolicy, cache_bytes: usize) -> Self {
+        Self {
+            machine,
+            cost: CostModel::default(),
+            policy,
+            cache_bytes,
+            extract_fixed: 40.0e-6,
+            extract_per_edge: 1.0e-9,
+        }
+    }
+}
+
+/// Per-batch execution context the op bodies compute over.
+struct BatchCtx {
+    block: InducedBlock,
+    features: Arc<Dense>,
+    weights: Arc<Vec<Dense>>,
+    /// Local row ids each layer must produce (`locals_within(L-1-l)`).
+    rows_per_layer: Vec<Vec<u32>>,
+    /// Cache hits for layer 0: (local id, cached aggregation row bits).
+    hits: Vec<(u32, Vec<f32>)>,
+    /// Layer-0 rows that must be recomputed (local ids, ascending).
+    misses: Vec<u32>,
+    /// Current layer input, full block height (uncomputed rows stay 0 and
+    /// are never referenced by valid output rows).
+    h: Dense,
+    /// Current layer aggregation, full block height.
+    agg: Dense,
+    /// Computed miss rows, saved for post-run cache insertion.
+    miss_agg: Dense,
+    /// Per-request local seed ids, request order.
+    seeds_local: Vec<u32>,
+    /// Per-request output rows.
+    out: Dense,
+}
+
+/// Outcome of serving one trace: throughput, latency quantiles, compute
+/// and cache behaviour — the JSON payload of `mggcn serve-bench`.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    pub label: String,
+    pub requests: usize,
+    pub batches: usize,
+    pub mean_batch: f64,
+    /// Last batch completion minus first arrival, seconds.
+    pub duration: f64,
+    pub throughput_rps: f64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Total simulated GPU-busy seconds across all batches.
+    pub compute_seconds: f64,
+    pub compute_per_request_us: f64,
+    pub cache: CacheStats,
+    pub cache_hit_rate: f64,
+}
+
+impl ServeReport {
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"requests\":{},\"batches\":{},",
+                "\"mean_batch\":{:.3},\"duration_s\":{:.6},",
+                "\"throughput_rps\":{:.1},\"latency_ms\":{{\"mean\":{:.4},",
+                "\"p50\":{:.4},\"p95\":{:.4},\"p99\":{:.4},\"max\":{:.4}}},",
+                "\"compute_s\":{:.6},\"compute_per_request_us\":{:.3},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"invalidations\":{},\"hit_rate\":{:.4}}}}}"
+            ),
+            self.label,
+            self.requests,
+            self.batches,
+            self.mean_batch,
+            self.duration,
+            self.throughput_rps,
+            self.mean_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.compute_seconds,
+            self.compute_per_request_us,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.invalidations,
+            self.cache_hit_rate,
+        )
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "{:<24} {:>6} req {:>5} batches (mean {:>5.1}) | {:>9.0} rps | \
+             p50 {:>7.3}ms p95 {:>7.3}ms p99 {:>7.3}ms | {:>7.1}us compute/req | hit rate {:>5.1}%",
+            self.label,
+            self.requests,
+            self.batches,
+            self.mean_batch,
+            self.throughput_rps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.compute_per_request_us,
+            self.cache_hit_rate * 100.0,
+        )
+    }
+}
+
+/// An online inference server over a frozen [`ServingModel`].
+pub struct Server {
+    model: ServingModel,
+    cache: PropagationCache,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    pub fn new(model: ServingModel, cfg: ServeConfig) -> Self {
+        let cache = PropagationCache::new(cfg.cache_bytes, model.feat_dim());
+        Self { model, cache, cfg }
+    }
+
+    pub fn model(&self) -> &ServingModel {
+        &self.model
+    }
+
+    pub fn cache(&self) -> &PropagationCache {
+        &self.cache
+    }
+
+    /// Answer one batch of vertex queries immediately (no batching delay,
+    /// replica 0). Returns one output row per queried vertex, bit-identical
+    /// to the corresponding [`ServingModel::forward_full`] rows.
+    pub fn query(&mut self, vertices: &[u32]) -> Dense {
+        self.execute_batch(vertices, 0).0
+    }
+
+    /// Apply a graph delta and invalidate the affected cache rows.
+    /// Returns (vertices whose aggregation changed, rows actually evicted).
+    pub fn apply_delta(&mut self, edges: &[(u32, u32)]) -> (Vec<u32>, usize) {
+        let stale = self.model.apply_delta(edges);
+        let dropped = self.cache.invalidate_many(&stale);
+        (stale, dropped)
+    }
+
+    /// Serve a full arrival-ordered trace under the configured batching
+    /// policy and machine, returning the aggregate report. The propagation
+    /// cache persists across calls (serve the same trace twice to measure
+    /// warm-cache behaviour); replica clocks reset per call.
+    pub fn serve(&mut self, label: &str, requests: &[Request]) -> ServeReport {
+        assert!(!requests.is_empty(), "empty trace");
+        let stats_before = *self.cache.stats();
+        let batches = form_batches(requests, &self.cfg.policy);
+        let mut free_at = vec![0.0f64; self.cfg.machine.gpu_count()];
+        let mut latency = LatencyStats::new();
+        let mut compute_seconds = 0.0;
+        let mut last_done = 0.0f64;
+        for b in &batches {
+            let gpu = (0..free_at.len())
+                .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]))
+                .expect("machine has GPUs");
+            let (_, service) = self.execute_batch(&b.vertices(), gpu);
+            let start = b.ready_at.max(free_at[gpu]);
+            let done = start + service;
+            free_at[gpu] = done;
+            last_done = last_done.max(done);
+            compute_seconds += service;
+            for r in &b.requests {
+                latency.record(done - r.arrival);
+            }
+        }
+        let first_arrival = requests[0].arrival;
+        let duration = (last_done - first_arrival).max(f64::MIN_POSITIVE);
+        let s = self.cache.stats();
+        let cache = CacheStats {
+            hits: s.hits - stats_before.hits,
+            misses: s.misses - stats_before.misses,
+            insertions: s.insertions - stats_before.insertions,
+            evictions: s.evictions - stats_before.evictions,
+            invalidations: s.invalidations - stats_before.invalidations,
+        };
+        ServeReport {
+            label: label.to_string(),
+            requests: requests.len(),
+            batches: batches.len(),
+            mean_batch: requests.len() as f64 / batches.len() as f64,
+            duration,
+            throughput_rps: requests.len() as f64 / duration,
+            mean_ms: latency.mean() * 1e3,
+            p50_ms: latency.p50() * 1e3,
+            p95_ms: latency.p95() * 1e3,
+            p99_ms: latency.p99() * 1e3,
+            max_ms: latency.max() * 1e3,
+            compute_seconds,
+            compute_per_request_us: compute_seconds / requests.len() as f64 * 1e6,
+            cache,
+            cache_hit_rate: cache.hit_rate(),
+        }
+    }
+
+    /// Execute one batch on `gpu`: build the tagged op schedule, run it
+    /// (bodies compute the numerics), feed newly computed aggregation rows
+    /// back into the cache. Returns (per-request outputs, service seconds).
+    fn execute_batch(&mut self, vertices: &[u32], gpu: usize) -> (Dense, f64) {
+        assert!(!vertices.is_empty(), "empty batch");
+        let layers = self.model.layers();
+        let d0 = self.model.feat_dim();
+        let block = khop_induced(self.model.a_hat_t(), vertices, layers);
+        let n_local = block.vertices.len();
+        let rows_per_layer: Vec<Vec<u32>> =
+            (0..layers).map(|l| block.locals_within((layers - 1 - l) as u32)).collect();
+
+        // Probe the cache for layer-0 aggregation rows (host-side: the
+        // schedule's costs depend on the miss count).
+        let mut hits: Vec<(u32, Vec<f32>)> = Vec::new();
+        let mut misses: Vec<u32> = Vec::new();
+        for &l in &rows_per_layer[0] {
+            let g = block.vertices[l as usize];
+            match self.cache.get(g) {
+                Some(row) => hits.push((l, row.to_vec())),
+                None => misses.push(l),
+            }
+        }
+        let miss_nnz: usize = misses.iter().map(|&l| block.adj.row_nnz(l as usize)).sum();
+
+        let seeds_local: Vec<u32> = vertices
+            .iter()
+            .map(|&v| block.local_of(v).expect("seed is in its own block"))
+            .collect();
+
+        let spec = self.cfg.machine.gpus[gpu];
+        let cost = self.cfg.cost;
+        let mut sched: Schedule<BatchCtx> = Schedule::new(self.cfg.machine.clone());
+        let stream = 0;
+
+        // Subgraph extraction: per-batch fixed cost (the batching lever).
+        sched.launch(
+            gpu,
+            stream,
+            Work::Fixed {
+                seconds: self.cfg.extract_fixed
+                    + self.cfg.extract_per_edge * block.adj.nnz() as f64,
+            },
+            OpDesc::new(Category::Other, "serve-extract"),
+            &[],
+            None,
+        );
+
+        // Gather feature rows + cached aggregation rows.
+        let gather_elems = (n_local * d0 + hits.len() * d0) as u64;
+        sched.launch(
+            gpu,
+            stream,
+            cost.elementwise(gather_elems, 1.0),
+            OpDesc::new(Category::Other, "serve-gather"),
+            &[],
+            Some(Box::new(move |ctx: &mut BatchCtx| {
+                let n = ctx.block.vertices.len();
+                let d = ctx.features.cols();
+                let mut h = Dense::zeros(n, d);
+                for (l, &g) in ctx.block.vertices.iter().enumerate() {
+                    h.row_mut(l).copy_from_slice(ctx.features.row(g as usize));
+                }
+                let mut agg = Dense::zeros(n, d);
+                for (l, row) in &ctx.hits {
+                    agg.row_mut(*l as usize).copy_from_slice(row);
+                }
+                ctx.h = h;
+                ctx.agg = agg;
+            })),
+        );
+
+        for l in 0..layers {
+            let w = &self.model.weights()[l];
+            let (d_in, d_out) = (w.rows(), w.cols());
+            let n_rows = rows_per_layer[l].len();
+            if l == 0 {
+                // Layer 0: row-sliced SpMM over cache misses only.
+                if !misses.is_empty() {
+                    sched.launch(
+                        gpu,
+                        stream,
+                        cost.spmm(
+                            &spec,
+                            misses.len() as u64,
+                            n_local as u64,
+                            miss_nnz as u64,
+                            d0 as u64,
+                            false,
+                        ),
+                        OpDesc::new(Category::SpMM, "serve-spmm"),
+                        &[],
+                        Some(Box::new(move |ctx: &mut BatchCtx| {
+                            let BatchCtx { block, misses, h, agg, miss_agg, .. } = ctx;
+                            let mut out = Dense::zeros(misses.len(), h.cols());
+                            spmm_rows(&block.adj, misses, h, &mut out, Accumulate::Overwrite);
+                            for (i, &lm) in misses.iter().enumerate() {
+                                agg.row_mut(lm as usize).copy_from_slice(out.row(i));
+                            }
+                            *miss_agg = out;
+                        })),
+                    );
+                }
+            } else {
+                let nnz: usize =
+                    rows_per_layer[l].iter().map(|&r| block.adj.row_nnz(r as usize)).sum();
+                sched.launch(
+                    gpu,
+                    stream,
+                    cost.spmm(&spec, n_rows as u64, n_local as u64, nnz as u64, d_in as u64, false),
+                    OpDesc::new(Category::SpMM, "serve-spmm"),
+                    &[],
+                    Some(Box::new(move |ctx: &mut BatchCtx| {
+                        let BatchCtx { block, rows_per_layer, h, agg, .. } = ctx;
+                        let rows = &rows_per_layer[l];
+                        let mut out = Dense::zeros(rows.len(), h.cols());
+                        spmm_rows(&block.adj, rows, h, &mut out, Accumulate::Overwrite);
+                        let mut full = Dense::zeros(block.vertices.len(), h.cols());
+                        for (i, &r) in rows.iter().enumerate() {
+                            full.row_mut(r as usize).copy_from_slice(out.row(i));
+                        }
+                        *agg = full;
+                    })),
+                );
+            }
+
+            sched.launch(
+                gpu,
+                stream,
+                cost.gemm(&spec, n_rows as u64, d_in as u64, d_out as u64),
+                OpDesc::new(Category::GeMM, "serve-gemm"),
+                &[],
+                Some(Box::new(move |ctx: &mut BatchCtx| {
+                    let BatchCtx { block, weights, rows_per_layer, h, agg, .. } = ctx;
+                    let w = &weights[l];
+                    let rows = &rows_per_layer[l];
+                    let mut compact_in = Dense::zeros(rows.len(), w.rows());
+                    for (i, &r) in rows.iter().enumerate() {
+                        compact_in.row_mut(i).copy_from_slice(agg.row(r as usize));
+                    }
+                    let mut compact_z = Dense::zeros(rows.len(), w.cols());
+                    gemm(&compact_in, w, &mut compact_z, Accumulate::Overwrite);
+                    let mut full = Dense::zeros(block.vertices.len(), w.cols());
+                    for (i, &r) in rows.iter().enumerate() {
+                        full.row_mut(r as usize).copy_from_slice(compact_z.row(i));
+                    }
+                    *h = full;
+                })),
+            );
+
+            if l + 1 < layers {
+                sched.launch(
+                    gpu,
+                    stream,
+                    cost.elementwise((n_rows * d_out) as u64, 2.0),
+                    OpDesc::new(Category::Activation, "serve-relu"),
+                    &[],
+                    Some(Box::new(move |ctx: &mut BatchCtx| {
+                        let BatchCtx { rows_per_layer, h, .. } = ctx;
+                        for &r in &rows_per_layer[l] {
+                            relu_inplace(h.row_mut(r as usize));
+                        }
+                    })),
+                );
+            }
+        }
+
+        let classes = self.model.out_dim();
+        sched.launch(
+            gpu,
+            stream,
+            cost.elementwise((vertices.len() * classes) as u64, 2.0),
+            OpDesc::new(Category::Other, "serve-output"),
+            &[],
+            Some(Box::new(move |ctx: &mut BatchCtx| {
+                let mut out = Dense::zeros(ctx.seeds_local.len(), ctx.h.cols());
+                for (i, &s) in ctx.seeds_local.iter().enumerate() {
+                    out.row_mut(i).copy_from_slice(ctx.h.row(s as usize));
+                }
+                ctx.out = out;
+            })),
+        );
+
+        let mut ctx = BatchCtx {
+            block,
+            features: self.model.features().clone(),
+            weights: self.model.weights().clone(),
+            rows_per_layer,
+            hits,
+            misses,
+            h: Dense::zeros(0, 0),
+            agg: Dense::zeros(0, 0),
+            miss_agg: Dense::zeros(0, 0),
+            seeds_local,
+            out: Dense::zeros(0, 0),
+        };
+        let report = sched.run(&mut ctx);
+
+        // Feed freshly computed aggregation rows back into the cache.
+        for (i, &lm) in ctx.misses.iter().enumerate() {
+            let g = ctx.block.vertices[lm as usize];
+            self.cache.insert(g, ctx.miss_agg.row(i));
+        }
+        (ctx.out, report.makespan)
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the propagation cache and its interaction with
+//! graph deltas:
+//!
+//! * the size bound is an invariant under arbitrary operation sequences;
+//! * a hit after an insert returns exactly the inserted bits;
+//! * a graph delta invalidates exactly the 1-hop out-neighborhood of the
+//!   delta's endpoints — no more, no less.
+
+use mggcn_dense::Dense;
+use mggcn_graph::generators::chung_lu;
+use mggcn_graph::sampling::khop_neighborhood;
+use mggcn_serve::{PropagationCache, ServingModel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn capacity_is_never_exceeded(
+        capacity_rows in 1usize..8,
+        ops in proptest::collection::vec((0u32..32, 0u8..4), 1..200),
+    ) {
+        let stride = 3;
+        let mut c = PropagationCache::new(capacity_rows * stride * 4, stride);
+        prop_assert_eq!(c.capacity_rows(), capacity_rows);
+        let row = |v: u32| vec![v as f32; stride];
+        for (v, op) in ops {
+            match op {
+                0 | 1 => c.insert(v, &row(v)),
+                2 => { c.get(v); }
+                _ => { c.invalidate(v); }
+            }
+            prop_assert!(c.len() <= capacity_rows, "len {} > cap {}", c.len(), capacity_rows);
+            prop_assert!(c.bytes_used() <= capacity_rows * stride * 4);
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_returns_inserted_bits(
+        vertex in 0u32..1000,
+        payload in proptest::collection::vec(-1.0e6f32..1.0e6, 5),
+        churn in proptest::collection::vec(0u32..1000, 0..20),
+    ) {
+        let mut c = PropagationCache::new(64 * 5 * 4, 5);
+        // Churn first so `vertex` lands in an arbitrary slot.
+        for v in churn {
+            c.insert(v, &[v as f32; 5]);
+        }
+        c.insert(vertex, &payload);
+        let got = c.get(vertex).expect("just inserted");
+        prop_assert_eq!(got, &payload[..]);
+    }
+
+    #[test]
+    fn delta_invalidates_exactly_the_one_hop_out_neighborhood(
+        seed in 0u64..50,
+        u in 0u32..60,
+        v in 0u32..60,
+    ) {
+        let n = 60usize;
+        let adj = chung_lu::generate(&vec![4u32; n], seed);
+        let feats = Dense::from_fn(n, 6, |r, c| ((r + c) as f32).sin());
+        let w = Dense::from_fn(6, 3, |r, c| ((r * 2 + c) as f32).cos());
+        let mut model = ServingModel::from_parts(vec![w], adj, feats).unwrap();
+
+        // Cache every vertex's aggregation row, then apply one delta.
+        let mut cache = PropagationCache::new(n * 6 * 4, 6);
+        let all: Vec<u32> = (0..n as u32).collect();
+        let rows = model.aggregation_rows(&all);
+        for (i, &g) in all.iter().enumerate() {
+            cache.insert(g, rows.row(i));
+        }
+        let stale = model.apply_delta(&[(u, v)]);
+        cache.invalidate_many(&stale);
+
+        // The evicted set is exactly the 1-hop out-neighborhood of {u, v}
+        // in the updated operator: those vertices are gone, all others
+        // are still resident.
+        let mut expected = khop_neighborhood(model.a_hat_t(), &[u, v], 1);
+        expected.sort_unstable();
+        for g in 0..n as u32 {
+            let should_be_stale = expected.binary_search(&g).is_ok();
+            prop_assert_eq!(
+                cache.contains(g),
+                !should_be_stale,
+                "vertex {} residency wrong after delta ({}, {})", g, u, v
+            );
+        }
+    }
+}

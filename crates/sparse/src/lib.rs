@@ -51,4 +51,4 @@ pub use csc::{spmm_csc, Csc};
 pub use csr::{Coo, Csr};
 pub use partition::{PartitionVec, Tile, TileGrid};
 pub use sddmm::{rowwise_softmax, sddmm};
-pub use spmm::spmm;
+pub use spmm::{spmm, spmm_rows};

@@ -47,6 +47,46 @@ pub fn spmm(a: &Csr, b: &Dense, c: &mut Dense, acc: Accumulate) {
         });
 }
 
+/// Row-sliced SpMM: `C[i, :] (+)= A[rows[i], :] · B` for each requested
+/// row, with `C: rows.len()×d`.
+///
+/// This is the serving-path kernel: an inference batch only needs the
+/// aggregations of the vertices in its k-hop block, so it multiplies just
+/// those rows instead of all of `A`. Each output row accumulates in the
+/// same CSR order as [`spmm`], so for any requested row the result is
+/// **bit-identical** to the corresponding row of the full product — the
+/// guarantee the propagation cache relies on.
+pub fn spmm_rows(a: &Csr, rows: &[u32], b: &Dense, c: &mut Dense, acc: Accumulate) {
+    assert_eq!(a.cols(), b.rows(), "spmm_rows inner dimension mismatch");
+    assert_eq!(rows.len(), c.rows(), "spmm_rows output rows mismatch");
+    assert_eq!(b.cols(), c.cols(), "spmm_rows output cols mismatch");
+    let d = b.cols();
+    let b_data = b.as_slice();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_BLOCK * d)
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let out0 = blk * ROW_BLOCK;
+            for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
+                let r = rows[out0 + i] as usize;
+                assert!(r < a.rows(), "spmm_rows row {r} out of bounds");
+                if acc == Accumulate::Overwrite {
+                    c_row.fill(0.0);
+                }
+                for e in row_ptr[r]..row_ptr[r + 1] {
+                    let v = values[e];
+                    let b_row = &b_data[col_idx[e] as usize * d..(col_idx[e] as usize + 1) * d];
+                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += v * bj;
+                    }
+                }
+            }
+        });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +148,44 @@ mod tests {
         let mut c = Dense::from_fn(4, 3, |_, _| 9.0);
         spmm(&a, &b, &mut c, Accumulate::Overwrite);
         assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn spmm_rows_bit_identical_to_full_rows() {
+        let a = random_sparse(40, 30, 0.15, 7);
+        let b = Dense::from_fn(30, 6, |r, c| ((r * 6 + c) as f32).sin());
+        let mut full = Dense::zeros(40, 6);
+        spmm(&a, &b, &mut full, Accumulate::Overwrite);
+        let rows: Vec<u32> = vec![3, 0, 17, 39, 17, 8];
+        let mut sliced = Dense::zeros(rows.len(), 6);
+        spmm_rows(&a, &rows, &b, &mut sliced, Accumulate::Overwrite);
+        for (i, &r) in rows.iter().enumerate() {
+            assert_eq!(sliced.row(i), full.row(r as usize), "row {r} differs");
+        }
+    }
+
+    #[test]
+    fn spmm_rows_accumulates() {
+        let a = random_sparse(12, 12, 0.3, 8);
+        let b = Dense::from_fn(12, 3, |r, c| (r + c) as f32 * 0.2);
+        let rows: Vec<u32> = (0..12).collect();
+        let mut twice = Dense::zeros(12, 3);
+        spmm_rows(&a, &rows, &b, &mut twice, Accumulate::Overwrite);
+        spmm_rows(&a, &rows, &b, &mut twice, Accumulate::Add);
+        let mut once = Dense::zeros(12, 3);
+        spmm(&a, &b, &mut once, Accumulate::Overwrite);
+        for (t, o) in twice.as_slice().iter().zip(once.as_slice()) {
+            assert!((t - 2.0 * o).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spmm_rows_empty_selection() {
+        let a = random_sparse(5, 5, 0.4, 9);
+        let b = Dense::from_fn(5, 2, |_, _| 1.0);
+        let mut c = Dense::zeros(0, 2);
+        spmm_rows(&a, &[], &b, &mut c, Accumulate::Overwrite);
+        assert_eq!(c.rows(), 0);
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //!                [--model a|b|c|d] [--profile] [--trace PATH.json]
 //! mggcn memory   --dataset NAME [--hidden H] [--layers L]
 //! mggcn datasets
+//! mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]
+//!                   [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]
 //! ```
 //!
 //! `train` runs real full-batch training on a generated community graph;
-//! `simulate` runs the paper-scale timing model on a Table 1 dataset card.
+//! `simulate` runs the paper-scale timing model on a Table 1 dataset card;
+//! `serve-bench` trains a small model, freezes it into a serving replica
+//! set, and replays a seeded open-loop trace under three configurations
+//! (unbatched, micro-batched cold-cache, micro-batched warm-cache),
+//! printing a JSON report with p50/p95/p99 latency for each.
 
 use mg_gcn::core::checkpoint::Checkpoint;
 use mg_gcn::gpusim::Profile;
@@ -47,7 +53,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]"
     );
     exit(2)
 }
@@ -61,6 +67,7 @@ fn main() {
         "simulate" => cmd_simulate(&flags),
         "memory" => cmd_memory(&flags),
         "datasets" => cmd_datasets(),
+        "serve-bench" => cmd_serve_bench(&flags),
         _ => usage(),
     }
 }
@@ -213,6 +220,91 @@ fn cmd_memory(flags: &HashMap<String, String>) {
         let a100 = if plan.fits(80 << 30) { "fits" } else { "OOM" };
         println!("  {gpus} GPU(s): {gib:>7.1} GiB   V100: {v100:<5} A100: {a100}");
     }
+}
+
+fn cmd_serve_bench(flags: &HashMap<String, String>) {
+    let qps: f64 = get(flags, "qps", 100_000.0);
+    let window: f64 = get(flags, "batch-window", 1.0e-3);
+    let max_batch: usize = get(flags, "max-batch", 32);
+    let cache_mb: usize = get(flags, "cache-mb", 64);
+    let requests: usize = get(flags, "requests", 2000);
+    let vertices: usize = get(flags, "vertices", 2000);
+    let gpus: usize = get(flags, "gpus", 1);
+    let epochs: usize = get(flags, "epochs", 15);
+    let seed: u64 = get(flags, "seed", 42);
+
+    // Train a small model and freeze its checkpoint into a serving model.
+    let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), seed);
+    let cfg = GcnConfig::new(graph.features.cols(), &[32], graph.classes);
+    let opts = TrainOptions::quick(2);
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut trainer = match Trainer::new(problem, cfg, opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    for _ in 0..epochs {
+        trainer.train_epoch();
+    }
+    let ck = Checkpoint::from_trainer(&trainer);
+    let model = match ServingModel::from_checkpoint(&ck, &graph) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "serving {} vertices, {} edges, {}-layer model on {} simulated A100(s)",
+        graph.n(),
+        graph.adj.nnz(),
+        model.layers(),
+        gpus
+    );
+
+    let machine = || {
+        mg_gcn::gpusim::MachineSpec::uniform(
+            "A100-serve",
+            mg_gcn::gpusim::GpuSpec::a100(),
+            gpus,
+            12,
+            300.0e9,
+        )
+    };
+    let trace = mg_gcn::serve::generate_load(&LoadGenConfig::skewed(qps, requests, vertices, seed));
+
+    // Batch-size-1 baseline on identical hardware, no cache.
+    let mut unbatched =
+        Server::new(model.clone(), ServeConfig::new(machine(), BatchPolicy::unbatched(), 0));
+    let base = unbatched.serve("unbatched", &trace);
+
+    // Micro-batched with the propagation cache: cold pass, then warm.
+    let policy = BatchPolicy::new(window, max_batch);
+    let mut server =
+        Server::new(model, ServeConfig::new(machine(), policy, cache_mb << 20));
+    let cold = server.serve("batched-cold", &trace);
+    let warm = server.serve("batched-warm", &trace);
+
+    for r in [&base, &cold, &warm] {
+        eprintln!("{}", r.render());
+    }
+    let batching_speedup = cold.throughput_rps / base.throughput_rps;
+    let warm_compute_reduction = 1.0 - warm.compute_per_request_us / cold.compute_per_request_us;
+    eprintln!(
+        "batching speedup {batching_speedup:.2}x, warm-cache compute reduction {:.1}%",
+        warm_compute_reduction * 100.0
+    );
+    println!(
+        "{{\"qps\":{qps},\"batch_window_s\":{window},\"max_batch\":{max_batch},\
+         \"cache_mb\":{cache_mb},\"gpus\":{gpus},\"configs\":[{},{},{}],\
+         \"batching_speedup\":{batching_speedup:.3},\
+         \"warm_compute_reduction\":{warm_compute_reduction:.4}}}",
+        base.to_json(),
+        cold.to_json(),
+        warm.to_json()
+    );
 }
 
 fn cmd_datasets() {

@@ -24,6 +24,7 @@
 //! | [`comm`] | `mggcn-comm` | NCCL-like collectives, §5.1 1D-vs-1.5D analysis |
 //! | [`core`] | `mggcn-core` | the trainer: staged SpMM, buffer reuse, overlap, Adam, loss |
 //! | [`baselines`] | `mggcn-baselines` | DGL-like, CAGNET-like, DistGNN model, MLP |
+//! | [`serve`] | `mggcn-serve` | online inference: propagation cache, micro-batching, latency stats |
 //!
 //! ## Quick start
 //!
@@ -48,6 +49,7 @@ pub use mggcn_core as core;
 pub use mggcn_dense as dense;
 pub use mggcn_graph as graph;
 pub use mggcn_gpusim as gpusim;
+pub use mggcn_serve as serve;
 pub use mggcn_sparse as sparse;
 
 /// The names most programs need.
@@ -61,4 +63,5 @@ pub mod prelude {
     pub use mggcn_graph::generators::sbm::{self, SbmConfig};
     pub use mggcn_graph::Graph;
     pub use mggcn_gpusim::{Category, MachineSpec};
+    pub use mggcn_serve::{BatchPolicy, LoadGenConfig, ServeConfig, Server, ServingModel};
 }
