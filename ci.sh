@@ -19,4 +19,9 @@ cargo build --release --workspace
 echo "==> tests (workspace)"
 cargo test -q --workspace
 
+echo "==> conformance harness (testkit: differential + golden + 50-seed fuzz)"
+# Failing fuzz seeds are printed by the test for replay via
+# MGGCN_FUZZ_SEED=<seed> cargo test -p mggcn-testkit --test fuzz_corpus
+MGGCN_FUZZ_SEEDS=50 cargo test -q -p mggcn-testkit
+
 echo "==> CI green"

@@ -105,6 +105,11 @@ impl Trainer {
         self.plan.total()
     }
 
+    /// The analytic per-GPU memory plan this trainer was admitted under.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
     pub fn options(&self) -> &TrainOptions {
         &self.opts
     }
@@ -196,6 +201,34 @@ impl Trainer {
             test_acc,
             timeline: run.timeline,
         }
+    }
+
+    /// Run forward + loss + backward (all-reduce included, Adam excluded)
+    /// and return the per-layer weight gradients from GPU 0's replica.
+    /// Weights, Adam moments and the epoch counter are untouched, so this
+    /// is the conformance hook for differential gradient checking: the
+    /// result is exactly the global gradient `Σ_g X_gᵀ·HW_G` the next Adam
+    /// step would consume. Panics on a timing-only (non-materialized)
+    /// problem.
+    pub fn compute_gradients(&mut self) -> Vec<Dense> {
+        assert!(
+            self.problem.is_materialized(),
+            "compute_gradients needs a materialized problem"
+        );
+        let mut b = EpochBuilder::new(&self.cfg, &self.opts, &self.problem, self.epoch);
+        b.forward();
+        b.loss();
+        b.backward_ops(false);
+        let sched = b.sched;
+        self.state.reset_scratch();
+        sched.run(&mut self.state);
+        self.state.gpus[0].wgrad.clone()
+    }
+
+    /// Deterministic textual dump of one epoch's schedule (structure only:
+    /// op order, lanes, dependency edges) — the golden-snapshot hook.
+    pub fn epoch_schedule_dump(&self) -> String {
+        self.build_epoch().dump_ops()
     }
 
     fn build_epoch(&self) -> Schedule<DeviceState> {
@@ -317,6 +350,12 @@ impl<'a> EpochBuilder<'a> {
 
     /// Backward pass, Adam included.
     fn backward(&mut self) {
+        self.backward_ops(true);
+    }
+
+    /// Backward pass; `with_adam` gates the optimizer step so the
+    /// conformance harness can read raw gradients without mutating weights.
+    fn backward_ops(&mut self, with_adam: bool) {
         let layers = self.cfg.layers();
         for l in (0..layers).rev() {
             let d_in = self.cfg.d_in(l);
@@ -355,7 +394,9 @@ impl<'a> EpochBuilder<'a> {
                 self.producers = ops.into_iter().map(Some).collect();
             }
 
-            self.adam(l, reduce_op);
+            if with_adam {
+                self.adam(l, reduce_op);
+            }
         }
     }
 

@@ -123,6 +123,11 @@ impl Dense {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
+    /// Max absolute entry — the scale a relative comparison divides by.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
     /// Max absolute elementwise difference against `other`.
     pub fn max_abs_diff(&self, other: &Dense) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
@@ -197,6 +202,13 @@ mod tests {
         assert_eq!(b.rows(), 2);
         assert_eq!(b.row(0), m.row(1));
         assert_eq!(b.row(1), m.row(2));
+    }
+
+    #[test]
+    fn max_abs_picks_the_largest_magnitude() {
+        let m = Dense::from_vec(2, 2, vec![1.0, -7.5, 3.0, 0.0]);
+        assert_eq!(m.max_abs(), 7.5);
+        assert_eq!(Dense::zeros(2, 3).max_abs(), 0.0);
     }
 
     #[test]

@@ -144,6 +144,43 @@ impl<Ctx> Schedule<Ctx> {
         id
     }
 
+    /// Number of recorded ops.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Deterministic textual dump of the recorded op stream, one line per
+    /// op: id, work kind, category/label(/stage), lanes, and explicit
+    /// waits. Work *magnitudes* are deliberately omitted so the dump pins
+    /// the schedule's structure (op order, lane placement, dependency
+    /// edges — the §4.2/§4.3 invariants) without becoming a golden file
+    /// over the cost model's floating-point outputs.
+    pub fn dump_ops(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (id, op) in self.ops.iter().enumerate() {
+            let kind = match op.work {
+                Work::Compute { .. } => "compute",
+                Work::Comm { .. } => "comm",
+                Work::Fixed { .. } => "fixed",
+            };
+            let mut line = format!("op {id:3} {kind:7} {:10} {}", op.desc.category.name(), op.desc.label);
+            if let Some(s) = op.desc.stage {
+                let _ = write!(line, "@{s}");
+            }
+            let lanes: Vec<String> =
+                op.lanes.iter().map(|(g, st)| format!("g{g}s{st}")).collect();
+            let _ = write!(line, " lanes=[{}]", lanes.join(","));
+            if !op.waits.is_empty() {
+                let waits: Vec<String> = op.waits.iter().map(|w| w.to_string()).collect();
+                let _ = write!(line, " waits=[{}]", waits.join(","));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
     /// Play the schedule forward. Bodies run against `ctx` in completion
     /// order. Panics on deadlock (a schedule bug: circular waits or
     /// mismatched collective enqueue order).

@@ -85,6 +85,13 @@ impl ServingModel {
         self.weights.last().expect("nonempty").cols()
     }
 
+    /// The raw (un-normalized) adjacency the propagation operator derives
+    /// from — conformance tests rebuild a reference operator from it after
+    /// [`apply_delta`](Self::apply_delta).
+    pub fn adj(&self) -> &Csr {
+        &self.adj
+    }
+
     pub fn a_hat_t(&self) -> &Arc<Csr> {
         &self.a_hat_t
     }

@@ -95,6 +95,48 @@ impl Csr {
         Self { rows, cols, row_ptr, col_idx, values }
     }
 
+    /// Check every CSR structural invariant at runtime, naming the first
+    /// violation. `from_parts` asserts the cheap subset and only
+    /// debug-asserts the `O(nnz)` ones; the conformance harness calls
+    /// this on matrices produced by transforms (transpose, column
+    /// normalization, graph-delta application), where a structural break
+    /// would otherwise surface only as silently wrong numerics.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err(format!("row_ptr has {} entries for {} rows", self.row_ptr.len(), self.rows));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(format!("row_ptr[0] = {}, must be 0", self.row_ptr[0]));
+        }
+        if let Some(r) = self.row_ptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("row_ptr decreases at row {r}"));
+        }
+        if *self.row_ptr.last().expect("nonempty row_ptr") != self.col_idx.len() {
+            return Err(format!(
+                "row_ptr terminal {} != nnz {}",
+                self.row_ptr[self.rows],
+                self.col_idx.len()
+            ));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(format!(
+                "{} column indices vs {} values",
+                self.col_idx.len(),
+                self.values.len()
+            ));
+        }
+        if let Some(i) = self.col_idx.iter().position(|&c| (c as usize) >= self.cols) {
+            return Err(format!(
+                "column index {} at position {i} out of range for {} cols",
+                self.col_idx[i], self.cols
+            ));
+        }
+        if let Some(i) = self.values.iter().position(|v| !v.is_finite()) {
+            return Err(format!("non-finite value {} at position {i}", self.values[i]));
+        }
+        Ok(())
+    }
+
     /// An empty `rows × cols` matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
         Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
@@ -285,6 +327,32 @@ mod tests {
         coo.push(2, 0, 4.0);
         coo.push(2, 1, 5.0);
         coo.to_csr()
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_names_the_break() {
+        assert_eq!(sample().validate(), Ok(()));
+        assert_eq!(Csr::empty(0, 0).validate(), Ok(()));
+        assert_eq!(sample().transpose().validate(), Ok(()));
+
+        // Broken matrices can't come from `from_parts` (it debug-asserts),
+        // so build them field-by-field — this module lives in the file.
+        let m = sample();
+        let mut bad = m.clone();
+        bad.cols = 2; // stored indices 2 and 3 now out of range
+        let err = bad.validate().expect_err("out-of-range column");
+        assert!(err.contains("out of range"), "got: {err}");
+
+        let mut nan = m.clone();
+        nan.values[1] = f32::NAN;
+        let err = nan.validate().expect_err("non-finite value");
+        assert!(err.contains("non-finite"), "got: {err}");
+
+        let mut dec = m;
+        dec.row_ptr[1] = 3;
+        dec.row_ptr[2] = 2;
+        let err = dec.validate().expect_err("decreasing row_ptr");
+        assert!(err.contains("decreases"), "got: {err}");
     }
 
     #[test]

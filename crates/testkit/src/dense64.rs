@@ -1,0 +1,195 @@
+//! A minimal f64 row-major matrix for the oracle.
+//!
+//! The production stack computes in f32 (the paper trains in single
+//! precision); the oracle deliberately does everything in f64 with naive
+//! triple loops and *no* buffer reuse, so its rounding error is ~1e-16
+//! per op and any disagreement beyond f32 noise implicates the production
+//! path, not the reference.
+
+use mggcn_dense::Dense;
+
+/// Row-major f64 matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct M64 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl M64 {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Widen an f32 matrix (exact: every f32 is representable in f64).
+    pub fn from_f32(m: &Dense) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&x| x as f64).collect(),
+        }
+    }
+
+    /// Narrow to f32 (rounds).
+    pub fn to_f32(&self) -> Dense {
+        Dense::from_vec(self.rows, self.cols, self.data.iter().map(|&x| x as f32).collect())
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `C = A · B`, naive.
+    pub fn matmul(&self, b: &M64) -> M64 {
+        assert_eq!(self.cols, b.rows, "matmul inner dimension mismatch");
+        let mut c = M64::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    c.data[i * b.cols + j] += aik * b.get(k, j);
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B`, naive.
+    pub fn t_matmul(&self, b: &M64) -> M64 {
+        assert_eq!(self.rows, b.rows, "t_matmul reduction dimension mismatch");
+        let mut c = M64::zeros(self.cols, b.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let aki = self.get(k, i);
+                if aki == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    c.data[i * b.cols + j] += aki * b.get(k, j);
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ`, naive.
+    pub fn matmul_t(&self, b: &M64) -> M64 {
+        assert_eq!(self.cols, b.cols, "matmul_t inner dimension mismatch");
+        let mut c = M64::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            for j in 0..b.rows {
+                let mut s = 0.0;
+                for k in 0..self.cols {
+                    s += self.get(i, k) * b.get(j, k);
+                }
+                c.data[i * b.rows + j] = s;
+            }
+        }
+        c
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest absolute elementwise difference.
+    pub fn max_abs_diff(&self, other: &M64) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+}
+
+/// Max elementwise difference between `a` (f64) and `b` (f32), relative to
+/// the larger of `a`'s max magnitude and `floor` — the harness's standard
+/// layer-level comparison (per-element relative error is meaningless near
+/// sign changes, where gradients pass through zero).
+pub fn max_rel_diff_f32(a: &M64, b: &Dense, floor: f64) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    let scale = a.max_abs().max(floor);
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        worst = worst.max((x - y as f64).abs() / scale);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = M64::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = M64::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_products_agree() {
+        let a = M64::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = M64::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.0, 1.0, 3.0]);
+        // Aᵀ·B two ways: dedicated kernel vs explicit transpose.
+        let mut at = M64::zeros(2, 3);
+        for r in 0..3 {
+            for c in 0..2 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        assert!(a.t_matmul(&b).max_abs_diff(&at.matmul(&b)) < 1e-15);
+        // A·Bᵀ likewise.
+        let mut bt = M64::zeros(2, 3);
+        for r in 0..3 {
+            for c in 0..2 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        assert!(a.matmul_t(&b).max_abs_diff(&a.matmul(&bt)) < 1e-15);
+    }
+
+    #[test]
+    fn f32_roundtrip_is_exact() {
+        let d = Dense::from_fn(3, 3, |r, c| (r as f32 - c as f32) * 0.37);
+        let wide = M64::from_f32(&d);
+        assert_eq!(wide.to_f32(), d);
+    }
+}

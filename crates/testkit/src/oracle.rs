@@ -1,0 +1,320 @@
+//! The reference GCN oracle: a standalone f64 dense implementation of
+//! exactly the model the distributed trainer computes.
+//!
+//! No partitioning, no staged broadcasts, no buffer reuse, no schedule —
+//! just eqs. 5–11 of the paper written as naive dense algebra over a
+//! *densified* `Â`. The one deliberate coupling to the production stack is
+//! the inputs: weights are initialized with the same seeded Glorot draw
+//! and `Â` is the same column-normalized f32 matrix the trainer tiles
+//! (widened to f64 exactly), so the oracle and the trainer start from
+//! bit-identical state and any divergence is arithmetic, not data.
+//!
+//! Semantics mirrored from the production kernels:
+//!
+//! * forward per layer: `H⁽ˡ⁺¹⁾ = relu(Âᵀ·(H⁽ˡ⁾·Wˡ))`, no activation on
+//!   the last layer ([`mggcn_core::trainer`]);
+//! * loss: masked softmax cross-entropy normalized by the *global* train
+//!   count, zero gradient off the train mask ([`mggcn_core::loss`]),
+//!   argmax ties resolved to the highest index (`max_by` keeps the last
+//!   maximum);
+//! * ReLU backward masks on `activation > 0.0`
+//!   ([`mggcn_dense::relu_backward_merge`]);
+//! * Adam with the trainer's hyperparameters and 1-based step count
+//!   ([`mggcn_core::optimizer`]).
+
+use crate::dense64::M64;
+use mggcn_core::config::GcnConfig;
+use mggcn_dense::init;
+use mggcn_graph::Graph;
+use mggcn_sparse::Csr;
+
+/// Adam hyperparameters in f64, matching `AdamParams::default()`.
+const BETA1: f64 = 0.9;
+const BETA2: f64 = 0.999;
+const EPS: f64 = 1e-8;
+
+/// What one oracle epoch reports.
+#[derive(Clone, Copy, Debug)]
+pub struct RefEpoch {
+    pub loss: f64,
+    pub train_acc: f64,
+    pub test_acc: f64,
+}
+
+/// The f64 reference GCN.
+pub struct ReferenceGcn {
+    a_hat: M64,
+    a_hat_t: M64,
+    features: M64,
+    labels: Vec<u32>,
+    train_mask: Vec<bool>,
+    test_mask: Vec<bool>,
+    train_count: usize,
+    cfg: GcnConfig,
+    pub weights: Vec<M64>,
+    adam_m: Vec<M64>,
+    adam_v: Vec<M64>,
+    epoch: usize,
+}
+
+fn densify(a: &Csr) -> M64 {
+    let mut m = M64::zeros(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        for (c, v) in a.row(r) {
+            m.set(r, c as usize, v as f64);
+        }
+    }
+    m
+}
+
+impl ReferenceGcn {
+    /// Build the oracle over `graph` with the same seeded weights the
+    /// trainer would replicate on every GPU.
+    pub fn new(graph: &Graph, cfg: &GcnConfig) -> Self {
+        assert_eq!(graph.features.cols(), cfg.dims[0], "feature width must match d(0)");
+        let (a_hat, a_hat_t) = graph.normalized_adj();
+        let weights: Vec<M64> = (0..cfg.layers())
+            .map(|l| M64::from_f32(&init::glorot_seeded(cfg.d_in(l), cfg.d_out(l), cfg.seed + l as u64)))
+            .collect();
+        let moments: Vec<M64> =
+            (0..cfg.layers()).map(|l| M64::zeros(cfg.d_in(l), cfg.d_out(l))).collect();
+        Self {
+            a_hat: densify(&a_hat),
+            a_hat_t: densify(&a_hat_t),
+            features: M64::from_f32(&graph.features),
+            labels: graph.labels.clone(),
+            train_mask: graph.split.train.clone(),
+            test_mask: graph.split.test.clone(),
+            train_count: graph.split.train_count(),
+            cfg: cfg.clone(),
+            weights,
+            adam_m: moments.clone(),
+            adam_v: moments,
+            epoch: 0,
+        }
+    }
+
+    /// Replace the weights (e.g. with a trained checkpoint's, widened).
+    pub fn set_weights(&mut self, weights: &[mggcn_dense::Dense]) {
+        assert_eq!(weights.len(), self.weights.len(), "layer count mismatch");
+        self.weights = weights.iter().map(M64::from_f32).collect();
+    }
+
+    pub fn layers(&self) -> usize {
+        self.cfg.layers()
+    }
+
+    /// Global training-vertex count. Note the production convention the
+    /// oracle mirrors: the *reported* loss is the sum over train vertices,
+    /// but the gradient descends the mean — finite differences on
+    /// [`Self::loss_at`] must divide by this count to match
+    /// [`Self::gradients`].
+    pub fn train_count(&self) -> usize {
+        self.train_count
+    }
+
+    pub fn epochs_trained(&self) -> usize {
+        self.epoch
+    }
+
+    /// Forward pass: returns `[H⁰, H¹, …, H^L]` where the last entry holds
+    /// raw logits (no activation).
+    pub fn forward(&self) -> Vec<M64> {
+        self.forward_with(&self.weights)
+    }
+
+    fn forward_with(&self, weights: &[M64]) -> Vec<M64> {
+        let layers = weights.len();
+        let mut acts = Vec::with_capacity(layers + 1);
+        acts.push(self.features.clone());
+        for (l, w) in weights.iter().enumerate() {
+            let hw = acts[l].matmul(w);
+            let mut z = self.a_hat_t.matmul(&hw);
+            if l + 1 < layers {
+                for x in z.as_mut_slice() {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Masked softmax cross-entropy over `logits`: returns the loss report
+    /// and the gradient w.r.t. the logits.
+    pub fn loss_and_grad(&self, logits: &M64) -> (RefEpoch, M64) {
+        let classes = logits.cols();
+        let inv_n = 1.0 / self.train_count.max(1) as f64;
+        let mut grad = M64::zeros(logits.rows(), classes);
+        let mut loss = 0.0f64;
+        let (mut tc, mut tt, mut ec, mut et) = (0usize, 0usize, 0usize, 0usize);
+        for r in 0..logits.rows() {
+            let row = logits.row(r);
+            let label = self.labels[r] as usize;
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = row.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            // Last maximum wins, matching `max_by` in the f32 loss kernel.
+            let mut argmax = 0usize;
+            for (i, &e) in exps.iter().enumerate() {
+                if e >= exps[argmax] {
+                    argmax = i;
+                }
+            }
+            let p_label = exps[label] / sum;
+            if self.train_mask[r] {
+                loss += -(p_label.max(1e-30).ln());
+                tt += 1;
+                tc += usize::from(argmax == label);
+                let g = grad.row_mut(r);
+                for (gi, &e) in g.iter_mut().zip(&exps) {
+                    *gi = e / sum * inv_n;
+                }
+                g[label] -= inv_n;
+            } else if self.test_mask[r] {
+                et += 1;
+                ec += usize::from(argmax == label);
+            }
+        }
+        let report = RefEpoch {
+            loss,
+            train_acc: if tt == 0 { 0.0 } else { tc as f64 / tt as f64 },
+            test_acc: if et == 0 { 0.0 } else { ec as f64 / et as f64 },
+        };
+        (report, grad)
+    }
+
+    /// Backward pass (paper eqs. 8–11): per-layer weight gradients given
+    /// the forward activations and the loss gradient over the logits.
+    pub fn backward(&self, acts: &[M64], dlogits: M64) -> Vec<M64> {
+        let layers = self.weights.len();
+        let mut wgrads = vec![M64::zeros(0, 0); layers];
+        let mut g = dlogits; // gradient w.r.t. AHW(l) = Âᵀ·(H⁽ˡ⁾·Wˡ)
+        for l in (0..layers).rev() {
+            // (eq. 9) HW_G = Â · AHW_G.
+            let dm = self.a_hat.matmul(&g);
+            // (eq. 10) W_G = H⁽ˡ⁾ᵀ · HW_G.
+            wgrads[l] = acts[l].t_matmul(&dm);
+            if l > 0 {
+                // (eq. 11) H_G = HW_G · Wᵀ, then ReLU backward (eq. 8).
+                let mut dh = dm.matmul_t(&self.weights[l]);
+                for (x, &a) in dh.as_mut_slice().iter_mut().zip(acts[l].as_slice()) {
+                    if a <= 0.0 {
+                        *x = 0.0;
+                    }
+                }
+                g = dh;
+            }
+        }
+        wgrads
+    }
+
+    /// Loss + per-layer weight gradients at the current weights, with no
+    /// update — the differential-testing counterpart of
+    /// `Trainer::compute_gradients`.
+    pub fn gradients(&self) -> (RefEpoch, Vec<M64>) {
+        let acts = self.forward();
+        let (report, dlogits) = self.loss_and_grad(acts.last().expect("logits"));
+        (report, self.backward(&acts, dlogits))
+    }
+
+    /// Loss at explicitly given weights — the finite-difference probe.
+    pub fn loss_at(&self, weights: &[M64]) -> f64 {
+        let acts = self.forward_with(weights);
+        let (report, _) = self.loss_and_grad(acts.last().expect("logits"));
+        report.loss
+    }
+
+    /// One full epoch: forward, loss, backward, Adam. Mirrors
+    /// `Trainer::train_epoch` (every replica applies the same update, so
+    /// one f64 model stands in for all of them).
+    pub fn train_epoch(&mut self) -> RefEpoch {
+        let (report, wgrads) = self.gradients();
+        let t = self.epoch as u64 + 1;
+        let lr = self.cfg.lr as f64 * self.cfg.lr_schedule.factor(self.epoch) as f64;
+        let bc1 = 1.0 - BETA1.powi(t as i32);
+        let bc2 = 1.0 - BETA2.powi(t as i32);
+        for l in 0..self.weights.len() {
+            let (w, g) = (&mut self.weights[l], &wgrads[l]);
+            for i in 0..w.as_slice().len() {
+                let grad = g.as_slice()[i];
+                let m = &mut self.adam_m[l].as_mut_slice()[i];
+                *m = BETA1 * *m + (1.0 - BETA1) * grad;
+                let v = &mut self.adam_v[l].as_mut_slice()[i];
+                *v = BETA2 * *v + (1.0 - BETA2) * grad * grad;
+                let m_hat = self.adam_m[l].as_slice()[i] / bc1;
+                let v_hat = self.adam_v[l].as_slice()[i] / bc2;
+                w.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+            }
+        }
+        self.epoch += 1;
+        report
+    }
+
+    /// Train `epochs` epochs, returning every report.
+    pub fn train(&mut self, epochs: usize) -> Vec<RefEpoch> {
+        (0..epochs).map(|_| self.train_epoch()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_graph::generators::sbm::{self, SbmConfig};
+
+    fn setup() -> (Graph, GcnConfig) {
+        let g = sbm::generate(&SbmConfig::community_benchmark(60, 3), 11);
+        let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+        (g, cfg)
+    }
+
+    #[test]
+    fn oracle_loss_decreases() {
+        let (g, cfg) = setup();
+        let mut oracle = ReferenceGcn::new(&g, &cfg);
+        let reports = oracle.train(10);
+        assert!(reports[9].loss < reports[0].loss, "{} vs {}", reports[9].loss, reports[0].loss);
+        assert!(reports.iter().all(|r| r.loss.is_finite()));
+    }
+
+    #[test]
+    fn forward_shapes_follow_dims() {
+        let (g, cfg) = setup();
+        let oracle = ReferenceGcn::new(&g, &cfg);
+        let acts = oracle.forward();
+        assert_eq!(acts.len(), cfg.layers() + 1);
+        for (l, a) in acts.iter().enumerate() {
+            assert_eq!((a.rows(), a.cols()), (g.n(), cfg.dims[l]));
+        }
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes_times_train_count() {
+        // Zero weights give zero logits: per-train-vertex loss = ln(classes).
+        let (g, cfg) = setup();
+        let mut oracle = ReferenceGcn::new(&g, &cfg);
+        for w in &mut oracle.weights {
+            for x in w.as_mut_slice() {
+                *x = 0.0;
+            }
+        }
+        let (report, _) = oracle.gradients();
+        let expect = g.split.train_count() as f64 * (g.classes as f64).ln();
+        assert!((report.loss - expect).abs() < 1e-9, "{} vs {expect}", report.loss);
+    }
+
+    #[test]
+    fn gradient_rows_vanish_off_train_mask() {
+        let (g, cfg) = setup();
+        let oracle = ReferenceGcn::new(&g, &cfg);
+        let acts = oracle.forward();
+        let (_, dlogits) = oracle.loss_and_grad(acts.last().unwrap());
+        for r in 0..g.n() {
+            if !g.split.train[r] {
+                assert!(dlogits.row(r).iter().all(|&x| x == 0.0), "row {r}");
+            }
+        }
+    }
+}

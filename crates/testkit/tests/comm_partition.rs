@@ -1,0 +1,196 @@
+//! Satellite coverage: collective byte accounting against the §5.1 cost
+//! formulas, and §5.2 tile-balance invariants under random permutation.
+
+use mggcn_comm::analysis::analyze;
+use mggcn_comm::{all_gather, all_reduce_sum, broadcast, reduce_sum};
+use mggcn_gpusim::MachineSpec;
+use mggcn_graph::random_permutation;
+use mggcn_sparse::{Coo, Csr, PartitionVec, TileGrid};
+
+// ---------------------------------------------------------------- §5.1 ---
+
+#[test]
+fn one_d_time_accounts_for_exactly_the_feature_matrix() {
+    // 1D does P broadcasts of nd/P bytes at full fan-out, so
+    // t_1d · bw == nd: every byte of the feature matrix crosses the root's
+    // links exactly once per SpMM, no more.
+    for machine in [MachineSpec::dgx_a100(), MachineSpec::dgx_v100()] {
+        let nd_bytes = 3.7e8;
+        let a = analyze(&machine, nd_bytes);
+        let all: Vec<usize> = (0..machine.gpu_count()).collect();
+        let bw = machine.broadcast_bw(0, &all);
+        let moved = a.t_1d * bw;
+        assert!(
+            (moved - nd_bytes).abs() / nd_bytes < 1e-12,
+            "1D moved {moved} bytes, expected {nd_bytes}"
+        );
+    }
+}
+
+#[test]
+fn fifteen_d_time_composes_from_machine_primitives() {
+    // §5.1's c = 2 algorithm: two group-local broadcast rounds of
+    // nd/(P/2) bytes plus one cross-group reduction of the same size.
+    for machine in [MachineSpec::dgx_a100(), MachineSpec::dgx_v100()] {
+        let nd_bytes = 1.0e9;
+        let p = machine.gpu_count();
+        let a = analyze(&machine, nd_bytes);
+        let group: Vec<usize> = (0..p / 2).collect();
+        let per_round = nd_bytes / (p as f64 / 2.0);
+        let expect = 2.0 * per_round / machine.broadcast_bw(0, &group)
+            + per_round / machine.reduce_bw(0, &[0, p / 2]);
+        assert!(
+            (a.t_15d - expect).abs() / expect < 1e-12,
+            "t_15d {} vs composed {expect}",
+            a.t_15d
+        );
+        // And 1.5D's price is the 2x memory replication.
+        assert_eq!(a.mem_factor_15d, 2.0);
+    }
+}
+
+#[test]
+fn staged_broadcast_volume_equals_one_d_formula() {
+    // The data plane moves what the cost plane charges for: P stage
+    // broadcasts of the (at most max_len·d)-element shard deliver every
+    // feature row to every GPU exactly once — Σ shard sizes = n·d.
+    let (n, d, p) = (23usize, 4usize, 4usize);
+    let part = PartitionVec::uniform(n, p);
+    let features: Vec<f32> = (0..n * d).map(|i| i as f32).collect();
+    let mut received: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut total_elems = 0usize;
+    for stage in 0..p {
+        let shard = &features[part.start(stage) * d..part.end(stage) * d];
+        total_elems += shard.len();
+        let mut bufs: Vec<Vec<f32>> = vec![vec![0.0; shard.len()]; p];
+        {
+            let mut dsts: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            broadcast(shard, &mut dsts);
+        }
+        for (g, b) in bufs.into_iter().enumerate() {
+            received[g].extend_from_slice(&b);
+        }
+    }
+    assert_eq!(total_elems, n * d, "staged volume must equal the full matrix");
+    for (g, r) in received.iter().enumerate() {
+        assert_eq!(r, &features, "GPU {g} must reassemble the full feature matrix");
+    }
+}
+
+#[test]
+fn ring_all_reduce_volume_formula() {
+    // The trainer charges the ring volume 2·bytes·(P−1)/P per gradient
+    // all-reduce. Sanity-pin the formula's shape: monotone in P,
+    // approaching 2·bytes, and exactly 0 at P = 1 (the collective
+    // degenerates to a no-op — all_reduce_sum on one buffer).
+    let bytes = 4096.0f64;
+    let vol = |p: f64| 2.0 * bytes * (p - 1.0) / p;
+    assert_eq!(vol(1.0), 0.0);
+    assert!(vol(2.0) < vol(4.0) && vol(4.0) < vol(8.0));
+    assert!((vol(8.0) - 2.0 * bytes * 7.0 / 8.0).abs() < 1e-9);
+    let mut only = vec![1.0f32, 2.0];
+    let before = only.clone();
+    all_reduce_sum(&mut [&mut only]);
+    assert_eq!(only, before, "P=1 all-reduce must move nothing");
+}
+
+#[test]
+fn all_reduce_equals_reduce_then_broadcast_bytes_and_values() {
+    // The §4.1 gradient consistency contract: after the collective every
+    // replica holds the identical global sum, and the sum equals the
+    // explicit reduce → broadcast composition.
+    let srcs: Vec<Vec<f32>> = (0..4).map(|g| (0..6).map(|i| (g * 6 + i) as f32 * 0.25).collect()).collect();
+    let mut reduced = vec![0.0f32; 6];
+    {
+        let refs: Vec<&[f32]> = srcs.iter().map(|s| s.as_slice()).collect();
+        reduce_sum(&refs, &mut reduced);
+    }
+    let mut replicas = srcs.clone();
+    {
+        let mut refs: Vec<&mut [f32]> = replicas.iter_mut().map(|b| b.as_mut_slice()).collect();
+        all_reduce_sum(&mut refs);
+    }
+    for r in &replicas {
+        assert_eq!(r, &reduced);
+    }
+    // all_gather byte accounting: each output holds Σ shard lengths.
+    let shards: Vec<&[f32]> = srcs.iter().map(|s| &s.as_slice()[..3]).collect();
+    let mut outs: Vec<Vec<f32>> = vec![vec![0.0; 12]; 2];
+    {
+        let mut refs: Vec<&mut [f32]> = outs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        all_gather(&shards, &mut refs);
+    }
+    assert_eq!(outs[0].len(), shards.iter().map(|s| s.len()).sum::<usize>());
+    assert_eq!(outs[0], outs[1]);
+}
+
+// ---------------------------------------------------------------- §5.2 ---
+
+/// A deliberately localized graph: every vertex links to its `w` nearest
+/// neighbors, so in natural order all nnz sits on the diagonal tiles.
+fn banded(n: usize, w: usize) -> Csr {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        for o in 1..=w {
+            let j = (i + o) % n;
+            coo.push(i as u32, j as u32, 1.0);
+            coo.push(j as u32, i as u32, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+fn tile_imbalance(grid: &TileGrid) -> f64 {
+    let nnz = grid.tile_nnz();
+    let max = *nnz.iter().max().expect("tiles") as f64;
+    let mean = nnz.iter().sum::<usize>() as f64 / nnz.len() as f64;
+    max / mean
+}
+
+#[test]
+fn partition_sizes_differ_by_at_most_one() {
+    for (n, p) in [(100usize, 7usize), (8, 8), (23, 4), (5, 5)] {
+        let part = PartitionVec::uniform(n, p);
+        let sizes: Vec<usize> = (0..p).map(|i| part.len(i)).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "n={n} P={p}: sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+}
+
+#[test]
+fn permutation_preserves_tiling_invariants() {
+    let a = banded(96, 3);
+    let perm = random_permutation(96, 11);
+    let pa = a.permute_symmetric(&perm);
+    for p in [2usize, 3, 4] {
+        let g0 = TileGrid::symmetric_uniform(&a, p);
+        let g1 = TileGrid::symmetric_uniform(&pa, p);
+        // Permutation relabels, never creates or drops entries.
+        assert_eq!(g0.nnz(), g1.nnz());
+        assert_eq!(g0.nnz(), a.nnz());
+        // Both grids cover the matrix with the same uniform partition.
+        assert_eq!(g0.row_partition(), g1.row_partition());
+    }
+}
+
+#[test]
+fn random_permutation_balances_a_localized_graph() {
+    // §5.2's argument: uniform partition + random vertex permutation gives
+    // near-balanced tiles regardless of the original ordering. The banded
+    // graph is the adversarial input — natural order puts ~everything on
+    // the P diagonal tiles (imbalance ≈ P), the permuted order spreads it.
+    let a = banded(240, 4);
+    let p = 4usize;
+    let natural = tile_imbalance(&TileGrid::symmetric_uniform(&a, p));
+    assert!(natural > 2.5, "banded graph should start badly imbalanced, got {natural:.2}");
+    for seed in [1u64, 7, 0xbabe] {
+        let perm = random_permutation(240, seed);
+        let permuted = tile_imbalance(&TileGrid::symmetric_uniform(&a.permute_symmetric(&perm), p));
+        assert!(
+            permuted < 1.5,
+            "seed {seed}: permuted imbalance {permuted:.2} (natural {natural:.2})"
+        );
+        assert!(permuted < natural);
+    }
+}

@@ -1,0 +1,43 @@
+//! The seeded fuzz pass: N deterministic degenerate problems driven
+//! through train → checkpoint → restore → serve, each shadowed by the f64
+//! oracle.
+//!
+//! * `MGGCN_FUZZ_SEEDS=N` sets the corpus size (default 50 — the CI
+//!   budget).
+//! * `MGGCN_FUZZ_SEED=K` replays a single failing seed with its full
+//!   diagnosis.
+//!
+//! Failures print every offending seed so a red CI run is immediately
+//! replayable:
+//!
+//! ```text
+//! MGGCN_FUZZ_SEED=17 cargo test -p mggcn-testkit --test fuzz_corpus
+//! ```
+
+use mggcn_testkit::corpus::{run_case, run_corpus, FuzzCase};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn corpus_survives_end_to_end() {
+    if let Some(seed) = env_u64("MGGCN_FUZZ_SEED") {
+        let case = FuzzCase::from_seed(seed);
+        eprintln!("replaying {}", case.describe());
+        if let Err(msg) = run_case(&case) {
+            panic!("seed {seed} failed: {msg}");
+        }
+        return;
+    }
+    let count = env_u64("MGGCN_FUZZ_SEEDS").unwrap_or(50);
+    let failures = run_corpus(count);
+    if !failures.is_empty() {
+        eprintln!("{} of {count} fuzz seeds failed:", failures.len());
+        for (seed, msg) in &failures {
+            eprintln!("  seed {seed}: {msg}");
+            eprintln!("    replay: MGGCN_FUZZ_SEED={seed} cargo test -p mggcn-testkit --test fuzz_corpus");
+        }
+        panic!("{} fuzz failures (seeds above)", failures.len());
+    }
+}

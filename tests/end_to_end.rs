@@ -19,7 +19,27 @@ fn facade_quickstart_path_works() {
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
     let reports = trainer.train(10);
     assert_eq!(reports.len(), 10);
-    assert!(reports[9].loss < reports[0].loss);
+    // Everything is seeded, so the loss trajectory is a fixed curve. Pin
+    // it value-by-value: a partitioning or kernel regression shows up as
+    // a shifted curve long before it flips the old "loss decreased" check.
+    // The tolerance absorbs libm differences across platforms (exp/ln are
+    // not bit-specified), which perturb the f32 math at ~1e-7 per op; 5e-3
+    // relative after 10 epochs is comfortably above that and far below any
+    // real defect.
+    let expect = [
+        181.827903, 164.415918, 148.528849, 133.958771, 120.570031, 108.171105, 96.626152,
+        85.899246, 75.994066, 66.872723,
+    ];
+    for (e, (r, want)) in reports.iter().zip(expect).enumerate() {
+        let rel = (r.loss - want).abs() / want;
+        assert!(
+            rel < 5e-3,
+            "epoch {e}: loss {} drifted from seeded trajectory {want} (rel {rel:.2e})",
+            r.loss
+        );
+    }
+    let last = reports.last().expect("ten epochs");
+    assert!(last.train_acc > 0.8, "seeded run ends at 0.8559 train acc, got {}", last.train_acc);
     assert!(reports.iter().all(|r| r.sim_seconds > 0.0));
 }
 
