@@ -13,15 +13,40 @@ cargo fmt -p mggcn-serve --check
 echo "==> clippy -D warnings (serve crate)"
 cargo clippy -p mggcn-serve --all-targets -- -D warnings
 
+echo "==> clippy -D warnings (exec crate)"
+cargo clippy -p mggcn-exec --all-targets -- -D warnings
+
 echo "==> build (release, workspace)"
 cargo build --release --workspace
 
-echo "==> tests (workspace)"
-cargo test -q --workspace
+echo "==> tests (workspace, kernel pool width 1)"
+MGGCN_THREADS=1 cargo test -q --workspace
+
+echo "==> tests (workspace, kernel pool width 4)"
+# Oversubscribed on small CI boxes — that is the point: the threaded
+# backend must be bit-identical at any pool width, including widths
+# wider than the machine.
+MGGCN_THREADS=4 cargo test -q --workspace
 
 echo "==> conformance harness (testkit: differential + golden + 50-seed fuzz)"
 # Failing fuzz seeds are printed by the test for replay via
 # MGGCN_FUZZ_SEED=<seed> cargo test -p mggcn-testkit --test fuzz_corpus
 MGGCN_FUZZ_SEEDS=50 cargo test -q -p mggcn-testkit
+
+echo "==> bench-exec smoke (threaded runtime really executes; JSON schema)"
+# Speedup is asserted only in shape, not magnitude — CI cores vary.
+BENCH_OUT="$(mktemp -d)/BENCH_exec.json"
+./target/release/mggcn bench-exec --gpus 2 --vertices 500 --hidden 32 \
+  --epochs 3 --threads 1,2 --out "${BENCH_OUT}" >/dev/null
+for key in '"bench":"exec"' '"backend":"threaded"' '"pool_size":' \
+           '"results":[' '"threads":1' '"threads":2' \
+           '"epoch_ms_p50":' '"speedup":' '"category_ms":'; do
+  grep -qF "${key}" "${BENCH_OUT}" || {
+    echo "BENCH_exec.json missing ${key}:" >&2
+    cat "${BENCH_OUT}" >&2
+    exit 1
+  }
+done
+rm -f "${BENCH_OUT}"
 
 echo "==> CI green"

@@ -90,7 +90,7 @@ mod tests {
         let opts = options(machine.clone(), gpus);
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
         let problem = Problem::from_stats(card, &opts);
-        trainer(problem, cfg, machine, gpus).ok().map(|mut t| t.train_epoch().sim_seconds)
+        trainer(problem, cfg, machine, gpus).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
     }
 
     fn mggcn_time(card: &mggcn_graph::DatasetCard, gpus: usize) -> f64 {
@@ -99,7 +99,7 @@ mod tests {
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
         let problem = Problem::from_stats(card, &opts);
         let mut t = Trainer::new(problem, cfg, opts).expect("fits");
-        t.train_epoch().sim_seconds
+        t.train_epoch().expect("train").sim_seconds
     }
 
     #[test]

@@ -69,7 +69,7 @@ mod tests {
         let opts = options(machine.clone(), &cfg);
         let problem = Problem::from_stats(card, &opts);
         let mut t = trainer(problem, cfg, machine).expect("fits");
-        t.train_epoch().sim_seconds
+        t.train_epoch().expect("train").sim_seconds
     }
 
     fn mggcn_time(card: &mggcn_graph::DatasetCard, machine: MachineSpec) -> f64 {
@@ -77,7 +77,7 @@ mod tests {
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
         let problem = Problem::from_stats(card, &opts);
         let mut t = Trainer::new(problem, cfg, opts).expect("fits");
-        t.train_epoch().sim_seconds
+        t.train_epoch().expect("train").sim_seconds
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn main() {
     let result = fit(
         &mut trainer,
         &FitOptions { target_accuracy: 0.97, max_epochs: 500, patience: 80, ..Default::default() },
-    );
+    )
+    .expect("fit");
     println!("MG-GCN (8 virtual V100s, 2 layers h=16):");
     println!("  stopped: {:?} after {} epochs", result.stopped, result.history.len());
     println!(

@@ -10,7 +10,7 @@ fn mg(card: &mggcn_graph::DatasetCard, machine: MachineSpec, gpus: usize) -> Opt
     let opts = TrainOptions::full(machine, gpus);
     let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
     let problem = Problem::from_stats(card, &opts);
-    Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+    Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
 }
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
             let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
             let opts = dgl::options(v100(), &cfg);
             let problem = Problem::from_stats(&card, &opts);
-            Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+            Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
         };
         let m1 = mg(&card, v100(), 1); let m2 = mg(&card, v100(), 2);
         let m4 = mg(&card, v100(), 4); let m8 = mg(&card, v100(), 8);
@@ -30,7 +30,7 @@ fn main() {
             let opts = cagnet::options(v100(), 8);
             let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
             let problem = Problem::from_stats(&card, &opts);
-            Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+            Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
         };
         let f = |x: Option<f64>| x.map(|v| format!("{v:.4}")).unwrap_or("OOM".into());
         let ratio = match (d1, m1) { (Some(a), Some(b)) => format!("{:.2}", a/b), _ => "-".into() };
@@ -44,7 +44,7 @@ fn main() {
             let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
             let opts = dgl::options(a100(), &cfg);
             let problem = Problem::from_stats(&card, &opts);
-            Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+            Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
         };
         let m: Vec<Option<f64>> = [1,2,4,8].iter().map(|&g| mg(&card, a100(), g)).collect();
         let f = |x: Option<f64>| x.map(|v| format!("{v:.4}")).unwrap_or("OOM".into());
@@ -62,7 +62,7 @@ fn main() {
         let times: Vec<String> = [1usize,2,4,8].iter().map(|&g| {
             let opts = TrainOptions::full(MachineSpec::dgx_a100(), g);
             let problem = Problem::from_stats(&card, &opts);
-            Trainer::new(problem, cfg.clone(), opts).ok().map(|mut t| format!("{:.3}", t.train_epoch().sim_seconds)).unwrap_or("OOM".into())
+            Trainer::new(problem, cfg.clone(), opts).ok().map(|mut t| format!("{:.3}", t.train_epoch().expect("train").sim_seconds)).unwrap_or("OOM".into())
         }).collect();
         println!("{:<10} {:?}", card.name, times);
     }

@@ -34,7 +34,7 @@ pub fn mggcn_epoch_with(
 ) -> Option<EpochReport> {
     let problem = Problem::from_stats(card, &opts);
     let mut t = Trainer::new(problem, cfg.clone(), opts).ok()?;
-    Some(t.train_epoch())
+    Some(t.train_epoch().ok()?)
 }
 
 /// Simulate one DGL-like epoch; `None` on OOM.
@@ -42,7 +42,7 @@ pub fn dgl_epoch(card: &DatasetCard, cfg: &GcnConfig, machine: MachineSpec) -> O
     let opts = dgl::options(machine, cfg);
     let problem = Problem::from_stats(card, &opts);
     let mut t = Trainer::new(problem, cfg.clone(), opts).ok()?;
-    Some(t.train_epoch().sim_seconds)
+    Some(t.train_epoch().ok()?.sim_seconds)
 }
 
 /// Simulate one CAGNET-like epoch; `None` on OOM.
@@ -55,7 +55,7 @@ pub fn cagnet_epoch(
     let opts = cagnet::options(machine, gpus);
     let problem = Problem::from_stats(card, &opts);
     let mut t = Trainer::new(problem, cfg.clone(), opts).ok()?;
-    Some(t.train_epoch().sim_seconds)
+    Some(t.train_epoch().ok()?.sim_seconds)
 }
 
 /// Format an optional epoch time the way the paper's figures mark OOM.

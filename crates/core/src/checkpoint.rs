@@ -27,7 +27,7 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Snapshot a trainer (GPU 0's replica; all replicas are identical).
     pub fn from_trainer(trainer: &Trainer) -> Self {
-        let g0 = &trainer.state().gpus[0];
+        let g0 = trainer.state().gpu(0);
         Self {
             epoch: trainer.epochs_trained() as u64,
             weights: g0.weights.clone(),
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let mut t = trainer();
-        t.train(3);
+        t.train(3).expect("train");
         let ck = Checkpoint::from_trainer(&t);
         let path = tmp("roundtrip");
         ck.save(&path).unwrap();
@@ -149,10 +149,10 @@ mod tests {
     fn resume_continues_identically() {
         // Train 6 epochs straight vs 3 + checkpoint/restore + 3.
         let mut straight = trainer();
-        let full: Vec<f64> = straight.train(6).into_iter().map(|r| r.loss).collect();
+        let full: Vec<f64> = straight.train(6).expect("train").into_iter().map(|r| r.loss).collect();
 
         let mut first = trainer();
-        first.train(3);
+        first.train(3).expect("train");
         let ck = Checkpoint::from_trainer(&first);
         let path = tmp("resume");
         ck.save(&path).unwrap();
@@ -161,7 +161,7 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         loaded.restore_into(&mut resumed).unwrap();
-        let tail: Vec<f64> = resumed.train(3).into_iter().map(|r| r.loss).collect();
+        let tail: Vec<f64> = resumed.train(3).expect("train").into_iter().map(|r| r.loss).collect();
         for (a, b) in full[3..].iter().zip(&tail) {
             assert!((a - b).abs() < 1e-9, "resumed {b} vs straight {a}");
         }
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn truncated_file_rejected() {
         let mut t = trainer();
-        t.train(1);
+        t.train(1).expect("train");
         let path = tmp("trunc");
         Checkpoint::from_trainer(&t).save(&path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected_on_restore() {
         let mut small = trainer();
-        small.train(1);
+        small.train(1).expect("train");
         let ck = Checkpoint::from_trainer(&small);
         // A different architecture.
         let g = sbm::generate(&SbmConfig::community_benchmark(120, 3), 4);

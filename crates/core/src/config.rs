@@ -2,6 +2,7 @@
 
 use crate::memplan::BufferPolicy;
 use crate::optimizer::LrSchedule;
+use mggcn_exec::Backend;
 use mggcn_gpusim::{CostModel, MachineSpec};
 
 /// GCN architecture: `dims = [d(0), hidden…, d(L)]` (paper eq. 3–4).
@@ -105,6 +106,9 @@ pub struct TrainOptions {
     /// bookkeeping). This is the floor that stops tiny models from scaling
     /// (the paper's Reddit h=16 plateaus at 0.012 s past 4 GPUs, §6.6).
     pub epoch_host_overhead: f64,
+    /// How epochs execute: discrete-event simulation only, or really, on
+    /// worker-per-GPU threads (`mggcn-exec`). Numerics are bit-identical.
+    pub backend: Backend,
 }
 
 impl TrainOptions {
@@ -123,6 +127,7 @@ impl TrainOptions {
             launch_overhead: 5.0e-6,
             buffer_policy: BufferPolicy::MgGcn,
             epoch_host_overhead: 3.0e-3,
+            backend: Backend::Simulated,
         }
     }
 

@@ -8,7 +8,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::metrics::EpochReport;
-use crate::trainer::Trainer;
+use crate::trainer::{TrainError, Trainer};
 
 /// Stopping policy for [`fit`].
 #[derive(Clone, Copy, Debug)]
@@ -61,7 +61,7 @@ impl FitResult {
 
 /// Train until the stopping policy triggers. The trainer is left at its
 /// final state; restore `best_weights` for the best model.
-pub fn fit(trainer: &mut Trainer, opts: &FitOptions) -> FitResult {
+pub fn fit(trainer: &mut Trainer, opts: &FitOptions) -> Result<FitResult, TrainError> {
     assert!(opts.max_epochs > 0, "need at least one epoch");
     let mut history = Vec::new();
     let mut best_accuracy = f64::NEG_INFINITY;
@@ -71,7 +71,7 @@ pub fn fit(trainer: &mut Trainer, opts: &FitOptions) -> FitResult {
     let mut sim_time = 0.0;
     let mut stopped = StopReason::EpochCap;
     for epoch in 0..opts.max_epochs {
-        let report = trainer.train_epoch();
+        let report = trainer.train_epoch()?;
         sim_time += report.sim_seconds;
         let acc = report.test_acc;
         history.push(report);
@@ -92,7 +92,7 @@ pub fn fit(trainer: &mut Trainer, opts: &FitOptions) -> FitResult {
             break;
         }
     }
-    FitResult { history, best_accuracy, best_epoch, best_weights, sim_time, stopped }
+    Ok(FitResult { history, best_accuracy, best_epoch, best_weights, sim_time, stopped })
 }
 
 #[cfg(test)]
@@ -114,7 +114,7 @@ mod tests {
     fn reaches_target_and_stops_early() {
         let mut t = trainer();
         let opts = FitOptions { target_accuracy: 0.85, max_epochs: 200, ..Default::default() };
-        let result = fit(&mut t, &opts);
+        let result = fit(&mut t, &opts).expect("fit");
         assert_eq!(result.stopped, StopReason::TargetReached);
         assert!(result.history.len() < 200, "stopped at {}", result.history.len());
         assert!(result.best_accuracy >= 0.85);
@@ -131,7 +131,7 @@ mod tests {
             min_delta: 1.0, // nothing ever counts as an improvement
             max_epochs: 100,
         };
-        let result = fit(&mut t, &opts);
+        let result = fit(&mut t, &opts).expect("fit");
         assert_eq!(result.stopped, StopReason::Plateau);
         assert!(result.history.len() <= 5);
     }
@@ -145,7 +145,7 @@ mod tests {
             max_epochs: 7,
             ..Default::default()
         };
-        let result = fit(&mut t, &opts);
+        let result = fit(&mut t, &opts).expect("fit");
         assert_eq!(result.stopped, StopReason::EpochCap);
         assert_eq!(result.history.len(), 7);
     }
@@ -154,11 +154,11 @@ mod tests {
     fn best_weights_restore_best_accuracy() {
         let mut t = trainer();
         let opts = FitOptions { target_accuracy: 0.9, max_epochs: 60, ..Default::default() };
-        let result = fit(&mut t, &opts);
+        let result = fit(&mut t, &opts).expect("fit");
         // Restoring and running one forward epoch shouldn't be far from
         // the recorded best (one extra Adam step happens, so allow slack).
         result.best_weights.restore_into(&mut t).unwrap();
-        let after = t.train_epoch();
+        let after = t.train_epoch().expect("train");
         assert!(
             after.test_acc >= result.best_accuracy - 0.1,
             "{} vs best {}",
@@ -171,7 +171,7 @@ mod tests {
     fn epochs_to_is_monotone() {
         let mut t = trainer();
         let opts = FitOptions { max_epochs: 40, ..Default::default() };
-        let result = fit(&mut t, &opts);
+        let result = fit(&mut t, &opts).expect("fit");
         if let (Some(lo), Some(hi)) = (result.epochs_to(0.5), result.epochs_to(0.8)) {
             assert!(lo <= hi);
         }

@@ -41,7 +41,7 @@
 //! let opts = TrainOptions::quick(2); // 2 virtual GPUs
 //! let problem = Problem::from_graph(&graph, &cfg, &opts);
 //! let mut trainer = Trainer::new(problem, cfg, opts).unwrap();
-//! let report = trainer.train_epoch();
+//! let report = trainer.train_epoch().unwrap();
 //! assert!(report.loss.is_finite());
 //! ```
 
@@ -60,6 +60,7 @@ pub mod trainer;
 
 pub use config::{GcnConfig, TrainOptions};
 pub use memplan::MemoryPlan;
-pub use metrics::EpochReport;
+pub use metrics::{EpochReport, MeasuredEpoch};
+pub use mggcn_exec::Backend;
 pub use problem::Problem;
-pub use trainer::Trainer;
+pub use trainer::{TrainError, Trainer};

@@ -1,6 +1,20 @@
 //! Epoch-level reports.
 
 use mggcn_gpusim::{Category, Timeline};
+use std::collections::BTreeMap;
+
+/// Measured wall-clock profile of one epoch, produced only by the
+/// threaded backend (`Backend::Threaded`): real seconds next to the
+/// simulated timeline in the same report.
+#[derive(Clone, Debug)]
+pub struct MeasuredEpoch {
+    /// End-to-end wall-clock seconds (workers spawned → joined).
+    pub wall_seconds: f64,
+    /// Total measured body seconds per category.
+    pub category_seconds: BTreeMap<Category, f64>,
+    /// Op bodies that actually executed.
+    pub bodies_run: usize,
+}
 
 /// Everything one epoch produces: simulated wall time, the op timeline, and
 /// (for materialized problems) learning metrics.
@@ -18,6 +32,8 @@ pub struct EpochReport {
     pub test_acc: f64,
     /// Per-op spans (Figs 6/8) and per-category totals (Fig 5).
     pub timeline: Timeline,
+    /// Measured wall-clock profile; `Some` only on the threaded backend.
+    pub measured: Option<MeasuredEpoch>,
 }
 
 impl EpochReport {
@@ -83,6 +99,7 @@ mod tests {
             train_acc: 0.9,
             test_acc: 0.8,
             timeline: tl,
+            measured: None,
         }
     }
 

@@ -15,7 +15,7 @@ use mggcn_dense::Dense;
 use mggcn_graph::tilestats::{TileStats, VertexOrdering};
 use mggcn_graph::{random_permutation, DatasetCard, Graph};
 use mggcn_sparse::{Csr, PartitionVec, TileGrid};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Materialized per-GPU data.
 pub struct RealData {
@@ -46,7 +46,7 @@ pub struct Problem {
     /// Global number of training vertices (loss normalization).
     pub train_count: usize,
     /// Materialized data; `None` for timing-only problems.
-    pub real: Option<Rc<RealData>>,
+    pub real: Option<Arc<RealData>>,
 }
 
 impl Problem {
@@ -105,7 +105,7 @@ impl Problem {
             fwd_nnz,
             bwd_nnz,
             train_count,
-            real: Some(Rc::new(real)),
+            real: Some(Arc::new(real)),
         }
     }
 

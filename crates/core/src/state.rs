@@ -11,6 +11,7 @@
 use crate::config::GcnConfig;
 use crate::problem::Problem;
 use mggcn_dense::{init, Dense};
+use std::sync::{Mutex, MutexGuard};
 
 /// Which broadcast buffer a stage writes/reads (double buffering, §4.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,9 +93,15 @@ impl GpuState {
 }
 
 /// All device memory plus cross-GPU scratch. This is the `Ctx` the engine
-/// threads through kernel bodies.
+/// threads through kernel bodies — on the threaded backend, through
+/// worker threads, so each GPU's memory sits behind its own lock.
+///
+/// Lock discipline: a GPU-local kernel body locks only its own GPU (no
+/// ordering concern); collective bodies run at rendezvous quiescence
+/// (every participant is blocked in the barrier) and lock GPUs in
+/// ascending index order.
 pub struct DeviceState {
-    pub gpus: Vec<GpuState>,
+    gpus: Vec<Mutex<GpuState>>,
     /// Adam step counter (shared; every GPU steps in lockstep).
     pub adam_t: u64,
 }
@@ -142,8 +149,21 @@ impl DeviceState {
                     test_total: 0,
                 }
             })
+            .map(Mutex::new)
             .collect();
         Self { gpus, adam_t: 0 }
+    }
+
+    /// Number of virtual GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Lock GPU `i`'s memory. Recovers from poisoning: after a worker
+    /// panic the executor reports an error and the trainer restores from
+    /// a checkpoint, so the (possibly half-written) state stays readable.
+    pub fn gpu(&self, i: usize) -> MutexGuard<'_, GpuState> {
+        self.gpus[i].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// An empty state for timing-only runs (bodies are never attached).
@@ -155,17 +175,18 @@ impl DeviceState {
     /// every GPU's `slot` broadcast buffer (including the root's own — NCCL
     /// roots read their send buffer through the collective too).
     pub fn broadcast_into_bc(
-        &mut self,
+        &self,
         src: usize,
         read: impl Fn(&GpuState) -> &Dense,
         rows: usize,
         cols: usize,
         slot: BcSlot,
     ) {
-        // Stage through a send copy to keep borrows simple; this mirrors the
-        // real transfer anyway.
-        let payload: Vec<f32> = read(&self.gpus[src]).as_slice()[..rows * cols].to_vec();
-        for g in &mut self.gpus {
+        // Stage through a send copy to keep lock scopes simple (one GPU
+        // locked at a time); this mirrors the real transfer anyway.
+        let payload: Vec<f32> = read(&self.gpu(src)).as_slice()[..rows * cols].to_vec();
+        for i in 0..self.gpus.len() {
+            let mut g = self.gpu(i);
             let bc = g.bc(slot);
             bc.resize(rows, cols);
             bc.as_mut_slice().copy_from_slice(&payload);
@@ -174,21 +195,27 @@ impl DeviceState {
 
     /// All-reduce (sum) the layer-`l` weight gradients across GPUs, fixed
     /// order for bit reproducibility.
-    pub fn all_reduce_wgrad(&mut self, l: usize) {
-        let len = self.gpus[0].wgrad[l].len();
+    pub fn all_reduce_wgrad(&self, l: usize) {
+        // All participants are quiescent (collective rendezvous), so all
+        // guards can be held at once; ascending order fixes the reduce
+        // order for bit reproducibility.
+        let mut guards: Vec<MutexGuard<'_, GpuState>> =
+            (0..self.gpus.len()).map(|i| self.gpu(i)).collect();
+        let len = guards[0].wgrad[l].len();
         let mut acc = vec![0.0f32; len];
         {
-            let srcs: Vec<&[f32]> = self.gpus.iter().map(|g| g.wgrad[l].as_slice()).collect();
+            let srcs: Vec<&[f32]> = guards.iter().map(|g| g.wgrad[l].as_slice()).collect();
             mggcn_comm::reduce_sum(&srcs, &mut acc);
         }
-        for g in &mut self.gpus {
+        for g in &mut guards {
             g.wgrad[l].as_mut_slice().copy_from_slice(&acc);
         }
     }
 
     /// Reset per-epoch scratch counters.
-    pub fn reset_scratch(&mut self) {
-        for g in &mut self.gpus {
+    pub fn reset_scratch(&self) {
+        for i in 0..self.gpus.len() {
+            let mut g = self.gpu(i);
             g.loss_sum = 0.0;
             g.train_correct = 0;
             g.train_total = 0;
@@ -199,12 +226,13 @@ impl DeviceState {
 
     /// Aggregate loss across GPUs.
     pub fn total_loss(&self) -> f64 {
-        self.gpus.iter().map(|g| g.loss_sum).sum()
+        (0..self.gpus.len()).map(|i| self.gpu(i).loss_sum).sum()
     }
 
     /// Aggregate train/test accuracy across GPUs.
     pub fn accuracy(&self) -> (f64, f64) {
-        let (tc, tt, ec, et) = self.gpus.iter().fold((0, 0, 0, 0), |acc, g| {
+        let (tc, tt, ec, et) = (0..self.gpus.len()).fold((0, 0, 0, 0), |acc, i| {
+            let g = self.gpu(i);
             (
                 acc.0 + g.train_correct,
                 acc.1 + g.train_total,
@@ -236,7 +264,7 @@ mod tests {
         let (p, cfg) = setup(2);
         let st = DeviceState::for_problem(&p, &cfg);
         // L AHW buffers + HW + BC1 + BC2 per GPU.
-        assert_eq!(st.gpus[0].ahw.len(), cfg.layers());
+        assert_eq!(st.gpu(0).ahw.len(), cfg.layers());
         // The shared buffers exist exactly once each; together: L + 3.
     }
 
@@ -245,20 +273,21 @@ mod tests {
         let (p, cfg) = setup(3);
         let st = DeviceState::for_problem(&p, &cfg);
         for l in 0..cfg.layers() {
-            assert_eq!(st.gpus[0].weights[l], st.gpus[1].weights[l]);
-            assert_eq!(st.gpus[1].weights[l], st.gpus[2].weights[l]);
+            assert_eq!(st.gpu(0).weights[l], st.gpu(1).weights[l]);
+            assert_eq!(st.gpu(1).weights[l], st.gpu(2).weights[l]);
         }
     }
 
     #[test]
     fn broadcast_into_bc_copies_prefix() {
         let (p, cfg) = setup(2);
-        let mut st = DeviceState::for_problem(&p, &cfg);
+        let st = DeviceState::for_problem(&p, &cfg);
         let rows = 5;
-        let cols = st.gpus[1].x.cols();
+        let cols = st.gpu(1).x.cols();
         st.broadcast_into_bc(1, |g| &g.x, rows, cols, BcSlot::Bc1);
-        let expect = st.gpus[1].x.as_slice()[..rows * cols].to_vec();
-        for g in &st.gpus {
+        let expect = st.gpu(1).x.as_slice()[..rows * cols].to_vec();
+        for i in 0..st.gpu_count() {
+            let g = st.gpu(i);
             assert_eq!(g.bc1.as_slice(), &expect[..]);
             assert_eq!((g.bc1.rows(), g.bc1.cols()), (rows, cols));
         }
@@ -267,12 +296,12 @@ mod tests {
     #[test]
     fn all_reduce_wgrad_sums_and_replicates() {
         let (p, cfg) = setup(2);
-        let mut st = DeviceState::for_problem(&p, &cfg);
-        st.gpus[0].wgrad[0].as_mut_slice()[0] = 1.5;
-        st.gpus[1].wgrad[0].as_mut_slice()[0] = 2.5;
+        let st = DeviceState::for_problem(&p, &cfg);
+        st.gpu(0).wgrad[0].as_mut_slice()[0] = 1.5;
+        st.gpu(1).wgrad[0].as_mut_slice()[0] = 2.5;
         st.all_reduce_wgrad(0);
-        assert_eq!(st.gpus[0].wgrad[0].as_slice()[0], 4.0);
-        assert_eq!(st.gpus[1].wgrad[0].as_slice()[0], 4.0);
+        assert_eq!(st.gpu(0).wgrad[0].as_slice()[0], 4.0);
+        assert_eq!(st.gpu(1).wgrad[0].as_slice()[0], 4.0);
     }
 
     #[test]

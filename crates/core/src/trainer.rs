@@ -24,15 +24,37 @@
 use crate::config::{GcnConfig, TrainOptions};
 use crate::loss::softmax_xent_inplace;
 use crate::memplan::MemoryPlan;
-use crate::metrics::EpochReport;
+use crate::metrics::{EpochReport, MeasuredEpoch};
 use crate::optimizer::{adam_step, AdamParams};
 use crate::problem::{Problem, RealData};
 use crate::state::{BcSlot, DeviceState, GpuState};
 use mggcn_dense::{gemm, gemm_a_bt, gemm_at_b, relu_inplace, Accumulate, Dense};
-use mggcn_gpusim::engine::OpDesc;
-use mggcn_gpusim::{Category, OomError, OpId, Schedule};
+use mggcn_exec::Backend;
+use mggcn_gpusim::engine::{Body, OpDesc};
+use mggcn_gpusim::{Category, OomError, OpId, RunReport, Schedule};
 use mggcn_sparse::spmm;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// Training failed at runtime (only possible on [`Backend::Threaded`],
+/// where a worker's kernel body may panic; the simulated backend runs
+/// bodies on the calling thread and propagates panics directly).
+#[derive(Clone, Debug)]
+pub enum TrainError {
+    /// A worker thread panicked while executing an op body. The trainer's
+    /// device state may be partially written; restore from a checkpoint
+    /// before continuing.
+    Exec(mggcn_exec::ExecError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Exec(e) => write!(f, "threaded execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Which logical buffer a schedule step reads or writes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,7 +171,8 @@ impl Trainer {
                 ));
             }
         }
-        for g in &mut self.state.gpus {
+        for i in 0..self.state.gpu_count() {
+            let mut g = self.state.gpu(i);
             g.weights = ck.weights.clone();
             g.adam_m = ck.adam_m.clone();
             g.adam_v = ck.adam_v.clone();
@@ -159,10 +182,16 @@ impl Trainer {
     }
 
     /// Run one full-batch epoch (forward, loss, backward, Adam) and report.
-    pub fn train_epoch(&mut self) -> EpochReport {
+    ///
+    /// On [`Backend::Simulated`] this cannot fail. On
+    /// [`Backend::Threaded`] the schedule really executes on
+    /// worker-per-GPU threads; a panicking kernel body surfaces as
+    /// [`TrainError::Exec`] (never a hang), and the report carries the
+    /// measured wall-clock profile in [`EpochReport::measured`].
+    pub fn train_epoch(&mut self) -> Result<EpochReport, TrainError> {
         let sched = self.build_epoch();
         self.state.reset_scratch();
-        let run = sched.run(&mut self.state);
+        let (run, measured) = self.dispatch(sched)?;
         let (train_acc, test_acc) = self.state.accuracy();
         let report = EpochReport {
             epoch: self.epoch,
@@ -171,13 +200,33 @@ impl Trainer {
             train_acc,
             test_acc,
             timeline: run.timeline,
+            measured,
         };
         self.epoch += 1;
-        report
+        Ok(report)
+    }
+
+    /// Run a built schedule on the configured backend.
+    fn dispatch(
+        &self,
+        sched: Schedule<DeviceState>,
+    ) -> Result<(RunReport, Option<MeasuredEpoch>), TrainError> {
+        match self.opts.backend {
+            Backend::Simulated => Ok((sched.run(&self.state), None)),
+            Backend::Threaded => {
+                let r = mggcn_exec::execute(sched, &self.state).map_err(TrainError::Exec)?;
+                let measured = MeasuredEpoch {
+                    wall_seconds: r.wall_seconds,
+                    category_seconds: r.category_wall_seconds(),
+                    bodies_run: r.bodies_run,
+                };
+                Ok((r.sim, Some(measured)))
+            }
+        }
     }
 
     /// Train `epochs` epochs, returning every report.
-    pub fn train(&mut self, epochs: usize) -> Vec<EpochReport> {
+    pub fn train(&mut self, epochs: usize) -> Result<Vec<EpochReport>, TrainError> {
         (0..epochs).map(|_| self.train_epoch()).collect()
     }
 
@@ -185,22 +234,23 @@ impl Trainer {
     /// loss kernel overwrites the logits buffer with gradients, but no
     /// backward step consumes them). Reports loss/accuracy and the
     /// simulated inference time; does not advance the epoch counter.
-    pub fn evaluate(&mut self) -> EpochReport {
+    pub fn evaluate(&mut self) -> Result<EpochReport, TrainError> {
         let mut b = EpochBuilder::new(&self.cfg, &self.opts, &self.problem, self.epoch);
         b.forward();
         b.loss();
         let sched = b.sched;
         self.state.reset_scratch();
-        let run = sched.run(&mut self.state);
+        let (run, measured) = self.dispatch(sched)?;
         let (train_acc, test_acc) = self.state.accuracy();
-        EpochReport {
+        Ok(EpochReport {
             epoch: self.epoch,
             sim_seconds: run.makespan + self.opts.epoch_host_overhead,
             loss: self.state.total_loss(),
             train_acc,
             test_acc,
             timeline: run.timeline,
-        }
+            measured,
+        })
     }
 
     /// Run forward + loss + backward (all-reduce included, Adam excluded)
@@ -221,8 +271,8 @@ impl Trainer {
         b.backward_ops(false);
         let sched = b.sched;
         self.state.reset_scratch();
-        sched.run(&mut self.state);
-        self.state.gpus[0].wgrad.clone()
+        sched.run(&self.state);
+        self.state.gpu(0).wgrad.clone()
     }
 
     /// Deterministic textual dump of one epoch's schedule (structure only:
@@ -246,7 +296,7 @@ struct EpochBuilder<'a> {
     cfg: &'a GcnConfig,
     opts: &'a TrainOptions,
     problem: &'a Problem,
-    real: Option<Rc<RealData>>,
+    real: Option<Arc<RealData>>,
     /// Adam step (1-based) of this epoch.
     t: u64,
     /// Per-GPU op that produced the current layer-input buffer.
@@ -319,8 +369,8 @@ impl<'a> EpochBuilder<'a> {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.loss(n_g as u64, classes as u64);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    let gs = &mut ctx.gpus[g];
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
                     let stats = softmax_xent_inplace(
                         &mut gs.ahw[last],
                         &gs.labels,
@@ -333,7 +383,7 @@ impl<'a> EpochBuilder<'a> {
                     gs.train_total = stats.train_total;
                     gs.test_correct = stats.test_correct;
                     gs.test_total = stats.test_total;
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             let id = self.sched.launch(
                 g,
@@ -432,9 +482,9 @@ impl<'a> EpochBuilder<'a> {
             let bytes = rows as f64 * d as f64 * 4.0;
             let bw = self.opts.machine.broadcast_bw(s, &group);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
+                Box::new(move |ctx: &DeviceState| {
                     ctx.broadcast_into_bc(s, move |g| read_buf(g, src), rows, d, slot);
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             let bcast = self.sched.collective(
                 &lanes,
@@ -464,12 +514,12 @@ impl<'a> EpochBuilder<'a> {
                 );
                 let real = self.real.clone();
                 let body = real.map(|rc| {
-                    Box::new(move |ctx: &mut DeviceState| {
+                    Box::new(move |ctx: &DeviceState| {
                         let tile = match dir {
                             Dir::Fwd => &rc.fwd_tiles[j * p + s],
                             Dir::Bwd => &rc.bwd_tiles[j * p + s],
                         };
-                        let g = &mut ctx.gpus[j];
+                        let g = &mut *ctx.gpu(j);
                         let accumulate =
                             if acc { Accumulate::Add } else { Accumulate::Overwrite };
                         // Move the destination out so the broadcast buffer
@@ -488,7 +538,7 @@ impl<'a> EpochBuilder<'a> {
                             Buf::Ahw(l) => g.ahw[l] = out,
                             Buf::X => unreachable!(),
                         }
-                    }) as Box<dyn FnOnce(&mut DeviceState)>
+                    }) as Body<DeviceState>
                 });
                 let op = self.sched.launch(
                     j,
@@ -523,8 +573,8 @@ impl<'a> EpochBuilder<'a> {
                 }
             }
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    let gs = &mut ctx.gpus[g];
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
                     let mut out = match dst {
                         Buf::Hw => std::mem::take(&mut gs.hw),
                         Buf::Ahw(dl) => std::mem::take(&mut gs.ahw[dl]),
@@ -537,7 +587,7 @@ impl<'a> EpochBuilder<'a> {
                         Buf::Ahw(dl) => gs.ahw[dl] = out,
                         Buf::X => unreachable!(),
                     }
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             let op = self.sched.launch(
                 g,
@@ -560,9 +610,9 @@ impl<'a> EpochBuilder<'a> {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.elementwise((n_g * d_out) as u64, 2.0);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    relu_inplace(ctx.gpus[g].ahw[l].as_mut_slice());
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                Box::new(move |ctx: &DeviceState| {
+                    relu_inplace(ctx.gpu(g).ahw[l].as_mut_slice());
+                }) as Body<DeviceState>
             });
             ops.push(self.sched.launch(
                 g,
@@ -585,11 +635,11 @@ impl<'a> EpochBuilder<'a> {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.elementwise((n_g * d) as u64, 3.0);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    let gs = &mut ctx.gpus[g];
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
                     let (grad, act) = gs.ahw_pair_mut(l + 1, l);
                     mggcn_dense::relu_backward_merge(grad.as_slice(), act.as_mut_slice());
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             ops.push(self.sched.launch(
                 g,
@@ -612,8 +662,8 @@ impl<'a> EpochBuilder<'a> {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.gemm(self.gpu_spec(g), d_in as u64, n_g as u64, d_out as u64);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    let gs = &mut ctx.gpus[g];
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
                     let mut out = std::mem::take(&mut gs.wgrad[l]);
                     out.resize(d_in, d_out);
                     gemm_at_b(
@@ -623,7 +673,7 @@ impl<'a> EpochBuilder<'a> {
                         Accumulate::Overwrite,
                     );
                     gs.wgrad[l] = out;
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             ops.push(self.sched.launch(
                 g,
@@ -647,8 +697,8 @@ impl<'a> EpochBuilder<'a> {
         let bytes = 2.0 * param_bytes * (p - 1.0) / p;
         let bw = self.opts.machine.allreduce_bw(&group);
         let body = self.real.as_ref().map(|_| {
-            Box::new(move |ctx: &mut DeviceState| ctx.all_reduce_wgrad(l))
-                as Box<dyn FnOnce(&mut DeviceState)>
+            Box::new(move |ctx: &DeviceState| ctx.all_reduce_wgrad(l))
+                as Body<DeviceState>
         });
         self.sched.collective(
             &lanes,
@@ -668,13 +718,13 @@ impl<'a> EpochBuilder<'a> {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.gemm(self.gpu_spec(g), n_g as u64, d_out as u64, d_in as u64);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    let gs = &mut ctx.gpus[g];
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
                     let mut out = std::mem::take(&mut gs.ahw[l]);
                     out.resize(n_g, d_in);
                     gemm_a_bt(&gs.hw, &gs.weights[l], &mut out, Accumulate::Overwrite);
                     gs.ahw[l] = out;
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             ops.push(self.sched.launch(
                 g,
@@ -698,8 +748,8 @@ impl<'a> EpochBuilder<'a> {
             let count = (self.cfg.d_in(l) * self.cfg.d_out(l)) as u64;
             let work = self.opts.cost.adam(count);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &mut DeviceState| {
-                    let gs = &mut ctx.gpus[g];
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
                     let grad = std::mem::take(&mut gs.wgrad[l]);
                     adam_step(
                         &params,
@@ -710,7 +760,7 @@ impl<'a> EpochBuilder<'a> {
                         gs.adam_v[l].as_mut_slice(),
                     );
                     gs.wgrad[l] = grad;
-                }) as Box<dyn FnOnce(&mut DeviceState)>
+                }) as Body<DeviceState>
             });
             self.sched.launch(
                 g,

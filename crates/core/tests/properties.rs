@@ -30,7 +30,7 @@ proptest! {
             opts.permute = false;
             let problem = Problem::from_graph(&graph, &cfg, &opts);
             let mut t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
-            t.train(2).into_iter().map(|r| r.loss).collect::<Vec<_>>()
+            t.train(2).expect("train").into_iter().map(|r| r.loss).collect::<Vec<_>>()
         };
         let serial = run(1);
         let distributed = run(gpus);
@@ -148,6 +148,7 @@ proptest! {
             Trainer::new(problem, cfg.clone(), opts)
                 .expect("fits")
                 .train_epoch()
+                .expect("train")
                 .sim_seconds
         };
         if gpus < 8 {

@@ -124,7 +124,7 @@ fn run_distributed(graph: &Graph, opts: TrainOptions, epochs: usize) -> Vec<f64>
     let cfg = GcnConfig::new(graph.features.cols(), &[10], graph.classes);
     let problem = Problem::from_graph(graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    trainer.train(epochs).into_iter().map(|r| r.loss).collect()
+    trainer.train(epochs).expect("train").into_iter().map(|r| r.loss).collect()
 }
 
 #[test]
@@ -228,7 +228,7 @@ fn loss_decreases_over_training() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let reports = trainer.train(30);
+    let reports = trainer.train(30).expect("train");
     let first = reports[0].loss;
     let last = reports.last().expect("nonempty").loss;
     assert!(last < first * 0.5, "loss {first} -> {last}");
@@ -246,7 +246,7 @@ fn first_layer_skip_still_learns() {
     opts.skip_first_backward_spmm = true;
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let reports = trainer.train(25);
+    let reports = trainer.train(25).expect("train");
     assert!(
         reports.last().unwrap().loss < reports[0].loss * 0.6,
         "loss {} -> {}",
@@ -364,7 +364,7 @@ fn timing_only_problem_produces_timeline() {
     let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
     let problem = Problem::from_stats(&card, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let report = trainer.train_epoch();
+    let report = trainer.train_epoch().expect("train");
     assert!(report.sim_seconds > 0.0);
     assert_eq!(report.loss, 0.0);
     let breakdown = report.breakdown(true);
@@ -398,7 +398,7 @@ fn more_gpus_is_faster_on_dense_graphs() {
         let opts = TrainOptions::full(mggcn_gpusim::MachineSpec::dgx_a100(), gpus);
         let problem = Problem::from_stats(&card, &opts);
         let mut t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
-        t.train_epoch().sim_seconds
+        t.train_epoch().expect("train").sim_seconds
     };
     let t1 = time(1);
     let t4 = time(4);
@@ -414,14 +414,14 @@ fn evaluate_is_side_effect_free() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    trainer.train(5);
+    trainer.train(5).expect("train");
     // Two evaluations in a row must agree exactly (no weight updates), and
     // an evaluation must not change the following training epoch.
-    let e1 = trainer.evaluate();
-    let e2 = trainer.evaluate();
+    let e1 = trainer.evaluate().expect("eval");
+    let e2 = trainer.evaluate().expect("eval");
     assert_eq!(e1.loss, e2.loss);
     assert_eq!(e1.test_acc, e2.test_acc);
-    let after_eval = trainer.train_epoch().loss;
+    let after_eval = trainer.train_epoch().expect("train").loss;
 
     // Reference run without the evaluations.
     let graph2 = test_graph(80, 33);
@@ -429,8 +429,8 @@ fn evaluate_is_side_effect_free() {
     let opts2 = TrainOptions::quick(2);
     let problem2 = Problem::from_graph(&graph2, &cfg2, &opts2);
     let mut reference = Trainer::new(problem2, cfg2, opts2).expect("fits");
-    reference.train(5);
-    let expected = reference.train_epoch().loss;
+    reference.train(5).expect("train");
+    let expected = reference.train_epoch().expect("train").loss;
     assert!((after_eval - expected).abs() < 1e-9, "{after_eval} vs {expected}");
 }
 
@@ -441,8 +441,8 @@ fn evaluate_is_cheaper_than_training() {
     let opts = TrainOptions::full(mggcn_gpusim::MachineSpec::dgx_a100(), 4);
     let problem = Problem::from_stats(&card, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let train_t = trainer.train_epoch().sim_seconds;
-    let eval_t = trainer.evaluate().sim_seconds;
+    let train_t = trainer.train_epoch().expect("train").sim_seconds;
+    let eval_t = trainer.evaluate().expect("eval").sim_seconds;
     assert!(eval_t < train_t, "eval {eval_t} vs train {train_t}");
 }
 
@@ -455,13 +455,13 @@ fn lr_schedule_changes_trajectory_but_still_learns() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut decayed = Trainer::new(problem, cfg.clone(), opts.clone()).expect("fits");
-    let d_losses: Vec<f64> = decayed.train(20).into_iter().map(|r| r.loss).collect();
+    let d_losses: Vec<f64> = decayed.train(20).expect("train").into_iter().map(|r| r.loss).collect();
 
     let mut cfg2 = cfg.clone();
     cfg2.lr_schedule = LrSchedule::Constant;
     let problem2 = Problem::from_graph(&graph, &cfg2, &opts);
     let mut constant = Trainer::new(problem2, cfg2, opts).expect("fits");
-    let c_losses: Vec<f64> = constant.train(20).into_iter().map(|r| r.loss).collect();
+    let c_losses: Vec<f64> = constant.train(20).expect("train").into_iter().map(|r| r.loss).collect();
 
     // Identical until the first decay boundary (epoch 5), diverging after.
     for e in 0..5 {
@@ -485,7 +485,7 @@ fn deep_and_varied_width_networks_match_reference() {
         let mut distributed = Trainer::new(problem, cfg.clone(), opts).expect("fits");
         let mut reference = DenseReference::new(&graph, &cfg);
         for e in 0..3 {
-            let d = distributed.train_epoch().loss;
+            let d = distributed.train_epoch().expect("train").loss;
             let r = reference.epoch();
             assert!(
                 (d - r).abs() < 2e-3 * r.abs().max(1.0),
@@ -504,7 +504,7 @@ fn single_layer_network_works() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let reports = trainer.train(10);
+    let reports = trainer.train(10).expect("train");
     assert!(reports[9].loss < reports[0].loss, "single-layer GCN learns");
 }
 
@@ -521,7 +521,8 @@ fn allocated_buffers_match_the_memory_plan() {
     let trainer = Trainer::new(problem, cfg.clone(), opts).expect("fits");
     let state = trainer.state();
     let mut actual_big = 0u64;
-    for g in &state.gpus {
+    for i in 0..state.gpu_count() {
+        let g = state.gpu(i);
         let per_gpu: usize = g.ahw.iter().map(|b| b.len()).sum::<usize>()
             + g.hw.len()
             + g.bc1.len()

@@ -1,0 +1,525 @@
+//! mggcn-exec — the real multi-threaded execution runtime.
+//!
+//! `gpusim` *times* an op schedule; this crate *runs* one. It spawns one
+//! OS thread per simulated GPU and executes the schedule's op bodies with
+//! real synchronization, mapping the simulator's concepts onto threads:
+//!
+//! * **stream FIFOs + CUDA events** → each worker executes its GPU's ops
+//!   in the simulator's deterministic completion order (a topological
+//!   linearization that respects every lane FIFO), and blocks on the
+//!   completion flags of an op's explicit `waits` — including the
+//!   BC1/BC2 double-buffer WAR fences, which arrive here as ordinary
+//!   dependency edges;
+//! * **NCCL rendezvous** → a collective appears in every participant's
+//!   worklist; participants count arrivals, the lowest-numbered GPU
+//!   (the leader) runs the collective body once all have arrived — at
+//!   which point every participant is quiescent, so cross-GPU reads are
+//!   safe — and its completion releases the others (a barrier);
+//! * **device failure** → a panicking body poisons the run: the error is
+//!   recorded, every waiting worker is released, and [`execute`] returns
+//!   `Err` instead of deadlocking a barrier.
+//!
+//! Deadlock freedom: the worklists are restrictions of one global
+//! linearization in which every op's waits precede it, so by induction
+//! the op with the globally smallest unfinished position can always make
+//! progress.
+//!
+//! Each body is wall-clock timed, producing a measured per-op/per-category
+//! profile next to the simulated timeline, so modeled and measured time
+//! can be compared in one report ([`ExecReport`]).
+
+use mggcn_gpusim::engine::{OpDesc, OpRecord, SimOutcome};
+use mggcn_gpusim::{Category, OpId, RunReport, Schedule};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub use rayon::{current_num_threads, pool_size, set_active_threads};
+
+/// How a trainer/server executes its op schedules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Discrete-event simulation only: bodies run sequentially on the
+    /// calling thread in simulated-completion order (the seed behavior).
+    #[default]
+    Simulated,
+    /// Real execution: worker-per-GPU threads + the parallel kernel pool.
+    /// Numerics are bit-identical to [`Backend::Simulated`].
+    Threaded,
+}
+
+impl Backend {
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "simulated" | "sim" => Some(Backend::Simulated),
+            "threaded" | "exec" => Some(Backend::Threaded),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Simulated => "simulated",
+            Backend::Threaded => "threaded",
+        }
+    }
+}
+
+/// Wall-clock measurement of one executed op body.
+#[derive(Clone, Copy, Debug)]
+pub struct WallSpan {
+    pub gpu: usize,
+    pub stream: usize,
+    pub category: Category,
+    pub label: &'static str,
+    pub seconds: f64,
+}
+
+/// Outcome of really executing a schedule: the simulated timing report
+/// plus measured wall-clock, side by side.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// The rate-based DES prediction for the same schedule.
+    pub sim: RunReport,
+    /// Measured end-to-end wall-clock seconds (workers spawned → joined).
+    pub wall_seconds: f64,
+    /// Measured per-op spans, in each worker's execution order.
+    pub spans: Vec<WallSpan>,
+    /// Ops whose bodies actually ran.
+    pub bodies_run: usize,
+}
+
+impl ExecReport {
+    /// Total measured body seconds per category (collective bodies count
+    /// once, on the leader).
+    pub fn category_wall_seconds(&self) -> BTreeMap<Category, f64> {
+        let mut out = BTreeMap::new();
+        for s in &self.spans {
+            *out.entry(s.category).or_insert(0.0) += s.seconds;
+        }
+        out
+    }
+}
+
+/// Execution failed: some worker's op body panicked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecError {
+    pub gpu: usize,
+    pub label: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker for gpu {} panicked in op `{}`: {}", self.gpu, self.label, self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Fault injection for robustness tests: panic inside the N-th body
+/// executed process-wide (counting from 0). `-1` disables.
+#[doc(hidden)]
+pub fn inject_panic_at_body(n: i64) {
+    BODY_COUNTER.store(0, Ordering::SeqCst);
+    PANIC_AT.store(n, Ordering::SeqCst);
+}
+
+static PANIC_AT: AtomicI64 = AtomicI64::new(-1);
+static BODY_COUNTER: AtomicI64 = AtomicI64::new(0);
+
+fn fault_check(label: &str) {
+    let target = PANIC_AT.load(Ordering::SeqCst);
+    if target >= 0 {
+        let k = BODY_COUNTER.fetch_add(1, Ordering::SeqCst);
+        // Disarm only when this body is the target, so a later body
+        // cannot also fire (one-shot), and earlier ones leave it armed.
+        if k == target
+            && PANIC_AT.compare_exchange(target, -1, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+        {
+            panic!("injected fault in `{label}`");
+        }
+    }
+}
+
+/// Safety net against lost wakeups: waiters re-check their predicate at
+/// least this often even with no notification.
+const WAIT_TICK: Duration = Duration::from_millis(50);
+
+/// Per-op static metadata: descriptor, participating (gpu, stream)
+/// lanes, and dependency list.
+type OpMeta = (OpDesc, Vec<(usize, usize)>, Vec<OpId>);
+
+struct Shared<'a, Ctx> {
+    records: Vec<Mutex<Option<OpRecord<Ctx>>>>,
+    meta: Vec<OpMeta>,
+    done: Vec<AtomicBool>,
+    arrivals: Vec<AtomicUsize>,
+    failed: AtomicBool,
+    error: Mutex<Option<ExecError>>,
+    /// Global event channel: completions, arrivals and failures all
+    /// notify here; waiters hold the lock while checking predicates.
+    gate: Mutex<()>,
+    cv: Condvar,
+    ctx: &'a Ctx,
+}
+
+impl<'a, Ctx> Shared<'a, Ctx> {
+    /// Wait until `pred()` holds or the run has failed. Returns false on
+    /// failure (caller bails out).
+    fn wait_until(&self, mut pred: impl FnMut() -> bool) -> bool {
+        let mut guard = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.failed.load(Ordering::SeqCst) {
+                return false;
+            }
+            if pred() {
+                return true;
+            }
+            let (g, _) =
+                self.cv.wait_timeout(guard, WAIT_TICK).unwrap_or_else(|e| {
+                    let (g, t) = e.into_inner();
+                    (g, t)
+                });
+            guard = g;
+        }
+    }
+
+    fn notify(&self) {
+        let _g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_all();
+    }
+
+    fn mark_done(&self, id: OpId) {
+        self.done[id].store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    fn fail(&self, gpu: usize, label: &'static str, payload: Box<dyn std::any::Any + Send>) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        {
+            let mut slot = self.error.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(ExecError { gpu, label, message });
+            }
+        }
+        self.failed.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    fn waits_satisfied(&self, id: OpId) -> bool {
+        self.meta[id].2.iter().all(|&w| self.done[w].load(Ordering::SeqCst))
+    }
+
+    /// Run one worker: execute `work` (this GPU's slice of the global
+    /// completion order), honoring waits and collective rendezvous.
+    fn worker(&self, gpu: usize, work: &[OpId], spans: &mut Vec<WallSpan>) {
+        for &id in work {
+            let (desc, lanes, _) = &self.meta[id];
+            let leader = lanes.iter().map(|&(g, _)| g).min().expect("op has lanes");
+            let stream = lanes
+                .iter()
+                .find(|&&(g, _)| g == gpu)
+                .map(|&(_, s)| s)
+                .expect("op is on this gpu");
+            if lanes.len() > 1 {
+                // Collective rendezvous: announce arrival, then either run
+                // it (leader, after full quiescence) or wait for the leader.
+                self.arrivals[id].fetch_add(1, Ordering::SeqCst);
+                self.notify();
+                if gpu == leader {
+                    let all = lanes.len();
+                    if !self.wait_until(|| {
+                        self.arrivals[id].load(Ordering::SeqCst) == all
+                            && self.waits_satisfied(id)
+                    }) {
+                        return;
+                    }
+                    if !self.run_body(id, gpu, stream, desc, spans) {
+                        return;
+                    }
+                    self.mark_done(id);
+                } else if !self.wait_until(|| self.done[id].load(Ordering::SeqCst)) {
+                    return;
+                }
+            } else {
+                if !self.wait_until(|| self.waits_satisfied(id)) {
+                    return;
+                }
+                if !self.run_body(id, gpu, stream, desc, spans) {
+                    return;
+                }
+                self.mark_done(id);
+            }
+        }
+    }
+
+    /// Execute the body of `id` (if any) under panic capture and timing.
+    /// Returns false when the run is now failed.
+    fn run_body(
+        &self,
+        id: OpId,
+        gpu: usize,
+        stream: usize,
+        desc: &OpDesc,
+        spans: &mut Vec<WallSpan>,
+    ) -> bool {
+        let body = self.records[id]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .and_then(|r| r.body);
+        let Some(body) = body else { return true };
+        let label = desc.label;
+        let start = Instant::now();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            fault_check(label);
+            body(self.ctx);
+        }));
+        let seconds = start.elapsed().as_secs_f64();
+        match r {
+            Ok(()) => {
+                spans.push(WallSpan { gpu, stream, category: desc.category, label, seconds });
+                true
+            }
+            Err(payload) => {
+                self.fail(gpu, label, payload);
+                false
+            }
+        }
+    }
+}
+
+/// Really execute `sched` against `ctx` with one worker thread per GPU.
+///
+/// Numerics are bit-identical to `sched.run(ctx)`: each worker replays
+/// its GPU's slice of the simulator's deterministic completion order, and
+/// all cross-GPU orderings that matter are dependency edges or collective
+/// barriers, enforced here with real synchronization.
+pub fn execute<Ctx: Sync>(sched: Schedule<Ctx>, ctx: &Ctx) -> Result<ExecReport, ExecError> {
+    let gpu_count = sched.machine().gpu_count();
+    let SimOutcome { report, completion_order } = sched.simulate();
+    let records = sched.into_records();
+
+    let meta: Vec<OpMeta> =
+        records.iter().map(|r| (r.desc, r.lanes.clone(), r.waits.clone())).collect();
+    let n_ops = records.len();
+
+    // Per-GPU worklists: the global completion order restricted to each
+    // GPU's lanes (collectives appear in every participant's list).
+    let mut worklists: Vec<Vec<OpId>> = vec![Vec::new(); gpu_count];
+    for &id in &completion_order {
+        for &(g, _) in &meta[id].1 {
+            worklists[g].push(id);
+        }
+    }
+
+    let shared = Shared {
+        records: records.into_iter().map(|r| Mutex::new(Some(r))).collect(),
+        meta,
+        done: (0..n_ops).map(|_| AtomicBool::new(false)).collect(),
+        arrivals: (0..n_ops).map(|_| AtomicUsize::new(0)).collect(),
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+        gate: Mutex::new(()),
+        cv: Condvar::new(),
+        ctx,
+    };
+
+    let start = Instant::now();
+    let mut all_spans: Vec<Vec<WallSpan>> = Vec::with_capacity(gpu_count);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = worklists
+            .iter()
+            .enumerate()
+            .map(|(gpu, work)| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut spans = Vec::with_capacity(work.len());
+                    shared.worker(gpu, work, &mut spans);
+                    spans
+                })
+            })
+            .collect();
+        for h in handles {
+            // A worker thread itself cannot panic — bodies are caught —
+            // but stay defensive about the join.
+            match h.join() {
+                Ok(spans) => all_spans.push(spans),
+                Err(payload) => shared.fail(usize::MAX, "worker", payload),
+            }
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    if let Some(err) = shared.error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(err);
+    }
+    let spans: Vec<WallSpan> = all_spans.into_iter().flatten().collect();
+    let bodies_run = spans.len();
+    Ok(ExecReport { sim: report, wall_seconds, spans, bodies_run })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_gpusim::engine::OpDesc;
+    use mggcn_gpusim::{GpuSpec, MachineSpec, Work};
+    use std::sync::atomic::AtomicU64;
+
+    fn machine(n: usize) -> MachineSpec {
+        let mut m = MachineSpec::uniform("exec-test", GpuSpec::v100(), n, 6, 25.0e9);
+        m.comm_latency = 0.0;
+        m
+    }
+
+    fn fixed() -> Work {
+        Work::Fixed { seconds: 1e-6 }
+    }
+
+    #[test]
+    fn bodies_run_exactly_once_and_in_dependency_order() {
+        // GPU-local chains plus a cross-GPU wait; log (gpu, step) pairs.
+        let log: Mutex<Vec<(usize, u32)>> = Mutex::new(Vec::new());
+        let mut s: Schedule<Mutex<Vec<(usize, u32)>>> = Schedule::new(machine(2));
+        let mut last = None;
+        for step in 0..3u32 {
+            for gpu in 0..2usize {
+                let waits: Vec<OpId> = last.into_iter().collect();
+                last = Some(s.launch(
+                    gpu,
+                    0,
+                    fixed(),
+                    OpDesc::new(Category::Other, "step"),
+                    &waits,
+                    Some(Box::new(move |l: &Mutex<Vec<(usize, u32)>>| {
+                        l.lock().unwrap().push((gpu, step))
+                    })),
+                ));
+            }
+        }
+        let r = execute(s, &log).expect("no panic");
+        assert_eq!(r.bodies_run, 6);
+        let got = log.into_inner().unwrap();
+        assert_eq!(got.len(), 6);
+        // The zig-zag waits serialize everything globally.
+        let expect: Vec<(usize, u32)> =
+            (0..3u32).flat_map(|s| (0..2usize).map(move |g| (g, s))).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn collective_barrier_sees_all_prior_writes() {
+        // Each GPU writes its slot, then an all-lane collective sums them.
+        // The leader must observe every participant's write.
+        struct Ctx {
+            slots: Vec<AtomicU64>,
+            total: AtomicU64,
+        }
+        let p = 4;
+        let ctx = Ctx {
+            slots: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        };
+        let mut s: Schedule<Ctx> = Schedule::new(machine(p));
+        for g in 0..p {
+            s.launch(
+                g,
+                0,
+                fixed(),
+                OpDesc::new(Category::Other, "write"),
+                &[],
+                Some(Box::new(move |c: &Ctx| {
+                    c.slots[g].store((g as u64 + 1) * 10, Ordering::SeqCst)
+                })),
+            );
+        }
+        let lanes: Vec<(usize, usize)> = (0..p).map(|g| (g, 1)).collect();
+        s.collective(
+            &lanes,
+            1.0e6,
+            25.0e9,
+            OpDesc::new(Category::Comm, "sum"),
+            &[],
+            Some(Box::new(|c: &Ctx| {
+                let t: u64 = c.slots.iter().map(|s| s.load(Ordering::SeqCst)).sum();
+                c.total.store(t, Ordering::SeqCst);
+            })),
+        );
+        // After the barrier, every GPU doubles its own slot — must not race
+        // with the collective read.
+        for g in 0..p {
+            // The collective is op index p.
+            s.launch(
+                g,
+                0,
+                fixed(),
+                OpDesc::new(Category::Other, "after"),
+                &[p],
+                Some(Box::new(move |c: &Ctx| {
+                    c.slots[g].fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+        }
+        let r = execute(s, &ctx).expect("no panic");
+        assert_eq!(ctx.total.load(Ordering::SeqCst), 10 + 20 + 30 + 40);
+        assert_eq!(r.bodies_run, 2 * p + 1);
+    }
+
+    #[test]
+    fn panic_in_body_returns_err_without_hanging() {
+        let p = 4;
+        let ctx = ();
+        let mut s: Schedule<()> = Schedule::new(machine(p));
+        for g in 0..p {
+            s.launch(
+                g,
+                0,
+                fixed(),
+                OpDesc::new(Category::Other, "pre"),
+                &[],
+                Some(Box::new(move |_: &()| {
+                    if g == 2 {
+                        panic!("device 2 exploded");
+                    }
+                })),
+            );
+        }
+        // A collective behind the panicking op: its barrier must not hang.
+        let lanes: Vec<(usize, usize)> = (0..p).map(|g| (g, 0)).collect();
+        s.collective(&lanes, 1.0e6, 25.0e9, OpDesc::new(Category::Comm, "barrier"), &[], None);
+        let start = Instant::now();
+        let err = execute(s, &ctx).expect_err("must fail");
+        assert!(start.elapsed() < Duration::from_secs(10), "bounded-time failure");
+        assert_eq!(err.gpu, 2);
+        assert!(err.message.contains("device 2 exploded"), "{err}");
+    }
+
+    #[test]
+    fn wall_spans_cover_executed_bodies() {
+        let ctx = ();
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        for g in 0..2 {
+            s.launch(
+                g,
+                0,
+                fixed(),
+                OpDesc::new(Category::GeMM, "work"),
+                &[],
+                Some(Box::new(|_: &()| std::thread::sleep(Duration::from_millis(2)))),
+            );
+        }
+        let r = execute(s, &ctx).expect("ok");
+        assert_eq!(r.spans.len(), 2);
+        let cats = r.category_wall_seconds();
+        assert!(cats[&Category::GeMM] >= 0.004 * 0.5, "timed sleeps: {cats:?}");
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.sim.makespan > 0.0);
+    }
+}

@@ -59,7 +59,12 @@ impl OpDesc {
     }
 }
 
-type Body<Ctx> = Box<dyn FnOnce(&mut Ctx)>;
+/// An op's real-execution payload. Bodies take the context by shared
+/// reference (interior mutability inside `Ctx` scopes writes to the GPU
+/// being computed) and are `Send`, so the threaded executor
+/// (`mggcn-exec`) can run them on worker threads; the simulated path
+/// runs them on the calling thread in completion order.
+pub type Body<Ctx> = Box<dyn FnOnce(&Ctx) + Send>;
 
 struct Op<Ctx> {
     desc: OpDesc,
@@ -69,6 +74,26 @@ struct Op<Ctx> {
     lanes: Vec<(usize, usize)>,
     waits: Vec<OpId>,
     body: Option<Body<Ctx>>,
+}
+
+/// One recorded op, surrendered by [`Schedule::into_records`] for real
+/// (threaded) execution outside the simulator.
+pub struct OpRecord<Ctx> {
+    pub desc: OpDesc,
+    pub work: Work,
+    pub lanes: Vec<(usize, usize)>,
+    pub waits: Vec<OpId>,
+    pub body: Option<Body<Ctx>>,
+}
+
+/// Result of timing a schedule without running bodies: the run report
+/// plus the deterministic completion order of all ops — a topological
+/// linearization of the dependency DAG that respects every lane FIFO,
+/// which is exactly the per-worker execution order the threaded backend
+/// replays.
+pub struct SimOutcome {
+    pub report: RunReport,
+    pub completion_order: Vec<OpId>,
 }
 
 /// Result of running a schedule.
@@ -184,8 +209,37 @@ impl<Ctx> Schedule<Ctx> {
     /// Play the schedule forward. Bodies run against `ctx` in completion
     /// order. Panics on deadlock (a schedule bug: circular waits or
     /// mismatched collective enqueue order).
-    pub fn run(self, ctx: &mut Ctx) -> RunReport {
-        let Schedule { machine, mut ops, queues, launch_overhead } = self;
+    pub fn run(mut self, ctx: &Ctx) -> RunReport {
+        let SimOutcome { report, completion_order } = self.simulate();
+        for id in completion_order {
+            if let Some(body) = self.ops[id].body.take() {
+                body(ctx);
+            }
+        }
+        report
+    }
+
+    /// Surrender the recorded ops (with their bodies) for execution by an
+    /// external runtime, e.g. the `mggcn-exec` worker-per-GPU executor.
+    pub fn into_records(self) -> Vec<OpRecord<Ctx>> {
+        self.ops
+            .into_iter()
+            .map(|op| OpRecord {
+                desc: op.desc,
+                work: op.work,
+                lanes: op.lanes,
+                waits: op.waits,
+                body: op.body,
+            })
+            .collect()
+    }
+
+    /// Run the rate-based DES over op metadata only: no bodies execute.
+    /// Returns the timing report and the completion order (ties broken by
+    /// ascending op id — deterministic).
+    pub fn simulate(&self) -> SimOutcome {
+        let Schedule { machine, ops, queues, launch_overhead } = self;
+        let launch_overhead = *launch_overhead;
         let n_ops = ops.len();
         let mut heads: BTreeMap<(usize, usize), usize> =
             queues.keys().map(|&k| (k, 0usize)).collect();
@@ -199,6 +253,7 @@ impl<Ctx> Schedule<Ctx> {
         let mut now = 0.0f64;
         let mut timeline = Timeline::default();
         let mut executed = 0usize;
+        let mut completion_order: Vec<OpId> = Vec::with_capacity(n_ops);
 
         loop {
             // Promote every ready head op. A collective is ready when at the
@@ -302,7 +357,8 @@ impl<Ctx> Schedule<Ctx> {
                 running.retain(|&r| r != id);
                 completed[id] = true;
                 executed += 1;
-                let op = &mut ops[id];
+                completion_order.push(id);
+                let op = &ops[id];
                 for &(gpu, stream) in &op.lanes {
                     timeline.spans.push(Span {
                         gpu,
@@ -321,13 +377,13 @@ impl<Ctx> Schedule<Ctx> {
                         *h += 1;
                     }
                 }
-                if let Some(body) = op.body.take() {
-                    body(ctx);
-                }
             }
         }
 
-        RunReport { makespan: now, timeline, ops_executed: executed }
+        SimOutcome {
+            report: RunReport { makespan: now, timeline, ops_executed: executed },
+            completion_order,
+        }
     }
 }
 
@@ -398,14 +454,14 @@ mod tests {
         let mut s: Schedule<()> = Schedule::new(machine(1));
         s.launch_overhead = 0.0;
         s.launch(0, 0, Work::Fixed { seconds: 1.5 }, desc(Category::Other), &[], None);
-        let r = s.run(&mut ());
+        let r = s.run(&());
         assert!((r.makespan - 1.5).abs() < 1e-9);
         assert_eq!(r.ops_executed, 1);
     }
 
     #[test]
     fn stream_is_fifo() {
-        let mut s: Schedule<Vec<u32>> = Schedule::new(machine(1));
+        let mut s: Schedule<std::sync::Mutex<Vec<u32>>> = Schedule::new(machine(1));
         s.launch_overhead = 0.0;
         for i in 0..3u32 {
             s.launch(
@@ -414,12 +470,12 @@ mod tests {
                 Work::Fixed { seconds: 0.1 },
                 desc(Category::Other),
                 &[],
-                Some(Box::new(move |v: &mut Vec<u32>| v.push(i))),
+                Some(Box::new(move |v: &std::sync::Mutex<Vec<u32>>| v.lock().unwrap().push(i))),
             );
         }
-        let mut order = Vec::new();
-        let r = s.run(&mut order);
-        assert_eq!(order, vec![0, 1, 2]);
+        let order = std::sync::Mutex::new(Vec::new());
+        let r = s.run(&order);
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2]);
         assert!((r.makespan - 0.3).abs() < 1e-9);
     }
 
@@ -429,13 +485,14 @@ mod tests {
         s.launch_overhead = 0.0;
         s.launch(0, 0, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
         s.launch(1, 0, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
-        let r = s.run(&mut ());
+        let r = s.run(&());
         assert!((r.makespan - 1.0).abs() < 1e-9, "makespan {}", r.makespan);
     }
 
     #[test]
     fn cross_stream_wait_serializes() {
-        let mut s: Schedule<Vec<&'static str>> = Schedule::new(machine(1));
+        type Log = std::sync::Mutex<Vec<&'static str>>;
+        let mut s: Schedule<Log> = Schedule::new(machine(1));
         s.launch_overhead = 0.0;
         let a = s.launch(
             0,
@@ -443,7 +500,7 @@ mod tests {
             Work::Fixed { seconds: 1.0 },
             desc(Category::Other),
             &[],
-            Some(Box::new(|v: &mut Vec<&str>| v.push("a"))),
+            Some(Box::new(|v: &Log| v.lock().unwrap().push("a"))),
         );
         s.launch(
             0,
@@ -451,11 +508,11 @@ mod tests {
             Work::Fixed { seconds: 0.5 },
             desc(Category::Other),
             &[a],
-            Some(Box::new(|v: &mut Vec<&str>| v.push("b"))),
+            Some(Box::new(|v: &Log| v.lock().unwrap().push("b"))),
         );
-        let mut order = Vec::new();
-        let r = s.run(&mut order);
-        assert_eq!(order, vec!["a", "b"]);
+        let order: Log = std::sync::Mutex::new(Vec::new());
+        let r = s.run(&order);
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b"]);
         assert!((r.makespan - 1.5).abs() < 1e-9);
     }
 
@@ -472,7 +529,7 @@ mod tests {
             &[],
             None,
         );
-        let r = s.run(&mut ());
+        let r = s.run(&());
         assert!((r.makespan - 1.0).abs() < 1e-6, "makespan {}", r.makespan);
     }
 
@@ -495,7 +552,7 @@ mod tests {
             &[],
             None,
         );
-        let t_alone = alone.run(&mut ()).makespan;
+        let t_alone = alone.run(&()).makespan;
 
         let mut overlapped = mk();
         overlapped.launch(
@@ -515,7 +572,7 @@ mod tests {
             &[],
             None,
         );
-        let t_over = overlapped.run(&mut ()).makespan;
+        let t_over = overlapped.run(&()).makespan;
         assert!(t_over > t_alone * 1.15, "alone {t_alone}, overlapped {t_over}");
     }
 
@@ -527,7 +584,7 @@ mod tests {
         s.launch_overhead = 0.0;
         s.launch(1, 1, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
         s.collective(&[(0, 1), (1, 1)], 2.5e9, 25.0e9, desc(Category::Comm), &[], None);
-        let r = s.run(&mut ());
+        let r = s.run(&());
         assert!((r.makespan - 1.1).abs() < 1e-6, "makespan {}", r.makespan);
     }
 
@@ -543,7 +600,7 @@ mod tests {
             &[],
             None,
         );
-        let r = s.run(&mut ());
+        let r = s.run(&());
         assert_eq!(r.timeline.spans.len(), 3);
     }
 
@@ -565,7 +622,7 @@ mod tests {
             None,
         );
         let _y = s.launch(0, 0, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[], None);
-        let _ = s.run(&mut ());
+        let _ = s.run(&());
     }
 
     #[test]
@@ -579,7 +636,7 @@ mod tests {
         // queued first on GPU1's lane.
         s.launch(1, 1, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[1], None);
         s.collective(&[(0, 1), (1, 1)], 1.0e9, 25.0e9, desc(Category::Comm), &[], None);
-        let _ = s.run(&mut ());
+        let _ = s.run(&());
     }
 
     #[test]
@@ -601,7 +658,7 @@ mod tests {
                     None,
                 );
             }
-            s.run(&mut ()).makespan
+            s.run(&()).makespan
         };
         let serial = mk([0, 0]);
         let shared = mk([0, 1]);
@@ -624,7 +681,7 @@ mod tests {
                 None,
             );
         }
-        let t = s.run(&mut ()).makespan;
+        let t = s.run(&()).makespan;
         assert!((t - 1.0).abs() < 1e-6, "makespan {t}");
     }
 
@@ -642,7 +699,7 @@ mod tests {
             None,
         );
         s.collective(&[(0, 1), (1, 1)], 25.0e9, 25.0e9, desc(Category::Comm), &[], None);
-        let r = s.run(&mut ());
+        let r = s.run(&());
         // Comm finishes at 1.0 s despite the busy GPU; makespan is the
         // 1-second compute.
         let comm_span = r
@@ -659,7 +716,7 @@ mod tests {
         let mut s: Schedule<()> = Schedule::new(machine(1));
         s.launch_overhead = 0.25;
         s.launch(0, 0, Work::Fixed { seconds: 1.0 }, desc(Category::Other), &[], None);
-        let r = s.run(&mut ());
+        let r = s.run(&());
         assert!((r.makespan - 1.25).abs() < 1e-9);
     }
 }

@@ -29,14 +29,17 @@
 //! use mggcn_gpusim::engine::OpDesc;
 //! use mggcn_gpusim::{Category, MachineSpec, Schedule, Work};
 //!
-//! // A kernel on GPU 0 overlapped with a broadcast to GPU 1.
-//! let mut sched: Schedule<Vec<&str>> = Schedule::new(MachineSpec::dgx_a100());
+//! // A kernel on GPU 0 overlapped with a broadcast to GPU 1. Bodies take
+//! // the context by shared reference (they are `Send`, so the threaded
+//! // backend can run them on workers); use interior mutability to write.
+//! use std::sync::Mutex;
+//! let mut sched: Schedule<Mutex<Vec<&str>>> = Schedule::new(MachineSpec::dgx_a100());
 //! let k = sched.launch(
 //!     0, 0,
 //!     Work::Compute { flops: 1.0e12, bytes: 1.0e9 },
 //!     OpDesc::new(Category::SpMM, "spmm"),
 //!     &[],
-//!     Some(Box::new(|log| log.push("kernel ran"))),
+//!     Some(Box::new(|log: &Mutex<Vec<&str>>| log.lock().unwrap().push("kernel ran"))),
 //! );
 //! sched.collective(
 //!     &[(0, 1), (1, 1)],
@@ -46,9 +49,9 @@
 //!     &[k], // broadcast waits on the kernel
 //!     None,
 //! );
-//! let mut log = Vec::new();
-//! let report = sched.run(&mut log);
-//! assert_eq!(log, vec!["kernel ran"]);
+//! let log = Mutex::new(Vec::new());
+//! let report = sched.run(&log);
+//! assert_eq!(*log.lock().unwrap(), vec!["kernel ran"]);
 //! assert!(report.makespan > 0.0);
 //! assert_eq!(report.timeline.spans.len(), 3); // kernel + 2 collective lanes
 //! ```

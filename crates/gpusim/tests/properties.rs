@@ -39,7 +39,8 @@ fn ops_strategy(gpus: usize) -> impl Strategy<Value = Vec<OpSpec>> {
 }
 
 fn build_and_run(gpus: usize, specs: &[OpSpec]) -> (f64, usize, Vec<usize>) {
-    let mut sched: Schedule<Vec<usize>> = Schedule::new(machine(gpus));
+    type Log = std::sync::Mutex<Vec<usize>>;
+    let mut sched: Schedule<Log> = Schedule::new(machine(gpus));
     sched.launch_overhead = 0.0;
     let mut ids = Vec::new();
     for (idx, op) in specs.iter().enumerate() {
@@ -56,12 +57,13 @@ fn build_and_run(gpus: usize, specs: &[OpSpec]) -> (f64, usize, Vec<usize>) {
             Work::Fixed { seconds: op.seconds },
             OpDesc::new(Category::Other, "prop"),
             &waits,
-            Some(Box::new(move |log: &mut Vec<usize>| log.push(idx))),
+            Some(Box::new(move |log: &Log| log.lock().unwrap().push(idx))),
         );
         ids.push(id);
     }
-    let mut log = Vec::new();
-    let report = sched.run(&mut log);
+    let log: Log = std::sync::Mutex::new(Vec::new());
+    let report = sched.run(&log);
+    let log = log.into_inner().unwrap();
     (report.makespan, report.ops_executed, log)
 }
 
@@ -136,7 +138,7 @@ proptest! {
                 None,
             ));
         }
-        let report = sched.run(&mut ());
+        let report = sched.run(&());
         prop_assert_eq!(report.timeline.spans.len(), specs.len());
         for span in &report.timeline.spans {
             prop_assert!(span.end >= span.start);

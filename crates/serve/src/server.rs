@@ -28,11 +28,12 @@ use crate::batcher::{form_batches, BatchPolicy, Request};
 use crate::cache::{CacheStats, PropagationCache};
 use crate::model::ServingModel;
 use mggcn_dense::{gemm, relu_inplace, Accumulate, Dense};
+use mggcn_exec::Backend;
 use mggcn_gpusim::engine::OpDesc;
 use mggcn_gpusim::{Category, CostModel, LatencyStats, MachineSpec, Schedule, Work};
 use mggcn_graph::sampling::{khop_induced, InducedBlock};
 use mggcn_sparse::spmm_rows;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Serving configuration: hardware, cost model, batching and cache knobs.
 #[derive(Clone, Debug)]
@@ -46,6 +47,11 @@ pub struct ServeConfig {
     pub extract_fixed: f64,
     /// Per-induced-edge extraction cost, seconds.
     pub extract_per_edge: f64,
+    /// How batch schedules execute: simulated (bodies on the calling
+    /// thread) or really on the `mggcn-exec` runtime. Outputs and latency
+    /// accounting are bit-identical; the threaded path additionally
+    /// exercises real synchronization.
+    pub backend: Backend,
 }
 
 impl ServeConfig {
@@ -57,6 +63,7 @@ impl ServeConfig {
             cache_bytes,
             extract_fixed: 40.0e-6,
             extract_per_edge: 1.0e-9,
+            backend: Backend::Simulated,
         }
     }
 }
@@ -282,7 +289,7 @@ impl Server {
 
         let spec = self.cfg.machine.gpus[gpu];
         let cost = self.cfg.cost;
-        let mut sched: Schedule<BatchCtx> = Schedule::new(self.cfg.machine.clone());
+        let mut sched: Schedule<Mutex<BatchCtx>> = Schedule::new(self.cfg.machine.clone());
         let stream = 0;
 
         // Subgraph extraction: per-batch fixed cost (the batching lever).
@@ -306,7 +313,8 @@ impl Server {
             cost.elementwise(gather_elems, 1.0),
             OpDesc::new(Category::Other, "serve-gather"),
             &[],
-            Some(Box::new(move |ctx: &mut BatchCtx| {
+            Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
+                let ctx = &mut *lock_ctx(ctx);
                 let n = ctx.block.vertices.len();
                 let d = ctx.features.cols();
                 let mut h = Dense::zeros(n, d);
@@ -342,8 +350,9 @@ impl Server {
                         ),
                         OpDesc::new(Category::SpMM, "serve-spmm"),
                         &[],
-                        Some(Box::new(move |ctx: &mut BatchCtx| {
-                            let BatchCtx { block, misses, h, agg, miss_agg, .. } = ctx;
+                        Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
+                            let BatchCtx { block, misses, h, agg, miss_agg, .. } =
+                                &mut *lock_ctx(ctx);
                             let mut out = Dense::zeros(misses.len(), h.cols());
                             spmm_rows(&block.adj, misses, h, &mut out, Accumulate::Overwrite);
                             for (i, &lm) in misses.iter().enumerate() {
@@ -362,8 +371,8 @@ impl Server {
                     cost.spmm(&spec, n_rows as u64, n_local as u64, nnz as u64, d_in as u64, false),
                     OpDesc::new(Category::SpMM, "serve-spmm"),
                     &[],
-                    Some(Box::new(move |ctx: &mut BatchCtx| {
-                        let BatchCtx { block, rows_per_layer, h, agg, .. } = ctx;
+                    Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
+                        let BatchCtx { block, rows_per_layer, h, agg, .. } = &mut *lock_ctx(ctx);
                         let rows = &rows_per_layer[l];
                         let mut out = Dense::zeros(rows.len(), h.cols());
                         spmm_rows(&block.adj, rows, h, &mut out, Accumulate::Overwrite);
@@ -382,8 +391,9 @@ impl Server {
                 cost.gemm(&spec, n_rows as u64, d_in as u64, d_out as u64),
                 OpDesc::new(Category::GeMM, "serve-gemm"),
                 &[],
-                Some(Box::new(move |ctx: &mut BatchCtx| {
-                    let BatchCtx { block, weights, rows_per_layer, h, agg, .. } = ctx;
+                Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
+                    let BatchCtx { block, weights, rows_per_layer, h, agg, .. } =
+                        &mut *lock_ctx(ctx);
                     let w = &weights[l];
                     let rows = &rows_per_layer[l];
                     let mut compact_in = Dense::zeros(rows.len(), w.rows());
@@ -407,8 +417,8 @@ impl Server {
                     cost.elementwise((n_rows * d_out) as u64, 2.0),
                     OpDesc::new(Category::Activation, "serve-relu"),
                     &[],
-                    Some(Box::new(move |ctx: &mut BatchCtx| {
-                        let BatchCtx { rows_per_layer, h, .. } = ctx;
+                    Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
+                        let BatchCtx { rows_per_layer, h, .. } = &mut *lock_ctx(ctx);
                         for &r in &rows_per_layer[l] {
                             relu_inplace(h.row_mut(r as usize));
                         }
@@ -424,7 +434,8 @@ impl Server {
             cost.elementwise((vertices.len() * classes) as u64, 2.0),
             OpDesc::new(Category::Other, "serve-output"),
             &[],
-            Some(Box::new(move |ctx: &mut BatchCtx| {
+            Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
+                let ctx = &mut *lock_ctx(ctx);
                 let mut out = Dense::zeros(ctx.seeds_local.len(), ctx.h.cols());
                 for (i, &s) in ctx.seeds_local.iter().enumerate() {
                     out.row_mut(i).copy_from_slice(ctx.h.row(s as usize));
@@ -433,7 +444,7 @@ impl Server {
             })),
         );
 
-        let mut ctx = BatchCtx {
+        let ctx = Mutex::new(BatchCtx {
             block,
             features: self.model.features().clone(),
             weights: self.model.weights().clone(),
@@ -445,14 +456,30 @@ impl Server {
             miss_agg: Dense::zeros(0, 0),
             seeds_local,
             out: Dense::zeros(0, 0),
+        });
+        // Both backends report the *simulated* machine's service time, so
+        // latency accounting is deterministic; the threaded path executes
+        // the same bodies on the worker runtime (single-GPU schedule → one
+        // worker, real dependency enforcement).
+        let makespan = match self.cfg.backend {
+            Backend::Simulated => sched.run(&ctx).makespan,
+            Backend::Threaded => {
+                mggcn_exec::execute(sched, &ctx).expect("serve bodies do not panic").sim.makespan
+            }
         };
-        let report = sched.run(&mut ctx);
+        let ctx = ctx.into_inner().unwrap_or_else(|e| e.into_inner());
 
         // Feed freshly computed aggregation rows back into the cache.
         for (i, &lm) in ctx.misses.iter().enumerate() {
             let g = ctx.block.vertices[lm as usize];
             self.cache.insert(g, ctx.miss_agg.row(i));
         }
-        (ctx.out, report.makespan)
+        (ctx.out, makespan)
     }
+}
+
+/// Lock a batch context, recovering from poisoning (a panicked body has
+/// already been reported by the executor).
+fn lock_ctx(ctx: &Mutex<BatchCtx>) -> std::sync::MutexGuard<'_, BatchCtx> {
+    ctx.lock().unwrap_or_else(|e| e.into_inner())
 }

@@ -16,6 +16,7 @@ use mggcn_core::checkpoint::Checkpoint;
 use mggcn_core::config::{GcnConfig, TrainOptions};
 use mggcn_core::problem::Problem;
 use mggcn_core::trainer::Trainer;
+use mggcn_exec::Backend;
 use mggcn_graph::Graph;
 use mggcn_serve::ServingModel;
 use mggcn_sparse::Coo;
@@ -42,6 +43,10 @@ pub struct FuzzCase {
     pub gpus: usize,
     pub permute: bool,
     pub epochs: usize,
+    /// Which execution backend drives the trainer (the oracle is always
+    /// sequential f64). Defaults to `Simulated`; the differential suite
+    /// re-runs the corpus with `Threaded`.
+    pub backend: Backend,
 }
 
 impl FuzzCase {
@@ -100,7 +105,14 @@ impl FuzzCase {
             gpus,
             permute: rng.gen_bool(0.5),
             epochs: rng.gen_range(1usize..=3),
+            backend: Backend::Simulated,
         }
+    }
+
+    /// The same case, driven through a different execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// One-line summary for failure reports.
@@ -121,6 +133,7 @@ impl FuzzCase {
     fn opts(&self) -> TrainOptions {
         let mut o = TrainOptions::quick(self.gpus);
         o.permute = self.permute;
+        o.backend = self.backend;
         o
     }
 
@@ -151,7 +164,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     let mut trainer = case.trainer()?;
     let mut oracle = ReferenceGcn::new(&case.graph, &case.cfg);
     for e in 0..case.epochs {
-        let got = trainer.train_epoch();
+        let got = trainer.train_epoch().map_err(|err| format!("epoch {e} failed: {err}"))?;
         let want = oracle.train_epoch();
         check!(got.loss.is_finite(), "epoch {e}: non-finite loss {}", got.loss);
         check!(
@@ -166,7 +179,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     //    to training straight through (deterministic execution).
     let halves = (case.epochs + 1) / 2;
     let mut first = case.trainer()?;
-    first.train(halves);
+    first.train(halves).map_err(|err| format!("first-half training failed: {err}"))?;
     let ck = Checkpoint::from_trainer(&first);
     let path = std::env::temp_dir()
         .join(format!("mggcn_fuzz_{}_{}.ckpt", std::process::id(), case.seed));
@@ -176,14 +189,18 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     check!(loaded == ck, "checkpoint did not round-trip through disk");
     let mut resumed = case.trainer()?;
     loaded.restore_into(&mut resumed).map_err(|e| format!("restore failed: {e}"))?;
-    resumed.train(case.epochs - halves);
-    let (a, b) = (&trainer.state().gpus[0].weights, &resumed.state().gpus[0].weights);
+    resumed
+        .train(case.epochs - halves)
+        .map_err(|err| format!("resumed training failed: {err}"))?;
+    let (ga, gb) = (trainer.state().gpu(0), resumed.state().gpu(0));
+    let (a, b) = (&ga.weights, &gb.weights);
     for l in 0..a.len() {
         check!(
             a[l].as_slice() == b[l].as_slice(),
             "resumed weights differ from straight-through at layer {l}"
         );
     }
+    drop((ga, gb));
 
     // 3. Serve the final checkpoint and compare logits against the oracle
     //    evaluated at the same (f32) weights.
@@ -243,9 +260,14 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
 
 /// Run seeds `0..count`, collecting failures as `(seed, diagnosis)`.
 pub fn run_corpus(count: u64) -> Vec<(u64, String)> {
+    run_corpus_with(count, Backend::Simulated)
+}
+
+/// Run seeds `0..count` on a specific execution backend.
+pub fn run_corpus_with(count: u64, backend: Backend) -> Vec<(u64, String)> {
     let mut failures = Vec::new();
     for seed in 0..count {
-        let case = FuzzCase::from_seed(seed);
+        let case = FuzzCase::from_seed(seed).with_backend(backend);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_case(&case)));
         match outcome {
             Ok(Ok(())) => {}

@@ -21,11 +21,11 @@ fn trainer(graph_seed: u64, gpus: usize) -> Trainer {
 }
 
 fn weights(t: &Trainer) -> Vec<Vec<f32>> {
-    t.state().gpus[0].weights.iter().map(|w| w.as_slice().to_vec()).collect()
+    t.state().gpu(0).weights.iter().map(|w| w.as_slice().to_vec()).collect()
 }
 
 fn moments(t: &Trainer) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
-    let g0 = &t.state().gpus[0];
+    let g0 = t.state().gpu(0);
     (
         g0.adam_m.iter().map(|m| m.as_slice().to_vec()).collect(),
         g0.adam_v.iter().map(|m| m.as_slice().to_vec()).collect(),
@@ -45,12 +45,12 @@ proptest! {
 
         // Straight through.
         let mut straight = trainer(graph_seed, gpus);
-        let full: Vec<f64> = straight.train(total).into_iter().map(|r| r.loss).collect();
+        let full: Vec<f64> = straight.train(total).expect("train").into_iter().map(|r| r.loss).collect();
 
         // Interrupted: train, checkpoint through disk, restore into a
         // *fresh* trainer, finish.
         let mut before = trainer(graph_seed, gpus);
-        before.train(split_at);
+        before.train(split_at).expect("train");
         let path = std::env::temp_dir().join(format!(
             "mggcn_prop_{}_{graph_seed}_{gpus}_{split_at}.ckpt",
             std::process::id()
@@ -62,7 +62,7 @@ proptest! {
         let mut resumed = trainer(graph_seed, gpus);
         loaded.restore_into(&mut resumed).expect("restore");
         prop_assert_eq!(resumed.epochs_trained(), split_at, "epoch counter must restore");
-        let tail: Vec<f64> = resumed.train(total - split_at).into_iter().map(|r| r.loss).collect();
+        let tail: Vec<f64> = resumed.train(total - split_at).expect("train").into_iter().map(|r| r.loss).collect();
 
         // Losses bit-identical from the split point on…
         for (e, (a, b)) in full[split_at..].iter().zip(&tail).enumerate() {
@@ -76,7 +76,7 @@ proptest! {
     #[test]
     fn checkpoint_roundtrip_is_lossless(graph_seed in 0u64..1000, epochs in 1usize..4) {
         let mut t = trainer(graph_seed, 2);
-        t.train(epochs);
+        t.train(epochs).expect("train");
         let ck = Checkpoint::from_trainer(&t);
         let path = std::env::temp_dir().join(format!(
             "mggcn_prop_rt_{}_{graph_seed}_{epochs}.ckpt",
@@ -94,12 +94,12 @@ proptest! {
         // into a P′-GPU trainer; subsequent training stays within f32
         // summation noise of the origin (exactness is per-P, §4.1).
         let mut src = trainer(graph_seed, 1);
-        src.train(2);
+        src.train(2).expect("train");
         let ck = Checkpoint::from_trainer(&src);
         let mut dst = trainer(graph_seed, 3);
         ck.restore_into(&mut dst).expect("restore across P");
         prop_assert_eq!(weights(&src), weights(&dst), "restored replicas must match bitwise");
         let r = dst.train(1);
-        prop_assert!(r[0].loss.is_finite());
+        prop_assert!(r.expect("train")[0].loss.is_finite());
     }
 }

@@ -1,0 +1,71 @@
+//! Failure semantics of the threaded execution backend: a panicking op
+//! body must surface as a prompt `Err` from `train_epoch` — never a
+//! deadlock — and must not corrupt anything a checkpoint restore cannot
+//! repair.
+//!
+//! The injected fault fires inside an arbitrary kernel body mid-epoch,
+//! while other workers are blocked on barriers and fences that the dead
+//! worker will never signal. The executor's failure flag plus its
+//! re-checking waits turn that into bounded-time unwinding. This file
+//! holds exactly one test because the injection counter is process-wide
+//! state.
+
+use mggcn_core::checkpoint::Checkpoint;
+use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_exec::Backend;
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn injected_worker_panic_fails_fast_and_checkpoint_recovers() {
+    if std::env::var("MGGCN_THREADS").is_err() {
+        std::env::set_var("MGGCN_THREADS", "4");
+    }
+    let g = sbm::generate(&SbmConfig::community_benchmark(96, 3), 17);
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let mut opts = TrainOptions::quick(4);
+    opts.backend = Backend::Threaded;
+    let trainer = |opts: &TrainOptions| {
+        let problem = Problem::from_graph(&g, &cfg, opts);
+        Trainer::new(problem, cfg.clone(), opts.clone()).expect("fits")
+    };
+
+    // Healthy prefix: two threaded epochs, then checkpoint.
+    let mut t = trainer(&opts);
+    t.train(2).expect("healthy epochs");
+    let ck = Checkpoint::from_trainer(&t);
+
+    // Inject: the 5th body of the next epoch panics on whichever worker
+    // claims it. The epoch must fail, promptly.
+    mggcn_exec::inject_panic_at_body(5);
+    let start = Instant::now();
+    let err = t.train_epoch().expect_err("a panicking worker must fail the epoch");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "failure took {elapsed:?}; workers must not hang on a dead peer"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("injected fault"), "error lost the panic payload: {msg}");
+    assert!(msg.contains("panicked"), "error does not name the failure mode: {msg}");
+
+    // Recovery: restore the pre-fault checkpoint into the *same* trainer
+    // (whose device state the aborted epoch may have half-written) and
+    // train on. The result must be bit-identical to a fresh trainer
+    // resumed from the same checkpoint — the fault left no residue a
+    // restore cannot clear.
+    ck.restore_into(&mut t).expect("restore into the faulted trainer");
+    let after = t.train_epoch().expect("training must continue after recovery");
+    assert!(after.loss.is_finite());
+
+    let mut clean = trainer(&opts);
+    ck.restore_into(&mut clean).expect("restore into a fresh trainer");
+    let want = clean.train_epoch().expect("clean resumed epoch");
+    assert_eq!(after.loss, want.loss, "recovered epoch loss must be bit-identical");
+    let (ga, gb) = (t.state().gpu(0), clean.state().gpu(0));
+    for (l, (x, y)) in ga.weights.iter().zip(&gb.weights).enumerate() {
+        assert_eq!(x.as_slice(), y.as_slice(), "recovered weights differ at layer {l}");
+    }
+}

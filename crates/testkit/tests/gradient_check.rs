@@ -110,10 +110,10 @@ fn compute_gradients_does_not_advance_training() {
     let problem = Problem::from_graph(&g, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg.clone(), opts).expect("fits");
     let before: Vec<Vec<f32>> =
-        trainer.state().gpus[0].weights.iter().map(|w| w.as_slice().to_vec()).collect();
+        trainer.state().gpu(0).weights.iter().map(|w| w.as_slice().to_vec()).collect();
     let _ = trainer.compute_gradients();
     let after: Vec<Vec<f32>> =
-        trainer.state().gpus[0].weights.iter().map(|w| w.as_slice().to_vec()).collect();
+        trainer.state().gpu(0).weights.iter().map(|w| w.as_slice().to_vec()).collect();
     assert_eq!(before, after, "probing gradients must not update weights");
     assert_eq!(trainer.epochs_trained(), 0);
 }

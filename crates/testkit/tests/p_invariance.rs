@@ -28,8 +28,9 @@ fn graph(seed: u64) -> Graph {
 fn run(g: &Graph, cfg: &GcnConfig, opts: TrainOptions) -> (Vec<EpochReport>, Vec<Dense>) {
     let problem = Problem::from_graph(g, cfg, &opts);
     let mut t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
-    let reports = t.train(EPOCHS);
-    (reports, t.state().gpus[0].weights.clone())
+    let reports = t.train(EPOCHS).expect("train");
+    let weights = t.state().gpu(0).weights.clone();
+    (reports, weights)
 }
 
 fn max_weight_rel_diff(a: &[Dense], b: &[Dense]) -> f64 {

@@ -1,0 +1,78 @@
+//! Measured vs simulated speedup: the Fig-9 scaling story told twice.
+//!
+//! ```sh
+//! MGGCN_THREADS=4 cargo run --release --example exec_speedup
+//! ```
+//!
+//! The *simulated* table replays the paper's timing model (virtual
+//! DGX-A100, paper-scale dataset stats): epoch makespan vs GPU count.
+//! The *measured* table really executes a small training problem on the
+//! `mggcn-exec` threaded runtime, sweeping the kernel-pool width, and
+//! reports wall-clock epoch time. Both speedups come from the same
+//! schedule; one is predicted, the other is observed on your CPU. On a
+//! single-core box the measured column degenerates to ~1.0x — the pool
+//! oversubscribes for correctness, not for speed.
+
+use mg_gcn::prelude::*;
+use std::time::Instant;
+
+/// Simulated: paper-scale epoch makespan at P GPUs (Fig 9 axis).
+fn simulated_epoch(card: &datasets::DatasetCard, gpus: usize) -> Option<f64> {
+    let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+    let opts = TrainOptions::full(MachineSpec::dgx_a100(), gpus);
+    let problem = Problem::from_stats(card, &opts);
+    Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
+}
+
+/// Measured: median wall-clock epoch at `threads` pool width.
+fn measured_epoch(g: &Graph, cfg: &GcnConfig, threads: usize) -> f64 {
+    mg_gcn::exec::set_active_threads(threads);
+    let mut opts = TrainOptions::quick(2);
+    opts.backend = Backend::Threaded;
+    let problem = Problem::from_graph(g, cfg, &opts);
+    let mut t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+    t.train_epoch().expect("warmup"); // first-touch + pool spawn
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            t.train_epoch().expect("epoch");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // Widen the pool before its first use; MGGCN_THREADS wins if set.
+    if std::env::var("MGGCN_THREADS").is_err() {
+        std::env::set_var("MGGCN_THREADS", "4");
+    }
+
+    let card = datasets::REDDIT;
+    println!("simulated (Fig 9): {} on a virtual DGX-A100, model A", card.name);
+    println!("{:>8} {:>14} {:>9}", "#GPU", "epoch (s)", "speedup");
+    let base = simulated_epoch(&card, 1);
+    for gpus in [1usize, 2, 4, 8] {
+        match (base, simulated_epoch(&card, gpus)) {
+            (Some(b), Some(t)) => println!("{gpus:>8} {t:>14.4} {:>8.2}x", b / t),
+            _ => println!("{gpus:>8} {:>14} {:>9}", "OOM", "-"),
+        }
+    }
+
+    let g = sbm::generate(&SbmConfig::community_benchmark(3000, 5), 42);
+    let cfg = GcnConfig::new(g.features.cols(), &[128], g.classes);
+    let pool = mg_gcn::exec::pool_size();
+    println!(
+        "\nmeasured: threaded backend, {} vertices, hidden 128, 2 virtual GPUs, pool size {pool}",
+        g.n()
+    );
+    println!("{:>8} {:>14} {:>9}", "threads", "epoch (ms)", "speedup");
+    let mut base = None;
+    for threads in [1usize, 2, 4] {
+        let t = measured_epoch(&g, &cfg, threads);
+        let b = *base.get_or_insert(t);
+        println!("{threads:>8} {:>14.2} {:>8.2}x", t * 1e3, b / t);
+    }
+    mg_gcn::exec::set_active_threads(0);
+}

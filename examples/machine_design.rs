@@ -23,7 +23,7 @@ fn epoch(card: &datasets::DatasetCard, machine: MachineSpec) -> Option<f64> {
     let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
     let opts = TrainOptions::full(machine, 8);
     let problem = Problem::from_stats(card, &opts);
-    Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+    Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
 }
 
 fn main() {

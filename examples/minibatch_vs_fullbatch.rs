@@ -30,7 +30,7 @@ fn main() {
     let opts = TrainOptions::quick(4);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut full = Trainer::new(problem, cfg.clone(), opts).expect("fits");
-    let full_last = full.train(epochs).pop().expect("trained");
+    let full_last = full.train(epochs).expect("train").pop().expect("trained");
 
     // Mini-batch, fanout 10.
     let mb_cfg = MiniBatchConfig { batch_size: 64, fanouts: vec![10; cfg.layers()], seed: 3 };

@@ -42,7 +42,7 @@ fn main() {
     println!("{:>5} {:>10} {:>10} {:>9} {:>14}", "epoch", "loss", "train", "test", "sim epoch (ms)");
     let mut last = None;
     for epoch in 0..60 {
-        let report = trainer.train_epoch();
+        let report = trainer.train_epoch().expect("train");
         if epoch % 5 == 0 || epoch == 59 {
             println!(
                 "{:>5} {:>10.4} {:>9.1}% {:>8.1}% {:>14.3}",

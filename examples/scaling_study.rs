@@ -23,7 +23,7 @@ fn epoch(
     opts.permute = permute;
     opts.overlap = overlap;
     let problem = Problem::from_stats(card, &opts);
-    Trainer::new(problem, cfg, opts).ok().map(|mut t| t.train_epoch().sim_seconds)
+    Trainer::new(problem, cfg, opts).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
 }
 
 fn fmt(t: Option<f64>) -> String {

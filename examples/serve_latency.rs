@@ -25,7 +25,7 @@ fn main() {
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
     for _ in 0..15 {
-        trainer.train_epoch();
+        trainer.train_epoch().expect("train");
     }
     let checkpoint = mg_gcn::core::checkpoint::Checkpoint::from_trainer(&trainer);
 

@@ -21,7 +21,7 @@ fn train_gcn(graph: &Graph, gpus: usize, epochs: usize) -> Vec<EpochReport> {
     opts.permute = false; // keep trajectories bit-comparable across GPU counts
     let problem = Problem::from_graph(graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    trainer.train(epochs)
+    trainer.train(epochs).expect("train")
 }
 
 fn main() {

@@ -3,13 +3,15 @@
 //! ```text
 //! mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]
 //!                [--no-overlap] [--no-permute] [--checkpoint PATH]
-//!                [--resume PATH]
+//!                [--resume PATH] [--backend simulated|threaded] [--threads T]
 //! mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N]
 //!                [--model a|b|c|d] [--profile] [--trace PATH.json]
 //! mggcn memory   --dataset NAME [--hidden H] [--layers L]
 //! mggcn datasets
 //! mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]
 //!                   [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]
+//! mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E]
+//!                   [--threads LIST] [--out PATH]
 //! ```
 //!
 //! `train` runs real full-batch training on a generated community graph;
@@ -18,12 +20,16 @@
 //! set, and replays a seeded open-loop trace under three configurations
 //! (unbatched, micro-batched cold-cache, micro-batched warm-cache),
 //! printing a JSON report with p50/p95/p99 latency for each.
+//! `bench-exec` really executes epochs on the threaded backend at each
+//! kernel-pool width in `--threads` and writes measured wall-clock epoch
+//! times and speedups to `BENCH_exec.json`.
 
 use mg_gcn::core::checkpoint::Checkpoint;
 use mg_gcn::gpusim::Profile;
 use mg_gcn::prelude::*;
 use std::collections::HashMap;
 use std::process::exit;
+use std::time::Instant;
 
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut positional = Vec::new();
@@ -53,7 +59,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]"
     );
     exit(2)
 }
@@ -68,8 +74,21 @@ fn main() {
         "memory" => cmd_memory(&flags),
         "datasets" => cmd_datasets(),
         "serve-bench" => cmd_serve_bench(&flags),
+        "bench-exec" => cmd_bench_exec(&flags),
         _ => usage(),
     }
+}
+
+/// Pin the kernel-pool size (must run before any parallel kernel).
+fn set_pool_threads(n: usize) {
+    if mg_gcn::exec::pool_size() != n {
+        eprintln!(
+            "note: kernel pool was already initialized with {} thread(s); \
+             capping the active count at {n} instead",
+            mg_gcn::exec::pool_size()
+        );
+    }
+    mg_gcn::exec::set_active_threads(n);
 }
 
 fn cmd_train(flags: &HashMap<String, String>) {
@@ -77,11 +96,27 @@ fn cmd_train(flags: &HashMap<String, String>) {
     let epochs: usize = get(flags, "epochs", 40);
     let hidden: usize = get(flags, "hidden", 32);
     let vertices: usize = get(flags, "vertices", 2000);
+    let backend = match flags.get("backend").map(String::as_str) {
+        None => Backend::Simulated,
+        Some(name) => Backend::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown backend {name:?} (expected simulated or threaded)");
+            exit(2)
+        }),
+    };
+    if let Some(t) = flags.get("threads") {
+        let Ok(t) = t.parse::<usize>() else {
+            eprintln!("--threads expects a positive integer");
+            exit(2)
+        };
+        std::env::set_var("MGGCN_THREADS", t.to_string());
+        set_pool_threads(t);
+    }
     let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
     let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
     let mut opts = TrainOptions::quick(gpus);
     opts.overlap = !flags.contains_key("no-overlap");
     opts.permute = !flags.contains_key("no-permute");
+    opts.backend = backend;
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = match Trainer::new(problem, cfg, opts) {
         Ok(t) => t,
@@ -102,18 +137,30 @@ fn cmd_train(flags: &HashMap<String, String>) {
         }
     }
     println!(
-        "training: {} vertices, {} edges, {} GPUs, hidden {}",
+        "training: {} vertices, {} edges, {} GPUs, hidden {}, backend {}",
         graph.n(),
         graph.adj.nnz(),
         gpus,
-        hidden
+        hidden,
+        backend.name()
     );
     let mut last_report = None;
     for e in 0..epochs {
-        let r = trainer.train_epoch();
+        let r = match trainer.train_epoch() {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("epoch {e} failed: {err}");
+                exit(1);
+            }
+        };
         if e % 10 == 0 || e + 1 == epochs {
+            let wall = r
+                .measured
+                .as_ref()
+                .map(|m| format!(", {:.2} wall ms", m.wall_seconds * 1e3))
+                .unwrap_or_default();
             println!(
-                "epoch {:>4}  loss {:>9.4}  train {:>5.1}%  test {:>5.1}%  ({:.2} sim ms)",
+                "epoch {:>4}  loss {:>9.4}  train {:>5.1}%  test {:>5.1}%  ({:.2} sim ms{wall})",
                 e,
                 r.loss,
                 r.train_acc * 100.0,
@@ -173,7 +220,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) {
             exit(0)
         }
     };
-    let report = trainer.train_epoch();
+    let report = trainer.train_epoch().expect("simulated backend cannot fail");
     println!(
         "{} on {} x{}: epoch {:.4} s  ({:.1} MiB/GPU planned)",
         card.name,
@@ -246,7 +293,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         }
     };
     for _ in 0..epochs {
-        trainer.train_epoch();
+        trainer.train_epoch().expect("simulated backend cannot fail");
     }
     let ck = Checkpoint::from_trainer(&trainer);
     let model = match ServingModel::from_checkpoint(&ck, &graph) {
@@ -305,6 +352,117 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         cold.to_json(),
         warm.to_json()
     );
+}
+
+/// `bench-exec`: measure real epoch wall-clock on the threaded backend at
+/// each kernel-pool width, against the same model/graph, and report the
+/// speedup over 1 thread. Writes `BENCH_exec.json` (schema asserted by CI).
+fn cmd_bench_exec(flags: &HashMap<String, String>) {
+    let gpus: usize = get(flags, "gpus", 2);
+    let vertices: usize = get(flags, "vertices", 3000);
+    let hidden: usize = get(flags, "hidden", 128);
+    let epochs: usize = get(flags, "epochs", 5);
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let threads: Vec<usize> = flags
+        .get("threads")
+        .map(String::as_str)
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|t| {
+            t.trim().parse::<usize>().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("--threads expects a comma-separated list of positive integers");
+                exit(2)
+            })
+        })
+        .collect();
+    let max_threads = *threads.iter().max().expect("nonempty thread list");
+    // Size the pool once, before first use, at the widest sweep point;
+    // narrower points are swept with set_active_threads.
+    if std::env::var("MGGCN_THREADS").is_err() {
+        std::env::set_var("MGGCN_THREADS", max_threads.to_string());
+    }
+    eprintln!(
+        "bench-exec: {gpus} GPUs, {vertices} vertices, hidden {hidden}, \
+         {epochs} epochs/point, pool size {}",
+        mg_gcn::exec::pool_size()
+    );
+
+    let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
+    let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
+    let make_trainer = || {
+        let opts = {
+            let mut o = TrainOptions::quick(gpus);
+            o.backend = Backend::Threaded;
+            o
+        };
+        let problem = Problem::from_graph(&graph, &cfg, &opts);
+        Trainer::new(problem, cfg.clone(), opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        })
+    };
+
+    let mut results: Vec<String> = Vec::new();
+    let mut baseline_p50 = None;
+    for &t in &threads {
+        mg_gcn::exec::set_active_threads(t);
+        let mut trainer = make_trainer();
+        // Warm-up epoch: first-touch allocation, pool spawn.
+        trainer.train_epoch().unwrap_or_else(|e| {
+            eprintln!("epoch failed: {e}");
+            exit(1)
+        });
+        let mut epoch_ms: Vec<f64> = Vec::with_capacity(epochs);
+        let mut categories: std::collections::BTreeMap<String, f64> = Default::default();
+        for _ in 0..epochs {
+            let start = Instant::now();
+            let r = trainer.train_epoch().unwrap_or_else(|e| {
+                eprintln!("epoch failed: {e}");
+                exit(1)
+            });
+            let m = r.measured.expect("threaded backend measures");
+            // Whole-epoch wall (scheduling included), not just body time.
+            let _ = start;
+            epoch_ms.push(m.wall_seconds * 1e3);
+            for (cat, secs) in &m.category_seconds {
+                *categories.entry(cat.name().to_string()).or_insert(0.0) += secs * 1e3;
+            }
+        }
+        epoch_ms.sort_by(f64::total_cmp);
+        let p50 = epoch_ms[epoch_ms.len() / 2];
+        let baseline = *baseline_p50.get_or_insert(p50);
+        let speedup = baseline / p50;
+        for v in categories.values_mut() {
+            *v /= epochs as f64;
+        }
+        let cats_json: Vec<String> =
+            categories.iter().map(|(k, v)| format!("\"{k}\":{v:.4}")).collect();
+        eprintln!(
+            "  threads {t}: epoch p50 {p50:.2} ms, speedup {speedup:.2}x vs {} thread(s)",
+            threads[0]
+        );
+        results.push(format!(
+            "{{\"threads\":{t},\"epoch_ms_p50\":{p50:.4},\"speedup\":{speedup:.4},\
+             \"category_ms\":{{{}}}}}",
+            cats_json.join(",")
+        ));
+    }
+    mg_gcn::exec::set_active_threads(0);
+    let json = format!(
+        "{{\"bench\":\"exec\",\"backend\":\"threaded\",\"pool_size\":{},\
+         \"gpus\":{gpus},\"vertices\":{vertices},\"hidden\":{hidden},\
+         \"epochs_per_point\":{epochs},\"results\":[{}]}}",
+        mg_gcn::exec::pool_size(),
+        results.join(",")
+    );
+    match std::fs::write(&out, format!("{json}\n")) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            exit(1);
+        }
+    }
+    println!("{json}");
 }
 
 fn cmd_datasets() {

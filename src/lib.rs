@@ -25,6 +25,7 @@
 //! | [`core`] | `mggcn-core` | the trainer: staged SpMM, buffer reuse, overlap, Adam, loss |
 //! | [`baselines`] | `mggcn-baselines` | DGL-like, CAGNET-like, DistGNN model, MLP |
 //! | [`serve`] | `mggcn-serve` | online inference: propagation cache, micro-batching, latency stats |
+//! | [`exec`] | `mggcn-exec` | real execution: worker-per-GPU runtime, deterministic kernel pool, wall-clock profiling |
 //!
 //! ## Quick start
 //!
@@ -38,14 +39,19 @@
 //! let problem = Problem::from_graph(&graph, &cfg, &opts);
 //! let mut trainer = Trainer::new(problem, cfg, opts).unwrap();
 //! for _ in 0..5 {
-//!     let report = trainer.train_epoch();
+//!     let report = trainer.train_epoch().unwrap();
 //!     assert!(report.loss.is_finite());
 //! }
 //! ```
+//!
+//! To really execute epochs on worker-per-GPU threads (bit-identical
+//! numerics, measured wall-clock in `report.measured`), select the
+//! threaded backend: `opts.backend = Backend::Threaded;`.
 
 pub use mggcn_baselines as baselines;
 pub use mggcn_comm as comm;
 pub use mggcn_core as core;
+pub use mggcn_exec as exec;
 pub use mggcn_dense as dense;
 pub use mggcn_graph as graph;
 pub use mggcn_gpusim as gpusim;
@@ -55,6 +61,8 @@ pub use mggcn_sparse as sparse;
 /// The names most programs need.
 pub mod prelude {
     pub use mggcn_core::config::{GcnConfig, TrainOptions};
+    pub use mggcn_core::trainer::TrainError;
+    pub use mggcn_exec::Backend;
     pub use mggcn_core::memplan::{max_layers, BufferPolicy, MemoryPlan};
     pub use mggcn_core::metrics::EpochReport;
     pub use mggcn_core::problem::Problem;

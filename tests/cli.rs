@@ -101,6 +101,57 @@ fn memory_shows_fit_matrix() {
 }
 
 #[test]
+fn train_on_the_threaded_backend_reports_wall_time() {
+    let out = mggcn()
+        .args(["train", "--vertices", "250", "--gpus", "2", "--epochs", "3"])
+        .args(["--backend", "threaded", "--threads", "2"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("backend threaded"), "{text}");
+    assert!(text.contains("wall ms"), "threaded epochs must report wall time:\n{text}");
+}
+
+#[test]
+fn train_rejects_unknown_backend() {
+    let out = mggcn()
+        .args(["train", "--vertices", "200", "--backend", "quantum"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend"), "{err}");
+}
+
+#[test]
+fn bench_exec_writes_schema_complete_json() {
+    let path = std::env::temp_dir().join(format!("mggcn_cli_bench_{}.json", std::process::id()));
+    let out = mggcn()
+        .args(["bench-exec", "--gpus", "2", "--vertices", "400", "--hidden", "16"])
+        .args(["--epochs", "3", "--threads", "1,2", "--out", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).expect("BENCH_exec.json written");
+    std::fs::remove_file(&path).ok();
+    for key in [
+        "\"bench\":\"exec\"",
+        "\"backend\":\"threaded\"",
+        "\"pool_size\":",
+        "\"gpus\":2",
+        "\"results\":[",
+        "\"threads\":1",
+        "\"threads\":2",
+        "\"epoch_ms_p50\":",
+        "\"speedup\":",
+        "\"category_ms\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = mggcn().arg("bogus").output().expect("run");
     assert!(!out.status.success());

@@ -17,7 +17,7 @@ fn facade_quickstart_path_works() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let reports = trainer.train(10);
+    let reports = trainer.train(10).expect("train");
     assert_eq!(reports.len(), 10);
     // Everything is seeded, so the loss trajectory is a fixed curve. Pin
     // it value-by-value: a partitioning or kernel regression shows up as
@@ -53,7 +53,7 @@ fn gcn_beats_mlp_on_noisy_communities() {
     let opts = TrainOptions::quick(4);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut gcn = Trainer::new(problem, cfg.clone(), opts).expect("fits");
-    let gcn_acc = gcn.train(60).last().expect("trained").test_acc;
+    let gcn_acc = gcn.train(60).expect("train").last().expect("trained").test_acc;
 
     let mut mlp = MlpTrainer::new(&graph, &cfg);
     let mlp_acc = mlp.train(60).test_acc;
@@ -74,7 +74,7 @@ fn every_figure_dataset_runs_on_both_machines() {
                 let opts = TrainOptions::full(machine.clone(), gpus);
                 let problem = Problem::from_stats(&card, &opts);
                 if let Ok(mut t) = Trainer::new(problem, cfg.clone(), opts) {
-                    let r = t.train_epoch();
+                    let r = t.train_epoch().expect("train");
                     assert!(r.sim_seconds > 0.0, "{} on {}", card.name, machine.name);
                     any_ran = true;
                 }
@@ -100,13 +100,13 @@ fn full_comparison_matrix_is_sane() {
         let problem = Problem::from_stats(&card, &opts);
         let t_dgl = Trainer::new(problem, cfg.clone(), opts)
             .expect("dgl fits")
-            .train_epoch()
+            .train_epoch().expect("train")
             .sim_seconds;
         let opts = TrainOptions::full(m(), 1);
         let problem = Problem::from_stats(&card, &opts);
         let t_mg1 = Trainer::new(problem, cfg.clone(), opts)
             .expect("mg fits")
-            .train_epoch()
+            .train_epoch().expect("train")
             .sim_seconds;
         assert!(t_mg1 < t_dgl, "{}: MG-GCN {t_mg1} vs DGL {t_dgl}", card.name);
 
@@ -115,13 +115,13 @@ fn full_comparison_matrix_is_sane() {
         let problem = Problem::from_stats(&card, &opts);
         let t_cag = Trainer::new(problem, cfg.clone(), opts)
             .expect("cagnet fits")
-            .train_epoch()
+            .train_epoch().expect("train")
             .sim_seconds;
         let opts = TrainOptions::full(m(), 8);
         let problem = Problem::from_stats(&card, &opts);
         let t_mg8 = Trainer::new(problem, cfg.clone(), opts)
             .expect("mg fits")
-            .train_epoch()
+            .train_epoch().expect("train")
             .sim_seconds;
         assert!(t_mg8 < t_cag, "{}: MG-GCN {t_mg8} vs CAGNET {t_cag}", card.name);
     }
@@ -143,7 +143,7 @@ fn distgnn_headline_ratios_hold() {
         let problem = Problem::from_stats(&card, &opts);
         let t_mg = Trainer::new(problem, cfg, opts)
             .expect("fits")
-            .train_epoch()
+            .train_epoch().expect("train")
             .sim_seconds;
         let ratio = t_dist / t_mg;
         assert!(ratio > 1.0, "{name}: MG-GCN must win ({ratio:.1})");
@@ -177,7 +177,7 @@ fn io_roundtrip_through_training() {
     let opts = TrainOptions::quick(3);
     let problem = Problem::from_graph(&rebuilt, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    assert!(trainer.train_epoch().loss.is_finite());
+    assert!(trainer.train_epoch().expect("train").loss.is_finite());
 }
 
 #[test]
@@ -189,7 +189,7 @@ fn reproducibility_across_runs() {
         let opts = TrainOptions::quick(3);
         let problem = Problem::from_graph(&graph, &cfg, &opts);
         let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-        trainer.train(5).into_iter().map(|r| r.loss).collect::<Vec<_>>()
+        trainer.train(5).expect("train").into_iter().map(|r| r.loss).collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }

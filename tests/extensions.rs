@@ -22,7 +22,7 @@ fn cluster_machine_hurts_cross_node_scaling() {
         let machine = MachineSpec::a100_cluster(2, 25.0e9);
         let opts = TrainOptions::full(machine, gpus);
         let problem = Problem::from_stats(&card, &opts);
-        Trainer::new(problem, cfg.clone(), opts).expect("fits").train_epoch().sim_seconds
+        Trainer::new(problem, cfg.clone(), opts).expect("fits").train_epoch().expect("train").sim_seconds
     };
     let one_node = epoch(8);
     let two_nodes = epoch(16);
@@ -42,7 +42,8 @@ fn fit_reaches_good_accuracy_with_early_stop() {
     let result = fit(
         &mut trainer,
         &FitOptions { target_accuracy: 0.9, max_epochs: 150, ..Default::default() },
-    );
+    )
+    .expect("fit");
     assert_eq!(result.stopped, StopReason::TargetReached);
     assert!(result.best_accuracy >= 0.9);
     assert!(result.sim_time > 0.0);
@@ -57,7 +58,7 @@ fn checkpoint_roundtrips_through_facade() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&g, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    trainer.train(4);
+    trainer.train(4).expect("train");
     let path = std::env::temp_dir().join(format!("mggcn_ext_{}.ckpt", std::process::id()));
     Checkpoint::from_trainer(&trainer).save(&path).expect("save");
     let back = Checkpoint::load(&path).expect("load");
@@ -85,7 +86,7 @@ fn profile_and_trace_from_a_real_epoch() {
     let opts = TrainOptions::full(MachineSpec::dgx_a100(), 4);
     let problem = Problem::from_stats(&card, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
-    let report = trainer.train_epoch();
+    let report = trainer.train_epoch().expect("train");
     let profile = Profile::from_timeline(&report.timeline, report.sim_seconds);
     assert!(profile.kernels.iter().any(|k| k.label == "spmm"));
     assert!(profile.utilization() > 0.0 && profile.utilization() <= 1.0);
@@ -104,7 +105,7 @@ fn minibatch_and_fullbatch_both_learn_but_sampler_does_more_work() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&g, &cfg, &opts);
     let mut full = Trainer::new(problem, cfg.clone(), opts).expect("fits");
-    let full_acc = full.train(25).last().expect("trained").train_acc;
+    let full_acc = full.train(25).expect("train").pop().expect("trained").train_acc;
 
     let mb = MiniBatchConfig { batch_size: 32, fanouts: vec![10; cfg.layers()], seed: 1 };
     let mut mini = MiniBatchTrainer::new(&g, &cfg, mb);
