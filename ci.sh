@@ -16,6 +16,12 @@ cargo clippy -p mggcn-serve --all-targets -- -D warnings
 echo "==> clippy -D warnings (exec crate)"
 cargo clippy -p mggcn-exec --all-targets -- -D warnings
 
+echo "==> rustfmt (trace crate)"
+cargo fmt -p mggcn-trace --check
+
+echo "==> clippy -D warnings (trace crate)"
+cargo clippy -p mggcn-trace --all-targets -- -D warnings
+
 echo "==> build (release, workspace)"
 cargo build --release --workspace
 
@@ -48,5 +54,30 @@ for key in '"bench":"exec"' '"backend":"threaded"' '"pool_size":' \
   }
 done
 rm -f "${BENCH_OUT}"
+
+echo "==> trace smoke (traced epoch; §5.1 bytes + §4.2 memory bound; schemas)"
+# `mggcn trace` exits nonzero if the traced broadcast byte counters
+# diverge from the comm::analysis closed form or a per-GPU memory
+# high-watermark exceeds the L+3 plan. Run at both pool widths — the
+# sim-clock numbers must not depend on the width.
+TRACE_DIR="$(mktemp -d)"
+for threads in 1 4; do
+  MGGCN_THREADS="${threads}" ./target/release/mggcn trace \
+    --gpus 2 --vertices 500 --hidden 16 --epochs 2 \
+    --out "${TRACE_DIR}/BENCH_trace.json" \
+    --chrome "${TRACE_DIR}/trace.json" >/dev/null
+  ./target/release/mggcn trace --check "${TRACE_DIR}/BENCH_trace.json" >/dev/null
+  ./target/release/mggcn trace --check "${TRACE_DIR}/trace.json" >/dev/null
+done
+for key in '"bench":"trace"' '"schema":"mggcn-trace-v1"' \
+           '"sim.bcast.bytes.total"' '"mem.plan.big_buffers_bytes"' \
+           '"overlap_efficiency"' '"mem_bound_ok":true'; do
+  grep -qF "${key}" "${TRACE_DIR}/BENCH_trace.json" || {
+    echo "BENCH_trace.json missing ${key}:" >&2
+    cat "${TRACE_DIR}/BENCH_trace.json" >&2
+    exit 1
+  }
+done
+rm -rf "${TRACE_DIR}"
 
 echo "==> CI green"

@@ -57,6 +57,56 @@ pub fn analyze(machine: &MachineSpec, nd_bytes: f64) -> CommAnalysis {
     CommAnalysis { t_1d, t_15d: t_broadcasts + t_reduce, mem_factor_15d: 2.0 }
 }
 
+/// Closed-form 1D per-stage broadcast payload for **one** staged SpMM
+/// over an operand of width `d`: stage `s` broadcasts partition `s`'s
+/// tile, `rows[s] · d · 4` bytes (§5.1, f32 features). This is exactly
+/// what the trainer's `bcast-H` collectives move, so traced byte counters
+/// can be checked against it.
+pub fn stage_broadcast_bytes(rows: &[usize], d: usize) -> Vec<u64> {
+    rows.iter().map(|&r| 4 * r as u64 * d as u64).collect()
+}
+
+/// Closed-form per-stage broadcast bytes for one full training epoch of
+/// the MG-GCN schedule (forward + backward over `dims.len() - 1` layers).
+///
+/// Every staged SpMM broadcasts each stage's tile once, so per-epoch stage
+/// totals are `rows[s] · 4 · Σ widths`, where the width sum follows the
+/// trainer's operand choices:
+/// * forward layer `l` moves width `d_in` when the §4.4 operand-order
+///   optimization applies (`op_order_opt` and `d_in < d_out`), else
+///   `d_out`;
+/// * backward layer `l` moves width `d_out`, except layer 0 when
+///   `skip_first_backward_spmm` elides it entirely (§4.4).
+///
+/// This counts **inter-GPU traffic**, matching what a byte-accounting
+/// tracer observes: with a single participant (`rows.len() == 1`) the
+/// broadcast is a local no-op — the tile is already resident — so the
+/// volume is zero even though the schedule still carries the op.
+pub fn epoch_broadcast_bytes(
+    rows: &[usize],
+    dims: &[usize],
+    op_order_opt: bool,
+    skip_first_backward_spmm: bool,
+) -> Vec<u64> {
+    assert!(dims.len() >= 2, "need at least one layer");
+    if rows.len() == 1 {
+        return vec![0];
+    }
+    let layers = dims.len() - 1;
+    let mut width_sum = 0u64;
+    for l in 0..layers {
+        let (d_in, d_out) = (dims[l], dims[l + 1]);
+        width_sum += if op_order_opt && d_in < d_out { d_in as u64 } else { d_out as u64 };
+    }
+    for l in (0..layers).rev() {
+        if l == 0 && skip_first_backward_spmm {
+            continue;
+        }
+        width_sum += dims[l + 1] as u64;
+    }
+    rows.iter().map(|&r| 4 * r as u64 * width_sum).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +147,37 @@ mod tests {
         let a2 = analyze(&m, 2.0e9);
         assert!((a2.t_1d / a1.t_1d - 2.0).abs() < 1e-9);
         assert!((a2.t_15d / a1.t_15d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_bytes_are_tile_rows_times_width() {
+        assert_eq!(stage_broadcast_bytes(&[3, 2], 5), vec![60, 40]);
+    }
+
+    #[test]
+    fn epoch_bytes_plain_schedule() {
+        // dims [4, 8, 2], no optimizations: forward moves d_out (8 then 2),
+        // backward moves d_out (2 then 8) — width sum 20.
+        let b = epoch_broadcast_bytes(&[10, 6], &[4, 8, 2], false, false);
+        assert_eq!(b, vec![10 * 4 * 20, 6 * 4 * 20]);
+    }
+
+    #[test]
+    fn epoch_bytes_honor_op_order_and_skip() {
+        // Same dims with §4.4 enabled: forward layer 0 is growing (4 < 8)
+        // so it moves d_in = 4; layer 1 shrinks so still d_out = 2.
+        // Backward layer 1 moves 2; layer 0's SpMM is skipped.
+        // Width sum = 4 + 2 + 2 = 8.
+        let b = epoch_broadcast_bytes(&[10, 6], &[4, 8, 2], true, true);
+        assert_eq!(b, vec![10 * 4 * 8, 6 * 4 * 8]);
+    }
+
+    #[test]
+    fn epoch_bytes_single_gpu_move_nothing() {
+        // P = 1: the broadcast op still exists in the schedule, but with
+        // one participant no bytes cross a link, so the communication
+        // volume — what a tracer counts — is zero.
+        let b = epoch_broadcast_bytes(&[7], &[3, 3], false, false);
+        assert_eq!(b, vec![0]);
     }
 }

@@ -82,6 +82,8 @@ mod tests {
             label: "s",
             start: 0.0,
             end: 3.0,
+            op: 0,
+            bytes: 0.0,
         });
         tl.spans.push(Span {
             gpu: 0,
@@ -91,6 +93,8 @@ mod tests {
             label: "c",
             start: 0.0,
             end: 1.0,
+            op: 1,
+            bytes: 0.0,
         });
         EpochReport {
             epoch: 0,

@@ -212,6 +212,16 @@ impl DeviceState {
         }
     }
 
+    /// Allocated bytes of GPU `i`'s `L + 3` big buffers (the `AHW` set
+    /// plus `HW`, `BC1`, `BC2`), by backing-store capacity — the quantity
+    /// memplan's `MemoryPlan::big_buffers` budgets with `(L+3)·n_p·d·4`.
+    /// Weights/optimizer state are excluded, as in the plan's own split.
+    pub fn big_buffer_bytes(&self, i: usize) -> u64 {
+        let g = self.gpu(i);
+        let ahw: usize = g.ahw.iter().map(Dense::capacity_bytes).sum();
+        (ahw + g.hw.capacity_bytes() + g.bc1.capacity_bytes() + g.bc2.capacity_bytes()) as u64
+    }
+
     /// Reset per-epoch scratch counters.
     pub fn reset_scratch(&self) {
         for i in 0..self.gpus.len() {

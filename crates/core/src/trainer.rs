@@ -90,6 +90,10 @@ pub struct Trainer {
     state: DeviceState,
     epoch: usize,
     plan: MemoryPlan,
+    /// Observation-only tracer; `None` (the default) records nothing and
+    /// costs nothing. Ingestion happens strictly after a schedule has run,
+    /// so enabling it cannot perturb numerics or op ordering.
+    tracer: Option<Arc<mggcn_trace::Tracer>>,
 }
 
 impl Trainer {
@@ -119,7 +123,15 @@ impl Trainer {
         } else {
             DeviceState::empty()
         };
-        Ok(Self { cfg, opts, problem, state, epoch: 0, plan })
+        Ok(Self { cfg, opts, problem, state, epoch: 0, plan, tracer: None })
+    }
+
+    /// Attach a tracer. Every subsequent epoch/evaluation ingests its
+    /// simulated timeline, measured wall spans (threaded backend), and
+    /// per-GPU big-buffer high-watermarks into it.
+    pub fn set_tracer(&mut self, tracer: Arc<mggcn_trace::Tracer>) {
+        tracer.set_memory_bound(self.plan.big_buffers);
+        self.tracer = Some(tracer);
     }
 
     /// Planned per-GPU memory (bytes) — the Fig 12 quantity.
@@ -211,18 +223,28 @@ impl Trainer {
         &self,
         sched: Schedule<DeviceState>,
     ) -> Result<(RunReport, Option<MeasuredEpoch>), TrainError> {
-        match self.opts.backend {
-            Backend::Simulated => Ok((sched.run(&self.state), None)),
+        let (run, measured) = match self.opts.backend {
+            Backend::Simulated => (sched.run(&self.state), None),
             Backend::Threaded => {
                 let r = mggcn_exec::execute(sched, &self.state).map_err(TrainError::Exec)?;
+                if let Some(tracer) = &self.tracer {
+                    tracer.ingest_wall_spans(&r.spans, r.wall_seconds);
+                }
                 let measured = MeasuredEpoch {
                     wall_seconds: r.wall_seconds,
                     category_seconds: r.category_wall_seconds(),
                     bodies_run: r.bodies_run,
                 };
-                Ok((r.sim, Some(measured)))
+                (r.sim, Some(measured))
+            }
+        };
+        if let Some(tracer) = &self.tracer {
+            tracer.ingest_sim_timeline(&run.timeline, run.makespan);
+            for g in 0..self.state.gpu_count() {
+                tracer.record_memory(g, self.state.big_buffer_bytes(g));
             }
         }
+        Ok((run, measured))
     }
 
     /// Train `epochs` epochs, returning every report.
@@ -279,6 +301,20 @@ impl Trainer {
     /// op order, lanes, dependency edges) — the golden-snapshot hook.
     pub fn epoch_schedule_dump(&self) -> String {
         self.build_epoch().dump_ops()
+    }
+
+    /// Closed-form per-stage broadcast bytes for **one** training epoch of
+    /// this trainer's schedule — the §5.1 prediction a tracer's
+    /// `sim.bcast.bytes.stage.*` counters must match exactly (× epochs).
+    pub fn expected_broadcast_bytes(&self) -> Vec<u64> {
+        let rows: Vec<usize> =
+            (0..self.opts.gpus).map(|s| self.problem.rows_of(s)).collect();
+        mggcn_comm::analysis::epoch_broadcast_bytes(
+            &rows,
+            &self.cfg.dims,
+            self.opts.op_order_opt,
+            self.opts.skip_first_backward_spmm,
+        )
     }
 
     fn build_epoch(&self) -> Schedule<DeviceState> {

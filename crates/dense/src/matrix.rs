@@ -49,6 +49,13 @@ impl Dense {
         self.data.len()
     }
 
+    /// Bytes of backing storage actually allocated. `resize` re-views the
+    /// buffer without shrinking the allocation, so this is the matrix's
+    /// memory high-watermark — what a device allocator would hold.
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }

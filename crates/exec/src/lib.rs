@@ -67,14 +67,28 @@ impl Backend {
     }
 }
 
-/// Wall-clock measurement of one executed op body.
+/// Wall-clock measurement of one executed op body, or of time a worker
+/// spent blocked before it (`category == Category::Barrier`): rendezvous
+/// arrivals, waiting for the leader, and dependency waits all surface as
+/// barrier spans so per-category sums account for the whole wall time
+/// instead of silently attributing stalls to op categories.
 #[derive(Clone, Copy, Debug)]
 pub struct WallSpan {
     pub gpu: usize,
     pub stream: usize,
     pub category: Category,
     pub label: &'static str,
+    /// Offset from the run's start (workers spawned), seconds.
+    pub start: f64,
+    /// Measured duration, seconds.
     pub seconds: f64,
+}
+
+impl WallSpan {
+    /// Offset of the span's end from the run's start, seconds.
+    pub fn end(&self) -> f64 {
+        self.start + self.seconds
+    }
 }
 
 /// Outcome of really executing a schedule: the simulated timing report
@@ -85,15 +99,18 @@ pub struct ExecReport {
     pub sim: RunReport,
     /// Measured end-to-end wall-clock seconds (workers spawned → joined).
     pub wall_seconds: f64,
-    /// Measured per-op spans, in each worker's execution order.
+    /// Measured per-op spans (plus `Barrier` wait spans), in each worker's
+    /// execution order.
     pub spans: Vec<WallSpan>,
-    /// Ops whose bodies actually ran.
+    /// Ops whose bodies actually ran (barrier wait spans excluded).
     pub bodies_run: usize,
 }
 
 impl ExecReport {
-    /// Total measured body seconds per category (collective bodies count
-    /// once, on the leader).
+    /// Total measured seconds per category (collective bodies count once,
+    /// on the leader). Worker stall time appears under
+    /// [`Category::Barrier`], so summing a GPU's entries approximates its
+    /// whole wall time instead of just its busy time.
     pub fn category_wall_seconds(&self) -> BTreeMap<Category, f64> {
         let mut out = BTreeMap::new();
         for s in &self.spans {
@@ -148,6 +165,11 @@ fn fault_check(label: &str) {
 /// least this often even with no notification.
 const WAIT_TICK: Duration = Duration::from_millis(50);
 
+/// Waits shorter than this leave no `Barrier` span — an uncontended
+/// predicate check costs a mutex lock (~100ns) and recording it would
+/// double the span count with noise.
+const WAIT_SPAN_MIN: f64 = 10e-6;
+
 /// Per-op static metadata: descriptor, participating (gpu, stream)
 /// lanes, and dependency list.
 type OpMeta = (OpDesc, Vec<(usize, usize)>, Vec<OpId>);
@@ -164,6 +186,8 @@ struct Shared<'a, Ctx> {
     gate: Mutex<()>,
     cv: Condvar,
     ctx: &'a Ctx,
+    /// Run epoch: wall spans record offsets from this instant.
+    t0: Instant,
 }
 
 impl<'a, Ctx> Shared<'a, Ctx> {
@@ -217,6 +241,34 @@ impl<'a, Ctx> Shared<'a, Ctx> {
         self.meta[id].2.iter().all(|&w| self.done[w].load(Ordering::SeqCst))
     }
 
+    /// Like [`Shared::wait_until`], but attributes measurable blocked time
+    /// to a `Category::Barrier` wall span (the op's own label is kept so
+    /// the stall can be traced back to what was waited on).
+    fn timed_wait(
+        &self,
+        gpu: usize,
+        stream: usize,
+        desc: &OpDesc,
+        spans: &mut Vec<WallSpan>,
+        pred: impl FnMut() -> bool,
+    ) -> bool {
+        let begin = Instant::now();
+        let ok = self.wait_until(pred);
+        let seconds = begin.elapsed().as_secs_f64();
+        if seconds >= WAIT_SPAN_MIN {
+            let start = begin.duration_since(self.t0).as_secs_f64();
+            spans.push(WallSpan {
+                gpu,
+                stream,
+                category: Category::Barrier,
+                label: desc.label,
+                start,
+                seconds,
+            });
+        }
+        ok
+    }
+
     /// Run one worker: execute `work` (this GPU's slice of the global
     /// completion order), honoring waits and collective rendezvous.
     fn worker(&self, gpu: usize, work: &[OpId], spans: &mut Vec<WallSpan>) {
@@ -235,7 +287,7 @@ impl<'a, Ctx> Shared<'a, Ctx> {
                 self.notify();
                 if gpu == leader {
                     let all = lanes.len();
-                    if !self.wait_until(|| {
+                    if !self.timed_wait(gpu, stream, desc, spans, || {
                         self.arrivals[id].load(Ordering::SeqCst) == all
                             && self.waits_satisfied(id)
                     }) {
@@ -245,11 +297,13 @@ impl<'a, Ctx> Shared<'a, Ctx> {
                         return;
                     }
                     self.mark_done(id);
-                } else if !self.wait_until(|| self.done[id].load(Ordering::SeqCst)) {
+                } else if !self.timed_wait(gpu, stream, desc, spans, || {
+                    self.done[id].load(Ordering::SeqCst)
+                }) {
                     return;
                 }
             } else {
-                if !self.wait_until(|| self.waits_satisfied(id)) {
+                if !self.timed_wait(gpu, stream, desc, spans, || self.waits_satisfied(id)) {
                     return;
                 }
                 if !self.run_body(id, gpu, stream, desc, spans) {
@@ -277,15 +331,23 @@ impl<'a, Ctx> Shared<'a, Ctx> {
             .and_then(|r| r.body);
         let Some(body) = body else { return true };
         let label = desc.label;
-        let start = Instant::now();
+        let begin = Instant::now();
         let r = catch_unwind(AssertUnwindSafe(|| {
             fault_check(label);
             body(self.ctx);
         }));
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = begin.elapsed().as_secs_f64();
         match r {
             Ok(()) => {
-                spans.push(WallSpan { gpu, stream, category: desc.category, label, seconds });
+                let start = begin.duration_since(self.t0).as_secs_f64();
+                spans.push(WallSpan {
+                    gpu,
+                    stream,
+                    category: desc.category,
+                    label,
+                    start,
+                    seconds,
+                });
                 true
             }
             Err(payload) => {
@@ -330,9 +392,10 @@ pub fn execute<Ctx: Sync>(sched: Schedule<Ctx>, ctx: &Ctx) -> Result<ExecReport,
         gate: Mutex::new(()),
         cv: Condvar::new(),
         ctx,
+        t0: Instant::now(),
     };
 
-    let start = Instant::now();
+    let start = shared.t0;
     let mut all_spans: Vec<Vec<WallSpan>> = Vec::with_capacity(gpu_count);
     std::thread::scope(|scope| {
         let handles: Vec<_> = worklists
@@ -362,7 +425,7 @@ pub fn execute<Ctx: Sync>(sched: Schedule<Ctx>, ctx: &Ctx) -> Result<ExecReport,
         return Err(err);
     }
     let spans: Vec<WallSpan> = all_spans.into_iter().flatten().collect();
-    let bodies_run = spans.len();
+    let bodies_run = spans.iter().filter(|s| s.category != Category::Barrier).count();
     Ok(ExecReport { sim: report, wall_seconds, spans, bodies_run })
 }
 
@@ -516,10 +579,79 @@ mod tests {
             );
         }
         let r = execute(s, &ctx).expect("ok");
-        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.bodies_run, 2);
+        let body_spans =
+            r.spans.iter().filter(|s| s.category != Category::Barrier).count();
+        assert_eq!(body_spans, 2);
         let cats = r.category_wall_seconds();
         assert!(cats[&Category::GeMM] >= 0.004 * 0.5, "timed sleeps: {cats:?}");
         assert!(r.wall_seconds > 0.0);
         assert!(r.sim.makespan > 0.0);
+        for s in &r.spans {
+            assert!(s.start >= 0.0 && s.end() <= r.wall_seconds + 1e-3, "{s:?}");
+        }
+    }
+
+    /// Regression for the measured-profile accounting: time a worker spends
+    /// blocked (dependency waits, rendezvous) must land in the `Barrier`
+    /// category — not inside the waiting op's own category — and per-GPU
+    /// category sums must account for the whole epoch wall time up to
+    /// scheduling slack.
+    #[test]
+    fn wait_time_lands_in_barrier_category() {
+        let ctx = ();
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        // GPU 0 works for ~40ms; GPU 1's only op depends on it, so GPU 1
+        // spends those 40ms blocked.
+        let a = s.launch(
+            0,
+            0,
+            fixed(),
+            OpDesc::new(Category::GeMM, "long"),
+            &[],
+            Some(Box::new(|_: &()| std::thread::sleep(Duration::from_millis(40)))),
+        );
+        s.launch(
+            1,
+            0,
+            fixed(),
+            OpDesc::new(Category::GeMM, "short"),
+            &[a],
+            Some(Box::new(|_: &()| std::thread::sleep(Duration::from_millis(2)))),
+        );
+        let r = execute(s, &ctx).expect("ok");
+
+        // GPU 1's blocked time is barrier, not GeMM.
+        let gpu1_barrier: f64 = r
+            .spans
+            .iter()
+            .filter(|s| s.gpu == 1 && s.category == Category::Barrier)
+            .map(|s| s.seconds)
+            .sum();
+        let gpu1_gemm: f64 = r
+            .spans
+            .iter()
+            .filter(|s| s.gpu == 1 && s.category == Category::GeMM)
+            .map(|s| s.seconds)
+            .sum();
+        assert!(gpu1_barrier >= 0.020, "wait not attributed to barrier: {gpu1_barrier}");
+        assert!(gpu1_gemm < 0.020, "wait double-counted into GeMM: {gpu1_gemm}");
+
+        // Per-GPU category sums ≈ wall time (generous slack for spawn and
+        // scheduler jitter on loaded CI machines).
+        for gpu in 0..2 {
+            let sum: f64 =
+                r.spans.iter().filter(|s| s.gpu == gpu).map(|s| s.seconds).sum();
+            assert!(
+                sum <= r.wall_seconds + 1e-3,
+                "gpu {gpu} category sum {sum} exceeds wall {}",
+                r.wall_seconds
+            );
+            assert!(
+                sum >= 0.5 * r.wall_seconds,
+                "gpu {gpu} category sum {sum} far below wall {}",
+                r.wall_seconds
+            );
+        }
     }
 }

@@ -359,6 +359,10 @@ impl<Ctx> Schedule<Ctx> {
                 executed += 1;
                 completion_order.push(id);
                 let op = &ops[id];
+                let bytes = match op.work {
+                    Work::Compute { bytes, .. } | Work::Comm { bytes, .. } => bytes,
+                    Work::Fixed { .. } => 0.0,
+                };
                 for &(gpu, stream) in &op.lanes {
                     timeline.spans.push(Span {
                         gpu,
@@ -368,6 +372,8 @@ impl<Ctx> Schedule<Ctx> {
                         label: op.desc.label,
                         start: started_at[id],
                         end: now,
+                        op: id,
+                        bytes,
                     });
                 }
                 for lane in &op.lanes {

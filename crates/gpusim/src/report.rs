@@ -203,6 +203,8 @@ mod tests {
                     label: "spmm",
                     start: 0.0,
                     end: 2.0,
+                    op: 0,
+                    bytes: 0.0,
                 },
                 Span {
                     gpu: 0,
@@ -212,6 +214,8 @@ mod tests {
                     label: "spmm",
                     start: 2.0,
                     end: 3.0,
+                    op: 1,
+                    bytes: 0.0,
                 },
                 Span {
                     gpu: 1,
@@ -221,6 +225,8 @@ mod tests {
                     label: "bcast",
                     start: 0.0,
                     end: 1.0,
+                    op: 2,
+                    bytes: 0.0,
                 },
             ],
         }

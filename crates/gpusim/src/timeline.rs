@@ -4,6 +4,11 @@
 //! breakdown), 6 and 8 (per-stage SpMM timelines) are views over these.
 
 /// Kernel category, matching the paper's Fig 5 legend plus `Comm`.
+///
+/// `Barrier` is reserved for wait time measured by the threaded backend
+/// (rendezvous arrivals, dependency waits): schedules never launch ops in
+/// this category, so per-category sums cleanly separate useful work from
+/// synchronization stalls.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     SpMM,
@@ -12,17 +17,19 @@ pub enum Category {
     Adam,
     LossLayer,
     Comm,
+    Barrier,
     Other,
 }
 
 impl Category {
-    pub const ALL: [Category; 7] = [
+    pub const ALL: [Category; 8] = [
         Category::SpMM,
         Category::GeMM,
         Category::Activation,
         Category::Adam,
         Category::LossLayer,
         Category::Comm,
+        Category::Barrier,
         Category::Other,
     ];
 
@@ -34,6 +41,7 @@ impl Category {
             Category::Adam => "Adam",
             Category::LossLayer => "Loss-Layer",
             Category::Comm => "Comm",
+            Category::Barrier => "Barrier",
             Category::Other => "Other",
         }
     }
@@ -51,6 +59,13 @@ pub struct Span {
     pub label: &'static str,
     pub start: f64,
     pub end: f64,
+    /// Schedule op id that produced this span. Collectives leave one span
+    /// per participating lane, all sharing the id — consumers counting
+    /// payload bytes must dedup on it.
+    pub op: usize,
+    /// Bytes moved by the op: payload for `Work::Comm`, memory traffic for
+    /// `Work::Compute`, 0 for `Work::Fixed`.
+    pub bytes: f64,
 }
 
 impl Span {
@@ -160,7 +175,7 @@ mod tests {
     use super::*;
 
     fn span(gpu: usize, cat: Category, start: f64, end: f64) -> Span {
-        Span { gpu, stream: 0, category: cat, stage: None, label: "t", start, end }
+        Span { gpu, stream: 0, category: cat, stage: None, label: "t", start, end, op: 0, bytes: 0.0 }
     }
 
     #[test]

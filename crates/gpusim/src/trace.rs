@@ -81,6 +81,8 @@ mod tests {
                     label: "spmm",
                     start: 0.001,
                     end: 0.002,
+                    op: 0,
+                    bytes: 0.0,
                 },
                 Span {
                     gpu: 1,
@@ -90,6 +92,8 @@ mod tests {
                     label: "bcast",
                     start: 0.0,
                     end: 0.0005,
+                    op: 1,
+                    bytes: 64.0,
                 },
             ],
         }

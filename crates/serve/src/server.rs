@@ -171,12 +171,22 @@ pub struct Server {
     model: ServingModel,
     cache: PropagationCache,
     cfg: ServeConfig,
+    /// Observation-only tracer (batch timelines, cache hit/miss counters,
+    /// latency histograms); `None` records nothing.
+    tracer: Option<Arc<mggcn_trace::Tracer>>,
 }
 
 impl Server {
     pub fn new(model: ServingModel, cfg: ServeConfig) -> Self {
         let cache = PropagationCache::new(cfg.cache_bytes, model.feat_dim());
-        Self { model, cache, cfg }
+        Self { model, cache, cfg, tracer: None }
+    }
+
+    /// Attach a tracer; every subsequent batch ingests its timeline and
+    /// cache/latency metrics. Ingestion happens after each schedule has
+    /// run, so served outputs are unaffected.
+    pub fn set_tracer(&mut self, tracer: Arc<mggcn_trace::Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     pub fn model(&self) -> &ServingModel {
@@ -225,8 +235,15 @@ impl Server {
             last_done = last_done.max(done);
             compute_seconds += service;
             for r in &b.requests {
-                latency.record(done - r.arrival);
+                let seconds = done - r.arrival;
+                latency.record(seconds);
+                if let Some(tracer) = &self.tracer {
+                    tracer.latency_record("serve.latency_seconds", seconds);
+                }
             }
+        }
+        if let Some(tracer) = &self.tracer {
+            tracer.counter_add("serve.requests", requests.len() as u64);
         }
         let first_arrival = requests[0].arrival;
         let duration = (last_done - first_arrival).max(f64::MIN_POSITIVE);
@@ -444,6 +461,7 @@ impl Server {
             })),
         );
 
+        let (hit_count, miss_count) = (hits.len() as u64, misses.len() as u64);
         let ctx = Mutex::new(BatchCtx {
             block,
             features: self.model.features().clone(),
@@ -462,11 +480,28 @@ impl Server {
         // the same bodies on the worker runtime (single-GPU schedule → one
         // worker, real dependency enforcement).
         let makespan = match self.cfg.backend {
-            Backend::Simulated => sched.run(&ctx).makespan,
+            Backend::Simulated => {
+                let r = sched.run(&ctx);
+                if let Some(tracer) = &self.tracer {
+                    tracer.ingest_sim_timeline(&r.timeline, r.makespan);
+                }
+                r.makespan
+            }
             Backend::Threaded => {
-                mggcn_exec::execute(sched, &ctx).expect("serve bodies do not panic").sim.makespan
+                let r = mggcn_exec::execute(sched, &ctx).expect("serve bodies do not panic");
+                if let Some(tracer) = &self.tracer {
+                    tracer.ingest_wall_spans(&r.spans, r.wall_seconds);
+                    tracer.ingest_sim_timeline(&r.sim.timeline, r.sim.makespan);
+                }
+                r.sim.makespan
             }
         };
+        if let Some(tracer) = &self.tracer {
+            tracer.counter_add("serve.batches", 1);
+            tracer.counter_add("serve.cache.hits", hit_count);
+            tracer.counter_add("serve.cache.misses", miss_count);
+            tracer.latency_record("serve.batch_service_seconds", makespan);
+        }
         let ctx = ctx.into_inner().unwrap_or_else(|e| e.into_inner());
 
         // Feed freshly computed aggregation rows back into the cache.

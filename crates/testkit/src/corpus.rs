@@ -130,14 +130,17 @@ impl FuzzCase {
         )
     }
 
-    fn opts(&self) -> TrainOptions {
+    /// The training options this case runs under.
+    pub fn opts(&self) -> TrainOptions {
         let mut o = TrainOptions::quick(self.gpus);
         o.permute = self.permute;
         o.backend = self.backend;
         o
     }
 
-    fn trainer(&self) -> Result<Trainer, String> {
+    /// A fresh trainer for this case (deterministic: two calls train
+    /// identically).
+    pub fn trainer(&self) -> Result<Trainer, String> {
         let problem = Problem::from_graph(&self.graph, &self.cfg, &self.opts());
         Trainer::new(problem, self.cfg.clone(), self.opts())
             .map_err(|e| format!("trainer OOM on a toy problem: {e:?}"))

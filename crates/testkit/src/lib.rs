@@ -68,6 +68,50 @@ pub fn rel_diff(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(b.abs()).max(REL_FLOOR)
 }
 
+/// Compare `actual` against the checked-in snapshot `goldens/<name>`,
+/// panicking with the first differing line on drift. Regenerate after an
+/// intentional change with `UPDATE_GOLDENS=1 cargo test -p mggcn-testkit`.
+pub fn check_golden(name: &str, actual: &str) {
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens").join(name);
+    if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir goldens");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {name}; generate with \
+             UPDATE_GOLDENS=1 cargo test -p mggcn-testkit"
+        )
+    });
+    if want != actual {
+        let diff = want
+            .lines()
+            .zip(actual.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  golden: {}\n  actual: {}",
+                    i + 1,
+                    want.lines().nth(i).unwrap_or("<eof>"),
+                    actual.lines().nth(i).unwrap_or("<eof>")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: golden {} vs actual {}",
+                    want.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "output drifted from golden {name}; {diff}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDENS=1."
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,130 @@
+//! Property tests for the trace layer's paper-invariant metrics.
+//!
+//! Over random graphs and P ∈ {1, 2, 4, 8}:
+//!
+//! * the traced per-stage broadcast byte counters must equal the §5.1
+//!   closed form (`comm::analysis::epoch_broadcast_bytes`) **exactly** —
+//!   the schedule moves `rows[s]·d·4` bytes per staged broadcast and the
+//!   tracer dedups collective lanes by op id, so there is no legitimate
+//!   source of even one byte of disagreement;
+//! * the traced per-GPU memory high-watermark must respect the §4.2
+//!   `L + 3` big-buffer plan the trainer was admitted under.
+
+use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_trace::Tracer;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    n: usize,
+    hidden: Vec<usize>,
+    gpus: usize,
+    epochs: usize,
+    op_order_opt: bool,
+    skip_first_backward_spmm: bool,
+    overlap: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),
+        16usize..80,
+        proptest::collection::vec(2usize..24, 0..3),
+        0usize..4,
+        1usize..=2,
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(seed, n, hidden, p_idx, epochs, (op_order_opt, skip, overlap))| Scenario {
+                seed,
+                n,
+                hidden,
+                gpus: [1, 2, 4, 8][p_idx],
+                epochs,
+                op_order_opt,
+                skip_first_backward_spmm: skip,
+                overlap,
+            },
+        )
+}
+
+fn run(s: &Scenario) -> (Arc<Tracer>, Trainer) {
+    let g = sbm::generate(&SbmConfig::community_benchmark(s.n, 3), s.seed);
+    let cfg = GcnConfig::new(g.features.cols(), &s.hidden, g.classes);
+    let mut opts = TrainOptions::quick(s.gpus);
+    opts.permute = false;
+    opts.op_order_opt = s.op_order_opt;
+    opts.skip_first_backward_spmm = s.skip_first_backward_spmm;
+    opts.overlap = s.overlap;
+    let problem = Problem::from_graph(&g, &cfg, &opts);
+    let mut t = Trainer::new(problem, cfg, opts).expect("toy problem fits");
+    let tracer = Arc::new(Tracer::new());
+    t.set_tracer(tracer.clone());
+    for _ in 0..s.epochs {
+        t.train_epoch().expect("simulated backend cannot fail");
+    }
+    (tracer, t)
+}
+
+proptest! {
+    // Every case trains real epochs, so keep the count modest; the
+    // scenario space is still swept across P, depth, both §4.4 flags and
+    // overlap on/off.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traced_broadcast_bytes_equal_the_closed_form_exactly(s in scenario()) {
+        let (tracer, trainer) = run(&s);
+        let per_epoch = trainer.expected_broadcast_bytes();
+        let expected: Vec<u64> =
+            per_epoch.iter().map(|&b| b * s.epochs as u64).collect();
+        let traced = tracer.broadcast_stage_bytes();
+        prop_assert_eq!(
+            traced,
+            expected,
+            "per-stage broadcast counters diverged from §5.1 closed form: {:?}",
+            s
+        );
+    }
+
+    #[test]
+    fn traced_high_watermark_respects_the_l_plus_3_plan(s in scenario()) {
+        let (tracer, trainer) = run(&s);
+        let bound = trainer.plan().big_buffers;
+        let marks = tracer.memory_high_watermarks();
+        prop_assert_eq!(marks.len(), s.gpus, "one watermark per GPU");
+        for (gpu, bytes) in &marks {
+            prop_assert!(
+                *bytes <= bound,
+                "GPU {} high-watermark {} exceeds the L+3 plan {} ({:?})",
+                gpu, bytes, bound, s
+            );
+        }
+        prop_assert_eq!(tracer.memory_bound_ok(), Some(true));
+    }
+}
+
+#[test]
+fn stage_counters_accumulate_linearly_over_epochs() {
+    // Three epochs record exactly 3× one epoch's bytes — no drift, no
+    // double counting of collective lanes.
+    let s = Scenario {
+        seed: 9,
+        n: 48,
+        hidden: vec![8],
+        gpus: 4,
+        epochs: 3,
+        op_order_opt: true,
+        skip_first_backward_spmm: false,
+        overlap: true,
+    };
+    let (tracer, trainer) = run(&s);
+    let per_epoch = trainer.expected_broadcast_bytes();
+    let expected: Vec<u64> = per_epoch.iter().map(|&b| b * 3).collect();
+    assert_eq!(tracer.broadcast_stage_bytes(), expected);
+}

@@ -1,0 +1,179 @@
+//! Derived metrics over span sets: the Fig 8 overlap-efficiency ratio.
+//!
+//! Overlap efficiency asks how much of the communication time was hidden
+//! behind compute on the same GPU — the whole point of the §6.3 dedicated
+//! comm stream. For each GPU we take the union of its compute intervals
+//! and measure how much of each comm interval it covers:
+//!
+//! `efficiency = hidden_comm_seconds / total_comm_seconds`
+//!
+//! 1.0 means communication is fully pipelined (Fig 8 bottom); 0.0 means
+//! every byte was exposed on the critical path.
+
+use mggcn_gpusim::{Category, Timeline};
+
+/// Comm/compute overlap totals across all GPUs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Overlap {
+    /// Total communication seconds (per-GPU lane time, summed).
+    pub comm_seconds: f64,
+    /// The part of `comm_seconds` covered by same-GPU compute.
+    pub hidden_seconds: f64,
+}
+
+impl Overlap {
+    /// `hidden / comm`; 0 when there was no communication at all.
+    pub fn efficiency(&self) -> f64 {
+        if self.comm_seconds > 0.0 {
+            self.hidden_seconds / self.comm_seconds
+        } else {
+            0.0
+        }
+    }
+
+    pub fn accumulate(&mut self, other: Overlap) {
+        self.comm_seconds += other.comm_seconds;
+        self.hidden_seconds += other.hidden_seconds;
+    }
+}
+
+/// Merge possibly-overlapping intervals into a disjoint sorted union.
+pub fn interval_union(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|(a, b)| b > a);
+    iv.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match out.last_mut() {
+            Some((_, prev_end)) if a <= *prev_end => *prev_end = prev_end.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection between `intervals` and a disjoint
+/// sorted `union` (as produced by [`interval_union`]).
+fn covered_length(intervals: &[(f64, f64)], union: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for &(a, b) in intervals {
+        // Binary search for the first union interval that could intersect.
+        let mut lo = union.partition_point(|&(_, end)| end <= a);
+        while lo < union.len() && union[lo].0 < b {
+            let (ua, ub) = union[lo];
+            total += (b.min(ub) - a.max(ua)).max(0.0);
+            lo += 1;
+        }
+    }
+    total
+}
+
+/// Overlap stats of one timeline: spans are grouped by GPU; `Comm`
+/// intervals are checked against the union of that GPU's non-comm,
+/// non-barrier spans.
+pub fn overlap_of_timeline(tl: &Timeline) -> Overlap {
+    let gpus = tl.spans.iter().map(|s| s.gpu + 1).max().unwrap_or(0);
+    let mut out = Overlap::default();
+    for g in 0..gpus {
+        let comm: Vec<(f64, f64)> = tl
+            .spans
+            .iter()
+            .filter(|s| s.gpu == g && s.category == Category::Comm)
+            .map(|s| (s.start, s.end))
+            .collect();
+        let compute = interval_union(
+            tl.spans
+                .iter()
+                .filter(|s| {
+                    s.gpu == g && s.category != Category::Comm && s.category != Category::Barrier
+                })
+                .map(|s| (s.start, s.end))
+                .collect(),
+        );
+        out.comm_seconds += comm.iter().map(|(a, b)| b - a).sum::<f64>();
+        out.hidden_seconds += covered_length(&comm, &compute);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_gpusim::Span;
+
+    fn span(gpu: usize, cat: Category, start: f64, end: f64) -> Span {
+        Span {
+            gpu,
+            stream: usize::from(cat == Category::Comm),
+            category: cat,
+            stage: None,
+            label: "t",
+            start,
+            end,
+            op: 0,
+            bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let u = interval_union(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0), (4.0, 5.0)]);
+        assert_eq!(u, vec![(0.0, 2.0), (3.0, 5.0)]);
+    }
+
+    #[test]
+    fn union_drops_empty() {
+        assert_eq!(interval_union(vec![(1.0, 1.0), (2.0, 1.0)]), vec![]);
+    }
+
+    #[test]
+    fn fully_hidden_comm() {
+        let tl = Timeline {
+            spans: vec![span(0, Category::SpMM, 0.0, 10.0), span(0, Category::Comm, 2.0, 4.0)],
+        };
+        let o = overlap_of_timeline(&tl);
+        assert!((o.comm_seconds - 2.0).abs() < 1e-12);
+        assert!((o.hidden_seconds - 2.0).abs() < 1e-12);
+        assert!((o.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_exposed_comm() {
+        let tl = Timeline {
+            spans: vec![span(0, Category::SpMM, 0.0, 1.0), span(0, Category::Comm, 1.0, 3.0)],
+        };
+        let o = overlap_of_timeline(&tl);
+        assert_eq!(o.hidden_seconds, 0.0);
+        assert_eq!(o.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_and_cross_gpu_isolation() {
+        // GPU 0: compute [0,2], comm [1,3] -> 1s of 2 hidden.
+        // GPU 1's compute must not hide GPU 0's comm.
+        let tl = Timeline {
+            spans: vec![
+                span(0, Category::SpMM, 0.0, 2.0),
+                span(0, Category::Comm, 1.0, 3.0),
+                span(1, Category::SpMM, 0.0, 100.0),
+            ],
+        };
+        let o = overlap_of_timeline(&tl);
+        assert!((o.comm_seconds - 2.0).abs() < 1e-12);
+        assert!((o.hidden_seconds - 1.0).abs() < 1e-12);
+        assert!((o.efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_spans_do_not_hide_comm() {
+        let tl = Timeline {
+            spans: vec![span(0, Category::Barrier, 0.0, 10.0), span(0, Category::Comm, 2.0, 4.0)],
+        };
+        assert_eq!(overlap_of_timeline(&tl).hidden_seconds, 0.0);
+    }
+
+    #[test]
+    fn no_comm_is_zero_efficiency() {
+        let tl = Timeline { spans: vec![span(0, Category::SpMM, 0.0, 1.0)] };
+        assert_eq!(overlap_of_timeline(&tl).efficiency(), 0.0);
+    }
+}

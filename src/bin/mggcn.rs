@@ -4,14 +4,20 @@
 //! mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]
 //!                [--no-overlap] [--no-permute] [--checkpoint PATH]
 //!                [--resume PATH] [--backend simulated|threaded] [--threads T]
+//!                [--trace PATH.json]
 //! mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N]
 //!                [--model a|b|c|d] [--profile] [--trace PATH.json]
 //! mggcn memory   --dataset NAME [--hidden H] [--layers L]
 //! mggcn datasets
 //! mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]
 //!                   [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]
+//!                   [--trace PATH.json]
 //! mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E]
 //!                   [--threads LIST] [--out PATH]
+//! mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]
+//!                [--backend simulated|threaded] [--threads T]
+//!                [--out BENCH_trace.json] [--chrome PATH.json]
+//! mggcn trace    --check PATH.json
 //! ```
 //!
 //! `train` runs real full-batch training on a generated community graph;
@@ -23,6 +29,12 @@
 //! `bench-exec` really executes epochs on the threaded backend at each
 //! kernel-pool width in `--threads` and writes measured wall-clock epoch
 //! times and speedups to `BENCH_exec.json`.
+//! `trace` runs a small traced training job, checks the recorded broadcast
+//! byte counters against the §5.1 closed form and the per-GPU memory
+//! high-watermark against the §4.2 `L + 3` plan, then writes + validates
+//! `BENCH_trace.json` (and optionally a Chrome trace); it exits nonzero
+//! if a check fails, making it a CI gate. `--check PATH` validates an
+//! existing trace artifact (either kind, auto-detected) without running.
 
 use mg_gcn::core::checkpoint::Checkpoint;
 use mg_gcn::gpusim::Profile;
@@ -59,7 +71,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH"
     );
     exit(2)
 }
@@ -75,6 +87,7 @@ fn main() {
         "datasets" => cmd_datasets(),
         "serve-bench" => cmd_serve_bench(&flags),
         "bench-exec" => cmd_bench_exec(&flags),
+        "trace" => cmd_trace(&flags),
         _ => usage(),
     }
 }
@@ -136,6 +149,12 @@ fn cmd_train(flags: &HashMap<String, String>) {
             }
         }
     }
+    let tracer = flags
+        .get("trace")
+        .map(|_| std::sync::Arc::new(mg_gcn::trace::Tracer::new()));
+    if let Some(t) = &tracer {
+        trainer.set_tracer(t.clone());
+    }
     println!(
         "training: {} vertices, {} edges, {} GPUs, hidden {}, backend {}",
         graph.n(),
@@ -177,9 +196,64 @@ fn cmd_train(flags: &HashMap<String, String>) {
             Err(e) => eprintln!("checkpoint failed: {e}"),
         }
     }
+    if let (Some(path), Some(tracer)) = (flags.get("trace"), &tracer) {
+        trace_verdicts(tracer, &trainer.expected_broadcast_bytes(), epochs);
+        match tracer.write_chrome_trace(std::path::Path::new(path), true) {
+            Ok(()) => println!("chrome trace written to {path} (open in chrome://tracing)"),
+            Err(e) => eprintln!("trace failed: {e}"),
+        }
+    }
     if let Some(r) = last_report {
         println!("final test accuracy: {:.1}%", r.test_acc * 100.0);
     }
+}
+
+/// Print the two trace verdicts — traced broadcast bytes vs the §5.1
+/// closed form, and per-GPU high-watermark vs the §4.2 `L + 3` plan —
+/// and return whether both hold.
+fn trace_verdicts(
+    tracer: &mg_gcn::trace::Tracer,
+    expected_per_epoch: &[u64],
+    epochs: usize,
+) -> bool {
+    let expected: Vec<u64> =
+        expected_per_epoch.iter().map(|&b| b * epochs as u64).collect();
+    let traced = tracer.broadcast_stage_bytes();
+    let bytes_ok = traced == expected;
+    if bytes_ok {
+        let total: u64 = traced.iter().sum();
+        println!(
+            "trace: broadcast bytes match closed form exactly \
+             ({} stages, {total} bytes over {epochs} epoch(s))",
+            traced.len()
+        );
+    } else {
+        eprintln!("trace: broadcast byte MISMATCH: traced {traced:?} vs closed form {expected:?}");
+    }
+    let mem_ok = tracer.memory_bound_ok();
+    match mem_ok {
+        Some(true) => {
+            let peak = tracer
+                .memory_high_watermarks()
+                .into_iter()
+                .map(|(_, b)| b)
+                .max()
+                .unwrap_or(0);
+            let bound = tracer.gauge("mem.plan.big_buffers_bytes").unwrap_or(0.0);
+            println!(
+                "trace: per-GPU high-watermark {:.2} MiB within L+3 plan {:.2} MiB",
+                peak as f64 / (1 << 20) as f64,
+                bound / (1 << 20) as f64
+            );
+        }
+        Some(false) => eprintln!(
+            "trace: memory high-watermark EXCEEDS the L+3 plan: {:?} vs bound {:?}",
+            tracer.memory_high_watermarks(),
+            tracer.gauge("mem.plan.big_buffers_bytes")
+        ),
+        None => println!("trace: no memory watermarks recorded"),
+    }
+    bytes_ok && mem_ok != Some(false)
 }
 
 fn model_for(name: &str, card: &datasets::DatasetCard) -> GcnConfig {
@@ -321,6 +395,9 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         )
     };
     let trace = mg_gcn::serve::generate_load(&LoadGenConfig::skewed(qps, requests, vertices, seed));
+    let tracer = flags
+        .get("trace")
+        .map(|_| std::sync::Arc::new(mg_gcn::trace::Tracer::new()));
 
     // Batch-size-1 baseline on identical hardware, no cache.
     let mut unbatched =
@@ -328,9 +405,14 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
     let base = unbatched.serve("unbatched", &trace);
 
     // Micro-batched with the propagation cache: cold pass, then warm.
+    // Only the batched server is traced so the cache-hit/miss counters and
+    // latency histograms describe one configuration, not a mixture.
     let policy = BatchPolicy::new(window, max_batch);
     let mut server =
         Server::new(model, ServeConfig::new(machine(), policy, cache_mb << 20));
+    if let Some(t) = &tracer {
+        server.set_tracer(t.clone());
+    }
     let cold = server.serve("batched-cold", &trace);
     let warm = server.serve("batched-warm", &trace);
 
@@ -343,15 +425,25 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         "batching speedup {batching_speedup:.2}x, warm-cache compute reduction {:.1}%",
         warm_compute_reduction * 100.0
     );
+    let trace_field = match &tracer {
+        Some(t) => format!(",\"trace\":{}", t.bench_json()),
+        None => String::new(),
+    };
     println!(
         "{{\"qps\":{qps},\"batch_window_s\":{window},\"max_batch\":{max_batch},\
          \"cache_mb\":{cache_mb},\"gpus\":{gpus},\"configs\":[{},{},{}],\
          \"batching_speedup\":{batching_speedup:.3},\
-         \"warm_compute_reduction\":{warm_compute_reduction:.4}}}",
+         \"warm_compute_reduction\":{warm_compute_reduction:.4}{trace_field}}}",
         base.to_json(),
         cold.to_json(),
         warm.to_json()
     );
+    if let (Some(path), Some(t)) = (flags.get("trace"), &tracer) {
+        match t.write_chrome_trace(std::path::Path::new(path), true) {
+            Ok(()) => eprintln!("chrome trace written to {path} (open in chrome://tracing)"),
+            Err(e) => eprintln!("trace failed: {e}"),
+        }
+    }
 }
 
 /// `bench-exec`: measure real epoch wall-clock on the threaded backend at
@@ -463,6 +555,119 @@ fn cmd_bench_exec(flags: &HashMap<String, String>) {
         }
     }
     println!("{json}");
+}
+
+/// `trace`: run a small traced training job and verify its recorded
+/// metrics against the paper's closed forms, or (`--check PATH`) validate
+/// an existing trace artifact. Exits nonzero on any failed check, so CI
+/// can gate on it.
+fn cmd_trace(flags: &HashMap<String, String>) {
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        // Auto-detect the artifact kind: a Chrome trace has `traceEvents`,
+        // a metrics dump has `bench: "trace"`.
+        let verdict = if text.contains("\"traceEvents\"") {
+            mg_gcn::trace::chrome::validate_chrome_trace(&text).map(|s| {
+                format!("valid chrome trace: {} events, {} metadata records", s.events, s.metas)
+            })
+        } else {
+            mg_gcn::trace::chrome::validate_bench_trace(&text)
+                .map(|()| "valid BENCH_trace metrics dump".to_string())
+        };
+        match verdict {
+            Ok(msg) => println!("{path}: {msg}"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let gpus: usize = get(flags, "gpus", 2);
+    let vertices: usize = get(flags, "vertices", 1500);
+    let hidden: usize = get(flags, "hidden", 32);
+    let epochs: usize = get(flags, "epochs", 3);
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let backend = match flags.get("backend").map(String::as_str) {
+        None => Backend::Threaded,
+        Some(name) => Backend::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown backend {name:?} (expected simulated or threaded)");
+            exit(2)
+        }),
+    };
+    if let Some(t) = flags.get("threads") {
+        let Ok(t) = t.parse::<usize>() else {
+            eprintln!("--threads expects a positive integer");
+            exit(2)
+        };
+        std::env::set_var("MGGCN_THREADS", t.to_string());
+        set_pool_threads(t);
+    }
+
+    let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
+    let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
+    let mut opts = TrainOptions::quick(gpus);
+    opts.backend = backend;
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut trainer = match Trainer::new(problem, cfg, opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    let tracer = std::sync::Arc::new(mg_gcn::trace::Tracer::new());
+    trainer.set_tracer(tracer.clone());
+    eprintln!(
+        "trace: {} vertices, {gpus} GPUs, hidden {hidden}, {epochs} epoch(s), backend {}",
+        graph.n(),
+        backend.name()
+    );
+    for e in 0..epochs {
+        if let Err(err) = trainer.train_epoch() {
+            eprintln!("epoch {e} failed: {err}");
+            exit(1);
+        }
+    }
+
+    let ok = trace_verdicts(&tracer, &trainer.expected_broadcast_bytes(), epochs);
+
+    // Write both artifacts, then re-read and schema-validate them — the
+    // files on disk are what CI consumes, so they are what gets checked.
+    if let Err(e) = tracer.write_bench_json(std::path::Path::new(&out)) {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    }
+    let text = std::fs::read_to_string(&out).expect("just wrote it");
+    if let Err(e) = mg_gcn::trace::chrome::validate_bench_trace(&text) {
+        eprintln!("{out}: INVALID: {e}");
+        exit(1);
+    }
+    println!("wrote {out} (schema {})", mg_gcn::trace::BENCH_TRACE_SCHEMA);
+    if let Some(path) = flags.get("chrome") {
+        if let Err(e) = tracer.write_chrome_trace(std::path::Path::new(path), true) {
+            eprintln!("failed to write {path}: {e}");
+            exit(1);
+        }
+        let text = std::fs::read_to_string(path).expect("just wrote it");
+        match mg_gcn::trace::chrome::validate_chrome_trace(&text) {
+            Ok(s) => println!(
+                "wrote {path}: {} events, {} metadata records (open in chrome://tracing)",
+                s.events, s.metas
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1);
+            }
+        }
+    }
+    if !ok {
+        exit(1);
+    }
 }
 
 fn cmd_datasets() {

@@ -26,6 +26,7 @@
 //! | [`baselines`] | `mggcn-baselines` | DGL-like, CAGNET-like, DistGNN model, MLP |
 //! | [`serve`] | `mggcn-serve` | online inference: propagation cache, micro-batching, latency stats |
 //! | [`exec`] | `mggcn-exec` | real execution: worker-per-GPU runtime, deterministic kernel pool, wall-clock profiling |
+//! | [`trace`] | `mggcn-trace` | observability: structured spans, metrics registry, Chrome-trace export, derived overlap/memory metrics |
 //!
 //! ## Quick start
 //!
@@ -57,6 +58,7 @@ pub use mggcn_graph as graph;
 pub use mggcn_gpusim as gpusim;
 pub use mggcn_serve as serve;
 pub use mggcn_sparse as sparse;
+pub use mggcn_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
@@ -72,4 +74,5 @@ pub mod prelude {
     pub use mggcn_graph::Graph;
     pub use mggcn_gpusim::{Category, MachineSpec};
     pub use mggcn_serve::{BatchPolicy, LoadGenConfig, ServeConfig, Server, ServingModel};
+    pub use mggcn_trace::Tracer;
 }
