@@ -7,20 +7,11 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> rustfmt (serve crate)"
-cargo fmt -p mggcn-serve --check
+echo "==> rustfmt (workspace)"
+cargo fmt --check
 
-echo "==> clippy -D warnings (serve crate)"
-cargo clippy -p mggcn-serve --all-targets -- -D warnings
-
-echo "==> clippy -D warnings (exec crate)"
-cargo clippy -p mggcn-exec --all-targets -- -D warnings
-
-echo "==> rustfmt (trace crate)"
-cargo fmt -p mggcn-trace --check
-
-echo "==> clippy -D warnings (trace crate)"
-cargo clippy -p mggcn-trace --all-targets -- -D warnings
+echo "==> clippy -D warnings (workspace, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> build (release, workspace)"
 cargo build --release --workspace
@@ -79,5 +70,12 @@ for key in '"bench":"trace"' '"schema":"mggcn-trace-v1"' \
   }
 done
 rm -rf "${TRACE_DIR}"
+
+echo "==> analyze smoke (static schedule verification; Reddit model A, P=4)"
+# `mggcn analyze` exits nonzero if any recorded schedule has an unordered
+# buffer conflict, a dependency cycle, or a liveness coloring that needs
+# more big buffers than the §4.2 L+3 plan.
+./target/release/mggcn analyze >/dev/null
+./target/release/mggcn analyze --dataset reddit --gpus 4
 
 echo "==> CI green"

@@ -1,0 +1,460 @@
+//! mggcn-analyze — static verification of recorded schedules.
+//!
+//! The engine warns that "a schedule missing a double-buffer WAR
+//! dependency will corrupt real data the same way real hardware would"
+//! (`gpusim::engine`). This crate turns that class of bug into a static
+//! finding: every `launch_fx`/`collective_fx` site declares the logical
+//! buffers it reads and writes ([`mggcn_gpusim::Effects`]), and three
+//! analyses run over the happens-before relation induced by lane FIFOs,
+//! explicit waits, and collective rendezvous ([`hb::Hb`]):
+//!
+//! 1. **Hazard detection** — every RAW/WAR/WAW pair on the same buffer
+//!    must be HB-ordered ([`Finding::Hazard`] otherwise);
+//! 2. **Deadlock-freedom** — the dependency digraph must be acyclic; a
+//!    cycle is exactly a simulator deadlock and a threaded-backend hang
+//!    ([`Finding::Deadlock`]);
+//! 3. **Liveness coloring** — big-buffer live ranges must be colorable
+//!    within `core::memplan`'s `L + 3` budget ([`Finding::OverBudget`];
+//!    see [`liveness`]).
+//!
+//! Entry points: [`analyze`] (hazards + deadlock), [`analyze_budget`]
+//! (adds the liveness bound), and [`preflight`] (the cheap gate
+//! `mggcn-exec` runs before spawning workers). The CLI surface is
+//! `mggcn analyze`.
+
+pub mod hb;
+pub mod liveness;
+
+pub use hb::Hb;
+pub use liveness::Liveness;
+
+use mggcn_gpusim::{BufId, OpId, OpInfo, Schedule};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Data-race kind, named from the id-order of the unordered pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Read-after-write unordered.
+    Raw,
+    /// Write-after-read unordered (the dropped double-buffer edge class).
+    War,
+    /// Write-after-write unordered.
+    Waw,
+}
+
+impl HazardKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            HazardKind::Raw => "RAW",
+            HazardKind::War => "WAR",
+            HazardKind::Waw => "WAW",
+        }
+    }
+}
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Finding {
+    /// Two conflicting accesses to `buf` with no happens-before order:
+    /// the body outcome depends on simulated timing — real corruption.
+    Hazard {
+        kind: HazardKind,
+        buf: BufId,
+        first: OpId,
+        first_label: &'static str,
+        second: OpId,
+        second_label: &'static str,
+    },
+    /// The dependency digraph has a cycle: the schedule deadlocks in the
+    /// simulator and hangs the threaded backend.
+    Deadlock { cycle: Vec<OpId> },
+    /// A GPU's live ranges need more big buffers than the plan budgets.
+    OverBudget { gpu: usize, needed: usize, budget: usize },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::Hazard { kind, buf, first, first_label, second, second_label } => write!(
+                f,
+                "{} hazard on {buf}: op {first} ({first_label}) and op {second} \
+                 ({second_label}) are not ordered",
+                kind.name()
+            ),
+            Finding::Deadlock { cycle } => {
+                let ids: Vec<String> = cycle.iter().map(|id| id.to_string()).collect();
+                write!(f, "dependency cycle (deadlock): ops [{}]", ids.join(" -> "))
+            }
+            Finding::OverBudget { gpu, needed, budget } => write!(
+                f,
+                "GPU {gpu} needs {needed} big buffers but the plan budgets {budget} (L+3)"
+            ),
+        }
+    }
+}
+
+/// The big-buffer family names and budget the liveness analysis checks.
+#[derive(Clone, Debug)]
+pub struct BudgetSpec {
+    /// Buffer family names counted as "big" (per-GPU `n/P × d` buffers).
+    pub names: Vec<&'static str>,
+    /// Maximum allocations the plan budgets per GPU.
+    pub budget: usize,
+}
+
+impl BudgetSpec {
+    /// The MG-GCN §4.2 plan: `L` activation buffers + `HW` + the two
+    /// broadcast buffers, for a model with `layers` layers.
+    pub fn mg_gcn(layers: usize) -> Self {
+        Self { names: vec!["AHW", "HW", "BC1", "BC2"], budget: layers + 3 }
+    }
+}
+
+/// Result of verifying one schedule.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Ops in the schedule.
+    pub ops: usize,
+    /// Deduplicated dependency edges (lane-FIFO adjacency + waits).
+    pub edges: usize,
+    /// All verification failures, in detection order.
+    pub findings: Vec<Finding>,
+    /// Liveness result; `None` when the schedule deadlocks or has
+    /// hazards (ranges are ill-defined then), or when no op declares
+    /// effects on the requested buffer families.
+    pub liveness: Option<Liveness>,
+    /// The budget the liveness result was checked against, if any.
+    pub budget: Option<usize>,
+}
+
+impl Report {
+    /// No findings of any class.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable summary (the non-`--dump` CLI output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ops, {} dependency edges", self.ops, self.edges);
+        if let Some(lv) = &self.liveness {
+            let budget = self.budget.map(|b| format!(", budget {b}")).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "liveness: {} big buffers named, {} needed{budget}",
+                lv.buffers_bound, lv.buffers_needed
+            );
+            for &(gpu, named, needed) in &lv.per_gpu {
+                let _ = writeln!(out, "  gpu {gpu}: {named} named, {needed} needed");
+            }
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "no findings");
+        } else {
+            let _ = writeln!(out, "{} finding(s):", self.findings.len());
+            for f in &self.findings {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        out
+    }
+}
+
+/// Verify hazards + deadlock-freedom over recorded op metadata; with a
+/// [`BudgetSpec`], also check the liveness coloring against the budget.
+pub fn analyze_ops(ops: &[OpInfo<'_>], budget: Option<&BudgetSpec>) -> Report {
+    let hb = Hb::of_ops(ops);
+    let mut findings = Vec::new();
+
+    if let Some(cycle) = &hb.cycle {
+        findings.push(Finding::Deadlock { cycle: clone_cycle(cycle) });
+        return Report {
+            ops: ops.len(),
+            edges: hb.edges.len(),
+            findings,
+            liveness: None,
+            budget: budget.map(|b| b.budget),
+        };
+    }
+
+    // Hazards: group accesses per buffer; every conflicting pair (at
+    // least one write, distinct ops) must be HB-ordered.
+    let mut accesses: BTreeMap<BufId, Vec<(OpId, bool, &'static str)>> = BTreeMap::new();
+    for op in ops {
+        for &b in &op.effects.reads {
+            accesses.entry(b).or_default().push((op.id, false, op.desc.label));
+        }
+        for &b in &op.effects.writes {
+            accesses.entry(b).or_default().push((op.id, true, op.desc.label));
+        }
+    }
+    for (&buf, list) in &accesses {
+        for (i, &(a, a_w, a_label)) in list.iter().enumerate() {
+            for &(b, b_w, b_label) in &list[i + 1..] {
+                if a == b || (!a_w && !b_w) {
+                    continue;
+                }
+                if hb.ordered(a, b) || hb.ordered(b, a) {
+                    continue;
+                }
+                let (first, first_label, first_w, second, second_label, second_w) = if a < b {
+                    (a, a_label, a_w, b, b_label, b_w)
+                } else {
+                    (b, b_label, b_w, a, a_label, a_w)
+                };
+                let kind = match (first_w, second_w) {
+                    (true, true) => HazardKind::Waw,
+                    (true, false) => HazardKind::Raw,
+                    (false, true) => HazardKind::War,
+                    (false, false) => unreachable!("read/read pairs are skipped"),
+                };
+                let finding =
+                    Finding::Hazard { kind, buf, first, first_label, second, second_label };
+                if !findings.contains(&finding) {
+                    findings.push(finding);
+                }
+            }
+        }
+    }
+
+    // Liveness only over hazard-free schedules (ranges need an order).
+    let liveness = if findings.is_empty() {
+        budget.and_then(|spec| {
+            let lv = liveness::liveness(ops, &hb, &spec.names);
+            if lv.buffers_bound == 0 {
+                return None; // no effects declared on these families
+            }
+            for &(gpu, _, needed) in &lv.per_gpu {
+                if needed > spec.budget {
+                    findings.push(Finding::OverBudget { gpu, needed, budget: spec.budget });
+                }
+            }
+            Some(lv)
+        })
+    } else {
+        None
+    };
+
+    Report {
+        ops: ops.len(),
+        edges: hb.edges.len(),
+        findings,
+        liveness,
+        budget: budget.map(|b| b.budget),
+    }
+}
+
+fn clone_cycle(cycle: &[OpId]) -> Vec<OpId> {
+    cycle.to_vec()
+}
+
+/// Verify a recorded schedule: hazards + deadlock-freedom.
+pub fn analyze<Ctx>(sched: &Schedule<Ctx>) -> Report {
+    analyze_ops(&sched.op_infos(), None)
+}
+
+/// Verify a recorded schedule including the liveness budget check.
+pub fn analyze_budget<Ctx>(sched: &Schedule<Ctx>, spec: &BudgetSpec) -> Report {
+    analyze_ops(&sched.op_infos(), Some(spec))
+}
+
+/// Cheap pre-flight gate for executors: hazards + deadlock only. Returns
+/// the first finding rendered, so a racy or deadlocking schedule is
+/// rejected before any worker thread starts.
+pub fn preflight<Ctx>(sched: &Schedule<Ctx>) -> Result<(), String> {
+    let report = analyze(sched);
+    match report.findings.first() {
+        None => Ok(()),
+        Some(f) => Err(format!(
+            "schedule fails static verification ({} finding(s)); first: {f}",
+            report.findings.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_gpusim::engine::OpDesc;
+    use mggcn_gpusim::{Category, Effects, GpuSpec, MachineSpec, Work};
+
+    fn machine(n: usize) -> MachineSpec {
+        MachineSpec::uniform("test", GpuSpec::v100(), n, 6, 25.0e9)
+    }
+
+    fn fixed() -> Work {
+        Work::Fixed { seconds: 0.1 }
+    }
+
+    fn desc(label: &'static str) -> OpDesc {
+        OpDesc::new(Category::Other, label)
+    }
+
+    fn bc(gpu: usize, slot: usize) -> BufId {
+        BufId::new(gpu, if slot == 0 { "BC1" } else { "BC2" })
+    }
+
+    /// Two ops on different streams touching one buffer, no edge.
+    #[test]
+    fn unordered_conflict_is_a_hazard() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+        s.launch_fx(0, 1, fixed(), desc("r"), &[], Effects::none().reads([bc(0, 0)]), None);
+        let r = analyze(&s);
+        assert_eq!(r.findings.len(), 1);
+        match &r.findings[0] {
+            Finding::Hazard { kind, first, second, .. } => {
+                assert_eq!(*kind, HazardKind::Raw);
+                assert_eq!((*first, *second), (0, 1));
+            }
+            other => panic!("expected hazard, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wait_edge_resolves_the_hazard() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        let w =
+            s.launch_fx(0, 0, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+        s.launch_fx(0, 1, fixed(), desc("r"), &[w], Effects::none().reads([bc(0, 0)]), None);
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn lane_fifo_resolves_the_hazard() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+        s.launch_fx(0, 0, fixed(), desc("r"), &[], Effects::none().reads([bc(0, 0)]), None);
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn reads_never_conflict() {
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.launch_fx(0, 0, fixed(), desc("r1"), &[], Effects::none().reads([bc(0, 0)]), None);
+        s.launch_fx(1, 0, fixed(), desc("r2"), &[], Effects::none().reads([bc(0, 0)]), None);
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn distinct_buffers_never_conflict() {
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.launch_fx(0, 0, fixed(), desc("w0"), &[], Effects::none().writes([bc(0, 0)]), None);
+        // Same name, different GPU: a different physical buffer.
+        s.launch_fx(1, 0, fixed(), desc("w1"), &[], Effects::none().writes([bc(1, 0)]), None);
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn war_kind_is_reported() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("r"), &[], Effects::none().reads([bc(0, 0)]), None);
+        s.launch_fx(0, 1, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+        let r = analyze(&s);
+        match &r.findings[0] {
+            Finding::Hazard { kind, .. } => assert_eq!(*kind, HazardKind::War),
+            other => panic!("expected WAR, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_preempts_other_analyses() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        let placeholder = s.launch(0, 1, fixed(), desc("p"), &[], None);
+        s.launch(0, 0, fixed(), desc("x"), &[placeholder + 2], None);
+        s.launch(0, 0, fixed(), desc("y"), &[], None);
+        let r = analyze_budget(&s, &BudgetSpec::mg_gcn(2));
+        assert_eq!(r.findings.len(), 1);
+        assert!(matches!(r.findings[0], Finding::Deadlock { .. }));
+        assert!(r.liveness.is_none());
+        assert!(preflight(&s).is_err());
+    }
+
+    /// Double-buffered broadcast pipeline: serial analysis needs 1 BC
+    /// buffer, overlapped needs 2, and an over-tight budget is flagged.
+    #[test]
+    fn liveness_counts_overlapping_bc_ranges() {
+        let build = |overlapped: bool| {
+            let mut s: Schedule<()> = Schedule::new(machine(1));
+            let comm = usize::from(overlapped);
+            let mut readers: [Option<OpId>; 2] = [None, None];
+            for stage in 0..4 {
+                let slot = stage % 2;
+                // WAR: the slot's next broadcast waits on its last reader.
+                let waits: Vec<OpId> = readers[slot].into_iter().collect();
+                let w = s.launch_fx(
+                    0,
+                    comm,
+                    fixed(),
+                    desc("bcast"),
+                    &waits,
+                    Effects::none().writes([bc(0, slot)]),
+                    None,
+                );
+                let r = s.launch_fx(
+                    0,
+                    0,
+                    fixed(),
+                    desc("spmm"),
+                    &[w],
+                    Effects::none().reads([bc(0, slot)]),
+                    None,
+                );
+                readers[slot] = Some(r);
+            }
+            s
+        };
+        let serial = analyze_budget(&build(false), &BudgetSpec::mg_gcn(0));
+        assert!(serial.clean(), "{}", serial.render());
+        assert_eq!(serial.liveness.as_ref().unwrap().buffers_needed, 1);
+
+        let overlapped = analyze_budget(&build(true), &BudgetSpec::mg_gcn(0));
+        assert!(overlapped.clean(), "{}", overlapped.render());
+        let lv = overlapped.liveness.as_ref().unwrap();
+        assert_eq!(lv.buffers_bound, 2);
+        assert_eq!(lv.buffers_needed, 2);
+
+        // Budget 1 (layers such that L+3 == 1 is impossible via mg_gcn;
+        // hand-roll) must flag the overlapped pipeline.
+        let spec = BudgetSpec { names: vec!["BC1", "BC2"], budget: 1 };
+        let tight = analyze_budget(&build(true), &spec);
+        assert!(matches!(
+            tight.findings[..],
+            [Finding::OverBudget { gpu: 0, needed: 2, budget: 1 }]
+        ));
+    }
+
+    #[test]
+    fn rmw_extends_a_range_instead_of_splitting() {
+        // write, rmw, read on one buffer = one range; a second buffer
+        // defined strictly after it can share the allocation.
+        let a = BufId::indexed(0, "AHW", 0);
+        let b = BufId::new(0, "HW");
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("def-a"), &[], Effects::none().writes([a]), None);
+        s.launch_fx(0, 0, fixed(), desc("relu"), &[], Effects::none().rw(a), None);
+        s.launch_fx(0, 0, fixed(), desc("use-a"), &[], Effects::none().reads([a]), None);
+        s.launch_fx(0, 0, fixed(), desc("def-b"), &[], Effects::none().writes([b]), None);
+        s.launch_fx(0, 0, fixed(), desc("use-b"), &[], Effects::none().reads([b]), None);
+        let spec = BudgetSpec { names: vec!["AHW", "HW"], budget: 2 };
+        let r = analyze_budget(&s, &spec);
+        assert!(r.clean());
+        let lv = r.liveness.unwrap();
+        assert_eq!(lv.buffers_bound, 2);
+        assert_eq!(lv.buffers_needed, 1, "disjoint ranges must share");
+    }
+
+    #[test]
+    fn report_renders_findings_and_counts() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+        s.launch_fx(0, 1, fixed(), desc("r"), &[], Effects::none().reads([bc(0, 0)]), None);
+        let r = analyze(&s);
+        let text = r.render();
+        assert!(text.contains("2 ops"));
+        assert!(text.contains("RAW hazard on BC1@g0"));
+        assert!(!r.clean());
+    }
+}

@@ -90,7 +90,9 @@ mod tests {
         let opts = options(machine.clone(), gpus);
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
         let problem = Problem::from_stats(card, &opts);
-        trainer(problem, cfg, machine, gpus).ok().and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
+        trainer(problem, cfg, machine, gpus)
+            .ok()
+            .and_then(|mut t| Some(t.train_epoch().ok()?.sim_seconds))
     }
 
     fn mggcn_time(card: &mggcn_graph::DatasetCard, gpus: usize) -> f64 {

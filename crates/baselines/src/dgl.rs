@@ -53,7 +53,11 @@ pub fn options(machine: MachineSpec, cfg: &GcnConfig) -> TrainOptions {
 
 /// Build a DGL-like trainer for a materialized or stat-card problem.
 /// Fails with OOM exactly when the per-layer allocation does not fit.
-pub fn trainer(problem: Problem, cfg: GcnConfig, machine: MachineSpec) -> Result<Trainer, OomError> {
+pub fn trainer(
+    problem: Problem,
+    cfg: GcnConfig,
+    machine: MachineSpec,
+) -> Result<Trainer, OomError> {
     let opts = options(machine, &cfg);
     Trainer::new(problem, cfg, opts)
 }

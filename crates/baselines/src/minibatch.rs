@@ -99,8 +99,7 @@ impl MiniBatchTrainer {
             let j = self.rng.gen_range(0..=i);
             self.train_ids.swap(i, j);
         }
-        let mut report =
-            MiniBatchReport { loss: 0.0, train_acc: 0.0, work_touched: 0, batches: 0 };
+        let mut report = MiniBatchReport { loss: 0.0, train_acc: 0.0, work_touched: 0, batches: 0 };
         let mut correct = 0usize;
         let mut total = 0usize;
         let ids = self.train_ids.clone();

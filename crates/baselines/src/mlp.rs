@@ -9,7 +9,9 @@
 use mggcn_core::config::GcnConfig;
 use mggcn_core::loss::softmax_xent_inplace;
 use mggcn_core::optimizer::{adam_step, AdamParams};
-use mggcn_dense::{gemm, gemm_a_bt, gemm_at_b, init, relu_backward, relu_inplace, Accumulate, Dense};
+use mggcn_dense::{
+    gemm, gemm_a_bt, gemm_at_b, init, relu_backward, relu_inplace, Accumulate, Dense,
+};
 use mggcn_graph::Graph;
 
 /// A full-batch MLP trainer on vertex features alone.

@@ -9,9 +9,9 @@
 //! fall out.
 
 use mggcn_bench::{staged_spmm_15d_timeline, staged_spmm_timeline};
+use mggcn_gpusim::MachineSpec;
 use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 use mggcn_graph::tilestats::{TileStats, VertexOrdering};
-use mggcn_gpusim::MachineSpec;
 
 fn main() {
     println!("Ablation: 1D vs 1.5D staged SpMM, executed in the engine (8 GPUs, d = 512)");

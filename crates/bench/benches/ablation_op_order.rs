@@ -12,8 +12,8 @@
 
 use mggcn_bench::mggcn_epoch_with;
 use mggcn_core::config::{GcnConfig, TrainOptions};
-use mggcn_graph::datasets::FIGURE_DATASETS;
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::FIGURE_DATASETS;
 
 fn epoch(
     card: &mggcn_graph::DatasetCard,

@@ -9,8 +9,8 @@
 
 use mggcn_bench::mggcn_epoch_with;
 use mggcn_core::config::{GcnConfig, TrainOptions};
-use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 
 fn epoch(card: &mggcn_graph::DatasetCard, hidden: usize, overlap: bool) -> Option<f64> {
     let cfg = GcnConfig::new(card.feat_dim, &[hidden], card.classes);
@@ -21,13 +21,20 @@ fn epoch(card: &mggcn_graph::DatasetCard, hidden: usize, overlap: bool) -> Optio
 
 fn main() {
     println!("Ablation: overlap benefit vs hidden dimension (§6.3), DGX-V100, 8 GPUs");
-    println!("{:<10} {:>8} {:>12} {:>12} {:>10}", "Dataset", "hidden", "serial (s)", "overlap (s)", "benefit");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>10}",
+        "Dataset", "hidden", "serial (s)", "overlap (s)", "benefit"
+    );
     for card in [PRODUCTS, REDDIT] {
         for hidden in [8usize, 32, 128, 512, 1024] {
             match (epoch(&card, hidden, false), epoch(&card, hidden, true)) {
                 (Some(s), Some(o)) => println!(
                     "{:<10} {:>8} {:>12.4} {:>12.4} {:>9.2}x",
-                    card.name, hidden, s, o, s / o
+                    card.name,
+                    hidden,
+                    s,
+                    o,
+                    s / o
                 ),
                 _ => println!("{:<10} {:>8}  Out of Memory", card.name, hidden),
             }

@@ -8,8 +8,8 @@
 use mggcn_baselines::cagnet::t_15d_epoch_comm;
 use mggcn_comm::analysis::analyze;
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 
 fn main() {
     println!("Section 5.1 analysis: 1D vs 1.5D communication");

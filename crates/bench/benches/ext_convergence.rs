@@ -13,8 +13,8 @@ use mggcn_core::config::{GcnConfig, TrainOptions};
 use mggcn_core::fit::{fit, FitOptions};
 use mggcn_core::problem::Problem;
 use mggcn_core::trainer::Trainer;
-use mggcn_graph::generators::sbm::{self, SbmConfig};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::generators::sbm::{self, SbmConfig};
 
 fn main() {
     println!("Extension: convergence protocol (the paper's §6 accuracy claim)");

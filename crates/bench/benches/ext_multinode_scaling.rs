@@ -12,8 +12,8 @@
 
 use mggcn_bench::mggcn_epoch_with;
 use mggcn_core::config::{GcnConfig, TrainOptions};
-use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::{PRODUCTS, REDDIT};
 
 fn epoch(machine: MachineSpec, gpus: usize, card: &mggcn_graph::DatasetCard) -> Option<f64> {
     let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
@@ -49,12 +49,7 @@ fn main() {
     for nic_gbs in [12.5, 25.0, 50.0, 100.0, 200.0, 400.0] {
         let m = MachineSpec::a100_cluster(2, nic_gbs * 1.0e9);
         let t16 = epoch(m, 16, &REDDIT).expect("fits");
-        println!(
-            "{:>14} {:>12.4} {:>21.2}x",
-            nic_gbs,
-            t16,
-            t8 / t16
-        );
+        println!("{:>14} {:>12.4} {:>21.2}x", nic_gbs, t16, t8 / t16);
     }
     println!();
     println!("(values < 1.0x mean adding the second node *hurts* — the CAGNET");

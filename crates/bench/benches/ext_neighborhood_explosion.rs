@@ -21,11 +21,9 @@ fn main() {
         "{:<10} {:>7} {:>8} {:>8} {:>8} {:>8}",
         "Replica", "n", "1 hop", "2 hops", "3 hops", "4 hops"
     );
-    for (card, scale) in [
-        (datasets::ARXIV, 0.03),
-        (datasets::PRODUCTS, 0.002),
-        (datasets::REDDIT, 0.02),
-    ] {
+    for (card, scale) in
+        [(datasets::ARXIV, 0.03), (datasets::PRODUCTS, 0.002), (datasets::REDDIT, 0.02)]
+    {
         let g = card.materialize(scale, 99);
         let batch: Vec<u32> = (0..32.min(g.n() as u32)).collect();
         print!("{:<10} {:>7}", card.name, g.n());
@@ -41,11 +39,9 @@ fn main() {
         "{:<10} {:>7} {:>10} {:>14} {:>12}",
         "Replica", "n", "batches", "touched", "work ratio"
     );
-    for (card, scale) in [
-        (datasets::ARXIV, 0.03),
-        (datasets::PRODUCTS, 0.002),
-        (datasets::REDDIT, 0.02),
-    ] {
+    for (card, scale) in
+        [(datasets::ARXIV, 0.03), (datasets::PRODUCTS, 0.002), (datasets::REDDIT, 0.02)]
+    {
         let g = card.materialize(scale, 99);
         let cfg = GcnConfig::new(g.features.cols(), &[16], g.classes);
         let mb = MiniBatchConfig { batch_size: 64, fanouts: vec![10; cfg.layers()], seed: 7 };

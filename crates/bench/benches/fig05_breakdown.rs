@@ -8,18 +8,13 @@
 
 use mggcn_bench::mggcn_epoch;
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::FIGURE_DATASETS;
 use mggcn_gpusim::{Category, MachineSpec};
+use mggcn_graph::datasets::FIGURE_DATASETS;
 
 fn main() {
     println!("Fig 5: runtime breakdown (%), DGX-V100, 2-layer GCN h=512");
-    let cats = [
-        Category::Activation,
-        Category::Adam,
-        Category::GeMM,
-        Category::LossLayer,
-        Category::SpMM,
-    ];
+    let cats =
+        [Category::Activation, Category::Adam, Category::GeMM, Category::LossLayer, Category::SpMM];
     print!("{:<10} {:>5}", "Dataset", "#GPU");
     for c in cats {
         print!(" {:>11}", c.name());

@@ -6,9 +6,9 @@
 //! SpMM from ~50 ms to ~38 ms.
 
 use mggcn_bench::{gpu_compute_time, staged_spmm_timeline};
+use mggcn_gpusim::MachineSpec;
 use mggcn_graph::datasets::PRODUCTS;
 use mggcn_graph::tilestats::{TileStats, VertexOrdering};
-use mggcn_gpusim::MachineSpec;
 
 fn show(ordering: VertexOrdering, label: &str) -> f64 {
     let stats = TileStats::model(&PRODUCTS, 4, ordering);

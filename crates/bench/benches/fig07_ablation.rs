@@ -9,10 +9,16 @@
 
 use mggcn_bench::mggcn_epoch_with;
 use mggcn_core::config::{GcnConfig, TrainOptions};
-use mggcn_graph::datasets::FIGURE_DATASETS;
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::FIGURE_DATASETS;
 
-fn epoch(card: &mggcn_graph::DatasetCard, cfg: &GcnConfig, gpus: usize, permute: bool, overlap: bool) -> Option<f64> {
+fn epoch(
+    card: &mggcn_graph::DatasetCard,
+    cfg: &GcnConfig,
+    gpus: usize,
+    permute: bool,
+    overlap: bool,
+) -> Option<f64> {
     let mut opts = TrainOptions::full(MachineSpec::dgx_v100(), gpus);
     opts.permute = permute;
     opts.overlap = overlap;
@@ -21,10 +27,7 @@ fn epoch(card: &mggcn_graph::DatasetCard, cfg: &GcnConfig, gpus: usize, permute:
 
 fn main() {
     println!("Fig 7: speedup w.r.t. original ordering (no overlap), DGX-V100, model A");
-    println!(
-        "{:<10} {:>5} {:>12} {:>15}",
-        "Dataset", "#GPU", "Perm", "Perm+Ovlp"
-    );
+    println!("{:<10} {:>5} {:>12} {:>15}", "Dataset", "#GPU", "Perm", "Perm+Ovlp");
     for card in FIGURE_DATASETS {
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
         for gpus in [1usize, 2, 4, 8] {
@@ -38,13 +41,7 @@ fn main() {
                     if gpus == 1 {
                         println!("{:<10} {:>5} {:>11.2}x {:>15}", card.name, gpus, b / p, "-");
                     } else {
-                        println!(
-                            "{:<10} {:>5} {:>11.2}x {:>14.2}x",
-                            card.name,
-                            gpus,
-                            b / p,
-                            b / o
-                        );
+                        println!("{:<10} {:>5} {:>11.2}x {:>14.2}x", card.name, gpus, b / p, b / o);
                     }
                 }
                 _ => println!("{:<10} {:>5}  Out of Memory", card.name, gpus),

@@ -6,9 +6,9 @@
 //! steals memory bandwidth, §6.3).
 
 use mggcn_bench::staged_spmm_timeline;
+use mggcn_gpusim::MachineSpec;
 use mggcn_graph::datasets::PRODUCTS;
 use mggcn_graph::tilestats::{TileStats, VertexOrdering};
-use mggcn_gpusim::MachineSpec;
 
 fn main() {
     println!("Fig 8: staged SpMM with comm/comp overlap, Products, 4 GPUs, DGX-V100, d=512");
@@ -20,10 +20,7 @@ fn main() {
     println!("{}", tl_serial.ascii_gantt(72));
 
     let (tl_ovlp, t_ovlp) = staged_spmm_timeline(&stats, 512, m, true);
-    println!(
-        "With overlap ({:.1} ms): s0 = compute (digits: stage), s1 = comm",
-        t_ovlp * 1e3
-    );
+    println!("With overlap ({:.1} ms): s0 = compute (digits: stage), s1 = comm", t_ovlp * 1e3);
     println!("{}", tl_ovlp.ascii_gantt(72));
 
     println!(

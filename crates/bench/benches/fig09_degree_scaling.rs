@@ -8,8 +8,8 @@
 
 use mggcn_bench::mggcn_epoch;
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::scaled_arxiv;
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::scaled_arxiv;
 
 fn main() {
     println!("Fig 9: speedup w.r.t. MG-GCN 1-GPU runtime, BTER-scaled Arxiv, DGX-V100");

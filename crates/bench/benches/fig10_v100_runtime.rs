@@ -6,15 +6,12 @@
 
 use mggcn_bench::{cagnet_epoch, dgl_epoch, fmt_time, mggcn_epoch};
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::FIGURE_DATASETS;
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::FIGURE_DATASETS;
 
 fn main() {
     println!("Fig 10: epoch runtime (s), DGX-V100, model A (2 layers, h=512)");
-    println!(
-        "{:<10} {:>5} {:>10} {:>10} {:>10}",
-        "Dataset", "#GPU", "CAGNET", "DGL", "MG-GCN"
-    );
+    println!("{:<10} {:>5} {:>10} {:>10} {:>10}", "Dataset", "#GPU", "CAGNET", "DGL", "MG-GCN");
     let m = MachineSpec::dgx_v100;
     for card in FIGURE_DATASETS {
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);

@@ -7,8 +7,8 @@
 
 use mggcn_bench::{cagnet_epoch, dgl_epoch, mggcn_epoch};
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::{ARXIV, CORA, PRODUCTS, REDDIT};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::{ARXIV, CORA, PRODUCTS, REDDIT};
 
 fn main() {
     println!("Fig 11: speedup w.r.t. DGL (1 GPU), DGX-V100, model A");

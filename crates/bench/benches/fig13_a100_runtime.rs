@@ -6,8 +6,8 @@
 
 use mggcn_bench::{dgl_epoch, fmt_time, mggcn_epoch};
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::FIGURE_DATASETS;
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::FIGURE_DATASETS;
 
 fn main() {
     println!("Fig 13: epoch runtime (s), DGX-A100, model A (2 layers, h=512)");

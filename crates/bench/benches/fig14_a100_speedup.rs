@@ -7,22 +7,17 @@
 
 use mggcn_bench::{dgl_epoch, mggcn_epoch};
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::{ARXIV, CORA, PRODUCTS, REDDIT};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::{ARXIV, CORA, PRODUCTS, REDDIT};
 
 fn main() {
     println!("Fig 14: speedup w.r.t. DGL (1 GPU), DGX-A100, model A");
-    println!(
-        "{:<10} {:>5} {:>12} {:>18}",
-        "Dataset", "#GPU", "MG-GCN/DGL", "scaling vs 1 GPU"
-    );
+    println!("{:<10} {:>5} {:>12} {:>18}", "Dataset", "#GPU", "MG-GCN/DGL", "scaling vs 1 GPU");
     let m = MachineSpec::dgx_a100;
     for card in [ARXIV, CORA, PRODUCTS, REDDIT] {
         let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
         let dgl = dgl_epoch(&card, &cfg, m()).expect("DGL reference fits");
-        let mg1 = mggcn_epoch(&card, &cfg, m(), 1)
-            .map(|r| r.sim_seconds)
-            .expect("1 GPU fits");
+        let mg1 = mggcn_epoch(&card, &cfg, m(), 1).map(|r| r.sim_seconds).expect("1 GPU fits");
         for gpus in [1usize, 2, 4, 8] {
             match mggcn_epoch(&card, &cfg, m(), gpus) {
                 Some(r) => println!(

@@ -66,10 +66,7 @@ fn bench_collectives(c: &mut Criterion) {
         let mut d3 = vec![0.0f32; len];
         let mut d4 = vec![0.0f32; len];
         bench.iter(|| {
-            mggcn_comm::broadcast(
-                black_box(&src),
-                &mut [&mut d1, &mut d2, &mut d3, &mut d4],
-            );
+            mggcn_comm::broadcast(black_box(&src), &mut [&mut d1, &mut d2, &mut d3, &mut d4]);
         })
     });
     group.bench_function("all_reduce_4x1M", |bench| {
@@ -131,7 +128,7 @@ fn bench_engine(c: &mut Criterion) {
                     None,
                 ));
             }
-            s.run(&mut ())
+            s.run(&())
         })
     });
     group.finish();

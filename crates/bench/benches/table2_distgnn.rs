@@ -12,10 +12,7 @@ use mggcn_graph::datasets::{PAPERS, PRODUCTS, PROTEINS, REDDIT};
 
 fn main() {
     println!("Table 2: DistGNN epoch times (s) — published vs our CPU-cluster model");
-    println!(
-        "{:<10} {:>8} {:>12} {:>12}",
-        "Dataset", "#Socket", "published", "modeled"
-    );
+    println!("{:<10} {:>8} {:>12} {:>12}", "Dataset", "#Socket", "published", "modeled");
     let spec = SocketSpec::default();
     let rows = [
         ("Reddit", REDDIT, GcnConfig::model_b(REDDIT.feat_dim, REDDIT.classes), vec![1usize, 16]),
@@ -35,9 +32,8 @@ fn main() {
     ];
     for (name, card, cfg, sockets) in rows {
         for s in sockets {
-            let published = published_epoch_time(name, s)
-                .map(|t| format!("{t:.2}"))
-                .unwrap_or("-".into());
+            let published =
+                published_epoch_time(name, s).map(|t| format!("{t:.2}")).unwrap_or("-".into());
             let modeled = modeled_epoch_time(&card, &cfg, s, &spec);
             println!("{:<10} {:>8} {:>12} {:>12.2}", name, s, published, modeled);
         }

@@ -10,8 +10,8 @@
 use mggcn_baselines::distgnn::best_published;
 use mggcn_bench::{fmt_time, mggcn_epoch};
 use mggcn_core::config::GcnConfig;
-use mggcn_graph::datasets::{PAPERS, PRODUCTS, PROTEINS, REDDIT};
 use mggcn_gpusim::MachineSpec;
+use mggcn_graph::datasets::{PAPERS, PRODUCTS, PROTEINS, REDDIT};
 
 fn main() {
     println!("Table 3: MG-GCN epoch times (s) on DGX-A100");

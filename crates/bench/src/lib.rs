@@ -10,10 +10,10 @@ use mggcn_core::config::{GcnConfig, TrainOptions};
 use mggcn_core::problem::Problem;
 use mggcn_core::trainer::Trainer;
 use mggcn_core::EpochReport;
-use mggcn_graph::tilestats::TileStats;
-use mggcn_graph::DatasetCard;
 use mggcn_gpusim::engine::OpDesc;
 use mggcn_gpusim::{Category, MachineSpec, OpId, Schedule, Timeline, Work};
+use mggcn_graph::tilestats::TileStats;
+use mggcn_graph::DatasetCard;
 
 /// Simulate one MG-GCN epoch from a dataset card; `None` when it OOMs.
 pub fn mggcn_epoch(
@@ -34,7 +34,7 @@ pub fn mggcn_epoch_with(
 ) -> Option<EpochReport> {
     let problem = Problem::from_stats(card, &opts);
     let mut t = Trainer::new(problem, cfg.clone(), opts).ok()?;
-    Some(t.train_epoch().ok()?)
+    t.train_epoch().ok()
 }
 
 /// Simulate one DGL-like epoch; `None` on OOM.
@@ -69,12 +69,7 @@ pub fn fmt_time(t: Option<f64>) -> String {
 
 /// Print a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// Build and run one staged broadcast-SpMM (the §4.1 pipeline in
@@ -115,19 +110,13 @@ pub fn staged_spmm_timeline(
                 d as u64,
                 s > 0,
             );
-            let op = sched.launch(
-                j,
-                0,
-                work,
-                OpDesc::staged(Category::SpMM, "spmm", s),
-                &[bcast],
-                None,
-            );
+            let op =
+                sched.launch(j, 0, work, OpDesc::staged(Category::SpMM, "spmm", s), &[bcast], None);
             readers.push(op);
         }
         bc_readers[s % 2] = readers;
     }
-    let run = sched.run(&mut ());
+    let run = sched.run(&());
     (run.timeline, run.makespan)
 }
 
@@ -172,8 +161,7 @@ pub fn staged_spmm_15d_timeline(
             let bytes = rows as f64 * d as f64 * 4.0;
             let root = group[s_local % half];
             let bw = machine.broadcast_bw(root, group);
-            let lanes: Vec<(usize, usize)> =
-                group.iter().map(|&g| (g, comm_stream)).collect();
+            let lanes: Vec<(usize, usize)> = group.iter().map(|&g| (g, comm_stream)).collect();
             let waits = bc_readers[gidx][s_local % 2].clone();
             let bcast = sched.collective(
                 &lanes,
@@ -220,8 +208,7 @@ pub fn staged_spmm_15d_timeline(
         let bytes = rows as f64 * d as f64 * 4.0;
         let bw = machine.reduce_bw(j, &pair);
         let lanes: Vec<(usize, usize)> = pair.iter().map(|&g| (g, comm_stream)).collect();
-        let waits: Vec<OpId> =
-            last_spmm[j].iter().chain(&last_spmm[j + half]).copied().collect();
+        let waits: Vec<OpId> = last_spmm[j].iter().chain(&last_spmm[j + half]).copied().collect();
         sched.collective(
             &lanes,
             bytes,
@@ -232,7 +219,7 @@ pub fn staged_spmm_15d_timeline(
         );
     }
 
-    let run = sched.run(&mut ());
+    let run = sched.run(&());
     (run.timeline, run.makespan)
 }
 
@@ -253,10 +240,7 @@ mod tests {
         let m = MachineSpec::dgx_v100();
         let (_, t_ovlp) = staged_spmm_timeline(&stats, 512, m.clone(), true);
         let (_, t_serial) = staged_spmm_timeline(&stats, 512, m, false);
-        assert!(
-            t_ovlp < t_serial,
-            "overlap {t_ovlp} should beat serial {t_serial}"
-        );
+        assert!(t_ovlp < t_serial, "overlap {t_ovlp} should beat serial {t_serial}");
     }
 
     #[test]

@@ -116,22 +116,14 @@ mod tests {
         // §5.1: "the 1.5D algorithm is slower on DGX-1 by a factor of 2/3"
         // i.e. t_1d / t_15d = 2/3 — 1.5D takes 1.5x as long.
         let a = analyze(&MachineSpec::dgx_v100(), 1.0e9);
-        assert!(
-            (a.slowdown_15d() - 1.5).abs() < 0.05,
-            "slowdown {}",
-            a.slowdown_15d()
-        );
+        assert!((a.slowdown_15d() - 1.5).abs() < 0.05, "slowdown {}", a.slowdown_15d());
     }
 
     #[test]
     fn dgx_a100_15d_wins_by_four_thirds() {
         // §5.1: on DGX-A100 1.5D is faster by 4/3 (t_1d = nd/12l vs nd/16l).
         let a = analyze(&MachineSpec::dgx_a100(), 1.0e9);
-        assert!(
-            (a.slowdown_15d() - 0.75).abs() < 0.05,
-            "slowdown {}",
-            a.slowdown_15d()
-        );
+        assert!((a.slowdown_15d() - 0.75).abs() < 0.05, "slowdown {}", a.slowdown_15d());
     }
 
     #[test]

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 fn payloads() -> impl Strategy<Value = Vec<Vec<f32>>> {
     (2usize..8, 1usize..64).prop_flat_map(|(ranks, len)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0f32..100.0, len),
-            ranks,
-        )
+        proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, len), ranks)
     })
 }
 

@@ -33,12 +33,7 @@ impl GatLayer {
     pub fn new(d_in: usize, d_out: usize, seed: u64) -> Self {
         let w = init::glorot_seeded(d_in, d_out, seed);
         let a = init::glorot_seeded(2, d_out, seed ^ 0x47a7);
-        Self {
-            w,
-            a_src: a.row(0).to_vec(),
-            a_dst: a.row(1).to_vec(),
-            slope: 0.2,
-        }
+        Self { w, a_src: a.row(0).to_vec(), a_dst: a.row(1).to_vec(), slope: 0.2 }
     }
 
     /// Forward pass: `adj` is the (pattern-only) adjacency with rows =
@@ -54,12 +49,10 @@ impl GatLayer {
         let mut hw = Dense::zeros(n, d_out);
         gemm(h, &self.w, &mut hw, Accumulate::Overwrite);
         // Per-vertex score halves.
-        let s_src: Vec<f32> = (0..n)
-            .map(|v| hw.row(v).iter().zip(&self.a_src).map(|(x, a)| x * a).sum())
-            .collect();
-        let s_dst: Vec<f32> = (0..n)
-            .map(|v| hw.row(v).iter().zip(&self.a_dst).map(|(x, a)| x * a).sum())
-            .collect();
+        let s_src: Vec<f32> =
+            (0..n).map(|v| hw.row(v).iter().zip(&self.a_src).map(|(x, a)| x * a).sum()).collect();
+        let s_dst: Vec<f32> =
+            (0..n).map(|v| hw.row(v).iter().zip(&self.a_dst).map(|(x, a)| x * a).sum()).collect();
         // The rank-1 SDDMM: A[v] = [s_dst(v), 1], B[u] = [1, s_src(u)]
         // gives e(v←u) = s_dst(v) + s_src(u) on every edge (v, u).
         let a_feat = Dense::from_fn(n, 2, |v, c| if c == 0 { s_dst[v] } else { 1.0 });
@@ -69,11 +62,8 @@ impl GatLayer {
         let mut logits = sddmm(&pattern, &a_feat, &b_feat);
         // LeakyReLU on edge logits.
         let slope = self.slope;
-        let values: Vec<f32> = logits
-            .values()
-            .iter()
-            .map(|&x| if x > 0.0 { x } else { slope * x })
-            .collect();
+        let values: Vec<f32> =
+            logits.values().iter().map(|&x| if x > 0.0 { x } else { slope * x }).collect();
         logits = Csr::from_parts(
             logits.rows(),
             logits.cols(),
@@ -133,8 +123,7 @@ mod tests {
             let mut logits: Vec<(u32, f32)> = adj
                 .row(v)
                 .map(|(u, _)| {
-                    let s_dst: f32 =
-                        hw.row(v).iter().zip(&layer.a_dst).map(|(x, a)| x * a).sum();
+                    let s_dst: f32 = hw.row(v).iter().zip(&layer.a_dst).map(|(x, a)| x * a).sum();
                     let s_src: f32 =
                         hw.row(u as usize).iter().zip(&layer.a_src).map(|(x, a)| x * a).sum();
                     let e = s_dst + s_src;

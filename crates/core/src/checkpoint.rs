@@ -106,10 +106,8 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
 fn read_matrix(r: &mut impl Read, rows: usize, cols: usize) -> io::Result<Dense> {
     let mut bytes = vec![0u8; rows * cols * 4];
     r.read_exact(&mut bytes)?;
-    let data = bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let data =
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Ok(Dense::from_vec(rows, cols, data))
 }
 
@@ -149,7 +147,8 @@ mod tests {
     fn resume_continues_identically() {
         // Train 6 epochs straight vs 3 + checkpoint/restore + 3.
         let mut straight = trainer();
-        let full: Vec<f64> = straight.train(6).expect("train").into_iter().map(|r| r.loss).collect();
+        let full: Vec<f64> =
+            straight.train(6).expect("train").into_iter().map(|r| r.loss).collect();
 
         let mut first = trainer();
         first.train(3).expect("train");

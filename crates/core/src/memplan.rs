@@ -58,8 +58,7 @@ impl MemoryPlan {
         let n_p = n.div_ceil(gpus);
         let adjacency = 2 * (m.div_ceil(gpus) * 8 + (n_p + 1) * 8 * gpus.min(8));
         let features = n_p * cfg.dims[0] as u64 * 4;
-        let layer_out_bytes: u64 =
-            (0..cfg.layers()).map(|l| n_p * cfg.d_out(l) as u64 * 4).sum();
+        let layer_out_bytes: u64 = (0..cfg.layers()).map(|l| n_p * cfg.d_out(l) as u64 * 4).sum();
         let max_d = cfg.max_dim() as u64;
         let big_buffers = match policy {
             // L AHW buffers + HW + BC1 + BC2, all sized for the widest layer.
@@ -131,10 +130,7 @@ mod tests {
         // hidden-width buffers per layer (20 · 3 · 477 MB ≈ 28 GiB).
         let dgl = max_layers(REDDIT_N, REDDIT_M, 602, 512, 41, 1, BufferPolicy::PerLayer3, GIB30);
         let mg = max_layers(REDDIT_N, REDDIT_M, 602, 512, 41, 1, BufferPolicy::MgGcn, GIB30);
-        assert!(
-            (15..=30).contains(&dgl),
-            "DGL layers {dgl} (paper ~20)"
-        );
+        assert!((15..=30).contains(&dgl), "DGL layers {dgl} (paper ~20)");
         assert!((40..=70).contains(&mg), "MG-GCN layers {mg} (paper ~50)");
         assert!(mg as f64 / dgl as f64 > 2.0);
     }
@@ -190,15 +186,15 @@ mod tests {
         let card = mggcn_graph::datasets::PAPERS;
         let a100 = 80u64 << 30;
         let d = GcnConfig::model_d(card.feat_dim, card.classes);
-        let fits_d8 = MemoryPlan::new(card.n as u64, card.m as u64, &d, 8, BufferPolicy::MgGcn)
-            .fits(a100);
-        let fits_d4 = MemoryPlan::new(card.n as u64, card.m as u64, &d, 4, BufferPolicy::MgGcn)
-            .fits(a100);
+        let fits_d8 =
+            MemoryPlan::new(card.n as u64, card.m as u64, &d, 8, BufferPolicy::MgGcn).fits(a100);
+        let fits_d4 =
+            MemoryPlan::new(card.n as u64, card.m as u64, &d, 4, BufferPolicy::MgGcn).fits(a100);
         assert!(fits_d8, "model D on 8 GPUs should fit");
         assert!(!fits_d4, "model D on 4 GPUs should OOM");
         let c = GcnConfig::model_c(card.feat_dim, card.classes);
-        let fits_c8 = MemoryPlan::new(card.n as u64, card.m as u64, &c, 8, BufferPolicy::MgGcn)
-            .fits(a100);
+        let fits_c8 =
+            MemoryPlan::new(card.n as u64, card.m as u64, &c, 8, BufferPolicy::MgGcn).fits(a100);
         assert!(!fits_c8, "hidden 256 should not fit (that is why the paper uses 208)");
     }
 }

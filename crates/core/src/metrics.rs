@@ -84,6 +84,8 @@ mod tests {
             end: 3.0,
             op: 0,
             bytes: 0.0,
+            reads: 0,
+            writes: 0,
         });
         tl.spans.push(Span {
             gpu: 0,
@@ -95,6 +97,8 @@ mod tests {
             end: 1.0,
             op: 1,
             bytes: 0.0,
+            reads: 0,
+            writes: 0,
         });
         EpochReport {
             epoch: 0,

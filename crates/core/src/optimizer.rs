@@ -64,9 +64,7 @@ impl LrSchedule {
     pub fn factor(&self, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::StepDecay { every, gamma } => {
-                gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Cosine { total, floor } => {
                 let t = (epoch as f32 / total.max(1) as f32).min(1.0);
                 floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())

@@ -53,11 +53,7 @@ impl Problem {
     /// Partition a materialized graph for `opts.gpus` GPUs, applying the
     /// §5.2 random permutation when `opts.permute` is set.
     pub fn from_graph(graph: &Graph, cfg: &GcnConfig, opts: &TrainOptions) -> Self {
-        assert_eq!(
-            graph.features.cols(),
-            cfg.dims[0],
-            "feature width must match the model's d(0)"
-        );
+        assert_eq!(graph.features.cols(), cfg.dims[0], "feature width must match the model's d(0)");
         assert_eq!(graph.classes, *cfg.dims.last().expect("dims"), "classes must match d(L)");
         let permuted;
         let graph = if opts.permute {
@@ -120,11 +116,18 @@ impl Problem {
     }
 
     /// Timing-only problem from explicit tile statistics.
-    pub fn from_tile_stats(name: &str, stats: &TileStats, classes: usize, train_count: usize) -> Self {
+    pub fn from_tile_stats(
+        name: &str,
+        stats: &TileStats,
+        classes: usize,
+        train_count: usize,
+    ) -> Self {
         let p = stats.parts();
         let part = PartitionVec::uniform(stats.n(), p);
-        let nnz: Vec<u64> =
-            (0..p).flat_map(|i| (0..p).map(move |j| (i, j))).map(|(i, j)| stats.nnz(i, j)).collect();
+        let nnz: Vec<u64> = (0..p)
+            .flat_map(|i| (0..p).map(move |j| (i, j)))
+            .map(|(i, j)| stats.nnz(i, j))
+            .collect();
         Self {
             name: name.into(),
             parts: p,

@@ -128,17 +128,13 @@ impl DeviceState {
                     bc2: Dense::zeros(max_rows, max_d),
                     // All GPUs seed identically: replicated weights agree.
                     weights: (0..layers)
-                        .map(|l| init::glorot_seeded(cfg.d_in(l), cfg.d_out(l), cfg.seed + l as u64))
+                        .map(|l| {
+                            init::glorot_seeded(cfg.d_in(l), cfg.d_out(l), cfg.seed + l as u64)
+                        })
                         .collect(),
-                    wgrad: (0..layers)
-                        .map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l)))
-                        .collect(),
-                    adam_m: (0..layers)
-                        .map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l)))
-                        .collect(),
-                    adam_v: (0..layers)
-                        .map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l)))
-                        .collect(),
+                    wgrad: (0..layers).map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l))).collect(),
+                    adam_m: (0..layers).map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l))).collect(),
+                    adam_v: (0..layers).map(|l| Dense::zeros(cfg.d_in(l), cfg.d_out(l))).collect(),
                     labels: real.labels[i].clone(),
                     train_mask: real.train_mask[i].clone(),
                     test_mask: real.test_mask[i].clone(),

@@ -31,7 +31,7 @@ use crate::state::{BcSlot, DeviceState, GpuState};
 use mggcn_dense::{gemm, gemm_a_bt, gemm_at_b, relu_inplace, Accumulate, Dense};
 use mggcn_exec::Backend;
 use mggcn_gpusim::engine::{Body, OpDesc};
-use mggcn_gpusim::{Category, OomError, OpId, RunReport, Schedule};
+use mggcn_gpusim::{BufId, Category, Effects, OomError, OpId, RunReport, Schedule};
 use mggcn_sparse::spmm;
 use std::sync::Arc;
 
@@ -75,6 +75,36 @@ fn read_buf(g: &GpuState, b: Buf) -> &Dense {
     }
 }
 
+/// The logical-buffer id a [`Buf`] denotes on GPU `g`, for the declared
+/// effect sets `mggcn-analyze` verifies. Names match §4.2's inventory.
+fn buf_id(g: usize, b: Buf) -> BufId {
+    match b {
+        Buf::X => BufId::new(g, "X"),
+        Buf::Hw => BufId::new(g, "HW"),
+        Buf::Ahw(l) => BufId::indexed(g, "AHW", l),
+    }
+}
+
+/// The broadcast double buffer `slot_idx` selects on GPU `g`.
+fn bc_id(g: usize, slot_idx: usize) -> BufId {
+    BufId::new(g, if slot_idx == 0 { "BC1" } else { "BC2" })
+}
+
+/// Layer `l`'s weights on GPU `g`.
+fn w_id(g: usize, l: usize) -> BufId {
+    BufId::indexed(g, "W", l)
+}
+
+/// Layer `l`'s weight-gradient buffer on GPU `g`.
+fn wg_id(g: usize, l: usize) -> BufId {
+    BufId::indexed(g, "WG", l)
+}
+
+/// Layer `l`'s Adam moment state on GPU `g`.
+fn adam_id(g: usize, l: usize) -> BufId {
+    BufId::indexed(g, "ADAM", l)
+}
+
 /// SpMM direction: forward uses `Âᵀ` tiles, backward `Â` tiles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Dir {
@@ -101,13 +131,8 @@ impl Trainer {
     /// materialized), and get ready to train.
     pub fn new(problem: Problem, cfg: GcnConfig, opts: TrainOptions) -> Result<Self, OomError> {
         let m_total: u64 = problem.fwd_nnz.iter().sum();
-        let plan = MemoryPlan::new(
-            problem.n as u64,
-            m_total,
-            &cfg,
-            opts.gpus as u64,
-            opts.buffer_policy,
-        );
+        let plan =
+            MemoryPlan::new(problem.n as u64, m_total, &cfg, opts.gpus as u64, opts.buffer_policy);
         let capacity = opts.machine.gpus[0].mem_bytes;
         if !plan.fits(capacity) {
             return Err(OomError {
@@ -283,10 +308,7 @@ impl Trainer {
     /// step would consume. Panics on a timing-only (non-materialized)
     /// problem.
     pub fn compute_gradients(&mut self) -> Vec<Dense> {
-        assert!(
-            self.problem.is_materialized(),
-            "compute_gradients needs a materialized problem"
-        );
+        assert!(self.problem.is_materialized(), "compute_gradients needs a materialized problem");
         let mut b = EpochBuilder::new(&self.cfg, &self.opts, &self.problem, self.epoch);
         b.forward();
         b.loss();
@@ -298,17 +320,24 @@ impl Trainer {
     }
 
     /// Deterministic textual dump of one epoch's schedule (structure only:
-    /// op order, lanes, dependency edges) — the golden-snapshot hook.
+    /// op order, lanes, dependency edges, declared buffer effects) — the
+    /// golden-snapshot hook.
     pub fn epoch_schedule_dump(&self) -> String {
         self.build_epoch().dump_ops()
+    }
+
+    /// One training epoch's schedule, fully recorded but not run — the
+    /// input `mggcn-analyze` verifies (hazards, deadlock-freedom, the
+    /// `L + 3` liveness bound) and the mutation harness perturbs.
+    pub fn epoch_schedule(&self) -> Schedule<DeviceState> {
+        self.build_epoch()
     }
 
     /// Closed-form per-stage broadcast bytes for **one** training epoch of
     /// this trainer's schedule — the §5.1 prediction a tracer's
     /// `sim.bcast.bytes.stage.*` counters must match exactly (× epochs).
     pub fn expected_broadcast_bytes(&self) -> Vec<u64> {
-        let rows: Vec<usize> =
-            (0..self.opts.gpus).map(|s| self.problem.rows_of(s)).collect();
+        let rows: Vec<usize> = (0..self.opts.gpus).map(|s| self.problem.rows_of(s)).collect();
         mggcn_comm::analysis::epoch_broadcast_bytes(
             &rows,
             &self.cfg.dims,
@@ -421,12 +450,13 @@ impl<'a> EpochBuilder<'a> {
                     gs.test_total = stats.test_total;
                 }) as Body<DeviceState>
             });
-            let id = self.sched.launch(
+            let id = self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::LossLayer, "softmax-xent"),
                 &[],
+                Effects::none().rw(buf_id(g, Buf::Ahw(last))),
                 body,
             );
             ops.push(id);
@@ -458,13 +488,8 @@ impl<'a> EpochBuilder<'a> {
             let skip_spmm = l == 0 && self.opts.skip_first_backward_spmm;
             let hwg_buf = if skip_spmm { Buf::Ahw(0) } else { Buf::Hw };
             if !skip_spmm {
-                let ops = self.staged_spmm(
-                    Dir::Bwd,
-                    Buf::Ahw(l),
-                    Buf::Hw,
-                    d_out,
-                    self.producers.clone(),
-                );
+                let ops =
+                    self.staged_spmm(Dir::Bwd, Buf::Ahw(l), Buf::Hw, d_out, self.producers.clone());
                 self.producers = ops.into_iter().map(Some).collect();
             }
 
@@ -522,12 +547,18 @@ impl<'a> EpochBuilder<'a> {
                     ctx.broadcast_into_bc(s, move |g| read_buf(g, src), rows, d, slot);
                 }) as Body<DeviceState>
             });
-            let bcast = self.sched.collective(
+            // The root's source tile is read once; every participant's
+            // double-buffer slot is overwritten.
+            let bcast_fx = Effects::none()
+                .reads([buf_id(s, src)])
+                .writes(group.iter().map(|&g| bc_id(g, slot_idx)));
+            let bcast = self.sched.collective_fx(
                 &lanes,
                 bytes,
                 bw,
                 OpDesc::staged(Category::Comm, "bcast-H", s),
                 &waits,
+                bcast_fx,
                 body,
             );
 
@@ -556,8 +587,7 @@ impl<'a> EpochBuilder<'a> {
                             Dir::Bwd => &rc.bwd_tiles[j * p + s],
                         };
                         let g = &mut *ctx.gpu(j);
-                        let accumulate =
-                            if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                        let accumulate = if acc { Accumulate::Add } else { Accumulate::Overwrite };
                         // Move the destination out so the broadcast buffer
                         // can be borrowed from the same GpuState.
                         let mut out = match dst {
@@ -576,12 +606,18 @@ impl<'a> EpochBuilder<'a> {
                         }
                     }) as Body<DeviceState>
                 });
-                let op = self.sched.launch(
+                let mut fx = Effects::none().reads([bc_id(j, slot_idx)]).writes([buf_id(j, dst)]);
+                if acc {
+                    // Accumulating stages read the running sum too.
+                    fx = fx.reads([buf_id(j, dst)]);
+                }
+                let op = self.sched.launch_fx(
                     j,
                     0,
                     work,
                     OpDesc::staged(Category::SpMM, "spmm", s),
                     &[bcast],
+                    fx,
                     body,
                 );
                 readers.push(op);
@@ -602,7 +638,9 @@ impl<'a> EpochBuilder<'a> {
         for g in 0..self.p() {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.gemm(self.gpu_spec(g), n_g as u64, d_in as u64, d_out as u64);
-            let mut waits: Vec<OpId> = extra_waits.to_vec();
+            // The GeMM on GPU `g` only reads `g`'s own tile, so only `g`'s
+            // producer is a real dependency — the analyzer verifies this.
+            let mut waits: Vec<OpId> = extra_waits.get(g).copied().into_iter().collect();
             if src != Buf::Hw {
                 if let Some(prod) = self.producers[g] {
                     waits.push(prod);
@@ -625,12 +663,13 @@ impl<'a> EpochBuilder<'a> {
                     }
                 }) as Body<DeviceState>
             });
-            let op = self.sched.launch(
+            let op = self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::GeMM, "gemm-HW"),
                 &waits,
+                Effects::none().reads([buf_id(g, src), w_id(g, l)]).writes([buf_id(g, dst)]),
                 body,
             );
             ops.push(op);
@@ -650,12 +689,13 @@ impl<'a> EpochBuilder<'a> {
                     relu_inplace(ctx.gpu(g).ahw[l].as_mut_slice());
                 }) as Body<DeviceState>
             });
-            ops.push(self.sched.launch(
+            ops.push(self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::Activation, "relu"),
                 &[],
+                Effects::none().rw(buf_id(g, Buf::Ahw(l))),
                 body,
             ));
         }
@@ -677,12 +717,13 @@ impl<'a> EpochBuilder<'a> {
                     mggcn_dense::relu_backward_merge(grad.as_slice(), act.as_mut_slice());
                 }) as Body<DeviceState>
             });
-            ops.push(self.sched.launch(
+            ops.push(self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::Activation, "relu-bwd"),
                 &[],
+                Effects::none().reads([buf_id(g, Buf::Ahw(l + 1))]).rw(buf_id(g, Buf::Ahw(l))),
                 body,
             ));
         }
@@ -711,12 +752,13 @@ impl<'a> EpochBuilder<'a> {
                     gs.wgrad[l] = out;
                 }) as Body<DeviceState>
             });
-            ops.push(self.sched.launch(
+            ops.push(self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::GeMM, "gemm-WG"),
                 &[],
+                Effects::none().reads([buf_id(g, x_buf), buf_id(g, hwg_buf)]).writes([wg_id(g, l)]),
                 body,
             ));
         }
@@ -733,15 +775,19 @@ impl<'a> EpochBuilder<'a> {
         let bytes = 2.0 * param_bytes * (p - 1.0) / p;
         let bw = self.opts.machine.allreduce_bw(&group);
         let body = self.real.as_ref().map(|_| {
-            Box::new(move |ctx: &DeviceState| ctx.all_reduce_wgrad(l))
-                as Body<DeviceState>
+            Box::new(move |ctx: &DeviceState| ctx.all_reduce_wgrad(l)) as Body<DeviceState>
         });
-        self.sched.collective(
+        let mut fx = Effects::none();
+        for &g in &group {
+            fx = fx.rw(wg_id(g, l));
+        }
+        self.sched.collective_fx(
             &lanes,
             bytes,
             bw,
             OpDesc::new(Category::Comm, "allreduce-WG"),
             waits,
+            fx,
             body,
         )
     }
@@ -762,14 +808,19 @@ impl<'a> EpochBuilder<'a> {
                     gs.ahw[l] = out;
                 }) as Body<DeviceState>
             });
-            ops.push(self.sched.launch(
-                g,
-                0,
-                work,
-                OpDesc::new(Category::GeMM, "gemm-HG"),
-                &[],
-                body,
-            ));
+            ops.push(
+                self.sched.launch_fx(
+                    g,
+                    0,
+                    work,
+                    OpDesc::new(Category::GeMM, "gemm-HG"),
+                    &[],
+                    Effects::none()
+                        .reads([buf_id(g, Buf::Hw), w_id(g, l)])
+                        .writes([buf_id(g, Buf::Ahw(l))]),
+                    body,
+                ),
+            );
         }
         ops
     }
@@ -798,12 +849,13 @@ impl<'a> EpochBuilder<'a> {
                     gs.wgrad[l] = grad;
                 }) as Body<DeviceState>
             });
-            self.sched.launch(
+            self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::Adam, "adam"),
                 &[reduce_op],
+                Effects::none().reads([wg_id(g, l)]).rw(adam_id(g, l)).writes([w_id(g, l)]),
                 body,
             );
         }

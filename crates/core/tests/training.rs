@@ -11,7 +11,9 @@ use mggcn_core::loss::softmax_xent_inplace;
 use mggcn_core::optimizer::{adam_step, AdamParams};
 use mggcn_core::problem::Problem;
 use mggcn_core::trainer::Trainer;
-use mggcn_dense::{gemm, gemm_a_bt, gemm_at_b, init, relu_backward, relu_inplace, Accumulate, Dense};
+use mggcn_dense::{
+    gemm, gemm_a_bt, gemm_at_b, init, relu_backward, relu_inplace, Accumulate, Dense,
+};
 use mggcn_graph::generators::sbm::{self, SbmConfig};
 use mggcn_graph::Graph;
 
@@ -279,14 +281,8 @@ fn gradients_match_finite_differences() {
             h = z;
         }
         let count = graph.split.train.iter().filter(|&&b| b).count();
-        softmax_xent_inplace(
-            &mut h,
-            &graph.labels,
-            &graph.split.train,
-            &graph.split.test,
-            count,
-        )
-        .loss_sum
+        softmax_xent_inplace(&mut h, &graph.labels, &graph.split.train, &graph.split.test, count)
+            .loss_sum
     };
 
     // Analytic gradient via one reference backward (lr -> captured grads by
@@ -345,9 +341,8 @@ fn gradients_match_finite_differences() {
             let mut minus = weights.clone();
             let v = minus[l].get(r, c);
             minus[l].set(r, c, v - eps);
-            let fd = (forward_loss(&plus) - forward_loss(&minus))
-                / (2.0 * eps as f64)
-                / count as f64;
+            let fd =
+                (forward_loss(&plus) - forward_loss(&minus)) / (2.0 * eps as f64) / count as f64;
             let an = wgrads[l].get(r, c) as f64;
             assert!(
                 (fd - an).abs() < 2e-2 * an.abs().max(0.05),
@@ -455,13 +450,15 @@ fn lr_schedule_changes_trajectory_but_still_learns() {
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut decayed = Trainer::new(problem, cfg.clone(), opts.clone()).expect("fits");
-    let d_losses: Vec<f64> = decayed.train(20).expect("train").into_iter().map(|r| r.loss).collect();
+    let d_losses: Vec<f64> =
+        decayed.train(20).expect("train").into_iter().map(|r| r.loss).collect();
 
     let mut cfg2 = cfg.clone();
     cfg2.lr_schedule = LrSchedule::Constant;
     let problem2 = Problem::from_graph(&graph, &cfg2, &opts);
     let mut constant = Trainer::new(problem2, cfg2, opts).expect("fits");
-    let c_losses: Vec<f64> = constant.train(20).expect("train").into_iter().map(|r| r.loss).collect();
+    let c_losses: Vec<f64> =
+        constant.train(20).expect("train").into_iter().map(|r| r.loss).collect();
 
     // Identical until the first decay boundary (epoch 5), diverging after.
     for e in 0..5 {
@@ -500,7 +497,10 @@ fn single_layer_network_works() {
     // L = 1 means no ReLU, no relu-backward, the loss gradient feeds the
     // only layer directly — the degenerate case of the buffer scheme.
     let graph = test_graph(40, 66);
-    let cfg = GcnConfig { dims: vec![graph.features.cols(), graph.classes], ..GcnConfig::new(graph.features.cols(), &[], graph.classes) };
+    let cfg = GcnConfig {
+        dims: vec![graph.features.cols(), graph.classes],
+        ..GcnConfig::new(graph.features.cols(), &[], graph.classes)
+    };
     let opts = TrainOptions::quick(2);
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = Trainer::new(problem, cfg, opts).expect("fits");
@@ -523,18 +523,16 @@ fn allocated_buffers_match_the_memory_plan() {
     let mut actual_big = 0u64;
     for i in 0..state.gpu_count() {
         let g = state.gpu(i);
-        let per_gpu: usize = g.ahw.iter().map(|b| b.len()).sum::<usize>()
-            + g.hw.len()
-            + g.bc1.len()
-            + g.bc2.len();
+        let per_gpu: usize =
+            g.ahw.iter().map(|b| b.len()).sum::<usize>() + g.hw.len() + g.bc1.len() + g.bc2.len();
         actual_big += per_gpu as u64 * 4;
         // Exactly L AHW buffers exist.
         assert_eq!(g.ahw.len(), cfg.layers());
     }
     let plan = MemoryPlan::new(96, graph.adj.nnz() as u64, &cfg, 4, BufferPolicy::MgGcn);
     let planned = plan.big_buffers * 4; // plan is per GPU; 4 GPUs allocated
-    // BC buffers are sized at the *largest* part so the actual can exceed
-    // the per-average plan slightly; they must agree within 10%.
+                                        // BC buffers are sized at the *largest* part so the actual can exceed
+                                        // the per-average plan slightly; they must agree within 10%.
     let ratio = actual_big as f64 / planned as f64;
     assert!(
         (0.9..=1.1).contains(&ratio),

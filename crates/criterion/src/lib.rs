@@ -15,14 +15,9 @@ pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle, passed to every benchmark function.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { _private: () }
-    }
 }
 
 impl Criterion {
@@ -141,11 +136,8 @@ impl Bencher {
             println!("{group}/{id}: no samples (bencher.iter never called)");
             return;
         }
-        let per_iter: Vec<f64> = self
-            .samples
-            .iter()
-            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
-            .collect();
+        let per_iter: Vec<f64> =
+            self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
         let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
         println!(

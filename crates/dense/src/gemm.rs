@@ -36,27 +36,24 @@ pub fn gemm(a: &Dense, b: &Dense, c: &mut Dense, acc: Accumulate) {
     let (k, n) = (a.cols(), b.cols());
     let b_data = b.as_slice();
     let a_data = a.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_chunk)| {
-            let row0 = blk * ROW_BLOCK;
-            for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
-                if acc == Accumulate::Overwrite {
-                    c_row.fill(0.0);
+    c.as_mut_slice().par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_chunk)| {
+        let row0 = blk * ROW_BLOCK;
+        for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+            let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+            if acc == Accumulate::Overwrite {
+                c_row.fill(0.0);
+            }
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
                 }
-                for (kk, &aik) in a_row.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_data[kk * n..(kk + 1) * n];
-                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aik * bj;
-                    }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aik * bj;
                 }
             }
-        });
+        }
+    });
 }
 
 /// `C = Aᵀ · B` with `A: k×m`, `B: k×n`, `C: m×n`.
@@ -123,23 +120,20 @@ pub fn gemm_a_bt(a: &Dense, b: &Dense, c: &mut Dense, acc: Accumulate) {
     let (k, n) = (a.cols(), b.rows());
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_chunk)| {
-            let row0 = blk * ROW_BLOCK;
-            for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
-                for (j, cj) in c_row.iter_mut().enumerate() {
-                    let b_row = &b_data[j * k..(j + 1) * k];
-                    let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-                    match acc {
-                        Accumulate::Overwrite => *cj = dot,
-                        Accumulate::Add => *cj += dot,
-                    }
+    c.as_mut_slice().par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(|(blk, c_chunk)| {
+        let row0 = blk * ROW_BLOCK;
+        for (i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+            let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+            for (j, cj) in c_row.iter_mut().enumerate() {
+                let b_row = &b_data[j * k..(j + 1) * k];
+                let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                match acc {
+                    Accumulate::Overwrite => *cj = dot,
+                    Accumulate::Add => *cj += dot,
                 }
             }
-        });
+        }
+    });
 }
 
 #[cfg(test)]

@@ -138,11 +138,7 @@ impl Dense {
     /// Max absolute elementwise difference against `other`.
     pub fn max_abs_diff(&self, other: &Dense) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 

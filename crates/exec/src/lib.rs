@@ -202,11 +202,10 @@ impl<'a, Ctx> Shared<'a, Ctx> {
             if pred() {
                 return true;
             }
-            let (g, _) =
-                self.cv.wait_timeout(guard, WAIT_TICK).unwrap_or_else(|e| {
-                    let (g, t) = e.into_inner();
-                    (g, t)
-                });
+            let (g, _) = self.cv.wait_timeout(guard, WAIT_TICK).unwrap_or_else(|e| {
+                let (g, t) = e.into_inner();
+                (g, t)
+            });
             guard = g;
         }
     }
@@ -275,11 +274,8 @@ impl<'a, Ctx> Shared<'a, Ctx> {
         for &id in work {
             let (desc, lanes, _) = &self.meta[id];
             let leader = lanes.iter().map(|&(g, _)| g).min().expect("op has lanes");
-            let stream = lanes
-                .iter()
-                .find(|&&(g, _)| g == gpu)
-                .map(|&(_, s)| s)
-                .expect("op is on this gpu");
+            let stream =
+                lanes.iter().find(|&&(g, _)| g == gpu).map(|&(_, s)| s).expect("op is on this gpu");
             if lanes.len() > 1 {
                 // Collective rendezvous: announce arrival, then either run
                 // it (leader, after full quiescence) or wait for the leader.
@@ -288,8 +284,7 @@ impl<'a, Ctx> Shared<'a, Ctx> {
                 if gpu == leader {
                     let all = lanes.len();
                     if !self.timed_wait(gpu, stream, desc, spans, || {
-                        self.arrivals[id].load(Ordering::SeqCst) == all
-                            && self.waits_satisfied(id)
+                        self.arrivals[id].load(Ordering::SeqCst) == all && self.waits_satisfied(id)
                     }) {
                         return;
                     }
@@ -297,9 +292,9 @@ impl<'a, Ctx> Shared<'a, Ctx> {
                         return;
                     }
                     self.mark_done(id);
-                } else if !self.timed_wait(gpu, stream, desc, spans, || {
-                    self.done[id].load(Ordering::SeqCst)
-                }) {
+                } else if !self
+                    .timed_wait(gpu, stream, desc, spans, || self.done[id].load(Ordering::SeqCst))
+                {
                     return;
                 }
             } else {
@@ -324,11 +319,8 @@ impl<'a, Ctx> Shared<'a, Ctx> {
         desc: &OpDesc,
         spans: &mut Vec<WallSpan>,
     ) -> bool {
-        let body = self.records[id]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-            .and_then(|r| r.body);
+        let body =
+            self.records[id].lock().unwrap_or_else(|e| e.into_inner()).take().and_then(|r| r.body);
         let Some(body) = body else { return true };
         let label = desc.label;
         let begin = Instant::now();
@@ -365,6 +357,13 @@ impl<'a, Ctx> Shared<'a, Ctx> {
 /// all cross-GPU orderings that matter are dependency edges or collective
 /// barriers, enforced here with real synchronization.
 pub fn execute<Ctx: Sync>(sched: Schedule<Ctx>, ctx: &Ctx) -> Result<ExecReport, ExecError> {
+    // Static pre-flight before any worker starts: a schedule with a
+    // dependency cycle would hang the barriers, and one with an unordered
+    // buffer conflict would corrupt data non-deterministically under real
+    // threads. Both are cheap to prove absent on the recorded op DAG.
+    if let Err(message) = mggcn_analyze::preflight(&sched) {
+        return Err(ExecError { gpu: 0, label: "preflight", message });
+    }
     let gpu_count = sched.machine().gpu_count();
     let SimOutcome { report, completion_order } = sched.simulate();
     let records = sched.into_records();
@@ -486,10 +485,8 @@ mod tests {
             total: AtomicU64,
         }
         let p = 4;
-        let ctx = Ctx {
-            slots: (0..p).map(|_| AtomicU64::new(0)).collect(),
-            total: AtomicU64::new(0),
-        };
+        let ctx =
+            Ctx { slots: (0..p).map(|_| AtomicU64::new(0)).collect(), total: AtomicU64::new(0) };
         let mut s: Schedule<Ctx> = Schedule::new(machine(p));
         for g in 0..p {
             s.launch(
@@ -580,8 +577,7 @@ mod tests {
         }
         let r = execute(s, &ctx).expect("ok");
         assert_eq!(r.bodies_run, 2);
-        let body_spans =
-            r.spans.iter().filter(|s| s.category != Category::Barrier).count();
+        let body_spans = r.spans.iter().filter(|s| s.category != Category::Barrier).count();
         assert_eq!(body_spans, 2);
         let cats = r.category_wall_seconds();
         assert!(cats[&Category::GeMM] >= 0.004 * 0.5, "timed sleeps: {cats:?}");
@@ -640,8 +636,7 @@ mod tests {
         // Per-GPU category sums ≈ wall time (generous slack for spawn and
         // scheduler jitter on loaded CI machines).
         for gpu in 0..2 {
-            let sum: f64 =
-                r.spans.iter().filter(|s| s.gpu == gpu).map(|s| s.seconds).sum();
+            let sum: f64 = r.spans.iter().filter(|s| s.gpu == gpu).map(|s| s.seconds).sum();
             assert!(
                 sum <= r.wall_seconds + 1e-3,
                 "gpu {gpu} category sum {sum} exceeds wall {}",
@@ -653,5 +648,37 @@ mod tests {
                 r.wall_seconds
             );
         }
+    }
+
+    /// A schedule whose declared effects conflict without an ordering edge
+    /// must be rejected before any worker thread (or body) starts.
+    #[test]
+    fn preflight_rejects_unordered_buffer_conflict() {
+        use mggcn_gpusim::{BufId, Effects};
+        let ran = AtomicBool::new(false);
+        let mut s: Schedule<AtomicBool> = Schedule::new(machine(1));
+        let buf = BufId::new(0, "HW");
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            OpDesc::new(Category::GeMM, "writer"),
+            &[],
+            Effects::none().writes([buf]),
+            Some(Box::new(|r: &AtomicBool| r.store(true, Ordering::SeqCst))),
+        );
+        s.launch_fx(
+            0,
+            1,
+            fixed(),
+            OpDesc::new(Category::SpMM, "reader"),
+            &[],
+            Effects::none().reads([buf]),
+            Some(Box::new(|r: &AtomicBool| r.store(true, Ordering::SeqCst))),
+        );
+        let err = execute(s, &ran).expect_err("hazardous schedule accepted");
+        assert_eq!(err.label, "preflight");
+        assert!(err.message.contains("RAW hazard"), "unexpected message: {}", err.message);
+        assert!(!ran.load(Ordering::SeqCst), "a body ran despite preflight failure");
     }
 }

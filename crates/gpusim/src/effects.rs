@@ -1,0 +1,135 @@
+//! Declared buffer effects for scheduled ops.
+//!
+//! Every `launch_fx`/`collective_fx` site can declare the logical buffers
+//! the op's body reads and writes ([`Effects`]). Buffers are named per GPU
+//! ([`BufId`]): the trainer's `AHW.l@g`, `HW@g`, the §4.3 double buffers
+//! `BC1@g`/`BC2@g`, weights `W.l@g`, gradients `WG.l@g`, and so on. The
+//! declarations are metadata only — the simulator and the threaded
+//! executor ignore them — but `mggcn-analyze` proves hazard-freedom and
+//! the §4.2 `L + 3` liveness bound over them, so a schedule that drops a
+//! double-buffer WAR edge becomes a static finding instead of silent data
+//! corruption.
+
+use std::fmt;
+
+/// One logical buffer on one GPU. Identity is `(gpu, name, index)`:
+/// `BufId::indexed(1, "AHW", 0)` is layer 0's activation buffer on GPU 1,
+/// distinct from the same buffer on any other GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufId {
+    pub gpu: usize,
+    pub name: &'static str,
+    /// Layer/slot index for buffer families (`AHW.l`, `W.l`); `None` for
+    /// singletons (`HW`, `BC1`, `BC2`, `X`).
+    pub index: Option<usize>,
+}
+
+impl BufId {
+    pub fn new(gpu: usize, name: &'static str) -> Self {
+        Self { gpu, name, index: None }
+    }
+
+    pub fn indexed(gpu: usize, name: &'static str, index: usize) -> Self {
+        Self { gpu, name, index: Some(index) }
+    }
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "{}.{}@g{}", self.name, i, self.gpu),
+            None => write!(f, "{}@g{}", self.name, self.gpu),
+        }
+    }
+}
+
+/// The declared read/write footprint of one op. A read-modify-write
+/// buffer (in-place ReLU, an accumulating SpMM) appears in both sets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Effects {
+    pub reads: Vec<BufId>,
+    pub writes: Vec<BufId>,
+}
+
+impl Effects {
+    /// No declared effects (the default for plain `launch`/`collective`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Builder: add read buffers.
+    pub fn reads(mut self, bufs: impl IntoIterator<Item = BufId>) -> Self {
+        self.reads.extend(bufs);
+        self
+    }
+
+    /// Builder: add write buffers.
+    pub fn writes(mut self, bufs: impl IntoIterator<Item = BufId>) -> Self {
+        self.writes.extend(bufs);
+        self
+    }
+
+    /// Builder: add a read-modify-write buffer (both sets).
+    pub fn rw(mut self, buf: BufId) -> Self {
+        self.reads.push(buf);
+        self.writes.push(buf);
+        self
+    }
+
+    /// Compact textual form for dumps: ` R[a,b] W[c]`, empty sets omitted,
+    /// entries sorted so the rendering is deterministic regardless of
+    /// declaration order.
+    pub fn render(&self) -> String {
+        fn set(tag: &str, bufs: &[BufId]) -> String {
+            if bufs.is_empty() {
+                return String::new();
+            }
+            let mut sorted = bufs.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let items: Vec<String> = sorted.iter().map(|b| b.to_string()).collect();
+            format!(" {tag}[{}]", items.join(","))
+        }
+        format!("{}{}", set("R", &self.reads), set("W", &self.writes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BufId::new(0, "HW").to_string(), "HW@g0");
+        assert_eq!(BufId::indexed(3, "AHW", 1).to_string(), "AHW.1@g3");
+    }
+
+    #[test]
+    fn builder_and_render() {
+        let fx = Effects::none()
+            .reads([BufId::new(1, "BC1"), BufId::new(0, "HW")])
+            .writes([BufId::indexed(0, "AHW", 0)]);
+        assert_eq!(fx.render(), " R[HW@g0,BC1@g1] W[AHW.0@g0]");
+        assert!(!fx.is_empty());
+        assert!(Effects::none().is_empty());
+        assert_eq!(Effects::none().render(), "");
+    }
+
+    #[test]
+    fn rw_lands_in_both_sets() {
+        let fx = Effects::none().rw(BufId::new(0, "HW"));
+        assert_eq!(fx.reads, fx.writes);
+        assert_eq!(fx.render(), " R[HW@g0] W[HW@g0]");
+    }
+
+    #[test]
+    fn render_dedups_and_sorts() {
+        let fx =
+            Effects::none().reads([BufId::new(0, "HW"), BufId::new(0, "HW"), BufId::new(0, "BC1")]);
+        assert_eq!(fx.render(), " R[BC1@g0,HW@g0]");
+    }
+}

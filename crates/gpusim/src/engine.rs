@@ -22,6 +22,7 @@
 //! double-buffer WAR dependency will corrupt real data the same way real
 //! hardware would.
 
+use crate::effects::Effects;
 use crate::specs::MachineSpec;
 use crate::timeline::{Category, Span, Timeline};
 use std::collections::BTreeMap;
@@ -73,6 +74,8 @@ struct Op<Ctx> {
     /// participants for collectives.
     lanes: Vec<(usize, usize)>,
     waits: Vec<OpId>,
+    /// Declared buffer footprint (metadata; see [`crate::effects`]).
+    effects: Effects,
     body: Option<Body<Ctx>>,
 }
 
@@ -84,6 +87,17 @@ pub struct OpRecord<Ctx> {
     pub lanes: Vec<(usize, usize)>,
     pub waits: Vec<OpId>,
     pub body: Option<Body<Ctx>>,
+}
+
+/// Borrowed view of one recorded op's metadata — everything a static
+/// analysis needs (`mggcn-analyze` consumes these), without the body.
+pub struct OpInfo<'a> {
+    pub id: OpId,
+    pub desc: OpDesc,
+    pub work: Work,
+    pub lanes: &'a [(usize, usize)],
+    pub waits: &'a [OpId],
+    pub effects: &'a Effects,
 }
 
 /// Result of timing a schedule without running bodies: the run report
@@ -135,9 +149,36 @@ impl<Ctx> Schedule<Ctx> {
         waits: &[OpId],
         body: Option<Body<Ctx>>,
     ) -> OpId {
+        self.launch_fx(gpu, stream, work, desc, waits, Effects::none(), body)
+    }
+
+    /// [`Schedule::launch`] with a declared buffer footprint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_fx(
+        &mut self,
+        gpu: usize,
+        stream: usize,
+        work: Work,
+        desc: OpDesc,
+        waits: &[OpId],
+        effects: Effects,
+        body: Option<Body<Ctx>>,
+    ) -> OpId {
         assert!(gpu < self.machine.gpu_count(), "gpu index out of range");
         let id = self.ops.len();
-        self.ops.push(Op { desc, work, lanes: vec![(gpu, stream)], waits: waits.to_vec(), body });
+        assert!(
+            !waits.contains(&id),
+            "op {id} ({}) waits on itself — it could never start",
+            desc.label
+        );
+        self.ops.push(Op {
+            desc,
+            work,
+            lanes: vec![(gpu, stream)],
+            waits: waits.to_vec(),
+            effects,
+            body,
+        });
         self.queues.entry((gpu, stream)).or_default().push(id);
         id
     }
@@ -154,14 +195,48 @@ impl<Ctx> Schedule<Ctx> {
         waits: &[OpId],
         body: Option<Body<Ctx>>,
     ) -> OpId {
+        self.collective_fx(lanes, bytes, bw, desc, waits, Effects::none(), body)
+    }
+
+    /// [`Schedule::collective`] with a declared buffer footprint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collective_fx(
+        &mut self,
+        lanes: &[(usize, usize)],
+        bytes: f64,
+        bw: f64,
+        desc: OpDesc,
+        waits: &[OpId],
+        effects: Effects,
+        body: Option<Body<Ctx>>,
+    ) -> OpId {
         assert!(!lanes.is_empty(), "collective needs participants");
         let id = self.ops.len();
-        let work = if bw.is_infinite() {
-            Work::Fixed { seconds: 0.0 }
-        } else {
-            Work::Comm { bytes, bw }
-        };
-        self.ops.push(Op { desc, work, lanes: lanes.to_vec(), waits: waits.to_vec(), body });
+        assert!(
+            !waits.contains(&id),
+            "collective {id} ({}) waits on itself — it could never start",
+            desc.label
+        );
+        for (i, lane) in lanes.iter().enumerate() {
+            assert!(
+                !lanes[..i].contains(lane),
+                "collective {id} ({}) lists lane (gpu {}, stream {}) twice — \
+                 one op cannot rendezvous with itself on one lane",
+                desc.label,
+                lane.0,
+                lane.1
+            );
+        }
+        let work =
+            if bw.is_infinite() { Work::Fixed { seconds: 0.0 } } else { Work::Comm { bytes, bw } };
+        self.ops.push(Op {
+            desc,
+            work,
+            lanes: lanes.to_vec(),
+            waits: waits.to_vec(),
+            effects,
+            body,
+        });
         for &lane in lanes {
             assert!(lane.0 < self.machine.gpu_count(), "gpu index out of range");
             self.queues.entry(lane).or_default().push(id);
@@ -174,12 +249,56 @@ impl<Ctx> Schedule<Ctx> {
         self.ops.len()
     }
 
+    /// Borrowed metadata of every recorded op, in issue order (op id ==
+    /// slice index) — the static-analysis view of the schedule.
+    pub fn op_infos(&self) -> Vec<OpInfo<'_>> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(id, op)| OpInfo {
+                id,
+                desc: op.desc,
+                work: op.work,
+                lanes: &op.lanes,
+                waits: &op.waits,
+                effects: &op.effects,
+            })
+            .collect()
+    }
+
+    /// All explicit dependency edges as `(op, wait)` pairs, in issue order.
+    /// The mutation-testing enumeration hook: each pair can be removed with
+    /// [`Schedule::remove_wait`] to produce one schedule mutant.
+    pub fn wait_edges(&self) -> Vec<(OpId, OpId)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .flat_map(|(id, op)| op.waits.iter().map(move |&w| (id, w)))
+            .collect()
+    }
+
+    /// Delete one explicit dependency edge (testing hook: build a schedule
+    /// mutant with a dropped WAR/RAW edge). Panics if the edge is absent.
+    pub fn remove_wait(&mut self, op: OpId, wait: OpId) {
+        let waits = &mut self.ops[op].waits;
+        let before = waits.len();
+        waits.retain(|&w| w != wait);
+        assert!(waits.len() < before, "op {op} has no wait on {wait}");
+    }
+
+    /// Mutable access to an op's declared effects (testing hook: build a
+    /// schedule mutant with a mislabeled buffer, e.g. `BC1`↔`BC2`).
+    pub fn effects_mut(&mut self, op: OpId) -> &mut Effects {
+        &mut self.ops[op].effects
+    }
+
     /// Deterministic textual dump of the recorded op stream, one line per
-    /// op: id, work kind, category/label(/stage), lanes, and explicit
-    /// waits. Work *magnitudes* are deliberately omitted so the dump pins
-    /// the schedule's structure (op order, lane placement, dependency
-    /// edges — the §4.2/§4.3 invariants) without becoming a golden file
-    /// over the cost model's floating-point outputs.
+    /// op: id, work kind, category/label(/stage), lanes, explicit waits,
+    /// and declared buffer effects. Work *magnitudes* are deliberately
+    /// omitted so the dump pins the schedule's structure (op order, lane
+    /// placement, dependency edges, buffer footprints — the §4.2/§4.3
+    /// invariants) without becoming a golden file over the cost model's
+    /// floating-point outputs.
     pub fn dump_ops(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -189,17 +308,18 @@ impl<Ctx> Schedule<Ctx> {
                 Work::Comm { .. } => "comm",
                 Work::Fixed { .. } => "fixed",
             };
-            let mut line = format!("op {id:3} {kind:7} {:10} {}", op.desc.category.name(), op.desc.label);
+            let mut line =
+                format!("op {id:3} {kind:7} {:10} {}", op.desc.category.name(), op.desc.label);
             if let Some(s) = op.desc.stage {
                 let _ = write!(line, "@{s}");
             }
-            let lanes: Vec<String> =
-                op.lanes.iter().map(|(g, st)| format!("g{g}s{st}")).collect();
+            let lanes: Vec<String> = op.lanes.iter().map(|(g, st)| format!("g{g}s{st}")).collect();
             let _ = write!(line, " lanes=[{}]", lanes.join(","));
             if !op.waits.is_empty() {
                 let waits: Vec<String> = op.waits.iter().map(|w| w.to_string()).collect();
                 let _ = write!(line, " waits=[{}]", waits.join(","));
             }
+            line.push_str(&op.effects.render());
             out.push_str(&line);
             out.push('\n');
         }
@@ -262,19 +382,15 @@ impl<Ctx> Schedule<Ctx> {
             let mut promoted = true;
             while promoted {
                 promoted = false;
-                let candidates: Vec<OpId> = heads
-                    .iter()
-                    .filter_map(|(&lane, &h)| queues[&lane].get(h).copied())
-                    .collect();
+                let candidates: Vec<OpId> =
+                    heads.iter().filter_map(|(&lane, &h)| queues[&lane].get(h).copied()).collect();
                 for id in candidates {
                     if completed[id] || running.contains(&id) {
                         continue;
                     }
                     let op = &ops[id];
-                    let at_all_heads = op
-                        .lanes
-                        .iter()
-                        .all(|lane| queues[lane].get(heads[lane]) == Some(&id));
+                    let at_all_heads =
+                        op.lanes.iter().all(|lane| queues[lane].get(heads[lane]) == Some(&id));
                     let deps_done = op.waits.iter().all(|&w| completed[w]);
                     if at_all_heads && deps_done {
                         running.push(id);
@@ -374,6 +490,8 @@ impl<Ctx> Schedule<Ctx> {
                         end: now,
                         op: id,
                         bytes,
+                        reads: op.effects.reads.len() as u32,
+                        writes: op.effects.writes.len() as u32,
                     });
                 }
                 for lane in &op.lanes {
@@ -411,7 +529,9 @@ impl Rem {
     fn from_work(w: Work, overhead: f64, comm_latency: f64) -> Self {
         match w {
             Work::Compute { flops, bytes } => Self { seconds: overhead, flops, bytes },
-            Work::Comm { bytes, .. } => Self { seconds: overhead + comm_latency, flops: 0.0, bytes },
+            Work::Comm { bytes, .. } => {
+                Self { seconds: overhead + comm_latency, flops: 0.0, bytes }
+            }
             Work::Fixed { seconds } => Self { seconds: seconds + overhead, flops: 0.0, bytes: 0.0 },
         }
     }
@@ -570,14 +690,7 @@ mod tests {
             None,
         );
         // A long-running broadcast on the comm stream of the same GPU.
-        overlapped.collective(
-            &[(0, 1), (1, 1)],
-            600.0e9,
-            150.0e9,
-            desc(Category::Comm),
-            &[],
-            None,
-        );
+        overlapped.collective(&[(0, 1), (1, 1)], 600.0e9, 150.0e9, desc(Category::Comm), &[], None);
         let t_over = overlapped.run(&()).makespan;
         assert!(t_over > t_alone * 1.15, "alone {t_alone}, overlapped {t_over}");
     }
@@ -598,14 +711,7 @@ mod tests {
     fn timeline_records_all_lanes_of_collective() {
         let mut s: Schedule<()> = Schedule::new(machine(3));
         s.launch_overhead = 0.0;
-        s.collective(
-            &[(0, 1), (1, 1), (2, 1)],
-            1.0e9,
-            25.0e9,
-            desc(Category::Comm),
-            &[],
-            None,
-        );
+        s.collective(&[(0, 1), (1, 1), (2, 1)], 1.0e9, 25.0e9, desc(Category::Comm), &[], None);
         let r = s.run(&());
         assert_eq!(r.timeline.spans.len(), 3);
     }
@@ -678,14 +784,7 @@ mod tests {
         let mut s: Schedule<()> = Schedule::new(machine(2));
         s.launch_overhead = 0.0;
         for g in 0..2 {
-            s.launch(
-                g,
-                0,
-                Work::Compute { flops, bytes: 0.0 },
-                desc(Category::GeMM),
-                &[],
-                None,
-            );
+            s.launch(g, 0, Work::Compute { flops, bytes: 0.0 }, desc(Category::GeMM), &[], None);
         }
         let t = s.run(&()).makespan;
         assert!((t - 1.0).abs() < 1e-6, "makespan {t}");
@@ -708,13 +807,91 @@ mod tests {
         let r = s.run(&());
         // Comm finishes at 1.0 s despite the busy GPU; makespan is the
         // 1-second compute.
-        let comm_span = r
-            .timeline
-            .spans
-            .iter()
-            .find(|sp| sp.category == Category::Comm)
-            .expect("comm span");
+        let comm_span =
+            r.timeline.spans.iter().find(|sp| sp.category == Category::Comm).expect("comm span");
         assert!((comm_span.duration() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lists lane (gpu 1, stream 1) twice")]
+    fn collective_rejects_duplicate_lanes() {
+        // A duplicate lane can never rendezvous: the op would have to be at
+        // the head of one FIFO twice. Must be rejected at record time, not
+        // discovered as a deadlock at run time.
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        s.collective(&[(0, 1), (1, 1), (1, 1)], 1.0e9, 25.0e9, desc(Category::Comm), &[], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "waits on itself")]
+    fn collective_rejects_self_wait() {
+        let mut s: Schedule<()> = Schedule::new(machine(2));
+        // The collective will get id 0; waiting on 0 is a self-wait.
+        s.collective(&[(0, 1), (1, 1)], 1.0e9, 25.0e9, desc(Category::Comm), &[0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "waits on itself")]
+    fn launch_rejects_self_wait() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch(0, 0, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[0], None);
+    }
+
+    #[test]
+    fn effects_are_recorded_dumped_and_mutable() {
+        use crate::effects::{BufId, Effects};
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        let a = s.launch_fx(
+            0,
+            0,
+            Work::Fixed { seconds: 0.1 },
+            desc(Category::GeMM),
+            &[],
+            Effects::none().reads([BufId::new(0, "HW")]).writes([BufId::indexed(0, "AHW", 0)]),
+            None,
+        );
+        let b = s.launch(0, 1, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[a], None);
+
+        let infos = s.op_infos();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[a].effects.reads, vec![BufId::new(0, "HW")]);
+        assert!(infos[b].effects.is_empty());
+        assert_eq!(s.wait_edges(), vec![(b, a)]);
+
+        let dump = s.dump_ops();
+        assert!(dump.contains("R[HW@g0] W[AHW.0@g0]"), "dump:\n{dump}");
+
+        s.effects_mut(a).writes = vec![BufId::new(0, "BC1")];
+        assert!(s.dump_ops().contains("W[BC1@g0]"));
+        s.remove_wait(b, a);
+        assert!(s.wait_edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no wait on")]
+    fn remove_wait_rejects_absent_edge() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch(0, 0, Work::Fixed { seconds: 0.1 }, desc(Category::Other), &[], None);
+        s.remove_wait(0, 5);
+    }
+
+    #[test]
+    fn span_records_effect_counts() {
+        use crate::effects::{BufId, Effects};
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_overhead = 0.0;
+        s.launch_fx(
+            0,
+            0,
+            Work::Fixed { seconds: 0.1 },
+            desc(Category::SpMM),
+            &[],
+            Effects::none().reads([BufId::new(0, "BC1")]).rw(BufId::new(0, "HW")),
+            None,
+        );
+        let r = s.run(&());
+        assert_eq!(r.timeline.spans[0].reads, 2);
+        assert_eq!(r.timeline.spans[0].writes, 1);
     }
 
     #[test]

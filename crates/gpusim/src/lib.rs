@@ -56,6 +56,7 @@
 //! assert_eq!(report.timeline.spans.len(), 3); // kernel + 2 collective lanes
 //! ```
 
+pub mod effects;
 pub mod engine;
 pub mod memory;
 pub mod model;
@@ -64,9 +65,10 @@ pub mod specs;
 pub mod timeline;
 pub mod trace;
 
-pub use engine::{OpId, RunReport, Schedule, Work};
+pub use effects::{BufId, Effects};
+pub use engine::{OpId, OpInfo, RunReport, Schedule, SimOutcome, Work};
 pub use memory::{MemoryTracker, OomError};
 pub use model::CostModel;
-pub use specs::{GpuSpec, Interconnect, MachineSpec};
 pub use report::{LatencyStats, Profile};
+pub use specs::{GpuSpec, Interconnect, MachineSpec};
 pub use timeline::{Category, Span, Timeline};

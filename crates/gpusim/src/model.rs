@@ -46,7 +46,15 @@ impl CostModel {
     ///   `ws = cols · d · 4` is the tile working set — a smooth stand-in
     ///   for the reuse-distance distribution;
     /// * `C` writes: `rows · d · 4` (doubled when accumulating).
-    pub fn spmm(&self, gpu: &GpuSpec, rows: u64, cols: u64, nnz: u64, d: u64, accumulate: bool) -> Work {
+    pub fn spmm(
+        &self,
+        gpu: &GpuSpec,
+        rows: u64,
+        cols: u64,
+        nnz: u64,
+        d: u64,
+        accumulate: bool,
+    ) -> Work {
         let csr_bytes = nnz as f64 * 8.0 + rows as f64 * 8.0;
         let ws = cols as f64 * d as f64 * 4.0;
         let compulsory = ws;

@@ -205,6 +205,8 @@ mod tests {
                     end: 2.0,
                     op: 0,
                     bytes: 0.0,
+                    reads: 0,
+                    writes: 0,
                 },
                 Span {
                     gpu: 0,
@@ -216,6 +218,8 @@ mod tests {
                     end: 3.0,
                     op: 1,
                     bytes: 0.0,
+                    reads: 0,
+                    writes: 0,
                 },
                 Span {
                     gpu: 1,
@@ -227,6 +231,8 @@ mod tests {
                     end: 1.0,
                     op: 2,
                     bytes: 0.0,
+                    reads: 0,
+                    writes: 0,
                 },
             ],
         }

@@ -131,7 +131,13 @@ impl MachineSpec {
     }
 
     /// A uniform custom machine (testing / what-if studies).
-    pub fn uniform(name: &str, gpu: GpuSpec, count: usize, links_per_gpu: u32, link_bw: f64) -> Self {
+    pub fn uniform(
+        name: &str,
+        gpu: GpuSpec,
+        count: usize,
+        links_per_gpu: u32,
+        link_bw: f64,
+    ) -> Self {
         Self {
             name: name.into(),
             gpus: vec![gpu; count],
@@ -236,11 +242,8 @@ impl MachineSpec {
         if group.len() <= 1 {
             return f64::INFINITY;
         }
-        let min_links = group
-            .iter()
-            .map(|&g| self.effective_links(g, group))
-            .min()
-            .expect("nonempty group");
+        let min_links =
+            group.iter().map(|&g| self.effective_links(g, group)).min().expect("nonempty group");
         let intra = min_links as f64 * self.link_bw();
         if self.crosses_nodes(group) {
             intra.min(self.nic_cap())

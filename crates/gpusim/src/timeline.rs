@@ -66,6 +66,11 @@ pub struct Span {
     /// Bytes moved by the op: payload for `Work::Comm`, memory traffic for
     /// `Work::Compute`, 0 for `Work::Fixed`.
     pub bytes: f64,
+    /// Number of logical buffers the op declared it reads (see
+    /// `crate::effects`); 0 when the op carries no effect annotations.
+    pub reads: u32,
+    /// Number of logical buffers the op declared it writes.
+    pub writes: u32,
 }
 
 impl Span {
@@ -87,10 +92,7 @@ impl Timeline {
     pub fn category_totals(&self) -> Vec<(Category, f64)> {
         let mut totals = Category::ALL.map(|c| (c, 0.0f64));
         for s in &self.spans {
-            let slot = totals
-                .iter_mut()
-                .find(|(c, _)| *c == s.category)
-                .expect("category in ALL");
+            let slot = totals.iter_mut().find(|(c, _)| *c == s.category).expect("category in ALL");
             slot.1 += s.duration();
         }
         totals.into_iter().filter(|(_, t)| *t > 0.0).collect()
@@ -175,7 +177,19 @@ mod tests {
     use super::*;
 
     fn span(gpu: usize, cat: Category, start: f64, end: f64) -> Span {
-        Span { gpu, stream: 0, category: cat, stage: None, label: "t", start, end, op: 0, bytes: 0.0 }
+        Span {
+            gpu,
+            stream: 0,
+            category: cat,
+            stage: None,
+            label: "t",
+            start,
+            end,
+            op: 0,
+            bytes: 0.0,
+            reads: 0,
+            writes: 0,
+        }
     }
 
     #[test]

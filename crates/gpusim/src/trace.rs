@@ -48,11 +48,13 @@ pub fn to_chrome_trace(tl: &Timeline) -> String {
         write!(
             out,
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
-             \"pid\":{},\"tid\":{},\"args\":{{\"stage\":{stage}}}}}",
+             \"pid\":{},\"tid\":{},\"args\":{{\"stage\":{stage},\"reads\":{},\"writes\":{}}}}}",
             s.label,
             s.category.name(),
             s.gpu,
-            s.stream
+            s.stream,
+            s.reads,
+            s.writes,
         )
         .expect("write to string");
     }
@@ -83,6 +85,8 @@ mod tests {
                     end: 0.002,
                     op: 0,
                     bytes: 0.0,
+                    reads: 2,
+                    writes: 1,
                 },
                 Span {
                     gpu: 1,
@@ -94,6 +98,8 @@ mod tests {
                     end: 0.0005,
                     op: 1,
                     bytes: 64.0,
+                    reads: 0,
+                    writes: 0,
                 },
             ],
         }
@@ -107,6 +113,7 @@ mod tests {
         assert!(json.contains("\"cat\":\"SpMM\""));
         assert!(json.contains("\"stage\":2"));
         assert!(json.contains("\"stage\":-1"));
+        assert!(json.contains("\"reads\":2,\"writes\":1"));
         assert!(json.contains("GPU 0 compute"));
         assert!(json.contains("GPU 1 comm"));
     }
@@ -128,8 +135,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let path = std::env::temp_dir()
-            .join(format!("mggcn_trace_{}.json", std::process::id()));
+        let path = std::env::temp_dir().join(format!("mggcn_trace_{}.json", std::process::id()));
         write_chrome_trace(&tl(), &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();

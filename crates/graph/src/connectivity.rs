@@ -30,12 +30,7 @@ impl Components {
 
     /// Label of the largest component.
     pub fn largest(&self) -> u32 {
-        self.sizes()
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
+        self.sizes().iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i as u32).unwrap_or(0)
     }
 }
 
@@ -91,8 +86,11 @@ pub fn induced_subgraph(graph: &Graph, keep: &[bool]) -> Graph {
     }
     let mut features = Dense::zeros(n_new, graph.features.cols());
     let mut labels = Vec::with_capacity(n_new);
-    let mut split =
-        Split { train: Vec::with_capacity(n_new), val: Vec::with_capacity(n_new), test: Vec::with_capacity(n_new) };
+    let mut split = Split {
+        train: Vec::with_capacity(n_new),
+        val: Vec::with_capacity(n_new),
+        test: Vec::with_capacity(n_new),
+    };
     for (new_v, &old_v) in kept.iter().enumerate() {
         features.row_mut(new_v).copy_from_slice(graph.features.row(old_v));
         labels.push(graph.labels[old_v]);

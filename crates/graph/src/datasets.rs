@@ -92,7 +92,8 @@ pub const PRODUCTS: DatasetCard =
 pub const PROTEINS: DatasetCard =
     DatasetCard::new("Proteins", 8_740_000, 1_300_000_000, 128, 256, 150.0, 1.9);
 /// Reddit post-to-post graph (September 2014).
-pub const REDDIT: DatasetCard = DatasetCard::new("Reddit", 233_000, 115_000_000, 602, 41, 492.0, 1.8);
+pub const REDDIT: DatasetCard =
+    DatasetCard::new("Reddit", 233_000, 115_000_000, 602, 41, 492.0, 1.8);
 
 /// All Table 1 datasets, in the paper's row order.
 pub const BENCHMARKS: [DatasetCard; 6] = [CORA, ARXIV, PAPERS, PRODUCTS, PROTEINS, REDDIT];

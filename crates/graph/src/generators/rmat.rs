@@ -46,8 +46,11 @@ pub fn generate(scale: u32, edge_factor: usize, params: &RmatParams, seed: u64) 
             let jitter = |p: f64, rng: &mut SmallRng| {
                 (p * (1.0 - params.noise + 2.0 * params.noise * rng.gen::<f64>())).max(1e-6)
             };
-            let (a, b, cq) =
-                (jitter(params.a, &mut rng), jitter(params.b, &mut rng), jitter(params.c, &mut rng));
+            let (a, b, cq) = (
+                jitter(params.a, &mut rng),
+                jitter(params.b, &mut rng),
+                jitter(params.c, &mut rng),
+            );
             let dq = jitter(params.d().max(1e-6), &mut rng);
             let total = a + b + cq + dq;
             let x: f64 = rng.gen::<f64>() * total;

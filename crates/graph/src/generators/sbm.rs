@@ -70,11 +70,8 @@ pub fn generate(cfg: &SbmConfig, seed: u64) -> Graph {
         members[c as usize].push(v as u32);
     }
 
-    let mut coo = Coo::with_capacity(
-        n,
-        n,
-        ((cfg.intra_degree + cfg.inter_degree) as usize + 1) * n,
-    );
+    let mut coo =
+        Coo::with_capacity(n, n, ((cfg.intra_degree + cfg.inter_degree) as usize + 1) * n);
     for v in 0..n as u32 {
         let c = community[v as usize] as usize;
         // Each vertex initiates ~half its expected edges; symmetric insert
@@ -101,9 +98,8 @@ pub fn generate(cfg: &SbmConfig, seed: u64) -> Graph {
     adj.binarize();
 
     // Community centroids: random unit-ish vectors.
-    let centroids: Vec<Vec<f32>> = (0..k)
-        .map(|_| (0..cfg.feat_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .collect();
+    let centroids: Vec<Vec<f32>> =
+        (0..k).map(|_| (0..cfg.feat_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
     let mut features = Dense::zeros(n, cfg.feat_dim);
     for v in 0..n {
         let centroid = &centroids[community[v] as usize];

@@ -72,8 +72,7 @@ impl Graph {
     pub fn synthesize(adj: Csr, feat_dim: usize, classes: usize, seed: u64) -> Self {
         let n = adj.rows();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let features =
-            Dense::from_fn(n, feat_dim, |_, _| rng.gen_range(-1.0f32..1.0) * 0.5);
+        let features = Dense::from_fn(n, feat_dim, |_, _| rng.gen_range(-1.0f32..1.0) * 0.5);
         let labels = (0..n).map(|_| rng.gen_range(0..classes as u32)).collect();
         let split = Split::random(n, 0.6, 0.2, seed ^ 0xc2b2_ae35);
         Self::new(adj, features, labels, classes, split)

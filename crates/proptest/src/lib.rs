@@ -252,10 +252,8 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(64);
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
             Self { cases }
         }
     }
@@ -442,7 +440,7 @@ mod tests {
             if let Some(v) = o {
                 prop_assert!((1..8).contains(&v));
             }
-            prop_assert!(b || !b);
+            prop_assert!(usize::from(b) <= 1);
         }
     }
 
@@ -452,9 +450,7 @@ mod tests {
             crate::test_runner::run(
                 &ProptestConfig::with_cases(4),
                 "always_fails",
-                |_rng| -> Result<(), TestCaseError> {
-                    Err(TestCaseError::Fail("nope".into()))
-                },
+                |_rng| -> Result<(), TestCaseError> { Err(TestCaseError::Fail("nope".into())) },
             );
         });
         let msg = *caught.unwrap_err().downcast::<String>().unwrap();

@@ -75,11 +75,8 @@ where
     let slots: Vec<Mutex<Option<P>>> =
         split_into(prod, q).into_iter().map(|p| Mutex::new(Some(p))).collect();
     pool::run_pieces(slots.len(), |i| {
-        let piece = slots[i]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-            .expect("piece claimed twice");
+        let piece =
+            slots[i].lock().unwrap_or_else(|e| e.into_inner()).take().expect("piece claimed twice");
         f(i, piece);
     });
 }
@@ -552,7 +549,8 @@ mod tests {
     fn fold_grouping_is_thread_count_independent() {
         // The fold piece plan is a function of len only; throttling the
         // pool must not change the (f32-order-sensitive) result bits.
-        let data: Vec<f32> = (0..50_000).map(|i| ((i * 2654435761u64 as usize) as f32).sin()).collect();
+        let data: Vec<f32> =
+            (0..50_000).map(|i| ((i * 2654435761u64 as usize) as f32).sin()).collect();
         let sum_with = |threads: usize| {
             let prev = crate::set_active_threads(threads);
             let s = (0..data.len())
@@ -612,10 +610,7 @@ mod tests {
         let a: Vec<f32> = (0..5000).map(|i| i as f32).collect();
         let b: Vec<f32> = (0..5000).map(|i| (i * 7) as f32).collect();
         let mut out = vec![0.0f32; 5000];
-        out.par_iter_mut()
-            .zip(a.par_iter())
-            .zip(b.par_iter())
-            .for_each(|((o, &x), &y)| *o = x + y);
+        out.par_iter_mut().zip(a.par_iter()).zip(b.par_iter()).for_each(|((o, &x), &y)| *o = x + y);
         for i in 0..5000 {
             assert_eq!(out[i], a[i] + b[i]);
         }

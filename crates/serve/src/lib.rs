@@ -54,4 +54,4 @@ pub use batcher::{form_batches, Batch, BatchPolicy, Request};
 pub use cache::{CacheStats, PropagationCache};
 pub use loadgen::{generate as generate_load, LoadGenConfig};
 pub use model::ServingModel;
-pub use server::{ServeConfig, ServeReport, Server};
+pub use server::{BatchCtx, ServeConfig, ServeReport, Server};

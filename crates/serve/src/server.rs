@@ -30,7 +30,9 @@ use crate::model::ServingModel;
 use mggcn_dense::{gemm, relu_inplace, Accumulate, Dense};
 use mggcn_exec::Backend;
 use mggcn_gpusim::engine::OpDesc;
-use mggcn_gpusim::{Category, CostModel, LatencyStats, MachineSpec, Schedule, Work};
+use mggcn_gpusim::{
+    BufId, Category, CostModel, Effects, LatencyStats, MachineSpec, Schedule, Work,
+};
 use mggcn_graph::sampling::{khop_induced, InducedBlock};
 use mggcn_sparse::spmm_rows;
 use std::sync::{Arc, Mutex};
@@ -68,8 +70,10 @@ impl ServeConfig {
     }
 }
 
-/// Per-batch execution context the op bodies compute over.
-struct BatchCtx {
+/// Per-batch execution context the op bodies compute over. Public so a
+/// batch schedule ([`Server::batch_schedule`]) is a nameable type for
+/// static analysis; the fields stay internal to the serving engine.
+pub struct BatchCtx {
     block: InducedBlock,
     features: Arc<Dense>,
     weights: Arc<Vec<Dense>>,
@@ -274,10 +278,23 @@ impl Server {
         }
     }
 
-    /// Execute one batch on `gpu`: build the tagged op schedule, run it
-    /// (bodies compute the numerics), feed newly computed aggregation rows
-    /// back into the cache. Returns (per-request outputs, service seconds).
-    fn execute_batch(&mut self, vertices: &[u32], gpu: usize) -> (Dense, f64) {
+    /// Build (but do not run) the tagged op schedule one batch of vertex
+    /// queries would execute on `gpu` — the input `mggcn analyze` verifies
+    /// for the serving path. Probes the propagation cache exactly as
+    /// execution would (the op costs depend on the miss count), so cache
+    /// hit/miss statistics advance; nothing is inserted because no body
+    /// runs.
+    pub fn batch_schedule(&mut self, vertices: &[u32], gpu: usize) -> Schedule<Mutex<BatchCtx>> {
+        self.build_batch(vertices, gpu).0
+    }
+
+    /// Build one batch's schedule plus the context its bodies compute
+    /// over. Returns (schedule, context, cache hits, cache misses).
+    fn build_batch(
+        &mut self,
+        vertices: &[u32],
+        gpu: usize,
+    ) -> (Schedule<Mutex<BatchCtx>>, Mutex<BatchCtx>, u64, u64) {
         assert!(!vertices.is_empty(), "empty batch");
         let layers = self.model.layers();
         let d0 = self.model.feat_dim();
@@ -324,12 +341,13 @@ impl Server {
 
         // Gather feature rows + cached aggregation rows.
         let gather_elems = (n_local * d0 + hits.len() * d0) as u64;
-        sched.launch(
+        sched.launch_fx(
             gpu,
             stream,
             cost.elementwise(gather_elems, 1.0),
             OpDesc::new(Category::Other, "serve-gather"),
             &[],
+            Effects::none().writes([BufId::new(gpu, "SRV_H"), BufId::new(gpu, "SRV_AGG")]),
             Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
                 let ctx = &mut *lock_ctx(ctx);
                 let n = ctx.block.vertices.len();
@@ -354,7 +372,7 @@ impl Server {
             if l == 0 {
                 // Layer 0: row-sliced SpMM over cache misses only.
                 if !misses.is_empty() {
-                    sched.launch(
+                    sched.launch_fx(
                         gpu,
                         stream,
                         cost.spmm(
@@ -367,6 +385,12 @@ impl Server {
                         ),
                         OpDesc::new(Category::SpMM, "serve-spmm"),
                         &[],
+                        // Only the miss rows of the aggregation buffer are
+                        // overwritten — the cache hits survive (RMW).
+                        Effects::none()
+                            .reads([BufId::new(gpu, "SRV_H")])
+                            .rw(BufId::new(gpu, "SRV_AGG"))
+                            .writes([BufId::new(gpu, "SRV_MISS")]),
                         Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
                             let BatchCtx { block, misses, h, agg, miss_agg, .. } =
                                 &mut *lock_ctx(ctx);
@@ -382,12 +406,15 @@ impl Server {
             } else {
                 let nnz: usize =
                     rows_per_layer[l].iter().map(|&r| block.adj.row_nnz(r as usize)).sum();
-                sched.launch(
+                sched.launch_fx(
                     gpu,
                     stream,
                     cost.spmm(&spec, n_rows as u64, n_local as u64, nnz as u64, d_in as u64, false),
                     OpDesc::new(Category::SpMM, "serve-spmm"),
                     &[],
+                    Effects::none()
+                        .reads([BufId::new(gpu, "SRV_H")])
+                        .writes([BufId::new(gpu, "SRV_AGG")]),
                     Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
                         let BatchCtx { block, rows_per_layer, h, agg, .. } = &mut *lock_ctx(ctx);
                         let rows = &rows_per_layer[l];
@@ -402,12 +429,15 @@ impl Server {
                 );
             }
 
-            sched.launch(
+            sched.launch_fx(
                 gpu,
                 stream,
                 cost.gemm(&spec, n_rows as u64, d_in as u64, d_out as u64),
                 OpDesc::new(Category::GeMM, "serve-gemm"),
                 &[],
+                Effects::none()
+                    .reads([BufId::new(gpu, "SRV_AGG")])
+                    .writes([BufId::new(gpu, "SRV_H")]),
                 Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
                     let BatchCtx { block, weights, rows_per_layer, h, agg, .. } =
                         &mut *lock_ctx(ctx);
@@ -428,12 +458,13 @@ impl Server {
             );
 
             if l + 1 < layers {
-                sched.launch(
+                sched.launch_fx(
                     gpu,
                     stream,
                     cost.elementwise((n_rows * d_out) as u64, 2.0),
                     OpDesc::new(Category::Activation, "serve-relu"),
                     &[],
+                    Effects::none().rw(BufId::new(gpu, "SRV_H")),
                     Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
                         let BatchCtx { rows_per_layer, h, .. } = &mut *lock_ctx(ctx);
                         for &r in &rows_per_layer[l] {
@@ -445,12 +476,13 @@ impl Server {
         }
 
         let classes = self.model.out_dim();
-        sched.launch(
+        sched.launch_fx(
             gpu,
             stream,
             cost.elementwise((vertices.len() * classes) as u64, 2.0),
             OpDesc::new(Category::Other, "serve-output"),
             &[],
+            Effects::none().reads([BufId::new(gpu, "SRV_H")]).writes([BufId::new(gpu, "SRV_OUT")]),
             Some(Box::new(move |ctx: &Mutex<BatchCtx>| {
                 let ctx = &mut *lock_ctx(ctx);
                 let mut out = Dense::zeros(ctx.seeds_local.len(), ctx.h.cols());
@@ -475,6 +507,14 @@ impl Server {
             seeds_local,
             out: Dense::zeros(0, 0),
         });
+        (sched, ctx, hit_count, miss_count)
+    }
+
+    /// Execute one batch on `gpu`: build the tagged op schedule, run it
+    /// (bodies compute the numerics), feed newly computed aggregation rows
+    /// back into the cache. Returns (per-request outputs, service seconds).
+    fn execute_batch(&mut self, vertices: &[u32], gpu: usize) -> (Dense, f64) {
+        let (sched, ctx, hit_count, miss_count) = self.build_batch(vertices, gpu);
         // Both backends report the *simulated* machine's service time, so
         // latency accounting is deterministic; the threaded path executes
         // the same bodies on the worker runtime (single-GPU schedule → one

@@ -80,24 +80,21 @@ pub fn spmm_csc(a: &Csc, b: &Dense, c: &mut Dense, acc: Accumulate) {
     let d = b.cols();
     let b_data = b.as_slice();
     const ROW_BLOCK: usize = 32;
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * d)
-        .enumerate()
-        .for_each(|(blk, c_chunk)| {
-            let col0 = blk * ROW_BLOCK;
-            for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
-                let j = col0 + i;
-                if acc == Accumulate::Overwrite {
-                    c_row.fill(0.0);
-                }
-                for (r, v) in a.col(j) {
-                    let b_row = &b_data[r as usize * d..(r as usize + 1) * d];
-                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += v * bj;
-                    }
+    c.as_mut_slice().par_chunks_mut(ROW_BLOCK * d).enumerate().for_each(|(blk, c_chunk)| {
+        let col0 = blk * ROW_BLOCK;
+        for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
+            let j = col0 + i;
+            if acc == Accumulate::Overwrite {
+                c_row.fill(0.0);
+            }
+            for (r, v) in a.col(j) {
+                let b_row = &b_data[r as usize * d..(r as usize + 1) * d];
+                for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += v * bj;
                 }
             }
-        });
+        }
+    });
 }
 
 #[cfg(test)]

@@ -103,7 +103,11 @@ impl Csr {
     /// would otherwise surface only as silently wrong numerics.
     pub fn validate(&self) -> Result<(), String> {
         if self.row_ptr.len() != self.rows + 1 {
-            return Err(format!("row_ptr has {} entries for {} rows", self.row_ptr.len(), self.rows));
+            return Err(format!(
+                "row_ptr has {} entries for {} rows",
+                self.row_ptr.len(),
+                self.rows
+            ));
         }
         if self.row_ptr[0] != 0 {
             return Err(format!("row_ptr[0] = {}, must be 0", self.row_ptr[0]));

@@ -120,9 +120,8 @@ impl TileGrid {
         assert_eq!(p.total(), a.rows(), "row partition must cover the matrix");
         assert_eq!(q.total(), a.cols(), "column partition must cover the matrix");
         let (np, nq) = (p.parts(), q.parts());
-        let mut builders: Vec<Coo> = (0..np * nq)
-            .map(|t| Coo::new(p.len(t / nq), q.len(t % nq)))
-            .collect();
+        let mut builders: Vec<Coo> =
+            (0..np * nq).map(|t| Coo::new(p.len(t / nq), q.len(t % nq))).collect();
         for r in 0..a.rows() {
             let ti = p.part_of(r);
             let local_r = (r - p.start(ti)) as u32;

@@ -36,10 +36,8 @@ pub fn sddmm(s: &Csr, a: &Dense, b: &Dense) -> Csr {
     let b_data = b.as_slice();
 
     // Parallelize over row blocks; each block writes a disjoint value range.
-    let blocks: Vec<(usize, usize)> = (0..s.rows())
-        .step_by(ROW_BLOCK)
-        .map(|r0| (r0, (r0 + ROW_BLOCK).min(s.rows())))
-        .collect();
+    let blocks: Vec<(usize, usize)> =
+        (0..s.rows()).step_by(ROW_BLOCK).map(|r0| (r0, (r0 + ROW_BLOCK).min(s.rows()))).collect();
     // Split `values` into per-block slices by row_ptr boundaries.
     let mut slices: Vec<&mut [f32]> = Vec::with_capacity(blocks.len());
     let mut rest = values.as_mut_slice();
@@ -49,21 +47,18 @@ pub fn sddmm(s: &Csr, a: &Dense, b: &Dense) -> Csr {
         slices.push(head);
         rest = tail;
     }
-    blocks
-        .par_iter()
-        .zip(slices)
-        .for_each(|(&(r0, r1), out)| {
-            let base = row_ptr[r0];
-            for r in r0..r1 {
-                let a_row = &a_data[r * d..(r + 1) * d];
-                for e in row_ptr[r]..row_ptr[r + 1] {
-                    let j = col_idx[e] as usize;
-                    let b_row = &b_data[j * d..(j + 1) * d];
-                    let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-                    out[e - base] = s_values[e] * dot;
-                }
+    blocks.par_iter().zip(slices).for_each(|(&(r0, r1), out)| {
+        let base = row_ptr[r0];
+        for r in r0..r1 {
+            let a_row = &a_data[r * d..(r + 1) * d];
+            for e in row_ptr[r]..row_ptr[r + 1] {
+                let j = col_idx[e] as usize;
+                let b_row = &b_data[j * d..(j + 1) * d];
+                let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                out[e - base] = s_values[e] * dot;
             }
-        });
+        }
+    });
     Csr::from_parts(s.rows(), s.cols(), row_ptr.to_vec(), col_idx.to_vec(), values)
 }
 

@@ -26,25 +26,22 @@ pub fn spmm(a: &Csr, b: &Dense, c: &mut Dense, acc: Accumulate) {
     let row_ptr = a.row_ptr();
     let col_idx = a.col_idx();
     let values = a.values();
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * d)
-        .enumerate()
-        .for_each(|(blk, c_chunk)| {
-            let row0 = blk * ROW_BLOCK;
-            for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
-                let r = row0 + i;
-                if acc == Accumulate::Overwrite {
-                    c_row.fill(0.0);
-                }
-                for e in row_ptr[r]..row_ptr[r + 1] {
-                    let v = values[e];
-                    let b_row = &b_data[col_idx[e] as usize * d..(col_idx[e] as usize + 1) * d];
-                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += v * bj;
-                    }
+    c.as_mut_slice().par_chunks_mut(ROW_BLOCK * d).enumerate().for_each(|(blk, c_chunk)| {
+        let row0 = blk * ROW_BLOCK;
+        for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
+            let r = row0 + i;
+            if acc == Accumulate::Overwrite {
+                c_row.fill(0.0);
+            }
+            for e in row_ptr[r]..row_ptr[r + 1] {
+                let v = values[e];
+                let b_row = &b_data[col_idx[e] as usize * d..(col_idx[e] as usize + 1) * d];
+                for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += v * bj;
                 }
             }
-        });
+        }
+    });
 }
 
 /// Row-sliced SpMM: `C[i, :] (+)= A[rows[i], :] · B` for each requested
@@ -65,26 +62,23 @@ pub fn spmm_rows(a: &Csr, rows: &[u32], b: &Dense, c: &mut Dense, acc: Accumulat
     let row_ptr = a.row_ptr();
     let col_idx = a.col_idx();
     let values = a.values();
-    c.as_mut_slice()
-        .par_chunks_mut(ROW_BLOCK * d)
-        .enumerate()
-        .for_each(|(blk, c_chunk)| {
-            let out0 = blk * ROW_BLOCK;
-            for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
-                let r = rows[out0 + i] as usize;
-                assert!(r < a.rows(), "spmm_rows row {r} out of bounds");
-                if acc == Accumulate::Overwrite {
-                    c_row.fill(0.0);
-                }
-                for e in row_ptr[r]..row_ptr[r + 1] {
-                    let v = values[e];
-                    let b_row = &b_data[col_idx[e] as usize * d..(col_idx[e] as usize + 1) * d];
-                    for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += v * bj;
-                    }
+    c.as_mut_slice().par_chunks_mut(ROW_BLOCK * d).enumerate().for_each(|(blk, c_chunk)| {
+        let out0 = blk * ROW_BLOCK;
+        for (i, c_row) in c_chunk.chunks_mut(d).enumerate() {
+            let r = rows[out0 + i] as usize;
+            assert!(r < a.rows(), "spmm_rows row {r} out of bounds");
+            if acc == Accumulate::Overwrite {
+                c_row.fill(0.0);
+            }
+            for e in row_ptr[r]..row_ptr[r + 1] {
+                let v = values[e];
+                let b_row = &b_data[col_idx[e] as usize * d..(col_idx[e] as usize + 1) * d];
+                for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += v * bj;
                 }
             }
-        });
+        }
+    });
 }
 
 #[cfg(test)]

@@ -149,7 +149,9 @@ impl FuzzCase {
 
 macro_rules! check {
     ($cond:expr, $($arg:tt)*) => {
-        if !$cond {
+        // Bind first: `!(a < b)` on floats trips clippy's partial-ord lint.
+        let holds: bool = $cond;
+        if !holds {
             return Err(format!($($arg)*));
         }
     };
@@ -180,21 +182,19 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
 
     // 2. Checkpoint → save → load → restore → train must be bit-identical
     //    to training straight through (deterministic execution).
-    let halves = (case.epochs + 1) / 2;
+    let halves = case.epochs.div_ceil(2);
     let mut first = case.trainer()?;
     first.train(halves).map_err(|err| format!("first-half training failed: {err}"))?;
     let ck = Checkpoint::from_trainer(&first);
-    let path = std::env::temp_dir()
-        .join(format!("mggcn_fuzz_{}_{}.ckpt", std::process::id(), case.seed));
+    let path =
+        std::env::temp_dir().join(format!("mggcn_fuzz_{}_{}.ckpt", std::process::id(), case.seed));
     ck.save(&path).map_err(|e| format!("checkpoint save failed: {e}"))?;
     let loaded = Checkpoint::load(&path).map_err(|e| format!("checkpoint load failed: {e}"))?;
     std::fs::remove_file(&path).ok();
     check!(loaded == ck, "checkpoint did not round-trip through disk");
     let mut resumed = case.trainer()?;
     loaded.restore_into(&mut resumed).map_err(|e| format!("restore failed: {e}"))?;
-    resumed
-        .train(case.epochs - halves)
-        .map_err(|err| format!("resumed training failed: {err}"))?;
+    resumed.train(case.epochs - halves).map_err(|err| format!("resumed training failed: {err}"))?;
     let (ga, gb) = (trainer.state().gpu(0), resumed.state().gpu(0));
     let (a, b) = (&ga.weights, &gb.weights);
     for l in 0..a.len() {
@@ -211,18 +211,12 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
     let model = ServingModel::from_checkpoint(&final_ck, &case.graph)
         .map_err(|e| format!("serving rejected a valid checkpoint: {e}"))?;
     let served = model.forward_full();
-    check!(
-        served.as_slice().iter().all(|v| v.is_finite()),
-        "serving produced non-finite logits"
-    );
+    check!(served.as_slice().iter().all(|v| v.is_finite()), "serving produced non-finite logits");
     oracle.set_weights(&final_ck.weights);
     let reference = oracle.forward();
     let logits = reference.last().expect("logits");
     let err = max_rel_diff_f32(logits, &served, REL_FLOOR.max(logits.max_abs() * 1e-3));
-    check!(
-        err < TRAINER_VS_ORACLE_TOL,
-        "served logits diverge from oracle by {err:.3e}"
-    );
+    check!(err < TRAINER_VS_ORACLE_TOL, "served logits diverge from oracle by {err:.3e}");
 
     // 4. Graph delta: add an edge online, then check the server's
     //    re-normalized operator is structurally sound, the invalidation
@@ -236,10 +230,7 @@ pub fn run_case(case: &FuzzCase) -> Result<(), String> {
             invalidated.contains(&u) && invalidated.contains(&v),
             "delta invalidation set {invalidated:?} misses an endpoint of ({u},{v})"
         );
-        model
-            .adj()
-            .validate()
-            .map_err(|e| format!("delta left a malformed adjacency: {e}"))?;
+        model.adj().validate().map_err(|e| format!("delta left a malformed adjacency: {e}"))?;
         let updated = Graph::new(
             model.adj().clone(),
             case.graph.features.clone(),

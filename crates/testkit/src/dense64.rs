@@ -132,10 +132,7 @@ impl M64 {
     /// Largest absolute elementwise difference.
     pub fn max_abs_diff(&self, other: &M64) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
     }
 }
 

@@ -72,8 +72,7 @@ pub fn rel_diff(a: f64, b: f64) -> f64 {
 /// panicking with the first differing line on drift. Regenerate after an
 /// intentional change with `UPDATE_GOLDENS=1 cargo test -p mggcn-testkit`.
 pub fn check_golden(name: &str, actual: &str) {
-    let path =
-        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens").join(name);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens").join(name);
     if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
         std::fs::create_dir_all(path.parent().expect("goldens dir")).expect("mkdir goldens");
         std::fs::write(&path, actual).expect("write golden");

@@ -74,7 +74,9 @@ impl ReferenceGcn {
         assert_eq!(graph.features.cols(), cfg.dims[0], "feature width must match d(0)");
         let (a_hat, a_hat_t) = graph.normalized_adj();
         let weights: Vec<M64> = (0..cfg.layers())
-            .map(|l| M64::from_f32(&init::glorot_seeded(cfg.d_in(l), cfg.d_out(l), cfg.seed + l as u64)))
+            .map(|l| {
+                M64::from_f32(&init::glorot_seeded(cfg.d_in(l), cfg.d_out(l), cfg.seed + l as u64))
+            })
             .collect();
         let moments: Vec<M64> =
             (0..cfg.layers()).map(|l| M64::zeros(cfg.d_in(l), cfg.d_out(l))).collect();
@@ -236,8 +238,8 @@ impl ReferenceGcn {
         let lr = self.cfg.lr as f64 * self.cfg.lr_schedule.factor(self.epoch) as f64;
         let bc1 = 1.0 - BETA1.powi(t as i32);
         let bc2 = 1.0 - BETA2.powi(t as i32);
-        for l in 0..self.weights.len() {
-            let (w, g) = (&mut self.weights[l], &wgrads[l]);
+        for (l, g) in wgrads.iter().enumerate() {
+            let w = &mut self.weights[l];
             for i in 0..w.as_slice().len() {
                 let grad = g.as_slice()[i];
                 let m = &mut self.adam_m[l].as_mut_slice()[i];

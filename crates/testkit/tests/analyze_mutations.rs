@@ -1,0 +1,253 @@
+//! Mutation harness for the static schedule verifier.
+//!
+//! Three claims pin `mggcn-analyze` to the real trainer:
+//!
+//! * **Zero false positives** — every schedule the trainer actually
+//!   builds (`P ∈ {1, 2, 4, 8}` × op-order × overlap) analyzes clean,
+//!   and its liveness coloring reproduces the §4.2 budget: exactly
+//!   `L + 3` big buffers under overlap with `P ≥ 2`, fewer when the
+//!   broadcasts serialize (the second broadcast buffer is bought *for*
+//!   the overlap).
+//! * **Zero false negatives** — deleting any load-bearing dependency
+//!   edge, or swapping a stage's `BC1`/`BC2` double-buffer slot, is
+//!   flagged. Edges whose removal leaves the pair happens-before-ordered
+//!   through another path (same-lane FIFO, a collective rendezvous) are
+//!   *redundant*: removing them must stay clean, which the harness
+//!   proves instead of asserting blindly.
+//! * **Findings are real** — one flagged WAR mutant is executed and its
+//!   loss diverges from the f64 oracle the clean schedule matches: the
+//!   analyzer's report corresponds to actual data corruption.
+
+use mggcn_analyze::{analyze_budget, analyze_ops, BudgetSpec, Hb};
+use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_gpusim::{GpuSpec, MachineSpec, OpId};
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_graph::Graph;
+use mggcn_testkit::oracle::ReferenceGcn;
+use mggcn_testkit::{rel_diff, P_LOSS_TOL};
+
+fn graph() -> Graph {
+    sbm::generate(&SbmConfig::community_benchmark(60, 3), 5)
+}
+
+fn trainer(g: &Graph, hidden: &[usize], gpus: usize, overlap: bool) -> Trainer {
+    let cfg = GcnConfig::new(g.features.cols(), hidden, g.classes);
+    let mut opts = TrainOptions::quick(gpus);
+    opts.permute = false;
+    opts.overlap = overlap;
+    let problem = Problem::from_graph(g, &cfg, &opts);
+    Trainer::new(problem, cfg, opts).expect("toy problem fits")
+}
+
+#[test]
+fn real_schedules_analyze_clean_with_the_planned_buffer_count() {
+    let g = graph();
+    // hidden=8 shrinks (GeMM-first everywhere); hidden=64 widens layer 0,
+    // so §4.4 swaps it to SpMM-first.
+    for hidden in [&[8usize][..], &[64usize][..]] {
+        for gpus in [1usize, 2, 4, 8] {
+            for overlap in [true, false] {
+                let t = trainer(&g, hidden, gpus, overlap);
+                let layers = t.config().layers();
+                let sched = t.epoch_schedule();
+                let report = analyze_budget(&sched, &BudgetSpec::mg_gcn(layers));
+                assert!(
+                    report.clean(),
+                    "hidden={hidden:?} P={gpus} overlap={overlap}:\n{}",
+                    report.render()
+                );
+                let lv = report.liveness.as_ref().expect("liveness ran");
+                let budget = layers + 3;
+                if overlap && gpus >= 2 {
+                    // The paper's configuration uses every budgeted buffer.
+                    assert_eq!(
+                        lv.buffers_needed,
+                        budget,
+                        "hidden={hidden:?} P={gpus}: overlap needs exactly L+3\n{}",
+                        report.render()
+                    );
+                } else {
+                    // Serialized broadcasts time-slice BC1/BC2; P=1 has a
+                    // single stage and never names BC2.
+                    assert!(
+                        lv.buffers_needed < budget,
+                        "hidden={hidden:?} P={gpus} overlap={overlap}: \
+                         expected under-budget, got {}/{budget}",
+                        lv.buffers_needed
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_deleted_wait_edge_is_flagged_or_provably_redundant() {
+    let g = graph();
+    for (hidden, gpus, overlap) in
+        [(&[8usize][..], 4, true), (&[8][..], 2, false), (&[64][..], 2, true)]
+    {
+        let t = trainer(&g, hidden, gpus, overlap);
+        let edges = t.epoch_schedule().wait_edges();
+        assert!(!edges.is_empty());
+        let (mut flagged, mut redundant) = (0usize, 0usize);
+        for &(op, wait) in &edges {
+            let mut mutant = t.epoch_schedule();
+            mutant.remove_wait(op, wait);
+            let infos = mutant.op_infos();
+            let hb = Hb::of_ops(&infos);
+            // Removing an edge cannot create a cycle, so ordered() is
+            // meaningful: the edge was redundant iff the pair stays
+            // ordered through some other path.
+            assert!(hb.cycle.is_none());
+            let report = analyze_ops(&infos, None);
+            if hb.ordered(wait, op) {
+                redundant += 1;
+                assert!(
+                    report.clean(),
+                    "P={gpus} overlap={overlap}: edge {wait}->{op} is redundant \
+                     but its removal was flagged:\n{}",
+                    report.render()
+                );
+            } else {
+                flagged += 1;
+                assert!(
+                    !report.clean(),
+                    "P={gpus} overlap={overlap}: load-bearing edge {wait}->{op} \
+                     deleted without a finding (false negative)"
+                );
+            }
+        }
+        // Overlapped schedules carry real cross-stream edges; serialized
+        // ones ride the lane FIFO, so every explicit wait is redundant.
+        if overlap {
+            assert!(flagged > 0, "no load-bearing edges among {}", edges.len());
+        }
+        assert!(redundant > 0, "no redundant edges among {}", edges.len());
+    }
+}
+
+/// Swap one broadcast stage's double-buffer slot (writer and its readers
+/// together, so the mutation is consistent — only the *pipelining* is
+/// wrong, exactly the §4.3 bug class).
+fn swap_bc_slot_of_stage(
+    sched: &mut mggcn_gpusim::Schedule<mggcn_core::state::DeviceState>,
+    stage: usize,
+) {
+    let infos = sched.op_infos();
+    let bcast = infos
+        .iter()
+        .find(|o| o.desc.label == "bcast-H" && o.desc.stage == Some(stage))
+        .expect("stage broadcast exists")
+        .id;
+    let group: Vec<OpId> = infos
+        .iter()
+        .filter(|o| o.id == bcast || (o.desc.label == "spmm" && o.waits.contains(&bcast)))
+        .map(|o| o.id)
+        .collect();
+    drop(infos);
+    for id in group {
+        let fx = sched.effects_mut(id);
+        for b in fx.reads.iter_mut().chain(fx.writes.iter_mut()) {
+            b.name = match b.name {
+                "BC1" => "BC2",
+                "BC2" => "BC1",
+                other => other,
+            };
+        }
+    }
+}
+
+#[test]
+fn bc_slot_swaps_are_flagged_exactly_when_overlapped() {
+    let g = graph();
+    for stage in 0..4 {
+        // Overlapped: the swapped stage collides with its neighbors'
+        // in-flight broadcasts — every stage must be flagged.
+        let t = trainer(&g, &[8], 4, true);
+        let mut mutant = t.epoch_schedule();
+        swap_bc_slot_of_stage(&mut mutant, stage);
+        let report = analyze_ops(&mutant.op_infos(), None);
+        assert!(
+            !report.clean(),
+            "stage {stage} BC swap not flagged under overlap (false negative)"
+        );
+
+        // Serialized: broadcasts and consumers share one lane per GPU, so
+        // slot choice is immaterial — the analyzer must agree.
+        let t = trainer(&g, &[8], 4, false);
+        let mut mutant = t.epoch_schedule();
+        swap_bc_slot_of_stage(&mut mutant, stage);
+        let report = analyze_ops(&mutant.op_infos(), None);
+        assert!(
+            report.clean(),
+            "stage {stage} BC swap flagged under serialization (false positive):\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn flagged_war_mutant_corrupts_real_training() {
+    // Near-instant communication so the mutant's early broadcast really
+    // does land before its victim readers run.
+    let g = graph();
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let mut opts = TrainOptions::quick(4);
+    opts.permute = false;
+    opts.machine = MachineSpec::uniform("fast-comm", GpuSpec::a100(), 4, 12, 1.0e15);
+    opts.machine.comm_latency = 0.0;
+    opts.launch_overhead = 0.0;
+
+    let mk = || {
+        let problem = Problem::from_graph(&g, &cfg, &opts);
+        Trainer::new(problem, cfg.clone(), opts.clone()).expect("fits")
+    };
+
+    let oracle_loss = ReferenceGcn::new(&g, &cfg).train_epoch().loss;
+    let mut clean = mk();
+    let clean_loss = clean.train_epoch().expect("clean epoch").loss;
+    assert!(
+        rel_diff(clean_loss, oracle_loss) < P_LOSS_TOL,
+        "clean schedule diverges from oracle: {clean_loss} vs {oracle_loss}"
+    );
+
+    // Delete the WAR guards of forward stage 2's broadcast: the waits on
+    // stage 0's SpMM readers of BC1. The broadcast may now overwrite BC1
+    // while stage 0 is still consuming it.
+    let mutant_trainer = mk();
+    let mut sched = mutant_trainer.epoch_schedule();
+    let (bcast, victim_waits): (OpId, Vec<OpId>) = {
+        let infos = sched.op_infos();
+        let b = infos
+            .iter()
+            .find(|o| o.desc.label == "bcast-H" && o.desc.stage == Some(2))
+            .expect("stage-2 broadcast");
+        let victims = b.waits.iter().copied().filter(|&w| infos[w].desc.label == "spmm").collect();
+        (b.id, victims)
+    };
+    assert_eq!(victim_waits.len(), 4, "one WAR guard per reader GPU");
+    for w in victim_waits {
+        sched.remove_wait(bcast, w);
+    }
+
+    let report = analyze_ops(&sched.op_infos(), None);
+    assert!(!report.clean(), "deleted WAR guards must be flagged");
+    assert!(
+        report.findings.iter().any(|f| f.to_string().contains("WAR hazard on BC1")),
+        "expected a BC1 WAR finding, got:\n{}",
+        report.render()
+    );
+
+    // Execute the mutant: the corruption the analyzer predicted is real.
+    mutant_trainer.state().reset_scratch();
+    sched.run(mutant_trainer.state());
+    let mutant_loss = mutant_trainer.state().total_loss();
+    assert!(
+        rel_diff(mutant_loss, oracle_loss) > P_LOSS_TOL,
+        "mutant loss {mutant_loss} still matches the oracle {oracle_loss} — \
+         the flagged hazard did not manifest"
+    );
+}

@@ -128,10 +128,7 @@ fn threaded_epochs_report_wall_clock_measurements() {
     let m = r.measured.expect("threaded backend must measure wall time");
     assert!(m.wall_seconds > 0.0, "zero wall time");
     assert!(m.bodies_run > 0, "no bodies executed");
-    assert!(
-        !m.category_seconds.is_empty(),
-        "per-category wall breakdown missing"
-    );
+    assert!(!m.category_seconds.is_empty(), "per-category wall breakdown missing");
     // The simulated backend reports no measurement.
     let mut opts = TrainOptions::quick(2);
     opts.backend = Backend::Simulated;
@@ -181,10 +178,7 @@ fn serving_is_bit_identical_and_equally_timed_across_backends() {
 #[test]
 fn fuzz_corpus_passes_on_the_threaded_backend() {
     ensure_pool();
-    let count = std::env::var("MGGCN_FUZZ_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(25);
+    let count = std::env::var("MGGCN_FUZZ_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(25);
     let failures = mggcn_testkit::corpus::run_corpus_with(count, Backend::Threaded);
     if !failures.is_empty() {
         eprintln!("{} of {count} threaded fuzz seeds failed:", failures.len());

@@ -99,7 +99,8 @@ fn all_reduce_equals_reduce_then_broadcast_bytes_and_values() {
     // The §4.1 gradient consistency contract: after the collective every
     // replica holds the identical global sum, and the sum equals the
     // explicit reduce → broadcast composition.
-    let srcs: Vec<Vec<f32>> = (0..4).map(|g| (0..6).map(|i| (g * 6 + i) as f32 * 0.25).collect()).collect();
+    let srcs: Vec<Vec<f32>> =
+        (0..4).map(|g| (0..6).map(|i| (g * 6 + i) as f32 * 0.25).collect()).collect();
     let mut reduced = vec![0.0f32; 6];
     {
         let refs: Vec<&[f32]> = srcs.iter().map(|s| s.as_slice()).collect();

@@ -36,7 +36,9 @@ fn corpus_survives_end_to_end() {
         eprintln!("{} of {count} fuzz seeds failed:", failures.len());
         for (seed, msg) in &failures {
             eprintln!("  seed {seed}: {msg}");
-            eprintln!("    replay: MGGCN_FUZZ_SEED={seed} cargo test -p mggcn-testkit --test fuzz_corpus");
+            eprintln!(
+                "    replay: MGGCN_FUZZ_SEED={seed} cargo test -p mggcn-testkit --test fuzz_corpus"
+            );
         }
         panic!("{} fuzz failures (seeds above)", failures.len());
     }

@@ -48,7 +48,11 @@ fn check_golden(name: &str, actual: &str) {
                 )
             })
             .unwrap_or_else(|| {
-                format!("line counts differ: golden {} vs actual {}", want.lines().count(), actual.lines().count())
+                format!(
+                    "line counts differ: golden {} vs actual {}",
+                    want.lines().count(),
+                    actual.lines().count()
+                )
             });
         panic!(
             "schedule drifted from golden {name}; {diff_line}\n\
@@ -160,7 +164,11 @@ fn memplan_paper_scale_golden() {
         let plan = MemoryPlan::new(n, m, &cfg, 4, policy);
         out.push_str(&format!(
             "{policy:?}: adjacency={} features={} big_buffers={} weights={} labels={} total={}\n",
-            plan.adjacency, plan.features, plan.big_buffers, plan.weights, plan.labels,
+            plan.adjacency,
+            plan.features,
+            plan.big_buffers,
+            plan.weights,
+            plan.labels,
             plan.total()
         ));
     }

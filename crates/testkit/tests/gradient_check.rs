@@ -48,10 +48,10 @@ fn fd_gradient(oracle: &ReferenceGcn, weights: &[M64], l: usize) -> M64 {
 fn check_layers(oracle: &ReferenceGcn, label: &str) {
     let (_, analytic) = oracle.gradients();
     let weights = oracle.weights.clone();
-    for l in 0..oracle.layers() {
+    for (l, a) in analytic.iter().enumerate() {
         let fd = fd_gradient(oracle, &weights, l);
         let scale = fd.max_abs().max(REL_FLOOR);
-        let err = fd.max_abs_diff(&analytic[l]) / scale;
+        let err = fd.max_abs_diff(a) / scale;
         assert!(
             err <= FD_GRAD_TOL,
             "{label} layer {l}: FD vs analytic rel error {err:.3e} > {FD_GRAD_TOL:.0e}"

@@ -71,10 +71,7 @@ fn run(case: &FuzzCase, traced: bool) -> Outcome {
         // The tracer really observed the run — this differential would be
         // vacuous if the traced arm silently recorded nothing.
         assert!(t.counter("sim.timelines") > 0, "tracer saw no timelines");
-        assert!(
-            !t.chrome_trace(false).is_empty(),
-            "tracer produced an empty export"
-        );
+        assert!(!t.chrome_trace(false).is_empty(), "tracer produced an empty export");
     }
     Outcome { losses, weights, served }
 }
@@ -83,11 +80,7 @@ fn assert_identical(label: &str, on: &Outcome, off: &Outcome) {
     assert_eq!(on.losses, off.losses, "{label}: losses changed under tracing");
     assert_eq!(on.weights.len(), off.weights.len(), "{label}: layer count");
     for (l, (a, b)) in on.weights.iter().zip(&off.weights).enumerate() {
-        assert_eq!(
-            a.as_slice(),
-            b.as_slice(),
-            "{label}: layer {l} weights changed under tracing"
-        );
+        assert_eq!(a.as_slice(), b.as_slice(), "{label}: layer {l} weights changed under tracing");
     }
     assert_eq!(
         on.served.as_slice(),
@@ -99,10 +92,8 @@ fn assert_identical(label: &str, on: &Outcome, off: &Outcome) {
 #[test]
 fn tracing_is_observation_only_on_the_fuzz_corpus() {
     ensure_pool();
-    let count: u64 = std::env::var("MGGCN_FUZZ_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12);
+    let count: u64 =
+        std::env::var("MGGCN_FUZZ_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(12);
     for backend in [Backend::Simulated, Backend::Threaded] {
         for seed in 0..count {
             let case = FuzzCase::from_seed(seed).with_backend(backend);
@@ -111,11 +102,7 @@ fn tracing_is_observation_only_on_the_fuzz_corpus() {
             }
             let on = run(&case, true);
             let off = run(&case, false);
-            assert_identical(
-                &format!("backend={} {}", backend.name(), case.describe()),
-                &on,
-                &off,
-            );
+            assert_identical(&format!("backend={} {}", backend.name(), case.describe()), &on, &off);
         }
     }
 }

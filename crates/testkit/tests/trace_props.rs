@@ -39,18 +39,16 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         1usize..=2,
         (any::<bool>(), any::<bool>(), any::<bool>()),
     )
-        .prop_map(
-            |(seed, n, hidden, p_idx, epochs, (op_order_opt, skip, overlap))| Scenario {
-                seed,
-                n,
-                hidden,
-                gpus: [1, 2, 4, 8][p_idx],
-                epochs,
-                op_order_opt,
-                skip_first_backward_spmm: skip,
-                overlap,
-            },
-        )
+        .prop_map(|(seed, n, hidden, p_idx, epochs, (op_order_opt, skip, overlap))| Scenario {
+            seed,
+            n,
+            hidden,
+            gpus: [1, 2, 4, 8][p_idx],
+            epochs,
+            op_order_opt,
+            skip_first_backward_spmm: skip,
+            overlap,
+        })
 }
 
 fn run(s: &Scenario) -> (Arc<Tracer>, Trainer) {

@@ -77,12 +77,15 @@ pub fn chrome_trace(sim: &[TraceSpan], wall: &[TraceSpan]) -> String {
         write!(
             out,
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
-             \"pid\":{},\"tid\":{},\"args\":{{\"stage\":{stage},\"bytes\":{:.0}}}}}",
+             \"pid\":{},\"tid\":{},\"args\":{{\"stage\":{stage},\"bytes\":{:.0},\
+             \"reads\":{},\"writes\":{}}}}}",
             s.label,
             s.category.name(),
             pid(s),
             s.stream,
             s.bytes,
+            s.reads,
+            s.writes,
         )
         .expect("write to string");
     }
@@ -192,6 +195,8 @@ mod tests {
             start,
             end,
             bytes: 128.0,
+            reads: 2,
+            writes: 1,
         }
     }
 
@@ -208,6 +213,8 @@ mod tests {
             start: 0.0,
             end: 5e-4,
             bytes: 0.0,
+            reads: 0,
+            writes: 0,
         }];
         let a = chrome_trace(&sim, &wall);
         let b = chrome_trace(&sim, &wall);
@@ -218,6 +225,7 @@ mod tests {
         assert!(a.contains("GPU 0 (wall)"));
         assert!(a.contains(&format!("\"pid\":{}", WALL_PID_BASE)));
         assert!(a.contains("\"bytes\":128"));
+        assert!(a.contains("\"reads\":2,\"writes\":1"));
     }
 
     #[test]

@@ -111,6 +111,8 @@ mod tests {
             end,
             op: 0,
             bytes: 0.0,
+            reads: 0,
+            writes: 0,
         }
     }
 

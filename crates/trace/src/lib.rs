@@ -63,6 +63,12 @@ pub struct TraceSpan {
     /// Bytes moved (collective payloads, kernel memory traffic); 0 when
     /// unknown or not applicable.
     pub bytes: f64,
+    /// Count of logical buffers the op declared reading; 0 when
+    /// unannotated (and for measured wall spans, which carry no effects).
+    pub reads: u32,
+    /// Count of logical buffers the op declared writing; 0 when
+    /// unannotated.
+    pub writes: u32,
 }
 
 #[derive(Debug, Default)]
@@ -112,6 +118,8 @@ impl Tracer {
                 start: at + s.start,
                 end: at + s.end,
                 bytes: s.bytes,
+                reads: s.reads,
+                writes: s.writes,
             });
             inner
                 .metrics
@@ -149,6 +157,8 @@ impl Tracer {
                 start: at + s.start,
                 end: at + s.end(),
                 bytes: 0.0,
+                reads: 0,
+                writes: 0,
             });
             inner.metrics.gauge_add(&format!("wall.busy_seconds.{}", s.category.name()), s.seconds);
         }
@@ -315,6 +325,8 @@ mod tests {
                     end: 2.0,
                     op: 1,
                     bytes: 0.0,
+                    reads: 0,
+                    writes: 0,
                 },
                 // One collective on two lanes: bytes must count once.
                 Span {
@@ -327,6 +339,8 @@ mod tests {
                     end: 1.0,
                     op: 2,
                     bytes: 400.0,
+                    reads: 0,
+                    writes: 0,
                 },
                 Span {
                     gpu: 1,
@@ -338,6 +352,8 @@ mod tests {
                     end: 1.0,
                     op: 2,
                     bytes: 400.0,
+                    reads: 0,
+                    writes: 0,
                 },
                 Span {
                     gpu: 1,
@@ -349,6 +365,8 @@ mod tests {
                     end: 1.5,
                     op: 3,
                     bytes: 120.0,
+                    reads: 0,
+                    writes: 0,
                 },
             ],
         }

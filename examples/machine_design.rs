@@ -59,15 +59,13 @@ fn main() {
         (
             "2x NVLink (24 links/GPU)".into(),
             machine_with(|m| {
-                m.interconnect =
-                    Interconnect::NvSwitch { links_per_gpu: 24, link_bw: 25.0e9 }
+                m.interconnect = Interconnect::NvSwitch { links_per_gpu: 24, link_bw: 25.0e9 }
             }),
         ),
         (
             "half NVLink (6 links/GPU)".into(),
             machine_with(|m| {
-                m.interconnect =
-                    Interconnect::NvSwitch { links_per_gpu: 6, link_bw: 25.0e9 }
+                m.interconnect = Interconnect::NvSwitch { links_per_gpu: 6, link_bw: 25.0e9 }
             }),
         ),
         (

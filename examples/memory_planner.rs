@@ -21,16 +21,10 @@ fn main() {
         std::process::exit(1);
     });
     let cfg = GcnConfig::new(card.feat_dim, &vec![hidden; layers - 1], card.classes);
-    println!(
-        "memory plan: {} with a {layers}-layer, hidden-{hidden} GCN\n",
-        card.name
-    );
+    println!("memory plan: {} with a {layers}-layer, hidden-{hidden} GCN\n", card.name);
 
     let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
-    println!(
-        "{:>5} {:>14} {:>14} {:>14}",
-        "#GPU", "MG-GCN (GiB)", "DGL-ish (GiB)", "CAGNET (GiB)"
-    );
+    println!("{:>5} {:>14} {:>14} {:>14}", "#GPU", "MG-GCN (GiB)", "DGL-ish (GiB)", "CAGNET (GiB)");
     for gpus in [1u64, 2, 4, 8] {
         let mg = MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::MgGcn);
         let dgl =
@@ -84,8 +78,7 @@ fn main() {
         println!("  {cap_gib:>3} GiB -> {deepest} layers");
     }
 
-    let breakdown =
-        MemoryPlan::new(card.n as u64, card.m as u64, &cfg, 8, BufferPolicy::MgGcn);
+    let breakdown = MemoryPlan::new(card.n as u64, card.m as u64, &cfg, 8, BufferPolicy::MgGcn);
     println!("\nplan breakdown at 8 GPUs (MG-GCN):");
     println!("  adjacency tiles : {:>8.2} GiB", gib(breakdown.adjacency));
     println!("  feature shard   : {:>8.2} GiB", gib(breakdown.features));

@@ -42,10 +42,7 @@ fn main() {
         mini_work += mini_last.work_touched;
     }
 
-    println!(
-        "{:<26} {:>12} {:>20}",
-        "trainer", "train acc", "vertices touched/epoch"
-    );
+    println!("{:<26} {:>12} {:>20}", "trainer", "train acc", "vertices touched/epoch");
     println!(
         "{:<26} {:>11.1}% {:>20}",
         "full batch (MG-GCN, 4 GPU)",
@@ -59,8 +56,6 @@ fn main() {
         mini_work / epochs
     );
     let ratio = (mini_work / epochs) as f64 / graph.n() as f64;
-    println!(
-        "\nneighborhood explosion: the sampler touches {ratio:.1}x the graph per epoch"
-    );
+    println!("\nneighborhood explosion: the sampler touches {ratio:.1}x the graph per epoch");
     assert!(ratio > 1.0, "sampler should do redundant work on a dense graph");
 }

@@ -39,7 +39,10 @@ fn main() {
         trainer.memory_per_gpu() as f64 / (1 << 20) as f64
     );
 
-    println!("{:>5} {:>10} {:>10} {:>9} {:>14}", "epoch", "loss", "train", "test", "sim epoch (ms)");
+    println!(
+        "{:>5} {:>10} {:>10} {:>9} {:>14}",
+        "epoch", "loss", "train", "test", "sim epoch (ms)"
+    );
     let mut last = None;
     for epoch in 0..60 {
         let report = trainer.train_epoch().expect("train");

@@ -33,7 +33,9 @@ fn fmt(t: Option<f64>) -> String {
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Reddit".into());
     let card = datasets::by_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown dataset {name:?}; pick one of Cora/Arxiv/Papers/Products/Proteins/Reddit");
+        eprintln!(
+            "unknown dataset {name:?}; pick one of Cora/Arxiv/Papers/Products/Proteins/Reddit"
+        );
         std::process::exit(1);
     });
     println!(

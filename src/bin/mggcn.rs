@@ -18,6 +18,8 @@
 //!                [--backend simulated|threaded] [--threads T]
 //!                [--out BENCH_trace.json] [--chrome PATH.json]
 //! mggcn trace    --check PATH.json
+//! mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]
+//! mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--dump]
 //! ```
 //!
 //! `train` runs real full-batch training on a generated community graph;
@@ -35,6 +37,11 @@
 //! `BENCH_trace.json` (and optionally a Chrome trace); it exits nonzero
 //! if a check fails, making it a CI gate. `--check PATH` validates an
 //! existing trace artifact (either kind, auto-detected) without running.
+//! `analyze` statically verifies recorded schedules — data-hazard freedom,
+//! deadlock freedom, and the §4.2 `L + 3` liveness budget — across a
+//! P ∈ {1,2,4,8} × op-order × overlap sweep plus a serving batch schedule
+//! (or one paper-scale dataset schedule with `--dataset`); it exits
+//! nonzero on any finding, and `--dump` prints the annotated op stream.
 
 use mg_gcn::core::checkpoint::Checkpoint;
 use mg_gcn::gpusim::Profile;
@@ -71,7 +78,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--dump]"
     );
     exit(2)
 }
@@ -88,6 +95,7 @@ fn main() {
         "serve-bench" => cmd_serve_bench(&flags),
         "bench-exec" => cmd_bench_exec(&flags),
         "trace" => cmd_trace(&flags),
+        "analyze" => cmd_analyze(&flags),
         _ => usage(),
     }
 }
@@ -149,9 +157,7 @@ fn cmd_train(flags: &HashMap<String, String>) {
             }
         }
     }
-    let tracer = flags
-        .get("trace")
-        .map(|_| std::sync::Arc::new(mg_gcn::trace::Tracer::new()));
+    let tracer = flags.get("trace").map(|_| std::sync::Arc::new(mg_gcn::trace::Tracer::new()));
     if let Some(t) = &tracer {
         trainer.set_tracer(t.clone());
     }
@@ -216,8 +222,7 @@ fn trace_verdicts(
     expected_per_epoch: &[u64],
     epochs: usize,
 ) -> bool {
-    let expected: Vec<u64> =
-        expected_per_epoch.iter().map(|&b| b * epochs as u64).collect();
+    let expected: Vec<u64> = expected_per_epoch.iter().map(|&b| b * epochs as u64).collect();
     let traced = tracer.broadcast_stage_bytes();
     let bytes_ok = traced == expected;
     if bytes_ok {
@@ -233,12 +238,8 @@ fn trace_verdicts(
     let mem_ok = tracer.memory_bound_ok();
     match mem_ok {
         Some(true) => {
-            let peak = tracer
-                .memory_high_watermarks()
-                .into_iter()
-                .map(|(_, b)| b)
-                .max()
-                .unwrap_or(0);
+            let peak =
+                tracer.memory_high_watermarks().into_iter().map(|(_, b)| b).max().unwrap_or(0);
             let bound = tracer.gauge("mem.plan.big_buffers_bytes").unwrap_or(0.0);
             println!(
                 "trace: per-GPU high-watermark {:.2} MiB within L+3 plan {:.2} MiB",
@@ -334,8 +335,7 @@ fn cmd_memory(flags: &HashMap<String, String>) {
     let cfg = GcnConfig::new(card.feat_dim, &vec![hidden; layers - 1], card.classes);
     println!("{}: {layers}-layer, hidden {hidden}", card.name);
     for gpus in [1u64, 2, 4, 8] {
-        let plan =
-            MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::MgGcn);
+        let plan = MemoryPlan::new(card.n as u64, card.m as u64, &cfg, gpus, BufferPolicy::MgGcn);
         let gib = plan.total() as f64 / (1u64 << 30) as f64;
         let v100 = if plan.fits(32 << 30) { "fits" } else { "OOM" };
         let a100 = if plan.fits(80 << 30) { "fits" } else { "OOM" };
@@ -395,9 +395,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         )
     };
     let trace = mg_gcn::serve::generate_load(&LoadGenConfig::skewed(qps, requests, vertices, seed));
-    let tracer = flags
-        .get("trace")
-        .map(|_| std::sync::Arc::new(mg_gcn::trace::Tracer::new()));
+    let tracer = flags.get("trace").map(|_| std::sync::Arc::new(mg_gcn::trace::Tracer::new()));
 
     // Batch-size-1 baseline on identical hardware, no cache.
     let mut unbatched =
@@ -408,8 +406,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
     // Only the batched server is traced so the cache-hit/miss counters and
     // latency histograms describe one configuration, not a mixture.
     let policy = BatchPolicy::new(window, max_batch);
-    let mut server =
-        Server::new(model, ServeConfig::new(machine(), policy, cache_mb << 20));
+    let mut server = Server::new(model, ServeConfig::new(machine(), policy, cache_mb << 20));
     if let Some(t) = &tracer {
         server.set_tracer(t.clone());
     }
@@ -670,8 +667,166 @@ fn cmd_trace(flags: &HashMap<String, String>) {
     }
 }
 
+/// `analyze`: statically verify recorded schedules. Without `--dataset`,
+/// sweeps trainer schedules over P ∈ {1,2,4,8} (or just `--gpus`) ×
+/// op-order × overlap on a generated community graph, plus one serving
+/// batch schedule; with `--dataset`, verifies a single paper-scale epoch
+/// schedule. Exits nonzero if any schedule has a finding, so CI can gate
+/// on it. `--dump` prints each op stream annotated with buffer effects.
+fn cmd_analyze(flags: &HashMap<String, String>) {
+    use mg_gcn::analyze::{analyze, analyze_budget, BudgetSpec};
+    let dump = flags.contains_key("dump");
+
+    // Dataset path: one paper-scale schedule (the CI smoke target).
+    if let Some(name) = flags.get("dataset") {
+        let Some(card) = datasets::by_name(name) else {
+            eprintln!("unknown dataset {name:?}; try `mggcn datasets`");
+            exit(1)
+        };
+        let machine = match flags.get("machine").map(String::as_str).unwrap_or("a100") {
+            "v100" => MachineSpec::dgx_v100(),
+            "a100" => MachineSpec::dgx_a100(),
+            other => {
+                eprintln!("unknown machine {other:?} (expected v100 or a100)");
+                exit(2)
+            }
+        };
+        let gpus: usize = get(flags, "gpus", 4);
+        let cfg = model_for(flags.get("model").map(String::as_str).unwrap_or("a"), &card);
+        let opts = TrainOptions::full(machine.clone(), gpus);
+        let problem = Problem::from_stats(&card, &opts);
+        let trainer = match Trainer::new(problem, cfg.clone(), opts) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: cannot build schedule: {e}", card.name);
+                exit(1)
+            }
+        };
+        let sched = trainer.epoch_schedule();
+        let report = analyze_budget(&sched, &BudgetSpec::mg_gcn(cfg.layers()));
+        if dump {
+            print!("{}", sched.dump_ops());
+        }
+        println!("{} on {} x{}:", card.name, machine.name, gpus);
+        print!("{}", report.render());
+        exit(if report.clean() { 0 } else { 1 });
+    }
+
+    // Sweep path: every trainer schedule shape on a generated graph.
+    let vertices: usize = get(flags, "vertices", 600);
+    let hidden: usize = get(flags, "hidden", 16);
+    let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
+    let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
+    let budget = BudgetSpec::mg_gcn(cfg.layers());
+    let gpu_list: Vec<usize> = match flags.get("gpus") {
+        Some(v) => vec![v.parse().unwrap_or_else(|_| {
+            eprintln!("--gpus expects a positive integer");
+            exit(2)
+        })],
+        None => vec![1, 2, 4, 8],
+    };
+    let mut dirty = 0usize;
+    let mut total = 0usize;
+    for &gpus in &gpu_list {
+        for overlap in [false, true] {
+            for op_order in [false, true] {
+                let mut opts = TrainOptions::quick(gpus);
+                opts.overlap = overlap;
+                opts.op_order_opt = op_order;
+                let problem = Problem::from_graph(&graph, &cfg, &opts);
+                let trainer = match Trainer::new(problem, cfg.clone(), opts) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(1)
+                    }
+                };
+                let sched = trainer.epoch_schedule();
+                let report = analyze_budget(&sched, &budget);
+                let label = format!(
+                    "trainer P={gpus} overlap={} op-order={}",
+                    if overlap { "on " } else { "off" },
+                    if op_order { "on " } else { "off" },
+                );
+                print_schedule_report(&label, dump.then(|| sched.dump_ops()), &report);
+                total += 1;
+                dirty += usize::from(!report.clean());
+            }
+        }
+    }
+
+    // One serving batch schedule: train briefly, freeze, record a batch.
+    let serve_cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
+    let opts = TrainOptions::quick(2);
+    let problem = Problem::from_graph(&graph, &serve_cfg, &opts);
+    let mut trainer = Trainer::new(problem, serve_cfg, opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    for _ in 0..3 {
+        trainer.train_epoch().expect("simulated backend cannot fail");
+    }
+    let ck = Checkpoint::from_trainer(&trainer);
+    let model = ServingModel::from_checkpoint(&ck, &graph).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    let machine = mg_gcn::gpusim::MachineSpec::uniform(
+        "A100-serve",
+        mg_gcn::gpusim::GpuSpec::a100(),
+        1,
+        12,
+        300.0e9,
+    );
+    let mut server =
+        Server::new(model, ServeConfig::new(machine, BatchPolicy::new(1e-3, 16), 1 << 20));
+    let batch: Vec<u32> = vec![3, 17, 42, 101];
+    let sched = server.batch_schedule(&batch, 0);
+    let report = analyze(&sched);
+    print_schedule_report(
+        &format!("serve  batch of {} on 1 replica  ", batch.len()),
+        dump.then(|| sched.dump_ops()),
+        &report,
+    );
+    total += 1;
+    dirty += usize::from(!report.clean());
+
+    if dirty > 0 {
+        eprintln!("{dirty} of {total} schedules FAILED static verification");
+        exit(1);
+    }
+    println!("all {total} schedules verified: hazard-free, deadlock-free, within budget");
+}
+
+/// Print one schedule's verification result: a one-line verdict in sweep
+/// mode, or the full annotated op stream + report under `--dump`.
+fn print_schedule_report(label: &str, dump: Option<String>, report: &mg_gcn::analyze::Report) {
+    if let Some(ops) = dump {
+        println!("--- {} ---", label.trim_end());
+        print!("{ops}");
+        print!("{}", report.render());
+        return;
+    }
+    let buffers = match (&report.liveness, report.budget) {
+        (Some(lv), Some(b)) => format!(", buffers {}/{}", lv.buffers_needed, b),
+        (Some(lv), None) => format!(", buffers {}", lv.buffers_needed),
+        _ => String::new(),
+    };
+    if report.clean() {
+        println!("{label}: clean ({} ops, {} edges{buffers})", report.ops, report.edges);
+    } else {
+        println!("{label}: {} finding(s)", report.findings.len());
+        for f in &report.findings {
+            println!("    {f}");
+        }
+    }
+}
+
 fn cmd_datasets() {
-    println!("{:<10} {:>12} {:>14} {:>6} {:>6} {:>5}", "name", "vertices", "edges", "d(0)", "cls", "k");
+    println!(
+        "{:<10} {:>12} {:>14} {:>6} {:>6} {:>5}",
+        "name", "vertices", "edges", "d(0)", "cls", "k"
+    );
     for card in mg_gcn::graph::datasets::BENCHMARKS {
         println!(
             "{:<10} {:>12} {:>14} {:>6} {:>6} {:>5.0}",

@@ -21,6 +21,7 @@
 //! | [`sparse`] | `mggcn-sparse` | CSR/COO, normalization, 2D tiling, parallel SpMM |
 //! | [`graph`] | `mggcn-graph` | dataset cards, BTER/Chung–Lu/SBM generators, permutation, IO |
 //! | [`gpusim`] | `mggcn-gpusim` | machine specs, memory tracking, streams/events, DES engine |
+//! | [`analyze`] | `mggcn-analyze` | static schedule verification: hazards, deadlock-freedom, liveness coloring |
 //! | [`comm`] | `mggcn-comm` | NCCL-like collectives, §5.1 1D-vs-1.5D analysis |
 //! | [`core`] | `mggcn-core` | the trainer: staged SpMM, buffer reuse, overlap, Adam, loss |
 //! | [`baselines`] | `mggcn-baselines` | DGL-like, CAGNET-like, DistGNN model, MLP |
@@ -49,13 +50,14 @@
 //! numerics, measured wall-clock in `report.measured`), select the
 //! threaded backend: `opts.backend = Backend::Threaded;`.
 
+pub use mggcn_analyze as analyze;
 pub use mggcn_baselines as baselines;
 pub use mggcn_comm as comm;
 pub use mggcn_core as core;
-pub use mggcn_exec as exec;
 pub use mggcn_dense as dense;
-pub use mggcn_graph as graph;
+pub use mggcn_exec as exec;
 pub use mggcn_gpusim as gpusim;
+pub use mggcn_graph as graph;
 pub use mggcn_serve as serve;
 pub use mggcn_sparse as sparse;
 pub use mggcn_trace as trace;
@@ -63,16 +65,16 @@ pub use mggcn_trace as trace;
 /// The names most programs need.
 pub mod prelude {
     pub use mggcn_core::config::{GcnConfig, TrainOptions};
-    pub use mggcn_core::trainer::TrainError;
-    pub use mggcn_exec::Backend;
     pub use mggcn_core::memplan::{max_layers, BufferPolicy, MemoryPlan};
     pub use mggcn_core::metrics::EpochReport;
     pub use mggcn_core::problem::Problem;
+    pub use mggcn_core::trainer::TrainError;
     pub use mggcn_core::trainer::Trainer;
+    pub use mggcn_exec::Backend;
+    pub use mggcn_gpusim::{Category, MachineSpec};
     pub use mggcn_graph::datasets;
     pub use mggcn_graph::generators::sbm::{self, SbmConfig};
     pub use mggcn_graph::Graph;
-    pub use mggcn_gpusim::{Category, MachineSpec};
     pub use mggcn_serve::{BatchPolicy, LoadGenConfig, ServeConfig, Server, ServingModel};
     pub use mggcn_trace::Tracer;
 }

@@ -115,10 +115,8 @@ fn train_on_the_threaded_backend_reports_wall_time() {
 
 #[test]
 fn train_rejects_unknown_backend() {
-    let out = mggcn()
-        .args(["train", "--vertices", "200", "--backend", "quantum"])
-        .output()
-        .expect("run");
+    let out =
+        mggcn().args(["train", "--vertices", "200", "--backend", "quantum"]).output().expect("run");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown backend"), "{err}");

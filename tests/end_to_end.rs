@@ -58,10 +58,7 @@ fn gcn_beats_mlp_on_noisy_communities() {
     let mut mlp = MlpTrainer::new(&graph, &cfg);
     let mlp_acc = mlp.train(60).test_acc;
 
-    assert!(
-        gcn_acc > mlp_acc + 0.05,
-        "GCN {gcn_acc:.3} should beat MLP {mlp_acc:.3}"
-    );
+    assert!(gcn_acc > mlp_acc + 0.05, "GCN {gcn_acc:.3} should beat MLP {mlp_acc:.3}");
 }
 
 #[test]
@@ -100,13 +97,15 @@ fn full_comparison_matrix_is_sane() {
         let problem = Problem::from_stats(&card, &opts);
         let t_dgl = Trainer::new(problem, cfg.clone(), opts)
             .expect("dgl fits")
-            .train_epoch().expect("train")
+            .train_epoch()
+            .expect("train")
             .sim_seconds;
         let opts = TrainOptions::full(m(), 1);
         let problem = Problem::from_stats(&card, &opts);
         let t_mg1 = Trainer::new(problem, cfg.clone(), opts)
             .expect("mg fits")
-            .train_epoch().expect("train")
+            .train_epoch()
+            .expect("train")
             .sim_seconds;
         assert!(t_mg1 < t_dgl, "{}: MG-GCN {t_mg1} vs DGL {t_dgl}", card.name);
 
@@ -115,13 +114,15 @@ fn full_comparison_matrix_is_sane() {
         let problem = Problem::from_stats(&card, &opts);
         let t_cag = Trainer::new(problem, cfg.clone(), opts)
             .expect("cagnet fits")
-            .train_epoch().expect("train")
+            .train_epoch()
+            .expect("train")
             .sim_seconds;
         let opts = TrainOptions::full(m(), 8);
         let problem = Problem::from_stats(&card, &opts);
         let t_mg8 = Trainer::new(problem, cfg.clone(), opts)
             .expect("mg fits")
-            .train_epoch().expect("train")
+            .train_epoch()
+            .expect("train")
             .sim_seconds;
         assert!(t_mg8 < t_cag, "{}: MG-GCN {t_mg8} vs CAGNET {t_cag}", card.name);
     }
@@ -143,7 +144,8 @@ fn distgnn_headline_ratios_hold() {
         let problem = Problem::from_stats(&card, &opts);
         let t_mg = Trainer::new(problem, cfg, opts)
             .expect("fits")
-            .train_epoch().expect("train")
+            .train_epoch()
+            .expect("train")
             .sim_seconds;
         let ratio = t_dist / t_mg;
         assert!(ratio > 1.0, "{name}: MG-GCN must win ({ratio:.1})");

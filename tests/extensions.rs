@@ -22,7 +22,11 @@ fn cluster_machine_hurts_cross_node_scaling() {
         let machine = MachineSpec::a100_cluster(2, 25.0e9);
         let opts = TrainOptions::full(machine, gpus);
         let problem = Problem::from_stats(&card, &opts);
-        Trainer::new(problem, cfg.clone(), opts).expect("fits").train_epoch().expect("train").sim_seconds
+        Trainer::new(problem, cfg.clone(), opts)
+            .expect("fits")
+            .train_epoch()
+            .expect("train")
+            .sim_seconds
     };
     let one_node = epoch(8);
     let two_nodes = epoch(16);
@@ -137,12 +141,7 @@ fn sddmm_powers_attention_consistently_with_spmm() {
 
     let norm = g.adj.normalize_rows();
     let mut hw = mg_gcn::dense::Dense::zeros(g.n(), 6);
-    mg_gcn::dense::gemm(
-        &g.features,
-        &layer.w,
-        &mut hw,
-        mg_gcn::dense::Accumulate::Overwrite,
-    );
+    mg_gcn::dense::gemm(&g.features, &layer.w, &mut hw, mg_gcn::dense::Accumulate::Overwrite);
     let mut plain = mg_gcn::dense::Dense::zeros(g.n(), 6);
     mg_gcn::sparse::spmm(&norm, &hw, &mut plain, mg_gcn::dense::Accumulate::Overwrite);
     assert!(out.max_abs_diff(&plain) < 1e-4);
