@@ -71,6 +71,41 @@ for key in '"bench":"trace"' '"schema":"mggcn-trace-v1"' \
 done
 rm -rf "${TRACE_DIR}"
 
+echo "==> serve-bench schema check (shared JSON writer round-trips the validator)"
+SERVE_DIR="$(mktemp -d)"
+./target/release/mggcn serve-bench --qps 50000 --requests 400 --vertices 400 \
+  --epochs 4 >"${SERVE_DIR}/BENCH_serve.json"
+./target/release/mggcn serve-bench --check "${SERVE_DIR}/BENCH_serve.json" >/dev/null
+rm -rf "${SERVE_DIR}"
+
+echo "==> cluster-bench smoke (sharded tier; p99 SLO + shedding gate; schema)"
+# `mggcn cluster-bench` exits nonzero unless the admitted-request p99 meets
+# the SLO, the degraded rate stays bounded, shedding engaged under the
+# deliberate overload, and every request was answered. All accounting is on
+# the simulated clock, so both pool widths must produce identical reports.
+CLUSTER_DIR="$(mktemp -d)"
+for threads in 1 4; do
+  for topo in "2 2" "4 1"; do
+    read -r shards gpus <<<"${topo}"
+    out="${CLUSTER_DIR}/BENCH_cluster_${shards}x${gpus}_t${threads}.json"
+    MGGCN_THREADS="${threads}" ./target/release/mggcn cluster-bench \
+      --shards "${shards}" --gpus-per-shard "${gpus}" \
+      --requests 1200 --vertices 1200 --epochs 8 \
+      --out "${out}" >/dev/null
+    ./target/release/mggcn cluster-bench --check "${out}" >/dev/null
+    for key in '"bench":"cluster"' '"schema":"mggcn-cluster-v1"' \
+               '"capacity_rps":' '"reduction":' '"p99_ok":true' \
+               '"degraded_nonzero":true' '"all_answered":true'; do
+      grep -qF "${key}" "${out}" || {
+        echo "${out} missing ${key}:" >&2
+        cat "${out}" >&2
+        exit 1
+      }
+    done
+  done
+done
+rm -rf "${CLUSTER_DIR}"
+
 echo "==> analyze smoke (static schedule verification; Reddit model A, P=4)"
 # `mggcn analyze` exits nonzero if any recorded schedule has an unordered
 # buffer conflict, a dependency cycle, or a liveness coloring that needs

@@ -1,0 +1,44 @@
+//! Sharded multi-replica GCN serving: the cluster tier above `serve`.
+//!
+//! One simulated machine serves one model well (`mggcn-serve`); this crate
+//! scales that out the way production GNN inference does — by putting a
+//! routing front end over `P` shard replicas and making overload a
+//! designed-for state instead of a failure mode:
+//!
+//! * **routing** ([`ring`], [`Router`]): a consistent-hash ring (SplitMix64,
+//!   virtual nodes) with proptest-verified balance and minimal-remapping
+//!   properties, overridden per-vertex by a partition plan when one is
+//!   installed;
+//! * **cache-aware partitioning** ([`partition`]): balance-capped label
+//!   propagation over the CSR adjacency homes each vertex with its k-hop
+//!   neighborhood, scored by the exact §5.1 byte accounting
+//!   (`comm::analysis`) as cross-shard fan-out bytes — measurably below a
+//!   random partition on community graphs;
+//! * **admission control + load shedding** ([`admission`]): bounded queue
+//!   delay and bounded inflight per shard; everything over the bound is
+//!   shed to a **degraded** answer (the shard's cached layer-0 aggregation
+//!   row through the dense tail — deterministic, tagged, fixed cost) so the
+//!   admitted-request p99 SLO holds by construction and nothing ever waits
+//!   unboundedly;
+//! * **cluster-wide accounting** ([`report`]): per-shard and merged latency
+//!   quantiles, shed counters, and the `BENCH_cluster.json` schema contract
+//!   (`validate_cluster_bench`) that `mggcn cluster-bench` gates CI on.
+//!
+//! Admitted answers are bit-identical to the single-replica oracle
+//! ([`mggcn_serve::ServingModel::forward_full`]) for any shard count and
+//! either execution backend — asserted by the testkit differential suite.
+
+pub mod admission;
+pub mod cluster;
+pub mod partition;
+pub mod report;
+pub mod ring;
+
+pub use admission::{AdmissionPolicy, ShedReason, Verdict};
+pub use cluster::{Answer, Cluster, ClusterConfig, ClusterOutcome, Router};
+pub use partition::PartitionPlan;
+pub use report::{
+    validate_cluster_bench, validate_cluster_report, ClusterReport, ShardReport,
+    BENCH_CLUSTER_SCHEMA,
+};
+pub use ring::{splitmix64, HashRing};

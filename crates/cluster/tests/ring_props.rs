@@ -1,0 +1,94 @@
+//! Property tests for the consistent-hash ring — the two guarantees the
+//! routing tier leans on:
+//!
+//! * **balance**: with enough virtual nodes, every shard's share of a key
+//!   population stays within a constant factor of fair;
+//! * **minimal remapping**: membership changes move only the keys they
+//!   must — on join, a key either keeps its old shard or moves to the new
+//!   one; on leave, only the departed shard's keys relocate.
+
+use mggcn_cluster::HashRing;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn key_balance_stays_within_bound(
+        shards in 2usize..8,
+        key_base in 0u64..1_000_000,
+    ) {
+        let vnodes = 128;
+        let keys = 4000u64;
+        let ring = HashRing::new(shards, vnodes);
+        let mut counts = vec![0usize; shards];
+        for k in key_base..key_base + keys {
+            counts[ring.shard_of(k) as usize] += 1;
+        }
+        let fair = keys as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "shard {} received no keys", s);
+            let ratio = c as f64 / fair;
+            // 128 vnodes keep the arc-length variance small; 2x fair is a
+            // generous constant-factor bound that holds with margin.
+            prop_assert!(
+                (0.5..=2.0).contains(&ratio),
+                "shard {} holds {} of {} keys ({}x fair)", s, c, keys, ratio
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_remaps_minimally(
+        shards in 1usize..7,
+        vnodes in 8usize..64,
+        key_base in 0u64..1_000_000,
+    ) {
+        let mut ring = HashRing::new(shards, vnodes);
+        let keys: Vec<u64> = (key_base..key_base + 1500).collect();
+        let before: Vec<u32> = keys.iter().map(|&k| ring.shard_of(k)).collect();
+        let new_shard = shards as u32;
+        ring.add_shard(new_shard);
+        let mut moved = 0usize;
+        for (&k, &old) in keys.iter().zip(&before) {
+            let now = ring.shard_of(k);
+            // Minimal remapping: a key keeps its shard or joins the new one.
+            prop_assert!(
+                now == old || now == new_shard,
+                "key {} moved {} -> {} (not the new shard)", k, old, now
+            );
+            if now != old {
+                moved += 1;
+            }
+        }
+        // The new shard claims about 1/(shards+1) of the keyspace; allow a
+        // wide band for small vnode counts.
+        let expected = keys.len() / (shards + 1);
+        prop_assert!(
+            moved <= expected * 3 + 50,
+            "{} keys moved, expected about {}", moved, expected
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_relocates_only_its_keys(
+        shards in 2usize..8,
+        vnodes in 8usize..64,
+        victim_pick in 0usize..8,
+        key_base in 0u64..1_000_000,
+    ) {
+        let mut ring = HashRing::new(shards, vnodes);
+        let victim = (victim_pick % shards) as u32;
+        let keys: Vec<u64> = (key_base..key_base + 1500).collect();
+        let before: Vec<u32> = keys.iter().map(|&k| ring.shard_of(k)).collect();
+        prop_assert!(ring.remove_shard(victim));
+        for (&k, &old) in keys.iter().zip(&before) {
+            let now = ring.shard_of(k);
+            prop_assert!(now != victim, "key {} still routes to removed shard", k);
+            if old != victim {
+                prop_assert_eq!(
+                    now, old,
+                    "key {} moved {} -> {} though its shard survived", k, old, now
+                );
+            }
+        }
+    }
+}

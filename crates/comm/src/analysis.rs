@@ -66,6 +66,18 @@ pub fn stage_broadcast_bytes(rows: &[usize], d: usize) -> Vec<u64> {
     rows.iter().map(|&r| 4 * r as u64 * d as u64).collect()
 }
 
+/// Closed-form cross-partition fan-out payload for a sharded serving
+/// tier: shard `s` answers its queries from `foreign_rows[s]` feature
+/// rows homed on *other* shards, each `d` f32 values — `4·rows·d` bytes
+/// per shard, the same §5.1 byte accounting as
+/// [`stage_broadcast_bytes`] applied to the partition boundary instead
+/// of the broadcast stages. The cache-aware partitioner's objective is
+/// the sum of this vector; a differential test asserts it exactly
+/// against a brute-force per-query neighborhood walk.
+pub fn partition_fanout_bytes(foreign_rows: &[usize], d: usize) -> Vec<u64> {
+    stage_broadcast_bytes(foreign_rows, d)
+}
+
 /// Closed-form per-stage broadcast bytes for one full training epoch of
 /// the MG-GCN schedule (forward + backward over `dims.len() - 1` layers).
 ///
@@ -144,6 +156,12 @@ mod tests {
     #[test]
     fn stage_bytes_are_tile_rows_times_width() {
         assert_eq!(stage_broadcast_bytes(&[3, 2], 5), vec![60, 40]);
+    }
+
+    #[test]
+    fn partition_fanout_matches_stage_accounting() {
+        // Same closed form, applied at the partition boundary: 4·rows·d.
+        assert_eq!(partition_fanout_bytes(&[7, 0, 11], 16), vec![448, 0, 704]);
     }
 
     #[test]

@@ -132,6 +132,19 @@ impl LatencyStats {
         self.sorted = false;
     }
 
+    /// Fold another collection into this one — cluster-wide quantiles are
+    /// computed over the union of per-shard samples, not averaged.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// The raw observations, in insertion (not sorted) order unless a
+    /// quantile has been taken since the last record/merge.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     pub fn count(&self) -> usize {
         self.samples.len()
     }

@@ -19,7 +19,9 @@
 //!   substitute);
 //! * [`sampling`] — k-hop frontiers and GraphSAGE-style fanout sampling,
 //!   the mini-batch machinery whose neighborhood explosion (§1) motivates
-//!   the paper's full-batch approach.
+//!   the paper's full-batch approach;
+//! * [`partition`] — vertex-to-shard assignment for the serving tier:
+//!   seeded random baseline and balance-capped label propagation.
 
 //! # Example
 //!
@@ -43,6 +45,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod metrics;
+pub mod partition;
 pub mod permutation;
 pub mod sampling;
 pub mod tilestats;

@@ -1,0 +1,178 @@
+//! Vertex partitioning for the sharded serving tier.
+//!
+//! CaPGNN's observation (PAPERS.md) is that feature caching and graph
+//! partitioning must be co-designed: a shard's propagation cache only pays
+//! off when the vertices it serves share neighborhoods, and every k-hop
+//! neighbor homed on *another* shard is feature traffic across the
+//! interconnect. This module provides the partitioners the cluster front
+//! end chooses between:
+//!
+//! * [`random_assignment`] — the seeded baseline: balanced, locality-blind;
+//! * [`label_propagation`] — greedy locality refinement over the CSR
+//!   adjacency under a hard balance cap: each vertex repeatedly moves to
+//!   the shard where most of its neighbors live, unless that shard is
+//!   already at capacity.
+//!
+//! Both are deterministic for a (graph, shards, seed) triple. The
+//! *objective* being minimized — cross-shard k-hop fan-out bytes — is
+//! scored by `comm::analysis::partition_fanout_bytes` over the foreign-row
+//! counts; `mggcn-cluster` owns that accounting.
+
+use mggcn_sparse::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded balanced random assignment of `n` vertices to `shards` shards:
+/// a random permutation dealt round-robin, so shard sizes differ by at
+/// most one and placement carries no locality information.
+pub fn random_assignment(n: usize, shards: usize, seed: u64) -> Vec<u32> {
+    assert!(shards >= 1, "need at least one shard");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    let mut assignment = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        assignment[v as usize] = (i % shards) as u32;
+    }
+    assignment
+}
+
+/// Per-shard vertex counts of an assignment.
+pub fn shard_sizes(assignment: &[u32], shards: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; shards];
+    for &s in assignment {
+        sizes[s as usize] += 1;
+    }
+    sizes
+}
+
+/// Greedy label-propagation partitioning under a balance cap.
+///
+/// Starts from [`random_assignment`] and runs `rounds` sweeps; in each
+/// sweep every vertex (visited in a seeded random order) moves to the
+/// shard holding the plurality of its out-neighbors, provided that shard
+/// is below `cap = ceil(n/shards · (1 + slack))` — the cap keeps shards
+/// usable as serving replicas (a degenerate all-on-one-shard "partition"
+/// would trivially minimize cut). Ties prefer the current shard, then the
+/// lowest shard id, so the result is deterministic.
+pub fn label_propagation(
+    adj: &Csr,
+    shards: usize,
+    rounds: usize,
+    slack: f64,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(shards >= 1, "need at least one shard");
+    assert!(slack >= 0.0, "slack must be non-negative");
+    let n = adj.rows();
+    let mut assignment = random_assignment(n, shards, seed);
+    if shards == 1 || n == 0 {
+        return assignment;
+    }
+    let cap = ((n as f64 / shards as f64) * (1.0 + slack)).ceil() as usize;
+    let mut sizes = shard_sizes(&assignment, shards);
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut votes = vec![0usize; shards];
+    for _ in 0..rounds {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let mut moved = 0usize;
+        for &v in &order {
+            let current = assignment[v as usize] as usize;
+            votes.iter_mut().for_each(|c| *c = 0);
+            let mut any = false;
+            for (u, _) in adj.row(v as usize) {
+                votes[assignment[u as usize] as usize] += 1;
+                any = true;
+            }
+            if !any {
+                continue;
+            }
+            // Plurality shard with room; ties keep the current assignment.
+            let mut best = current;
+            for (s, &count) in votes.iter().enumerate() {
+                if s != current && count > votes[best] && sizes[s] < cap {
+                    best = s;
+                }
+            }
+            if best != current {
+                sizes[current] -= 1;
+                sizes[best] += 1;
+                assignment[v as usize] = best as u32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sbm::{self, SbmConfig};
+
+    #[test]
+    fn random_assignment_is_balanced_and_deterministic() {
+        let a = random_assignment(103, 4, 9);
+        let b = random_assignment(103, 4, 9);
+        assert_eq!(a, b);
+        let sizes = shard_sizes(&a, 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 25 || s == 26), "sizes {sizes:?}");
+        assert_ne!(a, random_assignment(103, 4, 10));
+    }
+
+    #[test]
+    fn label_propagation_respects_the_balance_cap() {
+        let graph = sbm::generate(&SbmConfig::community_benchmark(400, 4), 3);
+        let shards = 4;
+        let assignment = label_propagation(&graph.adj, shards, 8, 0.1, 7);
+        let cap = ((400.0 / shards as f64) * 1.1).ceil() as usize;
+        let sizes = shard_sizes(&assignment, shards);
+        assert_eq!(sizes.iter().sum::<usize>(), 400);
+        assert!(sizes.iter().all(|&s| s <= cap), "sizes {sizes:?} exceed cap {cap}");
+    }
+
+    #[test]
+    fn label_propagation_cuts_fewer_edges_than_random_on_communities() {
+        // An SBM community graph has planted locality; label propagation
+        // must find it.
+        let graph = sbm::generate(&SbmConfig::community_benchmark(600, 4), 11);
+        let cut = |assignment: &[u32]| -> usize {
+            let mut cut = 0;
+            for v in 0..graph.n() {
+                for (u, _) in graph.adj.row(v) {
+                    if assignment[v] != assignment[u as usize] {
+                        cut += 1;
+                    }
+                }
+            }
+            cut
+        };
+        let random = random_assignment(graph.n(), 4, 5);
+        let refined = label_propagation(&graph.adj, 4, 8, 0.1, 5);
+        assert!(
+            cut(&refined) < cut(&random) / 2,
+            "refined cut {} vs random cut {}",
+            cut(&refined),
+            cut(&random)
+        );
+    }
+
+    #[test]
+    fn single_shard_is_trivial() {
+        let graph = sbm::generate(&SbmConfig::community_benchmark(50, 2), 1);
+        let assignment = label_propagation(&graph.adj, 1, 4, 0.1, 1);
+        assert!(assignment.iter().all(|&s| s == 0));
+    }
+}

@@ -42,6 +42,32 @@ impl LoadGenConfig {
     }
 }
 
+/// Aggregate shape of a request trace — what rate the open loop actually
+/// produced. An empty trace is a valid summary (all zeros), not a panic:
+/// callers sweep `n_requests` down to 0 when bisecting capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    pub requests: usize,
+    /// Last arrival minus first arrival, seconds; 0 for < 2 requests.
+    pub span_seconds: f64,
+    /// Measured arrival rate over the span; 0 when the span is empty.
+    pub measured_qps: f64,
+}
+
+/// Summarize an arrival-sorted trace. Returns the zero summary for an
+/// empty (or single-request) trace instead of panicking on `last()`.
+pub fn summarize(reqs: &[Request]) -> TraceSummary {
+    let (Some(first), Some(last)) = (reqs.first(), reqs.last()) else {
+        return TraceSummary::default();
+    };
+    let span = last.arrival - first.arrival;
+    TraceSummary {
+        requests: reqs.len(),
+        span_seconds: span,
+        measured_qps: if span > 0.0 { reqs.len() as f64 / span } else { 0.0 },
+    }
+}
+
 /// Generate an arrival-sorted request trace.
 pub fn generate(cfg: &LoadGenConfig) -> Vec<Request> {
     assert!(cfg.qps > 0.0, "qps must be positive");
@@ -85,10 +111,21 @@ mod tests {
         let reqs = generate(&cfg);
         assert_eq!(reqs.len(), 4000);
         assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
-        let span = reqs.last().unwrap().arrival;
-        let rate = reqs.len() as f64 / span;
+        let rate = summarize(&reqs).measured_qps;
         assert!((rate - 2000.0).abs() / 2000.0 < 0.15, "measured rate {rate}");
         assert!(reqs.iter().all(|r| (r.vertex as usize) < 100));
+    }
+
+    #[test]
+    fn empty_and_singleton_traces_summarize_to_zero() {
+        assert_eq!(summarize(&[]), TraceSummary::default());
+        let one = generate(&LoadGenConfig::uniform(100.0, 1, 10, 1));
+        let s = summarize(&one);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.span_seconds, 0.0);
+        assert_eq!(s.measured_qps, 0.0);
+        // n_requests = 0 is a valid config, not a panic.
+        assert!(generate(&LoadGenConfig::uniform(100.0, 0, 10, 1)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Differential test for the cache-aware partitioner's objective: the
+//! cross-shard k-hop fan-out accounting must agree exactly with a
+//! brute-force neighborhood walk priced by the §5.1 closed form, and the
+//! cache-aware plan must measurably reduce it versus a random partition
+//! on community-structured graphs.
+
+use mggcn_cluster::PartitionPlan;
+use mggcn_comm::analysis::partition_fanout_bytes;
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_sparse::Csr;
+use std::collections::BTreeSet;
+
+/// Brute-force k-hop neighborhood (BFS over CSR rows), independent of
+/// `graph::sampling::khop_neighborhood`.
+fn khop_bfs(adj: &Csr, seed: u32, hops: usize) -> BTreeSet<u32> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    seen.insert(seed);
+    let mut frontier = vec![seed];
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for (u, _) in adj.row(v as usize) {
+                if seen.insert(u) {
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    seen
+}
+
+/// Brute-force per-shard foreign-row counts.
+fn fanout_rows_bfs(adj: &Csr, assignment: &[u32], shards: usize, hops: usize) -> Vec<usize> {
+    let mut foreign = vec![0usize; shards];
+    for v in 0..adj.rows() as u32 {
+        let home = assignment[v as usize];
+        for u in khop_bfs(adj, v, hops) {
+            if assignment[u as usize] != home {
+                foreign[home as usize] += 1;
+            }
+        }
+    }
+    foreign
+}
+
+#[test]
+fn fanout_accounting_matches_a_brute_force_walk_exactly() {
+    let graph = sbm::generate(&SbmConfig::community_benchmark(160, 4), 23);
+    let d = 12usize;
+    for shards in [2usize, 3, 4] {
+        for hops in [1usize, 2] {
+            for plan in [
+                PartitionPlan::random(graph.n(), shards, 31),
+                PartitionPlan::cache_aware(&graph.adj, shards, 31),
+            ] {
+                let rows = plan.cross_shard_fanout_rows(&graph.adj, hops);
+                let expect = fanout_rows_bfs(&graph.adj, &plan.assignment, shards, hops);
+                assert_eq!(
+                    rows, expect,
+                    "{} plan, {shards} shards, {hops} hops: row counts diverge",
+                    plan.strategy
+                );
+                // Byte pricing is the exact §5.1 closed form: 4·rows·d.
+                let (bytes, total) = plan.fanout_bytes(&graph.adj, hops, d);
+                assert_eq!(bytes, partition_fanout_bytes(&expect, d));
+                for (b, r) in bytes.iter().zip(&expect) {
+                    assert_eq!(*b, 4 * *r as u64 * d as u64);
+                }
+                assert_eq!(total, bytes.iter().sum::<u64>());
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_aware_partition_reduces_cross_shard_fanout_bytes() {
+    // Community graphs across several sizes/seeds: label propagation must
+    // beat random every time, and by a real margin in aggregate.
+    let mut total_random = 0u64;
+    let mut total_aware = 0u64;
+    for (n, communities, seed) in [(240usize, 4usize, 1u64), (320, 4, 2), (400, 8, 3)] {
+        let graph = sbm::generate(&SbmConfig::community_benchmark(n, communities), seed);
+        let shards = 4;
+        let random = PartitionPlan::random(graph.n(), shards, seed);
+        let aware = PartitionPlan::cache_aware(&graph.adj, shards, seed);
+        let (_, rb) = random.fanout_bytes(&graph.adj, 2, 16);
+        let (_, ab) = aware.fanout_bytes(&graph.adj, 2, 16);
+        assert!(ab < rb, "n={n}: cache-aware {ab} must beat random {rb}");
+        total_random += rb;
+        total_aware += ab;
+    }
+    assert!(
+        (total_aware as f64) < 0.8 * total_random as f64,
+        "aggregate reduction too small: {total_aware} vs {total_random}"
+    );
+}
+
+#[test]
+fn partitions_stay_balanced() {
+    let graph = sbm::generate(&SbmConfig::community_benchmark(300, 4), 5);
+    for shards in [2usize, 3, 4] {
+        let aware = PartitionPlan::cache_aware(&graph.adj, shards, 5);
+        let sizes = aware.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), graph.n());
+        let cap = (graph.n() as f64 / shards as f64 * 1.1).ceil() as usize;
+        for (s, &sz) in sizes.iter().enumerate() {
+            assert!(sz <= cap, "shard {s} holds {sz} > cap {cap}");
+            assert!(sz > 0, "shard {s} is empty");
+        }
+    }
+}

@@ -1,6 +1,10 @@
-//! A minimal JSON parser, just enough to validate the crate's own exports
-//! (Chrome traces, `BENCH_trace.json`) in tests and the CI smoke step
-//! without a serde dependency. Accepts standard JSON; numbers are f64.
+//! A minimal JSON parser and writer, just enough to validate and emit the
+//! workspace's own artifacts (Chrome traces, `BENCH_trace.json`,
+//! `serve-bench`/`BENCH_cluster.json` reports) without a serde dependency.
+//! The parser accepts standard JSON; numbers are f64. The [`JsonWriter`]
+//! builder is the shared emission path: every field goes through one
+//! escaping/formatting routine, so anything it produces parses back with
+//! [`parse`] — asserted by the round-trip tests below.
 
 /// A parsed JSON value. Object keys keep document order.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +53,119 @@ impl Value {
             _ => None,
         }
     }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for one JSON object, the workspace's shared writer: keyed
+/// fields are appended in call order, strings are escaped, and non-finite
+/// floats become `null` (never bare `NaN`, which is not JSON). Nested
+/// objects/arrays are composed by passing an inner writer's output to
+/// [`JsonWriter::raw`] / [`JsonWriter::arr`].
+#[derive(Clone, Debug, Default)]
+pub struct JsonWriter {
+    body: String,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        self.body.push_str(&escape(key));
+        self.body.push_str("\":");
+        &mut self.body
+    }
+
+    /// An escaped string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        let escaped = escape(v);
+        let out = self.key(key);
+        out.push('"');
+        out.push_str(&escaped);
+        out.push('"');
+        self
+    }
+
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        use std::fmt::Write as _;
+        let _ = write!(self.key(key), "{v}");
+        self
+    }
+
+    pub fn usize(self, key: &str, v: usize) -> Self {
+        self.u64(key, v as u64)
+    }
+
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        use std::fmt::Write as _;
+        let _ = write!(self.key(key), "{v}");
+        self
+    }
+
+    /// A float with fixed decimal places; non-finite values emit `null`.
+    pub fn f64(mut self, key: &str, v: f64, decimals: usize) -> Self {
+        use std::fmt::Write as _;
+        let out = self.key(key);
+        if v.is_finite() {
+            let _ = write!(out, "{v:.decimals$}");
+        } else {
+            out.push_str("null");
+        }
+        self
+    }
+
+    /// A pre-rendered JSON value (nested object, array, number).
+    pub fn raw(mut self, key: &str, v: &str) -> Self {
+        self.key(key).push_str(v);
+        self
+    }
+
+    /// An array of pre-rendered JSON values.
+    pub fn arr<S: AsRef<str>>(mut self, key: &str, items: &[S]) -> Self {
+        let out = self.key(key);
+        out.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(item.as_ref());
+        }
+        out.push(']');
+        self
+    }
+
+    /// Close the object and return the document.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parse a complete JSON document; trailing non-whitespace is an error.
@@ -255,5 +372,33 @@ mod tests {
     fn unicode_and_escapes() {
         let v = parse(r#""café ☕""#).unwrap();
         assert_eq!(v.as_str(), Some("café ☕"));
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_the_parser() {
+        let inner = JsonWriter::new().u64("hits", 3).f64("rate", 0.5, 4).finish();
+        let doc = JsonWriter::new()
+            .str("label", "a \"quoted\"\nlabel")
+            .u64("requests", 1000)
+            .f64("p99_ms", 1.23456, 3)
+            .f64("bad", f64::NAN, 3)
+            .bool("ok", true)
+            .raw("cache", &inner)
+            .arr("xs", &["1", "2.5", "\"s\""])
+            .finish();
+        let v = parse(&doc).expect("writer emits valid JSON");
+        assert_eq!(v.get("label").unwrap().as_str(), Some("a \"quoted\"\nlabel"));
+        assert_eq!(v.get("requests").unwrap().as_num(), Some(1000.0));
+        assert_eq!(v.get("p99_ms").unwrap().as_num(), Some(1.235));
+        assert_eq!(v.get("bad"), Some(&Value::Null));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("cache").unwrap().get("hits").unwrap().as_num(), Some(3.0));
+        assert_eq!(v.get("xs").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn writer_empty_object_is_valid() {
+        assert_eq!(JsonWriter::new().finish(), "{}");
+        assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
     }
 }

@@ -12,6 +12,14 @@
 //! mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]
 //!                   [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S]
 //!                   [--trace PATH.json]
+//! mggcn serve-bench --check PATH.json
+//! mggcn cluster-bench [--shards P] [--gpus-per-shard G] [--qps-mult M]
+//!                     [--requests N] [--vertices V] [--epochs E] [--seed S]
+//!                     [--slo-ms MS] [--max-degraded R] [--batch-window S]
+//!                     [--max-batch B] [--cache-mb MB]
+//!                     [--backend simulated|threaded] [--threads T]
+//!                     [--out BENCH_cluster.json] [--trace PATH.json]
+//! mggcn cluster-bench --check PATH.json
 //! mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E]
 //!                   [--threads LIST] [--out PATH]
 //! mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]
@@ -31,6 +39,14 @@
 //! `bench-exec` really executes epochs on the threaded backend at each
 //! kernel-pool width in `--threads` and writes measured wall-clock epoch
 //! times and speedups to `BENCH_exec.json`.
+//! `cluster-bench` shards that serving replica set `--shards` ways behind a
+//! cache-aware partitioner and a consistent-hash router, calibrates the
+//! cluster's saturation throughput, then drives it at `--qps-mult` times
+//! capacity with bounded admission: admitted requests must meet the
+//! `--slo-ms` p99 and shed requests get tagged degraded answers whose rate
+//! must stay under `--max-degraded`. It writes + schema-validates
+//! `BENCH_cluster.json` and exits nonzero on any violated bound, making it
+//! a CI gate; `--check PATH` validates an existing artifact offline.
 //! `trace` runs a small traced training job, checks the recorded broadcast
 //! byte counters against the §5.1 closed form and the per-GPU memory
 //! high-watermark against the §4.2 `L + 3` plan, then writes + validates
@@ -78,7 +94,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--dump]"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn serve-bench --check PATH\n  mggcn cluster-bench [--shards P] [--gpus-per-shard G] [--qps-mult M] [--requests N]\n                      [--vertices V] [--epochs E] [--seed S] [--slo-ms MS] [--max-degraded R]\n                      [--batch-window S] [--max-batch B] [--cache-mb MB]\n                      [--backend simulated|threaded] [--threads T] [--out PATH] [--trace PATH]\n  mggcn cluster-bench --check PATH\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--dump]"
     );
     exit(2)
 }
@@ -93,6 +109,7 @@ fn main() {
         "memory" => cmd_memory(&flags),
         "datasets" => cmd_datasets(),
         "serve-bench" => cmd_serve_bench(&flags),
+        "cluster-bench" => cmd_cluster_bench(&flags),
         "bench-exec" => cmd_bench_exec(&flags),
         "trace" => cmd_trace(&flags),
         "analyze" => cmd_analyze(&flags),
@@ -343,18 +360,9 @@ fn cmd_memory(flags: &HashMap<String, String>) {
     }
 }
 
-fn cmd_serve_bench(flags: &HashMap<String, String>) {
-    let qps: f64 = get(flags, "qps", 100_000.0);
-    let window: f64 = get(flags, "batch-window", 1.0e-3);
-    let max_batch: usize = get(flags, "max-batch", 32);
-    let cache_mb: usize = get(flags, "cache-mb", 64);
-    let requests: usize = get(flags, "requests", 2000);
-    let vertices: usize = get(flags, "vertices", 2000);
-    let gpus: usize = get(flags, "gpus", 1);
-    let epochs: usize = get(flags, "epochs", 15);
-    let seed: u64 = get(flags, "seed", 42);
-
-    // Train a small model and freeze its checkpoint into a serving model.
+/// Train a small community-graph model and freeze it for serving — the
+/// shared front half of `serve-bench` and `cluster-bench`.
+fn train_serving_model(vertices: usize, epochs: usize, seed: u64) -> (Graph, ServingModel) {
     let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), seed);
     let cfg = GcnConfig::new(graph.features.cols(), &[32], graph.classes);
     let opts = TrainOptions::quick(2);
@@ -370,13 +378,43 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         trainer.train_epoch().expect("simulated backend cannot fail");
     }
     let ck = Checkpoint::from_trainer(&trainer);
-    let model = match ServingModel::from_checkpoint(&ck, &graph) {
-        Ok(m) => m,
+    match ServingModel::from_checkpoint(&ck, &graph) {
+        Ok(m) => (graph, m),
         Err(e) => {
             eprintln!("error: {e}");
             exit(1);
         }
-    };
+    }
+}
+
+fn cmd_serve_bench(flags: &HashMap<String, String>) {
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        match mg_gcn::serve::validate_serve_bench(&text) {
+            Ok(()) => println!("{path}: valid serve-bench report"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let qps: f64 = get(flags, "qps", 100_000.0);
+    let window: f64 = get(flags, "batch-window", 1.0e-3);
+    let max_batch: usize = get(flags, "max-batch", 32);
+    let cache_mb: usize = get(flags, "cache-mb", 64);
+    let requests: usize = get(flags, "requests", 2000);
+    let vertices: usize = get(flags, "vertices", 2000);
+    let gpus: usize = get(flags, "gpus", 1);
+    let epochs: usize = get(flags, "epochs", 15);
+    let seed: u64 = get(flags, "seed", 42);
+
+    // Train a small model and freeze its checkpoint into a serving model.
+    let (graph, model) = train_serving_model(vertices, epochs, seed);
     eprintln!(
         "serving {} vertices, {} edges, {}-layer model on {} simulated A100(s)",
         graph.n(),
@@ -422,24 +460,226 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) {
         "batching speedup {batching_speedup:.2}x, warm-cache compute reduction {:.1}%",
         warm_compute_reduction * 100.0
     );
-    let trace_field = match &tracer {
-        Some(t) => format!(",\"trace\":{}", t.bench_json()),
-        None => String::new(),
-    };
-    println!(
-        "{{\"qps\":{qps},\"batch_window_s\":{window},\"max_batch\":{max_batch},\
-         \"cache_mb\":{cache_mb},\"gpus\":{gpus},\"configs\":[{},{},{}],\
-         \"batching_speedup\":{batching_speedup:.3},\
-         \"warm_compute_reduction\":{warm_compute_reduction:.4}{trace_field}}}",
-        base.to_json(),
-        cold.to_json(),
-        warm.to_json()
-    );
+    // Emit through the shared writer and self-validate against the same
+    // schema contract CI enforces on the committed artifact.
+    let mut doc = mg_gcn::trace::json::JsonWriter::new()
+        .f64("qps", qps, 1)
+        .f64("batch_window_s", window, 6)
+        .usize("max_batch", max_batch)
+        .usize("cache_mb", cache_mb)
+        .usize("gpus", gpus)
+        .arr("configs", &[base.to_json(), cold.to_json(), warm.to_json()])
+        .f64("batching_speedup", batching_speedup, 3)
+        .f64("warm_compute_reduction", warm_compute_reduction, 4);
+    if let Some(t) = &tracer {
+        doc = doc.raw("trace", &t.bench_json());
+    }
+    let json = doc.finish();
+    if let Err(e) = mg_gcn::serve::validate_serve_bench(&json) {
+        eprintln!("serve-bench emitted a schema-INVALID report: {e}");
+        exit(1);
+    }
+    println!("{json}");
     if let (Some(path), Some(t)) = (flags.get("trace"), &tracer) {
         match t.write_chrome_trace(std::path::Path::new(path), true) {
             Ok(()) => eprintln!("chrome trace written to {path} (open in chrome://tracing)"),
             Err(e) => eprintln!("trace failed: {e}"),
         }
+    }
+}
+
+/// `cluster-bench`: shard the serving replica set, calibrate saturation
+/// throughput, then overload the cluster and gate on the admitted-request
+/// p99 SLO and the degraded-answer-rate bound. Writes + schema-validates
+/// `BENCH_cluster.json`; exits nonzero on any violated bound.
+fn cmd_cluster_bench(flags: &HashMap<String, String>) {
+    use mg_gcn::cluster::{validate_cluster_bench, BENCH_CLUSTER_SCHEMA};
+    use mg_gcn::trace::json::JsonWriter;
+
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        match validate_cluster_bench(&text) {
+            Ok(()) => println!("{path}: valid cluster-bench report"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let shards: usize = get(flags, "shards", 2);
+    let gpus_per_shard: usize = get(flags, "gpus-per-shard", 2);
+    let qps_mult: f64 = get(flags, "qps-mult", 2.0);
+    let requests: usize = get(flags, "requests", 2000);
+    let vertices: usize = get(flags, "vertices", 1500);
+    let epochs: usize = get(flags, "epochs", 10);
+    let seed: u64 = get(flags, "seed", 42);
+    let slo_ms: f64 = get(flags, "slo-ms", 50.0);
+    let max_degraded: f64 = get(flags, "max-degraded", 0.9);
+    let window: f64 = get(flags, "batch-window", 1.0e-3);
+    let max_batch: usize = get(flags, "max-batch", 32);
+    let cache_mb: usize = get(flags, "cache-mb", 16);
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    let backend = match flags.get("backend").map(String::as_str) {
+        None => Backend::Simulated,
+        Some(name) => Backend::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown backend {name:?} (expected simulated or threaded)");
+            exit(2)
+        }),
+    };
+    if let Some(t) = flags.get("threads") {
+        let Ok(t) = t.parse::<usize>() else {
+            eprintln!("--threads expects a positive integer");
+            exit(2)
+        };
+        std::env::set_var("MGGCN_THREADS", t.to_string());
+        set_pool_threads(t);
+    }
+
+    let (graph, model) = train_serving_model(vertices, epochs, seed);
+    eprintln!(
+        "cluster: {} vertices, {} edges, {}-layer model, {} shard(s) x {} GPU(s), backend {}",
+        graph.n(),
+        graph.adj.nnz(),
+        model.layers(),
+        shards,
+        gpus_per_shard,
+        backend.name()
+    );
+
+    // Partition comparison: cache-aware label propagation vs the random
+    // baseline, scored as cross-shard k-hop fan-out bytes (§5.1 pricing).
+    let hops = model.layers();
+    let d = model.feat_dim();
+    let random = PartitionPlan::random(graph.n(), shards, seed);
+    let aware = PartitionPlan::cache_aware(&graph.adj, shards, seed);
+    let (_, random_bytes) = random.fanout_bytes(&graph.adj, hops, d);
+    let (_, aware_bytes) = aware.fanout_bytes(&graph.adj, hops, d);
+    let reduction =
+        if random_bytes > 0 { 1.0 - aware_bytes as f64 / random_bytes as f64 } else { 0.0 };
+    eprintln!(
+        "partition: cache-aware {aware_bytes} B cross-shard {hops}-hop fan-out vs \
+         random {random_bytes} B ({:.1}% reduction), shard sizes {:?}",
+        reduction * 100.0,
+        aware.sizes()
+    );
+
+    let mut cfg = ClusterConfig::new(shards, gpus_per_shard, BatchPolicy::new(window, max_batch));
+    cfg.cache_bytes = cache_mb << 20;
+    cfg.backend = backend;
+    let mut cluster = Cluster::new(&model, cfg, Some(&aware));
+    let tracer = std::sync::Arc::new(mg_gcn::trace::Tracer::new());
+    cluster.set_tracer(tracer.clone());
+
+    // Calibrate in two passes: a moderate pass to warm the per-shard
+    // caches, then a saturating pass (arrivals far above service rate, so
+    // every batch fills) whose measurement is the real steady-state
+    // capacity — warm caches and full batches amortize so much that a
+    // cold-cache estimate would understate capacity several-fold and the
+    // "overload" run would not actually overload. Then drive at
+    // qps-mult x capacity with bounded admission; the admitted-latency
+    // bound is structural: window + max_queue_delay + one batch's service.
+    let warmup =
+        mg_gcn::serve::generate_load(&LoadGenConfig::skewed(10_000.0, 600, graph.n(), seed));
+    cluster.measure_capacity(&warmup);
+    let saturating =
+        mg_gcn::serve::generate_load(&LoadGenConfig::skewed(2.0e7, 800, graph.n(), seed));
+    let capacity = cluster.measure_capacity(&saturating);
+    let qps = capacity * qps_mult;
+    let max_queue_delay = (slo_ms * 1e-3 * 0.5).max(window);
+    cluster.set_admission(AdmissionPolicy::new(max_queue_delay, 4 * gpus_per_shard));
+    eprintln!(
+        "capacity {capacity:.0} rps -> overload at {qps:.0} rps ({qps_mult}x), \
+         admission: queue delay <= {:.1} ms, inflight <= {}",
+        max_queue_delay * 1e3,
+        4 * gpus_per_shard
+    );
+    let trace =
+        mg_gcn::serve::generate_load(&LoadGenConfig::skewed(qps, requests, graph.n(), seed + 1));
+    let outcome = cluster.serve_trace("overload", &trace);
+    let report = &outcome.report;
+    eprintln!("{}", report.render());
+    for s in &report.shards {
+        eprintln!(
+            "  shard {}: {} req ({} exact, {} degraded), {} batches ({} shed), \
+             p99 {:.3} ms, hit rate {:.1}%",
+            s.shard,
+            s.requests,
+            s.admitted,
+            s.degraded,
+            s.batches,
+            s.shed_batches,
+            s.p99_ms,
+            s.cache_hit_rate * 100.0
+        );
+    }
+
+    let p99_ok = report.admitted_p99_ms <= slo_ms;
+    let degraded_bounded = report.degraded_rate <= max_degraded;
+    let degraded_nonzero = report.degraded > 0;
+    let all_answered = outcome.answers.len() == trace.len();
+    // Under genuine overload the cluster must shed *something* — a zero
+    // degraded rate would mean admission control never engaged.
+    let need_shedding = qps_mult > 1.0;
+    let ok = p99_ok && degraded_bounded && all_answered && (!need_shedding || degraded_nonzero);
+
+    let partition = JsonWriter::new()
+        .str("strategy", aware.strategy)
+        .u64("cross_shard_fanout_bytes", aware_bytes)
+        .u64("random_fanout_bytes", random_bytes)
+        .f64("reduction", reduction, 4)
+        .finish();
+    let slo = JsonWriter::new()
+        .f64("p99_ms", slo_ms, 3)
+        .f64("max_degraded_rate", max_degraded, 4)
+        .finish();
+    let verdict = JsonWriter::new()
+        .bool("p99_ok", p99_ok)
+        .bool("degraded_bounded", degraded_bounded)
+        .bool("degraded_nonzero", degraded_nonzero)
+        .bool("all_answered", all_answered)
+        .finish();
+    let json = JsonWriter::new()
+        .str("bench", "cluster")
+        .str("schema", BENCH_CLUSTER_SCHEMA)
+        .usize("shards", shards)
+        .usize("gpus_per_shard", gpus_per_shard)
+        .f64("capacity_rps", capacity, 1)
+        .f64("qps", qps, 1)
+        .f64("qps_multiplier", qps_mult, 2)
+        .raw("partition", &partition)
+        .raw("slo", &slo)
+        .raw("result", &report.to_json())
+        .raw("verdict", &verdict)
+        .finish();
+    // The file on disk is what CI consumes: write, re-read, validate.
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("failed to write {out}: {e}");
+        exit(1);
+    }
+    let text = std::fs::read_to_string(&out).expect("just wrote it");
+    if let Err(e) = validate_cluster_bench(&text) {
+        eprintln!("{out}: INVALID: {e}");
+        exit(1);
+    }
+    eprintln!("wrote {out} (schema {BENCH_CLUSTER_SCHEMA})");
+    println!("{json}");
+    if let Some(path) = flags.get("trace") {
+        match tracer.write_chrome_trace(std::path::Path::new(path), backend == Backend::Threaded) {
+            Ok(()) => eprintln!("chrome trace written to {path} (open in chrome://tracing)"),
+            Err(e) => eprintln!("trace failed: {e}"),
+        }
+    }
+    if !ok {
+        eprintln!(
+            "cluster-bench FAILED: p99_ok={p99_ok} degraded_bounded={degraded_bounded} \
+             degraded_nonzero={degraded_nonzero} all_answered={all_answered}"
+        );
+        exit(1);
     }
 }
 

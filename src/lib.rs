@@ -26,6 +26,7 @@
 //! | [`core`] | `mggcn-core` | the trainer: staged SpMM, buffer reuse, overlap, Adam, loss |
 //! | [`baselines`] | `mggcn-baselines` | DGL-like, CAGNET-like, DistGNN model, MLP |
 //! | [`serve`] | `mggcn-serve` | online inference: propagation cache, micro-batching, latency stats |
+//! | [`cluster`] | `mggcn-cluster` | sharded serving tier: consistent-hash routing, cache-aware partitioning, admission control, load shedding |
 //! | [`exec`] | `mggcn-exec` | real execution: worker-per-GPU runtime, deterministic kernel pool, wall-clock profiling |
 //! | [`trace`] | `mggcn-trace` | observability: structured spans, metrics registry, Chrome-trace export, derived overlap/memory metrics |
 //!
@@ -52,6 +53,7 @@
 
 pub use mggcn_analyze as analyze;
 pub use mggcn_baselines as baselines;
+pub use mggcn_cluster as cluster;
 pub use mggcn_comm as comm;
 pub use mggcn_core as core;
 pub use mggcn_dense as dense;
@@ -64,6 +66,7 @@ pub use mggcn_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
+    pub use mggcn_cluster::{AdmissionPolicy, Cluster, ClusterConfig, PartitionPlan};
     pub use mggcn_core::config::{GcnConfig, TrainOptions};
     pub use mggcn_core::memplan::{max_layers, BufferPolicy, MemoryPlan};
     pub use mggcn_core::metrics::EpochReport;
