@@ -30,6 +30,19 @@ echo "==> conformance harness (testkit: differential + golden + 50-seed fuzz)"
 # MGGCN_FUZZ_SEED=<seed> cargo test -p mggcn-testkit --test fuzz_corpus
 MGGCN_FUZZ_SEEDS=50 cargo test -q -p mggcn-testkit
 
+echo "==> chaos conformance (seeded fault matrix x pool widths)"
+# Seeded fault plans — worker death mid-collective, slow links, preemption,
+# cluster cache-node loss — against every subsystem on the sched core.
+# Budgeted like the fuzz pass: 2 widths x 2 base seeds x 8-seed sweeps.
+# A red run names its seed; replay with
+#   MGGCN_CHAOS_SEED=<seed> cargo test -p mggcn-testkit --test chaos_invariants
+for threads in 1 4; do
+  for seed in 12648430 271828; do
+    MGGCN_THREADS="${threads}" MGGCN_CHAOS_SEED="${seed}" MGGCN_CHAOS_SEEDS=8 \
+      cargo test -q -p mggcn-testkit --test chaos_invariants
+  done
+done
+
 echo "==> bench-exec smoke (threaded runtime really executes; JSON schema)"
 # Speedup is asserted only in shape, not magnitude — CI cores vary.
 BENCH_OUT="$(mktemp -d)/BENCH_exec.json"

@@ -53,6 +53,10 @@ pub enum Verdict {
 pub enum ShedReason {
     QueueDelay,
     Inflight,
+    /// The shard (or its cache node) is down: the batch never reaches
+    /// admission proper and is forced onto the degraded path. Only ever
+    /// produced by fault injection, not by [`AdmissionPolicy::admit`].
+    Fault,
 }
 
 impl AdmissionPolicy {

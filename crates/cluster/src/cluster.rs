@@ -28,7 +28,8 @@ use crate::report::{ClusterReport, ShardReport};
 use crate::ring::HashRing;
 use mggcn_exec::Backend;
 use mggcn_gpusim::{GpuSpec, LatencyStats, MachineSpec};
-use mggcn_serve::{form_batches, BatchPolicy, Request, ServeConfig, Server, ServingModel};
+use mggcn_sched::{Action, Component, DispatchSite, EventQueue, Injector, Policy, Scheduler};
+use mggcn_serve::{form_batches, Batch, BatchPolicy, Request, ServeConfig, Server, ServingModel};
 use mggcn_trace::Tracer;
 use std::sync::Arc;
 
@@ -186,6 +187,22 @@ impl Cluster {
     /// exactly one answer — exact (admitted) or degraded (shed) — and the
     /// returned answers are sorted by request id.
     pub fn serve_trace(&mut self, label: &str, requests: &[Request]) -> ClusterOutcome {
+        self.serve_trace_chaos(label, requests, &Injector::none())
+    }
+
+    /// [`serve_trace`](Self::serve_trace) under fault injection. Each
+    /// shard's batch loop is a scheduler [`Component`] ([`ShardSweep`]),
+    /// run shard-major so the fault-free path stays bit-identical to the
+    /// legacy sequential sweep. The injector can defer batches
+    /// (preemption) or take a shard down — shard loss forces tagged
+    /// degraded answers with a fixed host-side cost (never a timeout) and
+    /// drops the dead shard's propagation cache (cache-node loss).
+    pub fn serve_trace_chaos(
+        &mut self,
+        label: &str,
+        requests: &[Request],
+        inj: &Injector,
+    ) -> ClusterOutcome {
         if requests.is_empty() {
             return ClusterOutcome { answers: Vec::new(), report: ClusterReport::zero(label) };
         }
@@ -207,6 +224,7 @@ impl Cluster {
         let mut compute_seconds = 0.0f64;
         let mut shed_queue_delay = 0usize;
         let mut shed_inflight = 0usize;
+        let mut shed_fault = 0usize;
         let mut last_answer = 0.0f64;
 
         for (sid, shard_reqs) in per_shard.iter().enumerate() {
@@ -216,107 +234,59 @@ impl Cluster {
             let server = &mut self.shards[sid];
             let stats_before = *server.cache().stats();
             let batches = form_batches(shard_reqs, &self.cfg.policy);
-            let mut free_at = vec![0.0f64; self.cfg.gpus_per_shard];
-            // Completion times of admitted-but-unfinished batches, pruned
-            // against each batch's ready time (ready times are
-            // nondecreasing, see `form_batches`).
-            let mut completions: Vec<f64> = Vec::new();
-            let mut admitted_lat = LatencyStats::new();
-            let mut shard_admitted = 0usize;
-            let mut shard_degraded = 0usize;
-            let mut shard_shed = 0usize;
-            let mut shard_compute = 0.0f64;
-
-            for b in &batches {
-                completions.retain(|&c| c > b.ready_at);
-                let gpu = (0..free_at.len())
-                    .min_by(|&x, &y| free_at[x].total_cmp(&free_at[y]))
-                    .expect("shard has GPUs");
-                let start = b.ready_at.max(free_at[gpu]);
-                let queue_delay = start - b.ready_at;
-                match self.cfg.admission.admit(queue_delay, completions.len()) {
-                    Verdict::Admit => {
-                        let (out, service) = server.run_batch(&b.vertices(), gpu);
-                        let done = start + service;
-                        free_at[gpu] = done;
-                        completions.push(done);
-                        shard_compute += service;
-                        shard_admitted += b.len();
-                        last_answer = last_answer.max(done);
-                        for (i, r) in b.requests.iter().enumerate() {
-                            let latency = done - r.arrival;
-                            admitted_lat.record(latency);
-                            answers.push(Answer {
-                                id: r.id,
-                                vertex: r.vertex,
-                                shard: sid as u32,
-                                row: out.row(i).to_vec(),
-                                degraded: false,
-                                from_cache: false,
-                                latency,
-                            });
-                            if let Some(t) = &self.tracer {
-                                t.latency_record("cluster.admitted_latency_seconds", latency);
-                            }
-                        }
-                    }
-                    Verdict::Shed(reason) => {
-                        shard_shed += 1;
-                        match reason {
-                            ShedReason::QueueDelay => shed_queue_delay += 1,
-                            ShedReason::Inflight => shed_inflight += 1,
-                        }
-                        if let Some(t) = &self.tracer {
-                            let name = match reason {
-                                ShedReason::QueueDelay => "cluster.shed.queue_delay",
-                                ShedReason::Inflight => "cluster.shed.inflight",
-                            };
-                            t.counter_add(name, 1);
-                        }
-                        // Degraded answers are served host-side at the
-                        // batch's ready time — no GPU queueing, fixed cost.
-                        let done = b.ready_at + self.cfg.degraded_cost;
-                        shard_degraded += b.len();
-                        last_answer = last_answer.max(done);
-                        for r in &b.requests {
-                            let (row, from_cache) = server.degraded_answer(r.vertex);
-                            let latency = done - r.arrival;
-                            cluster_degraded.record(latency);
-                            answers.push(Answer {
-                                id: r.id,
-                                vertex: r.vertex,
-                                shard: sid as u32,
-                                row,
-                                degraded: true,
-                                from_cache,
-                                latency,
-                            });
-                            if let Some(t) = &self.tracer {
-                                t.latency_record("cluster.degraded_latency_seconds", latency);
-                            }
-                        }
-                    }
-                }
+            let n_batches = batches.len();
+            // Batches enter the event queue at their ready times; ready
+            // times are nondecreasing (see `form_batches`) and ties pop
+            // FIFO, so dispatch order equals formation order.
+            let mut queue = EventQueue::new();
+            for b in batches {
+                queue.push(b.ready_at, b);
             }
+            let mut sweep = ShardSweep {
+                sid,
+                server,
+                admission: self.cfg.admission,
+                degraded_cost: self.cfg.degraded_cost,
+                tracer: self.tracer.clone(),
+                queue,
+                seq: 0,
+                free_at: vec![0.0f64; self.cfg.gpus_per_shard],
+                completions: Vec::new(),
+                lost: None,
+                admitted_lat: LatencyStats::new(),
+                shard_admitted: 0,
+                shard_degraded: 0,
+                shard_shed: 0,
+                shard_compute: 0.0,
+                answers: &mut answers,
+                cluster_degraded: &mut cluster_degraded,
+                last_answer: &mut last_answer,
+                shed_queue_delay: &mut shed_queue_delay,
+                shed_inflight: &mut shed_inflight,
+                shed_fault: &mut shed_fault,
+            };
+            Scheduler::new(Policy::DiscreteEvent)
+                .run(&mut [&mut sweep], inj)
+                .expect("shard sweep cannot stall: every queued batch has a finite ready time");
 
-            let s = server.cache().stats();
+            let s = sweep.server.cache().stats();
             let (h, m) = (s.hits - stats_before.hits, s.misses - stats_before.misses);
             let hit_rate = if h + m > 0 { h as f64 / (h + m) as f64 } else { 0.0 };
             shard_reports.push(ShardReport {
                 shard: sid as u32,
                 requests: shard_reqs.len(),
-                admitted: shard_admitted,
-                degraded: shard_degraded,
-                batches: batches.len(),
-                shed_batches: shard_shed,
-                p50_ms: admitted_lat.p50() * 1e3,
-                p99_ms: admitted_lat.p99() * 1e3,
-                max_ms: admitted_lat.max() * 1e3,
-                compute_seconds: shard_compute,
+                admitted: sweep.shard_admitted,
+                degraded: sweep.shard_degraded,
+                batches: n_batches,
+                shed_batches: sweep.shard_shed,
+                p50_ms: sweep.admitted_lat.p50() * 1e3,
+                p99_ms: sweep.admitted_lat.p99() * 1e3,
+                max_ms: sweep.admitted_lat.max() * 1e3,
+                compute_seconds: sweep.shard_compute,
                 cache_hit_rate: hit_rate,
             });
-            compute_seconds += shard_compute;
-            cluster_admitted.merge(&admitted_lat);
+            compute_seconds += sweep.shard_compute;
+            cluster_admitted.merge(&sweep.admitted_lat);
         }
 
         if let Some(t) = &self.tracer {
@@ -349,6 +319,7 @@ impl Cluster {
             compute_seconds,
             shed_queue_delay,
             shed_inflight,
+            shed_fault,
             shards: shard_reports,
         };
         ClusterOutcome { answers, report }
@@ -370,6 +341,194 @@ impl Cluster {
         }
         let total_gpus = (self.cfg.shards * self.cfg.gpus_per_shard) as f64;
         sample.len() as f64 * total_gpus / outcome.report.compute_seconds
+    }
+}
+
+/// One shard's batch loop as a scheduler [`Component`]. The event queue
+/// holds formed batches keyed by ready time; each dispatch replays the
+/// legacy admit-or-shed step for one batch. Injection hooks sit at the
+/// dispatch point: a pause defers the batch (preemption), a kill or a
+/// planned [`ShardLoss`](mggcn_sched::ShardLoss) takes the shard down —
+/// from the loss instant on, every batch is forced degraded with
+/// [`ShedReason::Fault`] and the propagation cache is dropped once
+/// (cache-node loss), so surviving shards stay bit-identical while the
+/// dead shard degrades gracefully instead of timing out.
+struct ShardSweep<'a> {
+    sid: usize,
+    server: &'a mut Server,
+    admission: AdmissionPolicy,
+    degraded_cost: f64,
+    tracer: Option<Arc<Tracer>>,
+    queue: EventQueue<Batch>,
+    /// Per-shard dispatch counter — the structural coordinate faults
+    /// match on (deterministic, independent of wall clock).
+    seq: usize,
+    free_at: Vec<f64>,
+    /// Completion times of admitted-but-unfinished batches, pruned
+    /// against each batch's ready time (ready times are nondecreasing).
+    completions: Vec<f64>,
+    /// Simulated time the shard went down (cache already dropped).
+    lost: Option<f64>,
+    admitted_lat: LatencyStats,
+    shard_admitted: usize,
+    shard_degraded: usize,
+    shard_shed: usize,
+    shard_compute: f64,
+    answers: &'a mut Vec<Answer>,
+    cluster_degraded: &'a mut LatencyStats,
+    last_answer: &'a mut f64,
+    shed_queue_delay: &'a mut usize,
+    shed_inflight: &'a mut usize,
+    shed_fault: &'a mut usize,
+}
+
+impl ShardSweep<'_> {
+    fn mark_lost(&mut self, at: f64) {
+        if self.lost.is_none() {
+            self.lost = Some(at);
+            // Cache-node loss rides along with shard loss: the resident
+            // rows are gone, so degraded answers fall back to raw
+            // feature rows (still deterministic, still tagged).
+            self.server.drop_cache();
+            if let Some(t) = &self.tracer {
+                t.counter_add(&format!("cluster.shard{}.lost", self.sid), 1);
+            }
+        }
+    }
+
+    /// Serve every request of `b` a degraded answer completing at `done`.
+    fn degrade(&mut self, b: &Batch, done: f64) {
+        self.shard_degraded += b.len();
+        *self.last_answer = self.last_answer.max(done);
+        for r in &b.requests {
+            let (row, from_cache) = self.server.degraded_answer(r.vertex);
+            let latency = done - r.arrival;
+            self.cluster_degraded.record(latency);
+            self.answers.push(Answer {
+                id: r.id,
+                vertex: r.vertex,
+                shard: self.sid as u32,
+                row,
+                degraded: true,
+                from_cache,
+                latency,
+            });
+            if let Some(t) = &self.tracer {
+                t.latency_record("cluster.degraded_latency_seconds", latency);
+            }
+        }
+    }
+}
+
+impl Component for ShardSweep<'_> {
+    fn label(&self) -> String {
+        format!("cluster shard {}", self.sid)
+    }
+
+    fn dispatch(&mut self, now: f64, inj: &Injector) -> bool {
+        let mut progressed = false;
+        while let Some(t) = self.queue.peek_time() {
+            if t > now {
+                break;
+            }
+            let (_, b) = self.queue.pop().expect("peeked");
+            let seq = self.seq;
+            self.seq += 1;
+            progressed = true;
+            match inj.at(DispatchSite::BatchDispatch { shard: self.sid, seq }) {
+                Action::Pause { seconds } => {
+                    // Preemption: the batch is deferred, not lost — it
+                    // re-dispatches (under a fresh seq) after the pause.
+                    self.queue.push(now + seconds, b);
+                    continue;
+                }
+                Action::Kill => self.mark_lost(now),
+                Action::None => {}
+            }
+            if self.lost.is_some() || inj.shard_down(self.sid, now).is_some() {
+                self.mark_lost(now);
+                // The dead shard never queues a batch: forced degraded
+                // answers at a fixed host-side cost, never a timeout.
+                self.shard_shed += 1;
+                *self.shed_fault += 1;
+                if let Some(t) = &self.tracer {
+                    t.counter_add("cluster.shed.fault", 1);
+                }
+                let done = now.max(b.ready_at) + self.degraded_cost;
+                self.degrade(&b, done);
+                continue;
+            }
+            self.completions.retain(|&c| c > b.ready_at);
+            let gpu = (0..self.free_at.len())
+                .min_by(|&x, &y| self.free_at[x].total_cmp(&self.free_at[y]))
+                .expect("shard has GPUs");
+            let start = now.max(b.ready_at).max(self.free_at[gpu]);
+            let queue_delay = start - b.ready_at;
+            match self.admission.admit(queue_delay, self.completions.len()) {
+                Verdict::Admit => {
+                    let (out, service) = self.server.run_batch(&b.vertices(), gpu);
+                    let done = start + service;
+                    self.free_at[gpu] = done;
+                    self.completions.push(done);
+                    self.shard_compute += service;
+                    self.shard_admitted += b.len();
+                    *self.last_answer = self.last_answer.max(done);
+                    for (i, r) in b.requests.iter().enumerate() {
+                        let latency = done - r.arrival;
+                        self.admitted_lat.record(latency);
+                        self.answers.push(Answer {
+                            id: r.id,
+                            vertex: r.vertex,
+                            shard: self.sid as u32,
+                            row: out.row(i).to_vec(),
+                            degraded: false,
+                            from_cache: false,
+                            latency,
+                        });
+                        if let Some(t) = &self.tracer {
+                            t.latency_record("cluster.admitted_latency_seconds", latency);
+                        }
+                    }
+                }
+                Verdict::Shed(reason) => {
+                    self.shard_shed += 1;
+                    match reason {
+                        ShedReason::QueueDelay => *self.shed_queue_delay += 1,
+                        ShedReason::Inflight => *self.shed_inflight += 1,
+                        ShedReason::Fault => unreachable!("admit() never returns Fault"),
+                    }
+                    if let Some(t) = &self.tracer {
+                        let name = match reason {
+                            ShedReason::QueueDelay => "cluster.shed.queue_delay",
+                            ShedReason::Inflight => "cluster.shed.inflight",
+                            ShedReason::Fault => "cluster.shed.fault",
+                        };
+                        t.counter_add(name, 1);
+                    }
+                    // Degraded answers are served host-side at the
+                    // batch's ready time — no GPU queueing, fixed cost.
+                    let done = b.ready_at + self.degraded_cost;
+                    self.degrade(&b, done);
+                }
+            }
+        }
+        progressed
+    }
+
+    fn next_event(&mut self, _now: f64) -> Option<f64> {
+        self.queue.peek_time()
+    }
+
+    fn advance(&mut self, _next: f64, _inj: &Injector) -> bool {
+        false
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn stuck(&self) -> Vec<String> {
+        vec![format!("shard {} holds {} undispatched batches", self.sid, self.queue.len())]
     }
 }
 

@@ -76,6 +76,9 @@ pub struct ClusterReport {
     /// Shed batch counts by tripped bound.
     pub shed_queue_delay: usize,
     pub shed_inflight: usize,
+    /// Batches forced degraded by an injected shard/cache-node fault
+    /// (always 0 outside chaos runs).
+    pub shed_fault: usize,
     pub shards: Vec<ShardReport>,
 }
 
@@ -100,6 +103,7 @@ impl ClusterReport {
             compute_seconds: 0.0,
             shed_queue_delay: 0,
             shed_inflight: 0,
+            shed_fault: 0,
             shards: Vec::new(),
         }
     }
@@ -119,6 +123,7 @@ impl ClusterReport {
         let shed = JsonWriter::new()
             .usize("queue_delay", self.shed_queue_delay)
             .usize("inflight", self.shed_inflight)
+            .usize("fault", self.shed_fault)
             .finish();
         let shards: Vec<String> = self.shards.iter().map(ShardReport::to_json).collect();
         JsonWriter::new()

@@ -1,0 +1,124 @@
+//! Property tests for per-shard admission control — the bounds that make
+//! the overload story a construction property:
+//!
+//! * the verdict is a pure function of `(queue_delay, inflight)` matching
+//!   the documented spec (inflight checked first, at-bound admits);
+//! * under random arrival/service processes, every *admitted* batch
+//!   respects both bounds: its queue delay never exceeds
+//!   `max_queue_delay` and the shard never holds more than
+//!   `max_inflight` unfinished batches;
+//! * shed decisions are deterministic per seed — the same arrival
+//!   process yields the same verdict sequence, which is what makes a
+//!   chaos failure replayable from its seed alone;
+//! * `ShedReason::Fault` is reserved for injection: `admit` never
+//!   produces it.
+
+use mggcn_cluster::{AdmissionPolicy, ShedReason, Verdict};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Replay one random arrival process through the same earliest-free-GPU
+/// bookkeeping `Cluster::serve_trace` uses, returning the verdict
+/// sequence plus the observed bound witnesses.
+struct TraceOutcome {
+    verdicts: Vec<Verdict>,
+    max_admitted_delay: f64,
+    max_inflight_seen: usize,
+}
+
+fn run_trace(policy: &AdmissionPolicy, seed: u64, gpus: usize, n: usize) -> TraceOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ready = 0.0f64;
+    let mut free_at = vec![0.0f64; gpus];
+    let mut completions: Vec<f64> = Vec::new();
+    let mut out = TraceOutcome {
+        verdicts: Vec::with_capacity(n),
+        max_admitted_delay: 0.0,
+        max_inflight_seen: 0,
+    };
+    for _ in 0..n {
+        // Bursty arrivals against slower service: contention guaranteed.
+        ready += rng.gen_range(0.0..2.0e-4);
+        let service = rng.gen_range(1.0e-5..6.0e-4);
+        completions.retain(|&c| c > ready);
+        let gpu = (0..gpus).min_by(|&x, &y| free_at[x].total_cmp(&free_at[y])).expect("has GPUs");
+        let start = ready.max(free_at[gpu]);
+        let queue_delay = start - ready;
+        let v = policy.admit(queue_delay, completions.len());
+        if v == Verdict::Admit {
+            let done = start + service;
+            free_at[gpu] = done;
+            completions.push(done);
+            out.max_admitted_delay = out.max_admitted_delay.max(queue_delay);
+            out.max_inflight_seen = out.max_inflight_seen.max(completions.len());
+        }
+        out.verdicts.push(v);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn verdict_matches_the_documented_spec(
+        max_delay in 0.0f64..1e-2,
+        max_inflight in 1usize..8,
+        queue_delay in 0.0f64..2e-2,
+        inflight in 0usize..16,
+    ) {
+        let p = AdmissionPolicy::new(max_delay, max_inflight);
+        let want = if inflight >= max_inflight {
+            Verdict::Shed(ShedReason::Inflight)
+        } else if queue_delay > max_delay {
+            Verdict::Shed(ShedReason::QueueDelay)
+        } else {
+            Verdict::Admit
+        };
+        prop_assert_eq!(p.admit(queue_delay, inflight), want);
+        // Fault is injection-only: no input reaches it through admit.
+        prop_assert!(p.admit(queue_delay, inflight) != Verdict::Shed(ShedReason::Fault));
+    }
+
+    #[test]
+    fn admitted_batches_respect_both_bounds_under_random_arrivals(
+        max_delay in 0.0f64..5e-4,
+        max_inflight in 1usize..6,
+        gpus in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let p = AdmissionPolicy::new(max_delay, max_inflight);
+        let out = run_trace(&p, seed, gpus, 400);
+        prop_assert!(
+            out.max_admitted_delay <= max_delay,
+            "admitted batch waited {} > bound {}", out.max_admitted_delay, max_delay
+        );
+        prop_assert!(
+            out.max_inflight_seen <= max_inflight,
+            "shard held {} inflight > bound {}", out.max_inflight_seen, max_inflight
+        );
+    }
+
+    #[test]
+    fn shed_decisions_are_deterministic_per_seed(
+        max_delay in 0.0f64..5e-4,
+        max_inflight in 1usize..6,
+        gpus in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let p = AdmissionPolicy::new(max_delay, max_inflight);
+        let a = run_trace(&p, seed, gpus, 400);
+        let b = run_trace(&p, seed, gpus, 400);
+        prop_assert_eq!(a.verdicts, b.verdicts, "seed {} not replayable", seed);
+    }
+
+    #[test]
+    fn unbounded_policy_sheds_nothing(
+        gpus in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let out = run_trace(&AdmissionPolicy::unbounded(), seed, gpus, 200);
+        prop_assert!(out.verdicts.iter().all(|v| *v == Verdict::Admit));
+    }
+}

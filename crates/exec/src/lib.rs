@@ -30,6 +30,7 @@
 
 use mggcn_gpusim::engine::{OpDesc, OpRecord, SimOutcome};
 use mggcn_gpusim::{Category, OpId, RunReport, Schedule};
+use mggcn_sched::{Action, DispatchSite, Injector};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
@@ -188,6 +189,11 @@ struct Shared<'a, Ctx> {
     ctx: &'a Ctx,
     /// Run epoch: wall spans record offsets from this instant.
     t0: Instant,
+    /// Chaos hooks, consulted at every per-worker dispatch (no-op by
+    /// default). Sites are `(gpu, worklist index)` — a pure function of the
+    /// deterministic worklists, so fault plans replay identically
+    /// regardless of thread interleaving or pool width.
+    inj: &'a Injector,
 }
 
 impl<'a, Ctx> Shared<'a, Ctx> {
@@ -271,11 +277,46 @@ impl<'a, Ctx> Shared<'a, Ctx> {
     /// Run one worker: execute `work` (this GPU's slice of the global
     /// completion order), honoring waits and collective rendezvous.
     fn worker(&self, gpu: usize, work: &[OpId], spans: &mut Vec<WallSpan>) {
-        for &id in work {
+        for (seq, &id) in work.iter().enumerate() {
             let (desc, lanes, _) = &self.meta[id];
             let leader = lanes.iter().map(|&(g, _)| g).min().expect("op has lanes");
             let stream =
                 lanes.iter().find(|&&(g, _)| g == gpu).map(|&(_, s)| s).expect("op is on this gpu");
+            if !self.inj.is_noop() {
+                let site = DispatchSite::ExecOp { gpu, seq, collective: lanes.len() > 1 };
+                match self.inj.at(site) {
+                    Action::Kill => {
+                        // Worker death. For a collective site the peers are
+                        // already arriving at the rendezvous; the failed
+                        // flag releases every waiter in bounded time, so
+                        // the run ends with a tagged error, not a hang.
+                        self.fail(
+                            gpu,
+                            desc.label,
+                            Box::new(format!("injected worker death (gpu {gpu}, dispatch {seq})")),
+                        );
+                        return;
+                    }
+                    Action::Pause { seconds } => {
+                        // Preemption: the worker is descheduled before the
+                        // op. The pause is blocked time, so it lands in the
+                        // reserved Barrier category — never inside the op's
+                        // own category (which would corrupt the measured
+                        // per-category profile).
+                        let begin = Instant::now();
+                        std::thread::sleep(Duration::from_secs_f64(seconds));
+                        spans.push(WallSpan {
+                            gpu,
+                            stream,
+                            category: Category::Barrier,
+                            label: desc.label,
+                            start: begin.duration_since(self.t0).as_secs_f64(),
+                            seconds: begin.elapsed().as_secs_f64(),
+                        });
+                    }
+                    Action::None => {}
+                }
+            }
             if lanes.len() > 1 {
                 // Collective rendezvous: announce arrival, then either run
                 // it (leader, after full quiescence) or wait for the leader.
@@ -357,6 +398,26 @@ impl<'a, Ctx> Shared<'a, Ctx> {
 /// all cross-GPU orderings that matter are dependency edges or collective
 /// barriers, enforced here with real synchronization.
 pub fn execute<Ctx: Sync>(sched: Schedule<Ctx>, ctx: &Ctx) -> Result<ExecReport, ExecError> {
+    execute_chaos(sched, ctx, &Injector::none())
+}
+
+/// [`execute`] with fault/preemption injection: every per-worker dispatch
+/// consults `inj` before processing its op.
+///
+/// * [`Action::Pause`] deschedules the worker for the given duration; the
+///   blocked time is recorded as a [`Category::Barrier`] wall span.
+/// * [`Action::Kill`] terminates the worker with a tagged
+///   `"injected worker death"` error; the failed flag releases all other
+///   workers (including peers blocked mid-rendezvous), so the run fails in
+///   bounded time instead of hanging.
+///
+/// With the no-op injector this is exactly [`execute`]: the hooks cost one
+/// branch per dispatch and inject nothing.
+pub fn execute_chaos<Ctx: Sync>(
+    sched: Schedule<Ctx>,
+    ctx: &Ctx,
+    inj: &Injector,
+) -> Result<ExecReport, ExecError> {
     // Static pre-flight before any worker starts: a schedule with a
     // dependency cycle would hang the barriers, and one with an unordered
     // buffer conflict would corrupt data non-deterministically under real
@@ -392,6 +453,7 @@ pub fn execute<Ctx: Sync>(sched: Schedule<Ctx>, ctx: &Ctx) -> Result<ExecReport,
         cv: Condvar::new(),
         ctx,
         t0: Instant::now(),
+        inj,
     };
 
     let start = shared.t0;
@@ -648,6 +710,82 @@ mod tests {
                 r.wall_seconds
             );
         }
+    }
+
+    /// Companion regression to `wait_time_lands_in_barrier_category` for
+    /// *injected* pauses: a chaos-plan preemption deschedules the worker
+    /// before its op, and that blocked time must be attributed to the
+    /// reserved `Barrier` category — never folded into the op's own
+    /// category — while results stay identical to the fault-free run.
+    #[test]
+    fn injected_pause_lands_in_barrier_category() {
+        use mggcn_sched::{FaultPlan, PauseAt};
+        let ctx = Mutex::new(Vec::new());
+        let mk = || {
+            let mut s: Schedule<Mutex<Vec<usize>>> = Schedule::new(machine(2));
+            for g in 0..2usize {
+                s.launch(
+                    g,
+                    0,
+                    fixed(),
+                    OpDesc::new(Category::GeMM, "work"),
+                    &[],
+                    Some(Box::new(move |l: &Mutex<Vec<usize>>| l.lock().unwrap().push(g))),
+                );
+            }
+            s
+        };
+        // Pause GPU 1 for 30ms before its first (and only) dispatch.
+        let plan = FaultPlan {
+            pauses: vec![PauseAt { gpu: 1, seq: 0, seconds: 0.030 }],
+            ..FaultPlan::none()
+        };
+        let inj = Injector::new(plan);
+        let r = execute_chaos(mk(), &ctx, &inj).expect("pauses are recoverable");
+        assert_eq!(r.bodies_run, 2, "both bodies still run");
+        assert_eq!(inj.fired().len(), 1, "the pause fired");
+
+        let gpu1_barrier: f64 = r
+            .spans
+            .iter()
+            .filter(|s| s.gpu == 1 && s.category == Category::Barrier)
+            .map(|s| s.seconds)
+            .sum();
+        let gpu1_gemm: f64 = r
+            .spans
+            .iter()
+            .filter(|s| s.gpu == 1 && s.category == Category::GeMM)
+            .map(|s| s.seconds)
+            .sum();
+        assert!(gpu1_barrier >= 0.025, "pause not attributed to Barrier: {gpu1_barrier}");
+        assert!(gpu1_gemm < 0.025, "pause leaked into the op's category: {gpu1_gemm}");
+
+        // No silent corruption: same writes as a fault-free run (order may
+        // legitimately differ across GPUs — both ops are independent).
+        let mut got = std::mem::take(&mut *ctx.lock().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    /// Injected worker death must fail the run in bounded time with a
+    /// tagged error — even when peers are blocked mid-rendezvous on a
+    /// collective the dead worker never reaches.
+    #[test]
+    fn injected_death_mid_collective_fails_bounded_and_tagged() {
+        use mggcn_sched::{FaultPlan, Kill};
+        let p = 4;
+        let mut s: Schedule<()> = Schedule::new(machine(p));
+        let lanes: Vec<(usize, usize)> = (0..p).map(|g| (g, 0)).collect();
+        s.collective(&lanes, 1.0e6, 25.0e9, OpDesc::new(Category::Comm, "allreduce"), &[], None);
+        // Kill GPU 2 at its first dispatch — the collective itself, so the
+        // other three participants are already arriving at the rendezvous.
+        let plan = FaultPlan { kills: vec![Kill { gpu: 2, seq: 0 }], ..FaultPlan::none() };
+        let inj = Injector::new(plan);
+        let start = Instant::now();
+        let err = execute_chaos(s, &(), &inj).expect_err("death must fail the run");
+        assert!(start.elapsed() < Duration::from_secs(10), "bounded-time failure");
+        assert_eq!(err.gpu, 2);
+        assert!(err.message.contains("injected worker death"), "untagged error: {err}");
     }
 
     /// A schedule whose declared effects conflict without an ordering edge

@@ -25,6 +25,7 @@
 use crate::effects::Effects;
 use crate::specs::MachineSpec;
 use crate::timeline::{Category, Span, Timeline};
+use mggcn_sched::{Action, Component, DispatchSite, Injector, Policy, Scheduler, Stall};
 use std::collections::BTreeMap;
 
 /// Identifier of a launched op; also usable as a dependency handle.
@@ -356,158 +357,328 @@ impl<Ctx> Schedule<Ctx> {
 
     /// Run the rate-based DES over op metadata only: no bodies execute.
     /// Returns the timing report and the completion order (ties broken by
-    /// ascending op id — deterministic).
+    /// ascending op id — deterministic). Panics on deadlock with the
+    /// historical message; the non-panicking form is [`Schedule::simulate_with`].
     pub fn simulate(&self) -> SimOutcome {
-        let Schedule { machine, ops, queues, launch_overhead } = self;
-        let launch_overhead = *launch_overhead;
-        let n_ops = ops.len();
-        let mut heads: BTreeMap<(usize, usize), usize> =
-            queues.keys().map(|&k| (k, 0usize)).collect();
-        let mut completed = vec![false; n_ops];
-        let mut running: Vec<OpId> = Vec::new();
-        let mut remaining: Vec<Rem> = ops
-            .iter()
-            .map(|op| Rem::from_work(op.work, launch_overhead, machine.comm_latency))
-            .collect();
-        let mut started_at = vec![0.0f64; n_ops];
-        let mut now = 0.0f64;
-        let mut timeline = Timeline::default();
-        let mut executed = 0usize;
-        let mut completion_order: Vec<OpId> = Vec::with_capacity(n_ops);
+        match self.simulate_with(Policy::DiscreteEvent, &Injector::none()) {
+            Ok(out) => out,
+            Err(stall) => panic!("schedule deadlock at t={}: {:?}", stall.at, stall.stuck),
+        }
+    }
 
-        loop {
-            // Promote every ready head op. A collective is ready when at the
-            // head of each of its lanes; repeat until fixpoint since one
-            // promotion can expose another lane's head.
-            let mut promoted = true;
-            while promoted {
-                promoted = false;
-                let candidates: Vec<OpId> =
-                    heads.iter().filter_map(|(&lane, &h)| queues[&lane].get(h).copied()).collect();
-                for id in candidates {
-                    if completed[id] || running.contains(&id) {
-                        continue;
-                    }
-                    let op = &ops[id];
-                    let at_all_heads =
-                        op.lanes.iter().all(|lane| queues[lane].get(heads[lane]) == Some(&id));
-                    let deps_done = op.waits.iter().all(|&w| completed[w]);
-                    if at_all_heads && deps_done {
-                        running.push(id);
-                        started_at[id] = now;
-                        promoted = true;
-                    }
-                }
+    /// Run the DES under an explicit `mggcn-sched` policy and fault
+    /// injector.
+    ///
+    /// With [`Policy::DiscreteEvent`] and the no-op injector this is
+    /// bit-identical to [`Schedule::simulate`]: the scheduler hands the
+    /// rate core back the exact completion instants it reported, and the
+    /// core reuses the `dt` behind each one, so every span, makespan, and
+    /// completion-order entry matches the legacy loop bit for bit.
+    /// [`Policy::CycleSync`] advances on a fixed quantum instead
+    /// (completions detected at grid points — lockstep debugging).
+    ///
+    /// Injection semantics:
+    /// * [`Action::Pause`] at an op's promotion adds the pause to its
+    ///   fixed-work dimension (the op is descheduled before it starts);
+    /// * [`Action::Kill`] marks the op dead: it never starts, its lanes
+    ///   block, and the run ends in a bounded, labeled `Err(Stall)` naming
+    ///   the stuck lane heads;
+    /// * slow links divide a collective's effective bandwidth by the
+    ///   largest [`Injector::comm_slowdown`] factor among its lanes (which
+    ///   also shrinks its memory-bandwidth draw on those GPUs).
+    ///
+    /// Deadlocks surface as `Err(Stall)` instead of a panic, because under
+    /// injected worker death a stall is an expected, bounded outcome rather
+    /// than a schedule bug.
+    pub fn simulate_with(&self, policy: Policy, inj: &Injector) -> Result<SimOutcome, Stall> {
+        let mut core = RateCore::new(self, inj);
+        let mut driver = Scheduler::new(policy);
+        driver.run(&mut [&mut core], inj)?;
+        Ok(core.finish())
+    }
+}
+
+/// The rate-based engine as a [`Component`]: all per-iteration state of the
+/// legacy `simulate` loop, driven by [`Scheduler`] instead of an inline
+/// `loop`. One `RateCore` models the whole machine (not one per GPU) so the
+/// completion order — running-vec promotion order with ties by promotion —
+/// is exactly the legacy order.
+struct RateCore<'a, Ctx> {
+    machine: &'a MachineSpec,
+    ops: &'a [Op<Ctx>],
+    queues: &'a BTreeMap<(usize, usize), Vec<OpId>>,
+    heads: BTreeMap<(usize, usize), usize>,
+    completed: Vec<bool>,
+    /// Ops the injector killed at promotion: never start, block their lanes.
+    killed: Vec<bool>,
+    running: Vec<OpId>,
+    remaining: Vec<Rem>,
+    started_at: Vec<f64>,
+    /// Mirror of scheduler time, kept bit-equal (advance receives the same
+    /// f64 that next_event reported).
+    now: f64,
+    timeline: Timeline,
+    executed: usize,
+    completion_order: Vec<OpId>,
+    /// Per-GPU comm slowdown factors (exactly 1.0 under the no-op injector,
+    /// so `bw / factor` is a bit-exact identity).
+    slow: Vec<f64>,
+    /// Rates cache, refreshed in `next_event` and reused by `advance`
+    /// (the running set cannot change between the two calls).
+    comm_draw: Vec<f64>,
+    compute_count: Vec<usize>,
+    /// `(target_bits, dt)` from the last `next_event`: when `advance` is
+    /// called with that exact target, drain by the cached `dt` — avoiding
+    /// the `(now + dt) - now` float round-trip that would break
+    /// bit-identity with the legacy `now += dt` loop.
+    pending: Option<(u64, f64)>,
+}
+
+impl<'a, Ctx> RateCore<'a, Ctx> {
+    fn new(sched: &'a Schedule<Ctx>, inj: &Injector) -> Self {
+        let n_ops = sched.ops.len();
+        let gpu_count = sched.machine.gpu_count();
+        RateCore {
+            machine: &sched.machine,
+            ops: &sched.ops,
+            queues: &sched.queues,
+            heads: sched.queues.keys().map(|&k| (k, 0usize)).collect(),
+            completed: vec![false; n_ops],
+            killed: vec![false; n_ops],
+            running: Vec::new(),
+            remaining: sched
+                .ops
+                .iter()
+                .map(|op| {
+                    Rem::from_work(op.work, sched.launch_overhead, sched.machine.comm_latency)
+                })
+                .collect(),
+            started_at: vec![0.0f64; n_ops],
+            now: 0.0,
+            timeline: Timeline::default(),
+            executed: 0,
+            completion_order: Vec::with_capacity(n_ops),
+            slow: (0..gpu_count).map(|g| inj.comm_slowdown(g)).collect(),
+            comm_draw: vec![0.0; gpu_count],
+            compute_count: vec![0; gpu_count],
+            pending: None,
+        }
+    }
+
+    /// Effective link bandwidth of a comm op under injected slow links:
+    /// the op moves at the pace of its slowest participant.
+    fn effective_bw(&self, id: OpId) -> f64 {
+        match self.ops[id].work {
+            Work::Comm { bw, .. } => {
+                let factor =
+                    self.ops[id].lanes.iter().map(|&(g, _)| self.slow[g]).fold(1.0, f64::max);
+                bw / factor
             }
+            _ => unreachable!("effective_bw on non-comm op"),
+        }
+    }
 
-            if running.is_empty() {
-                let all_done = completed.iter().all(|&c| c);
-                if all_done {
-                    break;
+    /// Recompute the shared-resource draws for the current running set.
+    /// Communication drains link bandwidth from each participant GPU's
+    /// memory system; concurrent compute kernels on one GPU share the rest.
+    fn refresh_rates(&mut self) {
+        self.comm_draw.iter_mut().for_each(|d| *d = 0.0);
+        self.compute_count.iter_mut().for_each(|c| *c = 0);
+        for &id in &self.running {
+            match self.ops[id].work {
+                Work::Comm { .. } => {
+                    let bw = self.effective_bw(id);
+                    for &(g, _) in &self.ops[id].lanes {
+                        self.comm_draw[g] += bw;
+                    }
                 }
-                let stuck: Vec<String> = heads
+                Work::Compute { .. } => {
+                    self.compute_count[self.ops[id].lanes[0].0] += 1;
+                }
+                Work::Fixed { .. } => {}
+            }
+        }
+    }
+
+    fn rate_of(&self, id: OpId) -> Rates {
+        match self.ops[id].work {
+            Work::Comm { .. } => Rates { byte: self.effective_bw(id), flop: f64::INFINITY },
+            Work::Compute { .. } => {
+                let g = self.ops[id].lanes[0].0;
+                let spec = &self.machine.gpus[g];
+                let share = self.compute_count[g].max(1) as f64;
+                // Floor at 10% so a saturating comm storm cannot starve
+                // compute entirely (hardware arbiters don't).
+                let bw = ((spec.mem_bw - self.comm_draw[g]).max(0.1 * spec.mem_bw)) / share;
+                Rates { byte: bw, flop: spec.flops / share }
+            }
+            Work::Fixed { .. } => Rates { byte: f64::INFINITY, flop: f64::INFINITY },
+        }
+    }
+
+    fn finish(self) -> SimOutcome {
+        SimOutcome {
+            report: RunReport {
+                makespan: self.now,
+                timeline: self.timeline,
+                ops_executed: self.executed,
+            },
+            completion_order: self.completion_order,
+        }
+    }
+}
+
+impl<Ctx> Component for RateCore<'_, Ctx> {
+    fn label(&self) -> String {
+        format!("gpusim rate core ({} ops)", self.ops.len())
+    }
+
+    fn dispatch(&mut self, now: f64, inj: &Injector) -> bool {
+        // Promote every ready head op. A collective is ready when at the
+        // head of each of its lanes; repeat until fixpoint since one
+        // promotion can expose another lane's head.
+        let mut any = false;
+        let mut promoted = true;
+        while promoted {
+            promoted = false;
+            let candidates: Vec<OpId> = self
+                .heads
+                .iter()
+                .filter_map(|(&lane, &h)| self.queues[&lane].get(h).copied())
+                .collect();
+            for id in candidates {
+                if self.completed[id] || self.killed[id] || self.running.contains(&id) {
+                    continue;
+                }
+                let op = &self.ops[id];
+                let at_all_heads = op
+                    .lanes
                     .iter()
-                    .filter_map(|(&lane, &h)| {
-                        queues[&lane].get(h).map(|&id| {
-                            format!("lane {:?} head op {} ({})", lane, id, ops[id].desc.label)
-                        })
-                    })
-                    .collect();
-                panic!("schedule deadlock at t={now}: {stuck:?}");
-            }
-
-            // Rates: communication drains link bandwidth from each
-            // participant GPU's memory system; concurrent compute kernels on
-            // one GPU share what is left.
-            let gpu_count = machine.gpu_count();
-            let mut comm_draw = vec![0.0f64; gpu_count];
-            let mut compute_count = vec![0usize; gpu_count];
-            for &id in &running {
-                match ops[id].work {
-                    Work::Comm { bw, .. } => {
-                        for &(g, _) in &ops[id].lanes {
-                            comm_draw[g] += bw;
+                    .all(|lane| self.queues[lane].get(self.heads[lane]) == Some(&id));
+                let deps_done = op.waits.iter().all(|&w| self.completed[w]);
+                if at_all_heads && deps_done {
+                    if !inj.is_noop() {
+                        let site = DispatchSite::SimStart {
+                            gpu: op.lanes[0].0,
+                            stream: op.lanes[0].1,
+                            seq: id,
+                            collective: op.lanes.len() > 1,
+                        };
+                        match inj.at(site) {
+                            Action::Kill => {
+                                // The op dies at launch: it never runs and
+                                // its lanes block, surfacing as a stall.
+                                self.killed[id] = true;
+                                continue;
+                            }
+                            Action::Pause { seconds } => {
+                                // Preemption before start: extend the op's
+                                // fixed-work dimension by the pause.
+                                self.remaining[id].seconds += seconds;
+                            }
+                            Action::None => {}
                         }
                     }
-                    Work::Compute { .. } => {
-                        compute_count[ops[id].lanes[0].0] += 1;
-                    }
-                    Work::Fixed { .. } => {}
+                    self.running.push(id);
+                    self.started_at[id] = now;
+                    promoted = true;
+                    any = true;
                 }
             }
+        }
+        any
+    }
 
-            let rate_of = |id: OpId| -> Rates {
-                match ops[id].work {
-                    Work::Comm { bw, .. } => Rates { byte: bw, flop: f64::INFINITY },
-                    Work::Compute { .. } => {
-                        let g = ops[id].lanes[0].0;
-                        let spec = &machine.gpus[g];
-                        let share = compute_count[g].max(1) as f64;
-                        // Floor at 10% so a saturating comm storm cannot
-                        // starve compute entirely (hardware arbiters don't).
-                        let bw = ((spec.mem_bw - comm_draw[g]).max(0.1 * spec.mem_bw)) / share;
-                        Rates { byte: bw, flop: spec.flops / share }
-                    }
-                    Work::Fixed { .. } => Rates { byte: f64::INFINITY, flop: f64::INFINITY },
-                }
+    fn next_event(&mut self, now: f64) -> Option<f64> {
+        if self.running.is_empty() {
+            self.pending = None;
+            return None;
+        }
+        self.refresh_rates();
+        // Earliest completion under current rates.
+        let mut dt = f64::INFINITY;
+        for &id in &self.running {
+            dt = dt.min(self.remaining[id].eta(self.rate_of(id)));
+        }
+        debug_assert!(dt.is_finite(), "running op with infinite ETA");
+        let target = now + dt;
+        self.pending = Some((target.to_bits(), dt));
+        Some(target)
+    }
+
+    fn advance(&mut self, next: f64, _inj: &Injector) -> bool {
+        if self.running.is_empty() {
+            self.pending = None;
+            return false;
+        }
+        // Bit-exact path: the scheduler advanced to exactly the instant we
+        // reported, so drain by the dt we computed it from. Fallback (other
+        // components' events, cycle-sync quanta): drain by the difference.
+        let dt = match self.pending.take() {
+            Some((bits, dt)) if bits == next.to_bits() => dt,
+            _ => next - self.now,
+        };
+        // Drain work and collect completions. Rates were refreshed by
+        // `next_event` this round (scheduler contract).
+        let mut finished: Vec<OpId> = Vec::new();
+        for &id in &self.running {
+            let rates = self.rate_of(id);
+            self.remaining[id].advance(dt, rates);
+            if self.remaining[id].done() {
+                finished.push(id);
+            }
+        }
+        self.now = next;
+        let retired = !finished.is_empty();
+        for id in finished {
+            self.running.retain(|&r| r != id);
+            self.completed[id] = true;
+            self.executed += 1;
+            self.completion_order.push(id);
+            let op = &self.ops[id];
+            let bytes = match op.work {
+                Work::Compute { bytes, .. } | Work::Comm { bytes, .. } => bytes,
+                Work::Fixed { .. } => 0.0,
             };
-
-            // Earliest completion under current rates.
-            let mut dt = f64::INFINITY;
-            for &id in &running {
-                dt = dt.min(remaining[id].eta(rate_of(id)));
+            for &(gpu, stream) in &op.lanes {
+                self.timeline.spans.push(Span {
+                    gpu,
+                    stream,
+                    category: op.desc.category,
+                    stage: op.desc.stage,
+                    label: op.desc.label,
+                    start: self.started_at[id],
+                    end: self.now,
+                    op: id,
+                    bytes,
+                    reads: op.effects.reads.len() as u32,
+                    writes: op.effects.writes.len() as u32,
+                });
             }
-            debug_assert!(dt.is_finite(), "running op with infinite ETA");
-            now += dt;
-
-            // Drain work and collect completions.
-            let mut finished: Vec<OpId> = Vec::new();
-            for &id in &running {
-                let rates = rate_of(id);
-                remaining[id].advance(dt, rates);
-                if remaining[id].done() {
-                    finished.push(id);
-                }
-            }
-            for id in finished {
-                running.retain(|&r| r != id);
-                completed[id] = true;
-                executed += 1;
-                completion_order.push(id);
-                let op = &ops[id];
-                let bytes = match op.work {
-                    Work::Compute { bytes, .. } | Work::Comm { bytes, .. } => bytes,
-                    Work::Fixed { .. } => 0.0,
-                };
-                for &(gpu, stream) in &op.lanes {
-                    timeline.spans.push(Span {
-                        gpu,
-                        stream,
-                        category: op.desc.category,
-                        stage: op.desc.stage,
-                        label: op.desc.label,
-                        start: started_at[id],
-                        end: now,
-                        op: id,
-                        bytes,
-                        reads: op.effects.reads.len() as u32,
-                        writes: op.effects.writes.len() as u32,
-                    });
-                }
-                for lane in &op.lanes {
-                    // Advance each lane head past this op.
-                    let h = heads.get_mut(lane).expect("lane exists");
-                    while queues[lane].get(*h).is_some_and(|&q| completed[q]) {
-                        *h += 1;
-                    }
+            for lane in &op.lanes {
+                // Advance each lane head past this op.
+                let h = self.heads.get_mut(lane).expect("lane exists");
+                while self.queues[lane].get(*h).is_some_and(|&q| self.completed[q]) {
+                    *h += 1;
                 }
             }
         }
+        retired
+    }
 
-        SimOutcome {
-            report: RunReport { makespan: now, timeline, ops_executed: executed },
-            completion_order,
-        }
+    fn is_done(&self) -> bool {
+        self.completed.iter().all(|&c| c)
+    }
+
+    fn stuck(&self) -> Vec<String> {
+        self.heads
+            .iter()
+            .filter_map(|(&lane, &h)| {
+                self.queues[&lane].get(h).map(|&id| {
+                    format!("lane {:?} head op {} ({})", lane, id, self.ops[id].desc.label)
+                })
+            })
+            .collect()
     }
 }
 

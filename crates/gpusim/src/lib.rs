@@ -56,6 +56,8 @@
 //! assert_eq!(report.timeline.spans.len(), 3); // kernel + 2 collective lanes
 //! ```
 
+pub use mggcn_sched as sched;
+
 pub mod effects;
 pub mod engine;
 pub mod memory;

@@ -193,3 +193,31 @@ fn train_resume_from_garbage_fails_cleanly() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("resume failed"), "{err}");
 }
+
+#[test]
+fn analyze_dump_prints_the_annotated_op_stream() {
+    let out = mggcn()
+        .args(["analyze", "--gpus", "1", "--vertices", "300", "--hidden", "8", "--dump"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "clean schedules must exit 0");
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    // The dump is the effect-annotated op stream `mggcn-analyze` verifies:
+    // one line per op with kind, category, lane placement, wait edges and
+    // declared read/write sets.
+    assert!(text.contains("op   0 "), "ops are numbered from 0:\n{text}");
+    let op_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("op ")).collect();
+    assert!(op_lines.len() >= 10, "a 2-layer epoch dumps many ops:\n{text}");
+    for l in &op_lines {
+        assert!(l.contains("lanes=[g"), "op line lost lane placement: {l}");
+    }
+    // Trainer ops declare their effect sets (serving extraction ops may
+    // not); the bulk of the stream must carry them.
+    let annotated = op_lines.iter().filter(|l| l.contains("R[") && l.contains("W[")).count();
+    assert!(annotated >= 10, "only {annotated} op lines carry R[..] W[..] sets:\n{text}");
+    // Dependency edges and both work kinds appear somewhere in the stream.
+    assert!(op_lines.iter().any(|l| l.contains("waits=[")), "no wait edges:\n{text}");
+    assert!(op_lines.iter().any(|l| l.contains(" compute ")), "no compute ops:\n{text}");
+    assert!(op_lines.iter().any(|l| l.contains(" Comm ")), "no comm ops:\n{text}");
+}
