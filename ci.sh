@@ -125,5 +125,29 @@ echo "==> analyze smoke (static schedule verification; Reddit model A, P=4)"
 # more big buffers than the §4.2 L+3 plan.
 ./target/release/mggcn analyze >/dev/null
 ./target/release/mggcn analyze --dataset reddit --gpus 4
+./target/release/mggcn analyze --dataset reddit --gpus 4 --partition 1.5d
+
+echo "==> topo smoke (2-node cluster training; §5.1 crossover card; schema)"
+# Train on a 2-node x 2-GPU hierarchical machine under both partitionings
+# and both kernel-pool widths — numerics must be identical in all four
+# cells (the 1.5D reduce re-folds partials in canonical stage order).
+# Then `mggcn topo-bench` reproduces the §5.1 verdicts (closed form AND
+# discrete-event), locates the NIC crossover, runs the papers100M e2e
+# sweep, and exits nonzero if any verdict fails. The committed
+# BENCH_topo.json must also still validate — regenerate it with
+#   ./target/release/mggcn topo-bench --out BENCH_topo.json
+# whenever the cost models change.
+for threads in 1 4; do
+  for partition in 1d 1.5d; do
+    MGGCN_THREADS="${threads}" ./target/release/mggcn train \
+      --gpus 4 --nodes 2 --partition "${partition}" \
+      --vertices 400 --hidden 16 --epochs 3 >/dev/null
+  done
+done
+TOPO_DIR="$(mktemp -d)"
+./target/release/mggcn topo-bench --out "${TOPO_DIR}/BENCH_topo.json" >/dev/null
+./target/release/mggcn topo-bench --check "${TOPO_DIR}/BENCH_topo.json" >/dev/null
+rm -rf "${TOPO_DIR}"
+./target/release/mggcn topo-bench --check BENCH_topo.json >/dev/null
 
 echo "==> CI green"

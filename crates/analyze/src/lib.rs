@@ -86,10 +86,9 @@ impl fmt::Display for Finding {
                 let ids: Vec<String> = cycle.iter().map(|id| id.to_string()).collect();
                 write!(f, "dependency cycle (deadlock): ops [{}]", ids.join(" -> "))
             }
-            Finding::OverBudget { gpu, needed, budget } => write!(
-                f,
-                "GPU {gpu} needs {needed} big buffers but the plan budgets {budget} (L+3)"
-            ),
+            Finding::OverBudget { gpu, needed, budget } => {
+                write!(f, "GPU {gpu} needs {needed} big buffers but the plan budgets {budget}")
+            }
         }
     }
 }
@@ -108,6 +107,14 @@ impl BudgetSpec {
     /// broadcast buffers, for a model with `layers` layers.
     pub fn mg_gcn(layers: usize) -> Self {
         Self { names: vec!["AHW", "HW", "BC1", "BC2"], budget: layers + 3 }
+    }
+
+    /// The 1.5D (c = 2) plan: everything in [`BudgetSpec::mg_gcn`] plus the
+    /// replicated-partial buffer `RP` that accumulates the mate partition's
+    /// SpMM result between the intra-group broadcasts and the cross-group
+    /// reduction — the §5.1 memory-replication cost, L+4 per GPU.
+    pub fn mg_gcn_15d(layers: usize) -> Self {
+        Self { names: vec!["AHW", "HW", "BC1", "BC2", "RP"], budget: layers + 4 }
     }
 }
 
@@ -424,6 +431,23 @@ mod tests {
             tight.findings[..],
             [Finding::OverBudget { gpu: 0, needed: 2, budget: 1 }]
         ));
+    }
+
+    #[test]
+    fn budget_15d_adds_the_rp_family() {
+        let spec = BudgetSpec::mg_gcn_15d(2);
+        assert_eq!(spec.budget, 6); // L+4
+        assert!(spec.names.contains(&"RP"));
+        // An op writing RP is counted by the 1.5D spec but invisible to the
+        // 1D one — the generalized budget, not a relabeling.
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        let rp = BufId::new(0, "RP");
+        s.launch_fx(0, 0, fixed(), desc("spmm-rp"), &[], Effects::none().writes([rp]), None);
+        s.launch_fx(0, 0, fixed(), desc("reduce"), &[], Effects::none().reads([rp]), None);
+        let r = analyze_budget(&s, &BudgetSpec::mg_gcn_15d(0));
+        assert!(r.clean(), "{}", r.render());
+        assert_eq!(r.liveness.as_ref().unwrap().buffers_needed, 1);
+        assert!(analyze_budget(&s, &BudgetSpec::mg_gcn(0)).liveness.is_none());
     }
 
     #[test]

@@ -76,6 +76,39 @@ impl GcnConfig {
     }
 }
 
+/// How the adjacency/feature rows are partitioned across GPUs (§5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Partition {
+    /// The paper's shipped scheme: P row partitions, each stage broadcast
+    /// to the full machine.
+    #[default]
+    OneD,
+    /// 1.5D with replication factor c = 2: the machine splits into two
+    /// replication groups; each stage broadcasts inside one group only and
+    /// a cross-group pairwise reduction combines the partial SpMM results.
+    /// Costs one extra big buffer per GPU (`RP`, the §5.1 2× memory
+    /// figure's marginal cost here). Requires an even GPU count ≥ 2.
+    OneFiveD,
+}
+
+impl Partition {
+    /// CLI spelling (`--partition {1d,1.5d}`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "1d" => Some(Self::OneD),
+            "1.5d" => Some(Self::OneFiveD),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::OneD => "1d",
+            Self::OneFiveD => "1.5d",
+        }
+    }
+}
+
 /// Everything the trainer needs to know beyond the model: the machine, the
 /// GPU count, and each paper optimization as an ablation flag.
 #[derive(Clone, Debug)]
@@ -109,6 +142,10 @@ pub struct TrainOptions {
     /// How epochs execute: discrete-event simulation only, or really, on
     /// worker-per-GPU threads (`mggcn-exec`). Numerics are bit-identical.
     pub backend: Backend,
+    /// §5.1 partitioning strategy. 1.5D is numerics-identical to 1D (the
+    /// cross-group reduction re-folds in canonical stage order) but moves
+    /// bytes on a different wire pattern and needs `L + 4` big buffers.
+    pub partition: Partition,
 }
 
 impl TrainOptions {
@@ -128,6 +165,7 @@ impl TrainOptions {
             buffer_policy: BufferPolicy::MgGcn,
             epoch_host_overhead: 3.0e-3,
             backend: Backend::Simulated,
+            partition: Partition::default(),
         }
     }
 
@@ -186,5 +224,14 @@ mod tests {
     #[should_panic(expected = "gpu count out of range")]
     fn too_many_gpus_rejected() {
         let _ = TrainOptions::full(MachineSpec::dgx_a100(), 9);
+    }
+
+    #[test]
+    fn partition_parses_and_defaults_to_1d() {
+        assert_eq!(TrainOptions::quick(2).partition, Partition::OneD);
+        assert_eq!(Partition::parse("1d"), Some(Partition::OneD));
+        assert_eq!(Partition::parse("1.5d"), Some(Partition::OneFiveD));
+        assert_eq!(Partition::parse("2d"), None);
+        assert_eq!(Partition::OneFiveD.name(), "1.5d");
     }
 }

@@ -58,7 +58,7 @@ pub mod problem;
 pub mod state;
 pub mod trainer;
 
-pub use config::{GcnConfig, TrainOptions};
+pub use config::{GcnConfig, Partition, TrainOptions};
 pub use memplan::MemoryPlan;
 pub use metrics::{EpochReport, MeasuredEpoch};
 pub use mggcn_exec::Backend;

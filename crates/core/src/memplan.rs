@@ -72,6 +72,17 @@ impl MemoryPlan {
         Self { adjacency, features, big_buffers, weights, labels }
     }
 
+    /// [`MemoryPlan::new`] for the 1.5D pipeline: one extra big buffer per
+    /// GPU (the `RP` replicated partial, sized like the others at
+    /// `n/P · d_max · 4`) — the marginal cost of §5.1's 2× replication in
+    /// the shared-buffer scheme, taking `MgGcn` from `L+3` to `L+4`.
+    pub fn new_15d(n: u64, m: u64, cfg: &GcnConfig, gpus: u64, policy: BufferPolicy) -> Self {
+        let mut plan = Self::new(n, m, cfg, gpus, policy);
+        let n_p = n.div_ceil(gpus);
+        plan.big_buffers += n_p * cfg.max_dim() as u64 * 4;
+        plan
+    }
+
     pub fn total(&self) -> u64 {
         self.adjacency + self.features + self.big_buffers + self.weights + self.labels
     }
@@ -163,6 +174,25 @@ mod tests {
         let p1 = MemoryPlan::new(REDDIT_N, REDDIT_M, &cfg, 1, BufferPolicy::MgGcn).total();
         let p8 = MemoryPlan::new(REDDIT_N, REDDIT_M, &cfg, 8, BufferPolicy::MgGcn).total();
         assert!(p8 < p1 / 4, "p1 {p1} p8 {p8}");
+    }
+
+    #[test]
+    fn plan_15d_adds_exactly_one_big_buffer() {
+        let cfg = GcnConfig::model_a(602, 41);
+        let p1d = MemoryPlan::new(REDDIT_N, REDDIT_M, &cfg, 4, BufferPolicy::MgGcn);
+        let p15 = MemoryPlan::new_15d(REDDIT_N, REDDIT_M, &cfg, 4, BufferPolicy::MgGcn);
+        let n_p = REDDIT_N.div_ceil(4);
+        let one_buffer = n_p * cfg.max_dim() as u64 * 4;
+        assert_eq!(p15.big_buffers - p1d.big_buffers, one_buffer);
+        // Every other component is untouched.
+        assert_eq!(p15.adjacency, p1d.adjacency);
+        assert_eq!(p15.features, p1d.features);
+        assert_eq!(p15.weights, p1d.weights);
+        assert_eq!(p15.labels, p1d.labels);
+        // L+3 → L+4 in units of one buffer.
+        let layers = cfg.layers() as u64;
+        assert_eq!(p1d.big_buffers, (layers + 3) * one_buffer);
+        assert_eq!(p15.big_buffers, (layers + 4) * one_buffer);
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct GpuState {
     /// Broadcast buffers (double-buffered).
     pub bc1: Dense,
     pub bc2: Dense,
+    /// 1.5D replicated-partial buffer: accumulates the SpMM result for the
+    /// *mate* GPU's partition between the intra-group broadcasts and the
+    /// cross-group reduction (§5.1's 2× memory replication). Allocated
+    /// 0×0 under 1D — zero capacity, so the L+3 accounting is unchanged —
+    /// and grown lazily by the first 1.5D SpMM body.
+    pub rp: Dense,
     /// Replicated weights, one per layer.
     pub weights: Vec<Dense>,
     /// Weight gradients.
@@ -126,6 +132,7 @@ impl DeviceState {
                     hw: Dense::zeros(n_i, max_d),
                     bc1: Dense::zeros(max_rows, max_d),
                     bc2: Dense::zeros(max_rows, max_d),
+                    rp: Dense::zeros(0, 0),
                     // All GPUs seed identically: replicated weights agree.
                     weights: (0..layers)
                         .map(|l| {
@@ -189,6 +196,28 @@ impl DeviceState {
         }
     }
 
+    /// [`DeviceState::broadcast_into_bc`] restricted to `members` — the
+    /// 1.5D intra-group broadcast. `src` must be a member; GPUs outside
+    /// the group keep whatever their `slot` buffer held.
+    pub fn broadcast_into_bc_group(
+        &self,
+        src: usize,
+        read: impl Fn(&GpuState) -> &Dense,
+        rows: usize,
+        cols: usize,
+        slot: BcSlot,
+        members: &[usize],
+    ) {
+        debug_assert!(members.contains(&src), "broadcast root outside its group");
+        let payload: Vec<f32> = read(&self.gpu(src)).as_slice()[..rows * cols].to_vec();
+        for &i in members {
+            let mut g = self.gpu(i);
+            let bc = g.bc(slot);
+            bc.resize(rows, cols);
+            bc.as_mut_slice().copy_from_slice(&payload);
+        }
+    }
+
     /// All-reduce (sum) the layer-`l` weight gradients across GPUs, fixed
     /// order for bit reproducibility.
     pub fn all_reduce_wgrad(&self, l: usize) {
@@ -208,14 +237,19 @@ impl DeviceState {
         }
     }
 
-    /// Allocated bytes of GPU `i`'s `L + 3` big buffers (the `AHW` set
-    /// plus `HW`, `BC1`, `BC2`), by backing-store capacity — the quantity
-    /// memplan's `MemoryPlan::big_buffers` budgets with `(L+3)·n_p·d·4`.
-    /// Weights/optimizer state are excluded, as in the plan's own split.
+    /// Allocated bytes of GPU `i`'s big buffers (the `AHW` set plus `HW`,
+    /// `BC1`, `BC2`, and under 1.5D the `RP` replica), by backing-store
+    /// capacity — the quantity memplan's `MemoryPlan::big_buffers` budgets
+    /// with `(L+3)·n_p·d·4` (1D; `RP` has zero capacity then) or
+    /// `(L+4)·n_p·d·4` (1.5D). Weights/optimizer state are excluded, as in
+    /// the plan's own split.
     pub fn big_buffer_bytes(&self, i: usize) -> u64 {
         let g = self.gpu(i);
         let ahw: usize = g.ahw.iter().map(Dense::capacity_bytes).sum();
-        (ahw + g.hw.capacity_bytes() + g.bc1.capacity_bytes() + g.bc2.capacity_bytes()) as u64
+        (ahw + g.hw.capacity_bytes()
+            + g.bc1.capacity_bytes()
+            + g.bc2.capacity_bytes()
+            + g.rp.capacity_bytes()) as u64
     }
 
     /// Reset per-epoch scratch counters.

@@ -21,7 +21,7 @@
 //! `bcast(s)` waits on the previous reader of its double buffer
 //! (`spmm(s-2)` on every GPU).
 
-use crate::config::{GcnConfig, TrainOptions};
+use crate::config::{GcnConfig, Partition, TrainOptions};
 use crate::loss::softmax_xent_inplace;
 use crate::memplan::MemoryPlan;
 use crate::metrics::{EpochReport, MeasuredEpoch};
@@ -90,6 +90,11 @@ fn bc_id(g: usize, slot_idx: usize) -> BufId {
     BufId::new(g, if slot_idx == 0 { "BC1" } else { "BC2" })
 }
 
+/// The 1.5D replicated-partial buffer on GPU `g`.
+fn rp_id(g: usize) -> BufId {
+    BufId::new(g, "RP")
+}
+
 /// Layer `l`'s weights on GPU `g`.
 fn w_id(g: usize, l: usize) -> BufId {
     BufId::indexed(g, "W", l)
@@ -131,8 +136,29 @@ impl Trainer {
     /// materialized), and get ready to train.
     pub fn new(problem: Problem, cfg: GcnConfig, opts: TrainOptions) -> Result<Self, OomError> {
         let m_total: u64 = problem.fwd_nnz.iter().sum();
-        let plan =
-            MemoryPlan::new(problem.n as u64, m_total, &cfg, opts.gpus as u64, opts.buffer_policy);
+        let plan = match opts.partition {
+            Partition::OneD => MemoryPlan::new(
+                problem.n as u64,
+                m_total,
+                &cfg,
+                opts.gpus as u64,
+                opts.buffer_policy,
+            ),
+            Partition::OneFiveD => {
+                assert!(
+                    opts.gpus >= 2 && opts.gpus.is_multiple_of(2),
+                    "1.5D partitioning needs an even GPU count >= 2, got {}",
+                    opts.gpus
+                );
+                MemoryPlan::new_15d(
+                    problem.n as u64,
+                    m_total,
+                    &cfg,
+                    opts.gpus as u64,
+                    opts.buffer_policy,
+                )
+            }
+        };
         let capacity = opts.machine.gpus[0].mem_bytes;
         if !plan.fits(capacity) {
             return Err(OomError {
@@ -264,7 +290,7 @@ impl Trainer {
             }
         };
         if let Some(tracer) = &self.tracer {
-            tracer.ingest_sim_timeline(&run.timeline, run.makespan);
+            tracer.ingest_sim_timeline_on(&run.timeline, run.makespan, &self.opts.machine);
             for g in 0..self.state.gpu_count() {
                 tracer.record_memory(g, self.state.big_buffer_bytes(g));
             }
@@ -338,6 +364,14 @@ impl Trainer {
     /// `sim.bcast.bytes.stage.*` counters must match exactly (× epochs).
     pub fn expected_broadcast_bytes(&self) -> Vec<u64> {
         let rows: Vec<usize> = (0..self.opts.gpus).map(|s| self.problem.rows_of(s)).collect();
+        if self.opts.partition == Partition::OneFiveD && self.opts.gpus == 2 {
+            // Singleton replication groups: every intra-group "broadcast" is
+            // a one-lane collective, which the engine models as a zero-byte
+            // fixed-latency hop — the traced stage counters see no bytes.
+            // At P >= 4 each stage is still broadcast exactly once with the
+            // same payload as under 1D, so the 1D closed form applies.
+            return vec![0; self.opts.gpus];
+        }
         mggcn_comm::analysis::epoch_broadcast_bytes(
             &rows,
             &self.cfg.dims,
@@ -368,6 +402,17 @@ struct EpochBuilder<'a> {
     producers: Vec<Option<OpId>>,
     /// Ops that last read each broadcast buffer (WAR guards).
     bc_readers: [Vec<OpId>; 2],
+    /// 1.5D: per replication group, the ops that last read each broadcast
+    /// slot (the group-local WAR guards — the two groups never share a BC
+    /// buffer, so their guard sets are independent).
+    bc_readers15: [[Vec<OpId>; 2]; 2],
+    /// 1.5D: the cross-group reduction ops of the most recent staged SpMM.
+    /// They read *every* GPU's `src` shard, so each GPU's next op must
+    /// order after all of them once; lane FIFO carries the edge from there.
+    /// Always empty under 1D, so 1D schedules are untouched.
+    pending_sync: Vec<OpId>,
+    /// Which GPUs have already consumed [`EpochBuilder::pending_sync`].
+    sync_taken: Vec<bool>,
 }
 
 impl<'a> EpochBuilder<'a> {
@@ -383,6 +428,37 @@ impl<'a> EpochBuilder<'a> {
             t: epoch as u64 + 1,
             producers: vec![None; opts.gpus],
             bc_readers: [Vec::new(), Vec::new()],
+            bc_readers15: [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()]],
+            pending_sync: Vec::new(),
+            sync_taken: vec![false; opts.gpus],
+        }
+    }
+
+    /// The pending cross-group-reduction waits GPU `g` still owes, consumed
+    /// exactly once per GPU per staged 1.5D SpMM (subsequent same-lane ops
+    /// inherit the ordering through lane FIFO). Empty under 1D.
+    fn take_sync(&mut self, g: usize) -> Vec<OpId> {
+        if self.sync_taken[g] {
+            Vec::new()
+        } else {
+            self.sync_taken[g] = true;
+            self.pending_sync.clone()
+        }
+    }
+
+    /// Partition dispatch: the paper's 1D broadcast pipeline or the §5.1
+    /// 1.5D replicated pipeline. Both return the per-GPU producer of `dst`.
+    fn staged(
+        &mut self,
+        dir: Dir,
+        src: Buf,
+        dst: Buf,
+        d: usize,
+        src_producers: Vec<Option<OpId>>,
+    ) -> Vec<OpId> {
+        match self.opts.partition {
+            Partition::OneD => self.staged_spmm(dir, src, dst, d, src_producers),
+            Partition::OneFiveD => self.staged_spmm_15d(dir, src, dst, d, src_producers),
         }
     }
 
@@ -405,15 +481,14 @@ impl<'a> EpochBuilder<'a> {
 
             if spmm_first {
                 // AH = Âᵀ·H (width d_in) into HW, then AHW = AH·W.
-                let spmm_ops =
-                    self.staged_spmm(Dir::Fwd, input, Buf::Hw, d_in, self.producers.clone());
+                let spmm_ops = self.staged(Dir::Fwd, input, Buf::Hw, d_in, self.producers.clone());
                 let gemm_ops = self.local_gemm_xw(l, Buf::Hw, Buf::Ahw(l), &spmm_ops);
                 self.producers = gemm_ops.into_iter().map(Some).collect();
             } else {
                 // HW = H·W (width d_out) into HW, then AHW = Âᵀ·HW.
                 let gemm_ops = self.local_gemm_xw(l, input, Buf::Hw, &[]);
                 let srcs: Vec<Option<OpId>> = gemm_ops.into_iter().map(Some).collect();
-                let spmm_ops = self.staged_spmm(Dir::Fwd, Buf::Hw, Buf::Ahw(l), d_out, srcs);
+                let spmm_ops = self.staged(Dir::Fwd, Buf::Hw, Buf::Ahw(l), d_out, srcs);
                 self.producers = spmm_ops.into_iter().map(Some).collect();
             }
 
@@ -450,12 +525,13 @@ impl<'a> EpochBuilder<'a> {
                     gs.test_total = stats.test_total;
                 }) as Body<DeviceState>
             });
+            let waits = self.take_sync(g);
             let id = self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::LossLayer, "softmax-xent"),
-                &[],
+                &waits,
                 Effects::none().rw(buf_id(g, Buf::Ahw(last))),
                 body,
             );
@@ -489,7 +565,7 @@ impl<'a> EpochBuilder<'a> {
             let hwg_buf = if skip_spmm { Buf::Ahw(0) } else { Buf::Hw };
             if !skip_spmm {
                 let ops =
-                    self.staged_spmm(Dir::Bwd, Buf::Ahw(l), Buf::Hw, d_out, self.producers.clone());
+                    self.staged(Dir::Bwd, Buf::Ahw(l), Buf::Hw, d_out, self.producers.clone());
                 self.producers = ops.into_iter().map(Some).collect();
             }
 
@@ -630,6 +706,279 @@ impl<'a> EpochBuilder<'a> {
         last_spmm
     }
 
+    /// The 1.5D staged distributed SpMM (§5.1, replication factor c = 2).
+    ///
+    /// The machine splits into two replication groups `G0 = {0..P/2}` and
+    /// `G1 = {P/2..P}`; GPU `j`'s mate is `(j + P/2) % P`. Phase A runs
+    /// `P/2` rounds; in round `r` the two groups broadcast concurrently
+    /// (G0 stage `r`, G1 stage `P/2 + r`, each inside its own group only)
+    /// and every GPU folds the received tile into **two** partials: its own
+    /// partition's (into `dst`) and its mate's (into the `RP` replica
+    /// buffer — the §5.1 2× memory). Phase B runs `P/2` concurrent pairwise
+    /// cross-group reductions, one per mate pair, exchanging the partials
+    /// over the inter-group links and finalizing `dst` on both members.
+    ///
+    /// Numerics: the reduction body re-folds `dst` in the canonical 1D
+    /// stage order `s = 0..P`, so 1.5D results are bit-identical to the 1D
+    /// pipeline by construction; the declared bytes/bandwidth/op structure
+    /// (what the DES times and the tracer counts) remain genuinely 1.5D.
+    fn staged_spmm_15d(
+        &mut self,
+        dir: Dir,
+        src: Buf,
+        dst: Buf,
+        d: usize,
+        src_producers: Vec<Option<OpId>>,
+    ) -> Vec<OpId> {
+        let p = self.p();
+        assert!(p >= 2 && p.is_multiple_of(2), "1.5D needs an even GPU count >= 2");
+        let half = p / 2;
+        let comm_stream = self.opts.comm_stream();
+        let groups: [Vec<usize>; 2] = [(0..half).collect(), (half..p).collect()];
+        // Tail of each GPU's phase-A lane-0 chain — what the reductions wait on.
+        let mut tail: Vec<Option<OpId>> = vec![None; p];
+
+        for r in 0..half {
+            // The two groups broadcast concurrently on disjoint lane sets.
+            let mut bcasts = [None, None];
+            for (gi, members) in groups.iter().enumerate() {
+                let s = if gi == 0 { r } else { half + r };
+                let slot_idx = s % 2;
+                let slot = BcSlot::for_stage(s);
+                let rows = self.problem.rows_of(s);
+                let mut waits: Vec<OpId> = self.bc_readers15[gi][slot_idx].clone();
+                if let Some(prod) = src_producers[s] {
+                    waits.push(prod);
+                }
+                let bytes = rows as f64 * d as f64 * 4.0;
+                let bw = self.opts.machine.broadcast_bw(s, members);
+                let lanes: Vec<(usize, usize)> =
+                    members.iter().map(|&g| (g, comm_stream)).collect();
+                let mem = members.clone();
+                let body = self.real.as_ref().map(|_| {
+                    Box::new(move |ctx: &DeviceState| {
+                        ctx.broadcast_into_bc_group(
+                            s,
+                            move |g| read_buf(g, src),
+                            rows,
+                            d,
+                            slot,
+                            &mem,
+                        );
+                    }) as Body<DeviceState>
+                });
+                let fx = Effects::none()
+                    .reads([buf_id(s, src)])
+                    .writes(members.iter().map(|&g| bc_id(g, slot_idx)));
+                bcasts[gi] = Some(self.sched.collective_fx(
+                    &lanes,
+                    bytes,
+                    bw,
+                    OpDesc::staged(Category::Comm, "bcast-H", s),
+                    &waits,
+                    fx,
+                    body,
+                ));
+            }
+
+            // Each member folds the received stage twice: into its own
+            // partial (dst) and its mate's partial (RP).
+            for (gi, members) in groups.iter().enumerate() {
+                let s = if gi == 0 { r } else { half + r };
+                let slot_idx = s % 2;
+                let slot = BcSlot::for_stage(s);
+                let rows = self.problem.rows_of(s);
+                let bcast = bcasts[gi].expect("broadcast emitted above");
+                let acc = r > 0;
+                let mut readers = Vec::with_capacity(members.len() * 2);
+                for &j in members {
+                    let mut waits = vec![bcast];
+                    if r == 0 {
+                        waits.extend(self.take_sync(j));
+                    }
+                    // Own partition: tile row j into dst.
+                    let nnz = match dir {
+                        Dir::Fwd => self.problem.fwd_tile_nnz(j, s),
+                        Dir::Bwd => self.problem.bwd_tile_nnz(j, s),
+                    };
+                    let n_j = self.problem.rows_of(j);
+                    let work = self.opts.cost.spmm(
+                        self.gpu_spec(j),
+                        n_j as u64,
+                        rows as u64,
+                        nnz,
+                        d as u64,
+                        acc,
+                    );
+                    let body = self.real.clone().map(|rc| {
+                        Box::new(move |ctx: &DeviceState| {
+                            let tile = match dir {
+                                Dir::Fwd => &rc.fwd_tiles[j * p + s],
+                                Dir::Bwd => &rc.bwd_tiles[j * p + s],
+                            };
+                            let g = &mut *ctx.gpu(j);
+                            let accumulate =
+                                if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                            let mut out = match dst {
+                                Buf::Hw => std::mem::take(&mut g.hw),
+                                Buf::Ahw(l) => std::mem::take(&mut g.ahw[l]),
+                                Buf::X => unreachable!("X is never an SpMM destination"),
+                            };
+                            if !acc {
+                                out.resize(n_j, d);
+                            }
+                            spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                            match dst {
+                                Buf::Hw => g.hw = out,
+                                Buf::Ahw(l) => g.ahw[l] = out,
+                                Buf::X => unreachable!(),
+                            }
+                        }) as Body<DeviceState>
+                    });
+                    let mut fx =
+                        Effects::none().reads([bc_id(j, slot_idx)]).writes([buf_id(j, dst)]);
+                    if acc {
+                        fx = fx.reads([buf_id(j, dst)]);
+                    }
+                    let own = self.sched.launch_fx(
+                        j,
+                        0,
+                        work,
+                        OpDesc::staged(Category::SpMM, "spmm", s),
+                        &waits,
+                        fx,
+                        body,
+                    );
+                    readers.push(own);
+
+                    // Mate's partition: tile row mate(j) into the RP replica.
+                    let m = (j + half) % p;
+                    let nnz_m = match dir {
+                        Dir::Fwd => self.problem.fwd_tile_nnz(m, s),
+                        Dir::Bwd => self.problem.bwd_tile_nnz(m, s),
+                    };
+                    let n_m = self.problem.rows_of(m);
+                    let work_m = self.opts.cost.spmm(
+                        self.gpu_spec(j),
+                        n_m as u64,
+                        rows as u64,
+                        nnz_m,
+                        d as u64,
+                        acc,
+                    );
+                    let body_m = self.real.clone().map(|rc| {
+                        Box::new(move |ctx: &DeviceState| {
+                            let tile = match dir {
+                                Dir::Fwd => &rc.fwd_tiles[m * p + s],
+                                Dir::Bwd => &rc.bwd_tiles[m * p + s],
+                            };
+                            let g = &mut *ctx.gpu(j);
+                            let accumulate =
+                                if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                            let mut out = std::mem::take(&mut g.rp);
+                            if !acc {
+                                out.resize(n_m, d);
+                            }
+                            spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                            g.rp = out;
+                        }) as Body<DeviceState>
+                    });
+                    let mut fx_m = Effects::none().reads([bc_id(j, slot_idx)]).writes([rp_id(j)]);
+                    if acc {
+                        fx_m = fx_m.reads([rp_id(j)]);
+                    }
+                    let mate = self.sched.launch_fx(
+                        j,
+                        0,
+                        work_m,
+                        OpDesc::staged(Category::SpMM, "spmm-rp", s),
+                        &[bcast],
+                        fx_m,
+                        body_m,
+                    );
+                    readers.push(mate);
+                    tail[j] = Some(mate);
+                }
+                self.bc_readers15[gi][slot_idx] = readers;
+            }
+        }
+
+        // Phase B: P/2 concurrent pairwise cross-group reductions. Pair
+        // (a, a + P/2) exchanges both partials over the a↔mate link(s).
+        let rows_all: Vec<usize> = (0..p).map(|s| self.problem.rows_of(s)).collect();
+        let mut reduces: Vec<OpId> = Vec::with_capacity(half);
+        let mut out_ops: Vec<Option<OpId>> = vec![None; p];
+        for a in 0..half {
+            let b = a + half;
+            let lanes = [(a, comm_stream), (b, comm_stream)];
+            let bytes = ((rows_all[a] + rows_all[b]) * d * 4) as f64;
+            let bw = self.opts.machine.reduce_bw(a, &[a, b]);
+            let waits =
+                [tail[a].expect("phase A emitted for a"), tail[b].expect("phase A emitted for b")];
+            let rows_body = rows_all.clone();
+            let body = self.real.clone().map(|rc| {
+                Box::new(move |ctx: &DeviceState| {
+                    // Stage every GPU's src shard to the host, one lock at
+                    // a time (collective bodies run at rendezvous
+                    // quiescence; concurrent pair reductions only ever
+                    // share read access to these shards).
+                    let views: Vec<Dense> = (0..p)
+                        .map(|s| {
+                            let g = ctx.gpu(s);
+                            let v = read_buf(&g, src).as_slice()[..rows_body[s] * d].to_vec();
+                            Dense::from_vec(rows_body[s], d, v)
+                        })
+                        .collect();
+                    // Finalize both members by re-folding in the canonical
+                    // 1D stage order — bit-identical to the 1D pipeline.
+                    for &t in &[a, b] {
+                        let n_t = rows_body[t];
+                        let gs = &mut *ctx.gpu(t);
+                        let mut out = match dst {
+                            Buf::Hw => std::mem::take(&mut gs.hw),
+                            Buf::Ahw(l) => std::mem::take(&mut gs.ahw[l]),
+                            Buf::X => unreachable!("X is never an SpMM destination"),
+                        };
+                        out.resize(n_t, d);
+                        for (s, view) in views.iter().enumerate() {
+                            let tile = match dir {
+                                Dir::Fwd => &rc.fwd_tiles[t * p + s],
+                                Dir::Bwd => &rc.bwd_tiles[t * p + s],
+                            };
+                            let accumulate =
+                                if s == 0 { Accumulate::Overwrite } else { Accumulate::Add };
+                            spmm(tile, view, &mut out, accumulate);
+                        }
+                        match dst {
+                            Buf::Hw => gs.hw = out,
+                            Buf::Ahw(l) => gs.ahw[l] = out,
+                            Buf::X => unreachable!(),
+                        }
+                    }
+                }) as Body<DeviceState>
+            });
+            let fx = Effects::none()
+                .reads((0..p).map(|s| buf_id(s, src)))
+                .reads([rp_id(a), rp_id(b)])
+                .writes([buf_id(a, dst), buf_id(b, dst)]);
+            let op = self.sched.collective_fx(
+                &lanes,
+                bytes,
+                bw,
+                OpDesc::new(Category::Comm, "reduce-AH"),
+                &waits,
+                fx,
+                body,
+            );
+            reduces.push(op);
+            out_ops[a] = Some(op);
+            out_ops[b] = Some(op);
+        }
+        self.pending_sync = reduces;
+        self.sync_taken = vec![false; p];
+        out_ops.into_iter().map(|o| o.expect("every GPU belongs to one pair")).collect()
+    }
+
     /// Local GeMM `dst = src · W(l)` on every GPU (paper eq. 5).
     fn local_gemm_xw(&mut self, l: usize, src: Buf, dst: Buf, extra_waits: &[OpId]) -> Vec<OpId> {
         let d_in = self.cfg.d_in(l);
@@ -646,6 +995,7 @@ impl<'a> EpochBuilder<'a> {
                     waits.push(prod);
                 }
             }
+            waits.extend(self.take_sync(g));
             let body = self.real.as_ref().map(|_| {
                 Box::new(move |ctx: &DeviceState| {
                     let gs = &mut *ctx.gpu(g);
@@ -689,12 +1039,13 @@ impl<'a> EpochBuilder<'a> {
                     relu_inplace(ctx.gpu(g).ahw[l].as_mut_slice());
                 }) as Body<DeviceState>
             });
+            let waits = self.take_sync(g);
             ops.push(self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::Activation, "relu"),
-                &[],
+                &waits,
                 Effects::none().rw(buf_id(g, Buf::Ahw(l))),
                 body,
             ));
@@ -717,12 +1068,13 @@ impl<'a> EpochBuilder<'a> {
                     mggcn_dense::relu_backward_merge(grad.as_slice(), act.as_mut_slice());
                 }) as Body<DeviceState>
             });
+            let waits = self.take_sync(g);
             ops.push(self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::Activation, "relu-bwd"),
-                &[],
+                &waits,
                 Effects::none().reads([buf_id(g, Buf::Ahw(l + 1))]).rw(buf_id(g, Buf::Ahw(l))),
                 body,
             ));
@@ -752,12 +1104,13 @@ impl<'a> EpochBuilder<'a> {
                     gs.wgrad[l] = out;
                 }) as Body<DeviceState>
             });
+            let waits = self.take_sync(g);
             ops.push(self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::GeMM, "gemm-WG"),
-                &[],
+                &waits,
                 Effects::none().reads([buf_id(g, x_buf), buf_id(g, hwg_buf)]).writes([wg_id(g, l)]),
                 body,
             ));
@@ -808,13 +1161,14 @@ impl<'a> EpochBuilder<'a> {
                     gs.ahw[l] = out;
                 }) as Body<DeviceState>
             });
+            let waits = self.take_sync(g);
             ops.push(
                 self.sched.launch_fx(
                     g,
                     0,
                     work,
                     OpDesc::new(Category::GeMM, "gemm-HG"),
-                    &[],
+                    &waits,
                     Effects::none()
                         .reads([buf_id(g, Buf::Hw), w_id(g, l)])
                         .writes([buf_id(g, Buf::Ahw(l))]),
@@ -849,12 +1203,14 @@ impl<'a> EpochBuilder<'a> {
                     gs.wgrad[l] = grad;
                 }) as Body<DeviceState>
             });
+            let mut waits = self.take_sync(g);
+            waits.push(reduce_op);
             self.sched.launch_fx(
                 g,
                 0,
                 work,
                 OpDesc::new(Category::Adam, "adam"),
-                &[reduce_op],
+                &waits,
                 Effects::none().reads([wg_id(g, l)]).rw(adam_id(g, l)).writes([w_id(g, l)]),
                 body,
             );

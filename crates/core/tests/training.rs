@@ -539,3 +539,94 @@ fn allocated_buffers_match_the_memory_plan() {
         "actual {actual_big} vs planned {planned} (ratio {ratio:.3})"
     );
 }
+
+#[test]
+fn partition_15d_is_bit_identical_to_1d() {
+    // The 1.5D cross-group reduction re-folds in the canonical stage
+    // order, so the two pipelines must agree to the last bit — losses and
+    // final weights alike.
+    use mggcn_core::config::Partition;
+    let graph = test_graph(70, 21);
+    for gpus in [2, 4] {
+        let cfg = GcnConfig::new(graph.features.cols(), &[10], graph.classes);
+        let run = |partition: Partition| {
+            let mut opts = TrainOptions::quick(gpus);
+            opts.partition = partition;
+            let problem = Problem::from_graph(&graph, &cfg, &opts);
+            let mut trainer = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+            let losses: Vec<f64> =
+                trainer.train(3).expect("train").into_iter().map(|r| r.loss).collect();
+            let weights = trainer.state().gpu(0).weights.clone();
+            (losses, weights)
+        };
+        let (l1, w1) = run(Partition::OneD);
+        let (l15, w15) = run(Partition::OneFiveD);
+        for e in 0..3 {
+            assert_eq!(l1[e], l15[e], "{gpus} GPUs, epoch {e}: 1.5D changed loss bits");
+        }
+        for (l, (a, b)) in w1.iter().zip(&w15).enumerate() {
+            assert_eq!(a.as_slice(), b.as_slice(), "{gpus} GPUs, layer {l}: weights differ");
+        }
+    }
+}
+
+#[test]
+fn partition_15d_survives_every_optimization_combination() {
+    // Overlap, op-order selection and the §4.4 first-layer skip compose
+    // with 1.5D without changing bits relative to 1D under the same flags.
+    use mggcn_core::config::Partition;
+    let graph = test_graph(60, 22);
+    let cfg = GcnConfig::new(graph.features.cols(), &[10], graph.classes);
+    for (overlap, order, skip) in [(false, true, false), (true, false, false), (true, true, true)] {
+        let run = |partition: Partition| {
+            let mut opts = TrainOptions::quick(4);
+            opts.overlap = overlap;
+            opts.op_order_opt = order;
+            opts.skip_first_backward_spmm = skip;
+            opts.partition = partition;
+            let problem = Problem::from_graph(&graph, &cfg, &opts);
+            let mut trainer = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+            trainer.train(2).expect("train").into_iter().map(|r| r.loss).collect::<Vec<f64>>()
+        };
+        let l1 = run(Partition::OneD);
+        let l15 = run(Partition::OneFiveD);
+        assert_eq!(l1, l15, "overlap={overlap} order={order} skip={skip}");
+    }
+}
+
+#[test]
+fn partition_15d_times_a_paper_scale_epoch() {
+    // Timing-only (descriptor) problems schedule and simulate under 1.5D,
+    // and the plan charges the extra RP buffer.
+    use mggcn_core::config::Partition;
+    let card = mggcn_graph::datasets::ARXIV;
+    let cfg = GcnConfig::model_a(card.feat_dim, card.classes);
+    let mut opts = TrainOptions::full(mggcn_gpusim::MachineSpec::dgx_a100(), 4);
+    opts.partition = Partition::OneFiveD;
+    let problem = Problem::from_stats(&card, &opts);
+    let mut t15 = Trainer::new(problem, cfg.clone(), opts.clone()).expect("fits");
+    let report = t15.train_epoch().expect("train");
+    assert!(report.sim_seconds > 0.0);
+    let mut o1 = opts;
+    o1.partition = Partition::OneD;
+    let problem = Problem::from_stats(&card, &o1);
+    let t1 = Trainer::new(problem, cfg, o1).expect("fits");
+    assert!(
+        t15.memory_per_gpu() > t1.memory_per_gpu(),
+        "1.5D must charge the RP replica: {} vs {}",
+        t15.memory_per_gpu(),
+        t1.memory_per_gpu()
+    );
+}
+
+#[test]
+#[should_panic(expected = "even GPU count")]
+fn partition_15d_rejects_odd_gpu_counts() {
+    use mggcn_core::config::Partition;
+    let graph = test_graph(50, 23);
+    let cfg = GcnConfig::new(graph.features.cols(), &[10], graph.classes);
+    let mut opts = TrainOptions::quick(3);
+    opts.partition = Partition::OneFiveD;
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let _ = Trainer::new(problem, cfg, opts);
+}

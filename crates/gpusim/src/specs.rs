@@ -73,6 +73,17 @@ pub enum Interconnect {
         /// ≈ 25 GB/s).
         node_nic_bw: f64,
     },
+    /// Point-to-point links (DGX-1-style asymmetric fan-out) spread across
+    /// nodes: the per-pair link matrix still applies, but any collective
+    /// crossing a node boundary is additionally capped at the NIC. With
+    /// `node_nic_bw = ∞` this degenerates to [`Interconnect::PointToPoint`]
+    /// exactly — the machine family the 1D/1.5D crossover sweep walks.
+    PointToPointCluster {
+        links: Vec<Vec<u32>>,
+        link_bw: f64,
+        gpus_per_node: usize,
+        node_nic_bw: f64,
+    },
 }
 
 /// A single-node multi-GPU machine.
@@ -94,6 +105,20 @@ impl MachineSpec {
     /// full-machine broadcast sees 6 links, intra-quad broadcast 4, and the
     /// cross-quad reduction only 2.
     pub fn dgx_v100() -> Self {
+        Self {
+            name: "DGX-V100".into(),
+            gpus: vec![GpuSpec::v100(); 8],
+            interconnect: Interconnect::PointToPoint {
+                links: Self::hybrid_cube_mesh_links(),
+                link_bw: 25.0e9,
+            },
+            comm_latency: 10.0e-6,
+        }
+    }
+
+    /// The DGX-1 hybrid cube mesh link matrix: two quads {0..3}, {4..7},
+    /// 4 links per GPU within its quad and 2 to its cross-quad mirror.
+    fn hybrid_cube_mesh_links() -> Vec<Vec<u32>> {
         let mut links = vec![vec![0u32; 8]; 8];
         let mut connect = |a: usize, b: usize, n: u32| {
             links[a][b] = n;
@@ -112,10 +137,40 @@ impl MachineSpec {
             // Mirror links between the quads.
             connect(i, i + 4, 2);
         }
+        links
+    }
+
+    /// A DGX-1-like machine whose two quads live on separate *nodes*: the
+    /// hybrid cube mesh link fan-out still applies, but any collective that
+    /// crosses the quad boundary is additionally capped at `node_nic_bw`.
+    /// With an infinite NIC this is bandwidth-identical to [`dgx_v100`];
+    /// lowering the NIC sweeps out the exact 1D/1.5D crossover, because the
+    /// 1D pipeline's full-machine broadcasts cross nodes every stage while
+    /// 1.5D only crosses during its cross-group reduction.
+    ///
+    /// [`dgx_v100`]: MachineSpec::dgx_v100
+    pub fn v100_quad_cluster(node_nic_bw: f64) -> Self {
+        Self::quad_cluster("V100-quad-cluster", GpuSpec::v100(), node_nic_bw)
+    }
+
+    /// Same split-quad topology but with A100-class GPUs — the machine the
+    /// papers100M-scale end-to-end sweep runs on (the dataset does not fit
+    /// 32 GB V100s at P=8 under the 1.5D replication budget).
+    pub fn a100_quad_cluster(node_nic_bw: f64) -> Self {
+        Self::quad_cluster("A100-quad-cluster", GpuSpec::a100(), node_nic_bw)
+    }
+
+    fn quad_cluster(name: &str, gpu: GpuSpec, node_nic_bw: f64) -> Self {
+        assert!(node_nic_bw > 0.0, "NIC bandwidth must be positive");
         Self {
-            name: "DGX-V100".into(),
-            gpus: vec![GpuSpec::v100(); 8],
-            interconnect: Interconnect::PointToPoint { links, link_bw: 25.0e9 },
+            name: name.into(),
+            gpus: vec![gpu; 8],
+            interconnect: Interconnect::PointToPointCluster {
+                links: Self::hybrid_cube_mesh_links(),
+                link_bw: 25.0e9,
+                gpus_per_node: 4,
+                node_nic_bw,
+            },
             comm_latency: 10.0e-6,
         }
     }
@@ -150,13 +205,39 @@ impl MachineSpec {
     /// of `node_nic_bw` bytes/second — the §7 multi-node future-work
     /// scenario. GPU indices are node-major: GPUs `0..8` are node 0, etc.
     pub fn a100_cluster(nodes: usize, node_nic_bw: f64) -> Self {
+        Self::hier_cluster(
+            &format!("{nodes}x DGX-A100 cluster"),
+            GpuSpec::a100(),
+            nodes,
+            8,
+            12,
+            25.0e9,
+            node_nic_bw,
+        )
+    }
+
+    /// An arbitrary hierarchical cluster: `nodes` nodes of `gpus_per_node`
+    /// GPUs each, switched at `links_per_gpu × link_bw` within a node and
+    /// capped at `node_nic_bw` across nodes. GPU indices are node-major
+    /// (GPU `g` lives on node `g / gpus_per_node`), which is the layout the
+    /// 1.5D pipeline's replication groups align with.
+    pub fn hier_cluster(
+        name: &str,
+        gpu: GpuSpec,
+        nodes: usize,
+        gpus_per_node: usize,
+        links_per_gpu: u32,
+        link_bw: f64,
+        node_nic_bw: f64,
+    ) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0, "cluster needs at least one GPU");
         Self {
-            name: format!("{nodes}x DGX-A100 cluster"),
-            gpus: vec![GpuSpec::a100(); nodes * 8],
+            name: name.into(),
+            gpus: vec![gpu; nodes * gpus_per_node],
             interconnect: Interconnect::Hierarchical {
-                gpus_per_node: 8,
-                links_per_gpu: 12,
-                link_bw: 25.0e9,
+                gpus_per_node,
+                links_per_gpu,
+                link_bw,
                 node_nic_bw,
             },
             comm_latency: 8.0e-6,
@@ -179,17 +260,40 @@ impl MachineSpec {
                     0
                 }
             }
-            Interconnect::PointToPoint { links, .. } => {
+            Interconnect::PointToPoint { links, .. }
+            | Interconnect::PointToPointCluster { links, .. } => {
                 group.iter().filter(|&&g| g != root).map(|&g| links[root][g]).sum()
             }
         }
     }
 
-    /// Whether `group` spans more than one node (single-node machines never
-    /// do).
-    fn crosses_nodes(&self, group: &[usize]) -> bool {
+    /// Node index hosting GPU `g` (always 0 on single-node machines).
+    pub fn node_of(&self, g: usize) -> usize {
         match &self.interconnect {
-            Interconnect::Hierarchical { gpus_per_node, .. } => {
+            Interconnect::Hierarchical { gpus_per_node, .. }
+            | Interconnect::PointToPointCluster { gpus_per_node, .. } => g / gpus_per_node,
+            _ => 0,
+        }
+    }
+
+    /// Number of nodes in the machine (1 unless hierarchical).
+    pub fn node_count(&self) -> usize {
+        match &self.interconnect {
+            Interconnect::Hierarchical { gpus_per_node, .. }
+            | Interconnect::PointToPointCluster { gpus_per_node, .. } => {
+                self.gpus.len().div_ceil(*gpus_per_node)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Whether `group` spans more than one node (single-node machines never
+    /// do). Trace consumers use this to split comm bytes into intra- vs
+    /// inter-node traffic.
+    pub fn crosses_nodes(&self, group: &[usize]) -> bool {
+        match &self.interconnect {
+            Interconnect::Hierarchical { gpus_per_node, .. }
+            | Interconnect::PointToPointCluster { gpus_per_node, .. } => {
                 let mut nodes = group.iter().map(|g| g / gpus_per_node);
                 let first = nodes.next();
                 nodes.any(|n| Some(n) != first)
@@ -201,7 +305,8 @@ impl MachineSpec {
     /// The inter-node cap that applies when a collective crosses nodes.
     fn nic_cap(&self) -> f64 {
         match &self.interconnect {
-            Interconnect::Hierarchical { node_nic_bw, .. } => *node_nic_bw,
+            Interconnect::Hierarchical { node_nic_bw, .. }
+            | Interconnect::PointToPointCluster { node_nic_bw, .. } => *node_nic_bw,
             _ => f64::INFINITY,
         }
     }
@@ -210,7 +315,8 @@ impl MachineSpec {
         match &self.interconnect {
             Interconnect::NvSwitch { link_bw, .. }
             | Interconnect::PointToPoint { link_bw, .. }
-            | Interconnect::Hierarchical { link_bw, .. } => *link_bw,
+            | Interconnect::Hierarchical { link_bw, .. }
+            | Interconnect::PointToPointCluster { link_bw, .. } => *link_bw,
         }
     }
 
@@ -321,6 +427,71 @@ mod tests {
         let d = MachineSpec::dgx_a100();
         let all: Vec<usize> = (0..8).collect();
         assert_eq!(c.broadcast_bw(0, &all), d.broadcast_bw(0, &all));
+    }
+
+    #[test]
+    fn hier_cluster_node_geometry() {
+        let m = MachineSpec::hier_cluster("2x2", GpuSpec::a100(), 2, 2, 12, 25.0e9, 12.5e9);
+        assert_eq!(m.gpu_count(), 4);
+        assert_eq!(m.node_count(), 2);
+        assert_eq!([0, 1, 2, 3].map(|g| m.node_of(g)), [0, 0, 1, 1]);
+        assert!(!m.crosses_nodes(&[0, 1]));
+        assert!(m.crosses_nodes(&[1, 2]));
+        // Intra-node pair: full switch bandwidth; cross-node pair: the NIC.
+        assert!((m.broadcast_bw(0, &[0, 1]) - 300.0e9).abs() < 1.0);
+        assert!((m.broadcast_bw(0, &[0, 2]) - 12.5e9).abs() < 1.0);
+        // a100_cluster is the 8-GPU special case of the same constructor.
+        let a = MachineSpec::a100_cluster(2, 25.0e9);
+        assert_eq!(a.node_count(), 2);
+        assert_eq!(a.node_of(7), 0);
+        assert_eq!(a.node_of(8), 1);
+        // Single-node machines report one node and never cross.
+        let d = MachineSpec::dgx_v100();
+        assert_eq!(d.node_count(), 1);
+        assert_eq!(d.node_of(5), 0);
+        assert!(!d.crosses_nodes(&[0, 7]));
+    }
+
+    #[test]
+    fn quad_cluster_with_infinite_nic_matches_dgx_v100() {
+        let c = MachineSpec::v100_quad_cluster(f64::INFINITY);
+        let d = MachineSpec::dgx_v100();
+        let all: Vec<usize> = (0..8).collect();
+        let quad: Vec<usize> = (0..4).collect();
+        for g in 0..8 {
+            assert_eq!(c.effective_links(g, &all), d.effective_links(g, &all));
+            assert_eq!(c.broadcast_bw(g, &all), d.broadcast_bw(g, &all));
+        }
+        assert_eq!(c.broadcast_bw(0, &quad), d.broadcast_bw(0, &quad));
+        assert_eq!(c.allreduce_bw(&all), d.allreduce_bw(&all));
+        // But the cluster knows its quads are nodes; the DGX does not.
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_of(3), 0);
+        assert_eq!(c.node_of(4), 1);
+        assert!(c.crosses_nodes(&[0, 4]));
+        assert_eq!(d.node_count(), 1);
+    }
+
+    #[test]
+    fn quad_cluster_nic_caps_only_cross_node_collectives() {
+        let nic = 10.0e9;
+        let m = MachineSpec::v100_quad_cluster(nic);
+        let all: Vec<usize> = (0..8).collect();
+        let quad: Vec<usize> = (0..4).collect();
+        // Intra-quad broadcast: unchanged 4 links × 25 GB/s.
+        assert!((m.broadcast_bw(0, &quad) - 100.0e9).abs() < 1.0);
+        // Full-machine broadcast crosses the node boundary: NIC-capped.
+        assert!((m.broadcast_bw(0, &all) - nic).abs() < 1.0);
+        // Cross-quad pair reduction: min(2 links × 25 GB/s, NIC).
+        assert!((m.reduce_bw(0, &[0, 4]) - nic).abs() < 1.0);
+        // With a fast NIC the link fan-out is the binding constraint again.
+        let fast = MachineSpec::v100_quad_cluster(400.0e9);
+        assert!((fast.broadcast_bw(0, &all) - 150.0e9).abs() < 1.0);
+        assert!((fast.reduce_bw(0, &[0, 4]) - 50.0e9).abs() < 1.0);
+        // A100 variant: same topology, bigger memory for papers100M sweeps.
+        let a = MachineSpec::a100_quad_cluster(nic);
+        assert_eq!(a.gpus[0].mem_bytes, GpuSpec::a100().mem_bytes);
+        assert!((a.broadcast_bw(0, &all) - nic).abs() < 1.0);
     }
 
     #[test]

@@ -133,6 +133,11 @@ pub enum Scenario {
     Preemption { gpus: usize, ops_per_gpu: usize, max_pause: f64 },
     /// Lose one shard at a random time within `horizon` seconds.
     CacheLoss { shards: usize, horizon: f64 },
+    /// Degrade one random node's NIC: every GPU on that node gets the same
+    /// 2-16x link slowdown. Models an inter-node fabric fault on a
+    /// hierarchical machine (GPU indices node-major: node `k` owns GPUs
+    /// `k·gpus_per_node..(k+1)·gpus_per_node`).
+    NicDegrade { nodes: usize, gpus_per_node: usize },
 }
 
 impl FaultPlan {
@@ -181,6 +186,14 @@ impl FaultPlan {
                         seq: rng.gen_range(0..ops_per_gpu),
                         seconds: rng.gen_range(max_pause * 0.1..=max_pause),
                     });
+                }
+            }
+            Scenario::NicDegrade { nodes, gpus_per_node } => {
+                assert!(nodes > 0 && gpus_per_node > 0);
+                let node = rng.gen_range(0..nodes);
+                let factor = rng.gen_range(2.0..=16.0);
+                for g in node * gpus_per_node..(node + 1) * gpus_per_node {
+                    plan.slow_links.push(SlowLink { gpu: g, factor });
                 }
             }
             Scenario::CacheLoss { shards, horizon } => {
@@ -367,6 +380,23 @@ mod tests {
         assert_eq!(inj.shard_down(1, 4.9), None);
         assert_eq!(inj.shard_down(1, 5.0), Some(5.0));
         assert_eq!(inj.shard_down(0, 100.0), None);
+    }
+
+    #[test]
+    fn nic_degrade_hits_exactly_one_whole_node() {
+        for seed in 0..16 {
+            let plan = FaultPlan::seeded(seed, Scenario::NicDegrade { nodes: 2, gpus_per_node: 4 });
+            assert_eq!(plan.slow_links.len(), 4, "one full node of GPUs");
+            let node = plan.slow_links[0].gpu / 4;
+            for s in &plan.slow_links {
+                assert_eq!(s.gpu / 4, node, "all slowed GPUs share a node");
+                assert_eq!(s.factor, plan.slow_links[0].factor, "uniform NIC factor");
+                assert!((2.0..=16.0).contains(&s.factor));
+            }
+            let gpus: Vec<usize> = plan.slow_links.iter().map(|s| s.gpu).collect();
+            assert_eq!(gpus, (node * 4..(node + 1) * 4).collect::<Vec<_>>());
+            assert!(plan.kills.is_empty() && plan.pauses.is_empty() && plan.shard_loss.is_empty());
+        }
     }
 
     #[test]

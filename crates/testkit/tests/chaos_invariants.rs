@@ -109,6 +109,57 @@ fn slow_links_terminate_and_never_beat_the_fault_free_oracle() {
 }
 
 // ---------------------------------------------------------------------
+// Scenario: NIC degradation on a multi-node 1.5D run (recoverable).
+// ---------------------------------------------------------------------
+
+/// A 1.5D epoch schedule on a 2-node × 2-GPU hierarchical machine —
+/// group broadcasts on NVLink, pairwise cross-group reductions over the
+/// NIC — the schedule class `Scenario::NicDegrade` is aimed at.
+fn epoch_schedule_15d_multinode() -> Schedule<mggcn_core::state::DeviceState> {
+    let g = sbm::generate(&SbmConfig::community_benchmark(60, 3), 5);
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let machine = MachineSpec::hier_cluster("chaos-2x2", GpuSpec::a100(), 2, 2, 12, 25.0e9, 50.0e9);
+    let mut opts = TrainOptions::full(machine, 4);
+    opts.partition = mggcn_core::config::Partition::OneFiveD;
+    opts.permute = false;
+    let problem = Problem::from_graph(&g, &cfg, &opts);
+    let trainer = Trainer::new(problem, cfg, opts).expect("fits");
+    trainer.epoch_schedule()
+}
+
+#[test]
+fn nic_degrade_delays_15d_multinode_runs_but_loses_nothing() {
+    let s = epoch_schedule_15d_multinode();
+    let base = s.simulate();
+    let mut base_set = base.completion_order.clone();
+    base_set.sort_unstable();
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed, Scenario::NicDegrade { nodes: 2, gpus_per_node: 2 });
+        let start = Instant::now();
+        let a = s
+            .simulate_with(Policy::DiscreteEvent, &Injector::new(plan.clone()))
+            .unwrap_or_else(|st| panic!("NIC degradation must be recoverable (seed {seed}): {st}"));
+        assert!(start.elapsed() < BOUND, "seed {seed} blew the time bound");
+        // Lossless: every op completes, exactly once.
+        let mut set = a.completion_order.clone();
+        set.sort_unstable();
+        assert_eq!(set, base_set, "seed {seed}: ops lost or duplicated");
+        assert_eq!(a.report.ops_executed, base.report.ops_executed, "seed {seed}");
+        // Just later: a degraded fabric can never beat the healthy one.
+        assert!(
+            a.report.makespan >= base.report.makespan * (1.0 - 1e-12),
+            "seed {seed}: degrading the NIC sped the run up ({} < {})",
+            a.report.makespan,
+            base.report.makespan
+        );
+        // Replay: the seed is the whole story.
+        let b = s.simulate_with(Policy::DiscreteEvent, &Injector::new(plan)).expect("replay");
+        assert_eq!(a.report.makespan.to_bits(), b.report.makespan.to_bits(), "seed {seed}");
+        assert_eq!(a.completion_order, b.completion_order, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Scenario: worker death (unrecoverable in the sim — bounded, labeled).
 // ---------------------------------------------------------------------
 
@@ -355,6 +406,7 @@ fn seeded_plans_are_deterministic_for_every_scenario_class() {
         Scenario::SlowLink { gpus: 4 },
         Scenario::Preemption { gpus: 4, ops_per_gpu: 9, max_pause: 0.01 },
         Scenario::CacheLoss { shards: 4, horizon: 1.0 },
+        Scenario::NicDegrade { nodes: 2, gpus_per_node: 4 },
     ];
     for seed in seeds() {
         for sc in classes {

@@ -1,0 +1,226 @@
+//! Partitioning differential tests for the multi-node 1.5D pipeline.
+//!
+//! Three claims, each load-bearing for `--partition 1.5d`:
+//!
+//! 1. **Single-node collapse** (property): on a hierarchical machine with
+//!    `nodes = 1`, the 1.5D schedule's traced broadcast bytes equal the
+//!    §5.1 closed form (`comm::analysis::epoch_broadcast_bytes`) exactly,
+//!    and the machine-aware locality split reports zero inter-node bytes
+//!    — a one-node hierarchy *is* the flat machine.
+//! 2. **Bit-identity on the fuzz corpus**: for every seeded degenerate
+//!    problem (empty graphs, `n == P` single-row tiles, growing and
+//!    shrinking stacks), 1.5D training is bit-identical to 1D — same
+//!    loss bits every epoch, same final weight bits — and both stay
+//!    within tolerance of the sequential f64 oracle. The cross-group
+//!    reduction re-folds partials in canonical stage order, so there is
+//!    no legitimate source of even one ULP of disagreement.
+//! 3. **Machine invariance**: moving the same 1.5D problem from a flat
+//!    NVSwitch machine to a 2-node cluster changes wire placement and
+//!    timing, never numerics.
+
+use mggcn_core::config::{GcnConfig, Partition, TrainOptions};
+use mggcn_core::metrics::EpochReport;
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_dense::Dense;
+use mggcn_gpusim::{GpuSpec, MachineSpec};
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_graph::Graph;
+use mggcn_testkit::corpus::FuzzCase;
+use mggcn_testkit::oracle::ReferenceGcn;
+use mggcn_testkit::{rel_diff, P_LOSS_TOL};
+use mggcn_trace::Tracer;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// 1. Single-node collapse of the hierarchical byte accounting.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Collapse {
+    seed: u64,
+    n: usize,
+    hidden: Vec<usize>,
+    gpus: usize,
+    epochs: usize,
+    op_order_opt: bool,
+    skip_first_backward_spmm: bool,
+    overlap: bool,
+}
+
+fn collapse_scenario() -> impl Strategy<Value = Collapse> {
+    (
+        any::<u64>(),
+        16usize..80,
+        proptest::collection::vec(2usize..24, 0..3),
+        0usize..3,
+        1usize..=2,
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|(seed, n, hidden, p_idx, epochs, (op_order_opt, skip, overlap))| Collapse {
+            seed,
+            n,
+            hidden,
+            gpus: [2, 4, 8][p_idx],
+            epochs,
+            op_order_opt,
+            skip_first_backward_spmm: skip,
+            overlap,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_node_hierarchy_collapses_to_the_51_closed_form(s in collapse_scenario()) {
+        let g = sbm::generate(&SbmConfig::community_benchmark(s.n, 3), s.seed);
+        let cfg = GcnConfig::new(g.features.cols(), &s.hidden, g.classes);
+        // One node holding all P GPUs: hierarchical in type, flat in fact.
+        let machine = MachineSpec::hier_cluster(
+            "one-node", GpuSpec::a100(), 1, s.gpus, 12, 25.0e9, 50.0e9,
+        );
+        let mut opts = TrainOptions::full(machine, s.gpus);
+        opts.partition = Partition::OneFiveD;
+        opts.permute = false;
+        opts.op_order_opt = s.op_order_opt;
+        opts.skip_first_backward_spmm = s.skip_first_backward_spmm;
+        opts.overlap = s.overlap;
+        let problem = Problem::from_graph(&g, &cfg, &opts);
+        let rows: Vec<usize> = (0..s.gpus).map(|i| problem.rows_of(i)).collect();
+        let mut t = Trainer::new(problem, cfg.clone(), opts).expect("toy problem fits");
+        let tracer = Arc::new(Tracer::new());
+        t.set_tracer(tracer.clone());
+        for _ in 0..s.epochs {
+            t.train_epoch().expect("simulated backend cannot fail");
+        }
+
+        // Byte accounting: exactly the §5.1 closed form. At P = 2 the
+        // replication groups are singletons, so every group broadcast is
+        // a resident no-op — zero bytes by the same single-participant
+        // rule the closed form applies to P = 1.
+        let per_epoch: Vec<u64> = if s.gpus == 2 {
+            vec![0; 2]
+        } else {
+            mggcn_comm::analysis::epoch_broadcast_bytes(
+                &rows, &cfg.dims, s.op_order_opt, s.skip_first_backward_spmm,
+            )
+        };
+        let expected: Vec<u64> = per_epoch.iter().map(|&b| b * s.epochs as u64).collect();
+        prop_assert_eq!(tracer.broadcast_stage_bytes(), expected, "scenario {:?}", s);
+
+        // Locality: one node means nothing ever crosses a NIC.
+        let intra = tracer.counter("sim.comm.bytes.intra_node");
+        let inter = tracer.counter("sim.comm.bytes.inter_node");
+        let total = tracer.counter("sim.comm.bytes.total");
+        prop_assert_eq!(inter, 0, "inter-node bytes on a single node: {:?}", s);
+        prop_assert_eq!(intra, total, "locality split must partition the total: {:?}", s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. 1.5D ≡ 1D ≡ f64 oracle on the fuzz corpus.
+// ---------------------------------------------------------------------
+
+fn train_with(
+    graph: &Graph,
+    cfg: &GcnConfig,
+    mut opts: TrainOptions,
+    partition: Partition,
+    epochs: usize,
+) -> (Vec<EpochReport>, Vec<Dense>) {
+    opts.partition = partition;
+    let problem = Problem::from_graph(graph, cfg, &opts);
+    let mut t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+    let reports = t.train(epochs).expect("train");
+    let weights = t.state().gpu(0).weights.clone();
+    (reports, weights)
+}
+
+fn assert_bitwise_equal(
+    label: &str,
+    a: &(Vec<EpochReport>, Vec<Dense>),
+    b: &(Vec<EpochReport>, Vec<Dense>),
+) {
+    for (e, (ra, rb)) in a.0.iter().zip(&b.0).enumerate() {
+        assert_eq!(
+            ra.loss.to_bits(),
+            rb.loss.to_bits(),
+            "{label}: epoch {e} loss bits differ ({} vs {})",
+            ra.loss,
+            rb.loss
+        );
+    }
+    for (l, (wa, wb)) in a.1.iter().zip(&b.1).enumerate() {
+        assert_eq!(wa.as_slice(), wb.as_slice(), "{label}: layer {l} weight bits differ");
+    }
+}
+
+#[test]
+fn fuzz_corpus_15d_is_bit_identical_to_1d_and_tracks_the_oracle() {
+    let mut failures = Vec::new();
+    for seed in 0..24u64 {
+        let case = FuzzCase::from_seed(seed);
+        // 1.5D needs an even GPU count: round the corpus's 1..=4 up.
+        let gpus = case.gpus + case.gpus % 2;
+        let mut opts = TrainOptions::quick(gpus);
+        opts.permute = case.permute;
+        let one_d = train_with(&case.graph, &case.cfg, opts.clone(), Partition::OneD, case.epochs);
+        let one_five = train_with(&case.graph, &case.cfg, opts, Partition::OneFiveD, case.epochs);
+        let a = &one_d;
+        let b = &one_five;
+        let bitwise = a.0.iter().zip(&b.0).all(|(x, y)| x.loss.to_bits() == y.loss.to_bits())
+            && a.1.iter().zip(&b.1).all(|(x, y)| x.as_slice() == y.as_slice());
+        if !bitwise {
+            failures.push((seed, format!("1.5D != 1D bitwise: {}", case.describe())));
+            continue;
+        }
+        // Both (being bit-identical, either) must track the f64 oracle.
+        let mut oracle = ReferenceGcn::new(&case.graph, &case.cfg);
+        for (e, got) in one_five.0.iter().enumerate() {
+            let want = oracle.train_epoch();
+            let d = rel_diff(got.loss, want.loss);
+            if d >= P_LOSS_TOL {
+                failures.push((
+                    seed,
+                    format!(
+                        "epoch {e}: 1.5D loss {} vs oracle {} (rel {d:.3e}): {}",
+                        got.loss,
+                        want.loss,
+                        case.describe()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus seed(s) failed:\n{}",
+        failures.len(),
+        failures.iter().map(|(s, d)| format!("  seed {s}: {d}")).collect::<Vec<_>>().join("\n")
+    );
+}
+
+// ---------------------------------------------------------------------
+// 3. Machine placement never touches numerics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn moving_15d_to_a_two_node_cluster_changes_nothing_but_time() {
+    let g = sbm::generate(&SbmConfig::community_benchmark(96, 3), 17);
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let flat = TrainOptions::quick(4);
+    let mut clustered = TrainOptions::full(
+        MachineSpec::hier_cluster("2x2", GpuSpec::a100(), 2, 2, 12, 25.0e9, 50.0e9),
+        4,
+    );
+    clustered.skip_first_backward_spmm = false; // match quick()'s exact gradients
+    let a = train_with(&g, &cfg, flat, Partition::OneFiveD, 4);
+    let b = train_with(&g, &cfg, clustered, Partition::OneFiveD, 4);
+    assert_bitwise_equal("flat vs 2-node cluster", &a, &b);
+    // And both equal plain 1D on the flat machine.
+    let c = train_with(&g, &cfg, TrainOptions::quick(4), Partition::OneD, 4);
+    assert_bitwise_equal("1.5D vs 1D", &a, &c);
+}

@@ -1,0 +1,685 @@
+//! Hierarchical multi-node machine studies: the §5.1 1D/1.5D crossover.
+//!
+//! MG-GCN ships 1D row partitioning because on the machines the paper had,
+//! 1.5D (replication factor `c = 2`) either loses outright (DGX-1: the
+//! cross-quad reduction sees only 2 NVLinks, 1.5D is 1.5× slower) or wins
+//! by 4/3 but doubles memory (DGX-A100, §5.1). The calculus flips on
+//! *multi-node* machines: a 1D full-machine broadcast crosses the node NIC
+//! every stage, while 1.5D — with replication groups aligned to nodes —
+//! broadcasts over NVLink and only crosses the NIC during its pairwise
+//! cross-group reduction. This crate quantifies exactly that:
+//!
+//! * [`sim_1d_comm`] / [`sim_15d_comm`] — pure-communication DES makespans
+//!   of the two wire patterns on any [`MachineSpec`], cross-checked against
+//!   the closed form of [`mggcn_comm::analysis::analyze`];
+//! * [`nic_sweep`] / [`crossover_nic_gbps`] — sweep the inter-node NIC on a
+//!   split-quad DGX-1 ([`MachineSpec::v100_quad_cluster`]) and pin the
+//!   bandwidth where 1.5D starts winning (analytically 100 GB/s: the point
+//!   where the NIC caps 1D's 6-link fan-out down to 1.5D's aggregate rate);
+//! * [`e2e_sweep`] — full scheduled-trainer epochs at papers100M scale
+//!   (P = 8, [`MachineSpec::a100_quad_cluster`]) for both partitionings,
+//!   showing the end-to-end crossover, not just the comm term;
+//! * [`traffic_split`] — traced intra- vs inter-node byte counters on a
+//!   2-node machine, proving 1.5D relocates exactly the broadcast volume
+//!   from the NIC onto NVLink (inter-node bytes are *equal* between the
+//!   strategies; 1.5D's broadcasts become intra-node);
+//! * [`preflight_sweep`] — every generated 1D and 1.5D schedule passes the
+//!   `mggcn-analyze` hazard/deadlock/budget verifier;
+//! * [`run_topo_bench`] — the schema-validated `BENCH_topo.json` stat card
+//!   gating all of the above in CI ([`validate_topo_bench`]).
+
+use std::sync::Arc;
+
+use mggcn_analyze::{analyze_budget, BudgetSpec};
+use mggcn_comm::analysis;
+use mggcn_core::config::{GcnConfig, Partition, TrainOptions};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_gpusim::engine::OpDesc;
+use mggcn_gpusim::{Category, GpuSpec, MachineSpec, Schedule};
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_trace::json::{self, JsonWriter, Value};
+use mggcn_trace::Tracer;
+
+/// Schema tag of the `BENCH_topo.json` stat card.
+pub const BENCH_TOPO_SCHEMA: &str = "mggcn-topo-v1";
+
+/// Cross-group partner of GPU `j` under 1.5D with `c = 2`.
+pub fn mate(j: usize, p: usize) -> usize {
+    (j + p / 2) % p
+}
+
+/// The two replication groups: the machine's halves, which on node-major
+/// hierarchical machines with `nodes | 2` align with node boundaries.
+pub fn replication_groups(p: usize) -> [Vec<usize>; 2] {
+    assert!(p >= 2 && p.is_multiple_of(2), "1.5D needs an even GPU count");
+    [(0..p / 2).collect(), (p / 2..p).collect()]
+}
+
+/// DES makespan of the 1D pattern: `P` serialized full-machine broadcasts
+/// of `nd/P` bytes each (every broadcast occupies all comm lanes, so the
+/// lane FIFO serializes them — exactly the closed form's model).
+pub fn sim_1d_comm(machine: &MachineSpec, nd_bytes: f64) -> f64 {
+    let mut m = machine.clone();
+    m.comm_latency = 0.0; // compare pure bandwidth terms exactly
+    let p = m.gpu_count();
+    let all: Vec<usize> = (0..p).collect();
+    let lanes: Vec<(usize, usize)> = all.iter().map(|&g| (g, 1)).collect();
+    let mut s: Schedule<()> = Schedule::new(m.clone());
+    s.launch_overhead = 0.0;
+    for root in 0..p {
+        let bw = m.broadcast_bw(root, &all);
+        s.collective(
+            &lanes,
+            nd_bytes / p as f64,
+            bw,
+            OpDesc::staged(Category::Comm, "bcast", root),
+            &[],
+            None,
+        );
+    }
+    s.simulate().report.makespan
+}
+
+/// DES makespan of the 1.5D pattern (`c = 2`): the two groups broadcast
+/// their half of the matrix concurrently (`P/2` rounds of `nd/P` bytes,
+/// serialized per group by the lane FIFO), then the `P/2` cross-group
+/// pairs reduce `nd/(P/2)` bytes each, all pairs concurrent.
+pub fn sim_15d_comm(machine: &MachineSpec, nd_bytes: f64) -> f64 {
+    let mut m = machine.clone();
+    m.comm_latency = 0.0;
+    let p = m.gpu_count();
+    assert!(p >= 4 && p.is_multiple_of(2), "1.5D comm sim needs an even GPU count ≥ 4");
+    let half = p / 2;
+    let [g0, g1] = replication_groups(p);
+    let lanes0: Vec<(usize, usize)> = g0.iter().map(|&g| (g, 1)).collect();
+    let lanes1: Vec<(usize, usize)> = g1.iter().map(|&g| (g, 1)).collect();
+    let mut s: Schedule<()> = Schedule::new(m.clone());
+    s.launch_overhead = 0.0;
+    for r in 0..half {
+        s.collective(
+            &lanes0,
+            nd_bytes / p as f64,
+            m.broadcast_bw(r, &g0),
+            OpDesc::staged(Category::Comm, "bcast", r),
+            &[],
+            None,
+        );
+        s.collective(
+            &lanes1,
+            nd_bytes / p as f64,
+            m.broadcast_bw(half + r, &g1),
+            OpDesc::staged(Category::Comm, "bcast", half + r),
+            &[],
+            None,
+        );
+    }
+    for a in 0..half {
+        let pair = [a, a + half];
+        s.collective(
+            &[(a, 1), (a + half, 1)],
+            nd_bytes / half as f64,
+            m.reduce_bw(a, &pair),
+            OpDesc::new(Category::Comm, "reduce"),
+            &[],
+            None,
+        );
+    }
+    s.simulate().report.makespan
+}
+
+/// One machine's §5.1 verdict: the closed-form and DES `t_15d / t_1d`
+/// ratios (above 1.0 means 1D wins) and the 1.5D memory factor.
+#[derive(Clone, Debug)]
+pub struct PaperVerdict {
+    pub machine: String,
+    pub slowdown_closed: f64,
+    pub slowdown_sim: f64,
+    pub mem_factor_15d: f64,
+}
+
+fn verdict_for(machine: &MachineSpec, nd_bytes: f64) -> PaperVerdict {
+    let closed = analysis::analyze(machine, nd_bytes);
+    let sim = sim_15d_comm(machine, nd_bytes) / sim_1d_comm(machine, nd_bytes);
+    PaperVerdict {
+        machine: machine.name.clone(),
+        slowdown_closed: closed.slowdown_15d(),
+        slowdown_sim: sim,
+        mem_factor_15d: closed.mem_factor_15d,
+    }
+}
+
+/// The paper's two §5.1 data points: DGX-1 (1.5D loses 1.5×) and DGX-A100
+/// (1.5D wins 4/3×), each from the closed form *and* the DES.
+pub fn paper_51_verdicts(nd_bytes: f64) -> (PaperVerdict, PaperVerdict) {
+    (
+        verdict_for(&MachineSpec::dgx_v100(), nd_bytes),
+        verdict_for(&MachineSpec::dgx_a100(), nd_bytes),
+    )
+}
+
+/// One NIC setting of the split-quad sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    pub nic_gbps: f64,
+    pub slowdown_closed: f64,
+    pub slowdown_sim: f64,
+}
+
+/// Sweep the inter-node NIC of [`MachineSpec::v100_quad_cluster`]: with an
+/// infinite NIC the machine is bandwidth-identical to DGX-1 (1.5D loses);
+/// as the NIC shrinks, 1D's every-stage node crossings pay for it while
+/// 1.5D only crosses during the reduction.
+pub fn nic_sweep(nics_gbps: &[f64], nd_bytes: f64) -> Vec<SweepPoint> {
+    nics_gbps
+        .iter()
+        .map(|&nic| {
+            let m = MachineSpec::v100_quad_cluster(nic * 1e9);
+            let v = verdict_for(&m, nd_bytes);
+            SweepPoint {
+                nic_gbps: nic,
+                slowdown_closed: v.slowdown_closed,
+                slowdown_sim: v.slowdown_sim,
+            }
+        })
+        .collect()
+}
+
+/// Linearly interpolated NIC bandwidth where the simulated slowdown
+/// crosses 1.0 — the 1D/1.5D break-even point (analytically 100 GB/s on
+/// the split-quad machine). `None` when the sweep never crosses.
+pub fn crossover_nic_gbps(sweep: &[SweepPoint]) -> Option<f64> {
+    for w in sweep.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let (sa, sb) = (a.slowdown_sim, b.slowdown_sim);
+        if (sa - 1.0) * (sb - 1.0) <= 0.0 && sa != sb {
+            return Some(a.nic_gbps + (1.0 - sa) * (b.nic_gbps - a.nic_gbps) / (sb - sa));
+        }
+    }
+    None
+}
+
+/// One NIC setting of the end-to-end trainer sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct E2ePoint {
+    pub nic_gbps: f64,
+    /// Simulated seconds of one full 1D training epoch.
+    pub t_1d: f64,
+    /// Simulated seconds of one full 1.5D training epoch.
+    pub t_15d: f64,
+}
+
+impl E2ePoint {
+    /// Above 1.0 means 1D wins end to end.
+    pub fn slowdown_15d(&self) -> f64 {
+        self.t_15d / self.t_1d
+    }
+}
+
+fn e2e_epoch_seconds(nic_gbps: f64, partition: Partition) -> f64 {
+    let card = mggcn_graph::datasets::PAPERS;
+    // Papers with a 2-layer hidden-128 model: the widest configuration
+    // that fits 8×80 GB under the 1.5D `L + 4` budget (model D's hidden
+    // 208 does not — §5.1's 2× memory objection is real at this scale).
+    let cfg = GcnConfig::new(card.feat_dim, &[128], card.classes);
+    let mut opts = TrainOptions::full(MachineSpec::a100_quad_cluster(nic_gbps * 1e9), 8);
+    opts.partition = partition;
+    let problem = Problem::from_stats(&card, &opts);
+    let mut t = Trainer::new(problem, cfg, opts).expect("papers100M must fit 8×80 GB");
+    t.train_epoch().expect("timing epoch").sim_seconds
+}
+
+/// Full scheduled-trainer epochs at papers100M scale (P = 8 across two
+/// A100 quads) for both partitionings at each NIC setting. Compute costs
+/// are identical between the strategies (each GPU does one own-row plus
+/// one mate-row half-sweep under 1.5D — the same tile count as a 1D full
+/// sweep), so the end-to-end crossover tracks the comm crossover.
+pub fn e2e_sweep(nics_gbps: &[f64]) -> Vec<E2ePoint> {
+    nics_gbps
+        .iter()
+        .map(|&nic| E2ePoint {
+            nic_gbps: nic,
+            t_1d: e2e_epoch_seconds(nic, Partition::OneD),
+            t_15d: e2e_epoch_seconds(nic, Partition::OneFiveD),
+        })
+        .collect()
+}
+
+/// Traced byte totals of one training run, split by node locality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrafficSplit {
+    pub intra_node: u64,
+    pub inter_node: u64,
+    pub total: u64,
+}
+
+/// Run a real (materialized) training epoch on a 2-node × 2-GPU machine
+/// and read the tracer's machine-aware byte counters. Under 1D every
+/// collective spans both nodes (intra-node bytes are zero); under 1.5D
+/// the group broadcasts are node-local and only the pairwise reductions
+/// (plus the weight-gradient all-reduces both strategies share) cross
+/// the NIC — with *exactly* the 1D inter-node byte total.
+pub fn traffic_split(partition: Partition, epochs: usize) -> TrafficSplit {
+    let graph = sbm::generate(&SbmConfig::community_benchmark(400, 4), 11);
+    let cfg = GcnConfig::new(graph.features.cols(), &[16], graph.classes);
+    let machine = MachineSpec::hier_cluster("A100-2x2", GpuSpec::a100(), 2, 2, 12, 25.0e9, 50.0e9);
+    let mut opts = TrainOptions::full(machine, 4);
+    opts.partition = partition;
+    let problem = Problem::from_graph(&graph, &cfg, &opts);
+    let mut trainer = Trainer::new(problem, cfg, opts).expect("tiny graph fits");
+    let tracer = Arc::new(Tracer::new());
+    trainer.set_tracer(tracer.clone());
+    for _ in 0..epochs {
+        trainer.train_epoch().expect("train");
+    }
+    TrafficSplit {
+        intra_node: tracer.counter("sim.comm.bytes.intra_node"),
+        inter_node: tracer.counter("sim.comm.bytes.inter_node"),
+        total: tracer.counter("sim.comm.bytes.total"),
+    }
+}
+
+/// How many generated schedules the `mggcn-analyze` verifier saw and how
+/// many came back clean (no hazards, no deadlock, within the partition's
+/// buffer budget).
+#[derive(Clone, Copy, Debug)]
+pub struct PreflightSummary {
+    pub schedules: usize,
+    pub clean: usize,
+}
+
+/// Build trainer schedules across `{1D, 1.5D} × {2, 4, 8 GPUs} ×
+/// {overlap on/off} × {NVSwitch, 2-node hierarchical}` and verify each
+/// with [`analyze_budget`] under the partition's own budget
+/// ([`BudgetSpec::mg_gcn`] is `L + 3` big buffers; `mg_gcn_15d` allows
+/// the 1.5D `RP` replica, `L + 4`).
+pub fn preflight_sweep() -> PreflightSummary {
+    let graph = sbm::generate(&SbmConfig::community_benchmark(160, 4), 7);
+    let cfg = GcnConfig::new(graph.features.cols(), &[24], graph.classes);
+    let machines = [
+        MachineSpec::dgx_a100(),
+        MachineSpec::hier_cluster("A100-2x4", GpuSpec::a100(), 2, 4, 12, 25.0e9, 50.0e9),
+    ];
+    let mut schedules = 0;
+    let mut clean = 0;
+    for partition in [Partition::OneD, Partition::OneFiveD] {
+        for gpus in [2usize, 4, 8] {
+            for overlap in [false, true] {
+                for machine in &machines {
+                    let mut opts = TrainOptions::full(machine.clone(), gpus);
+                    opts.partition = partition;
+                    opts.overlap = overlap;
+                    let problem = Problem::from_graph(&graph, &cfg, &opts);
+                    let trainer = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+                    let budget = match partition {
+                        Partition::OneD => BudgetSpec::mg_gcn(cfg.layers()),
+                        Partition::OneFiveD => BudgetSpec::mg_gcn_15d(cfg.layers()),
+                    };
+                    let report = analyze_budget(&trainer.epoch_schedule(), &budget);
+                    schedules += 1;
+                    if report.clean() {
+                        clean += 1;
+                    }
+                }
+            }
+        }
+    }
+    PreflightSummary { schedules, clean }
+}
+
+/// Knobs of the stat card (defaults reproduce the committed artifact).
+#[derive(Clone, Debug)]
+pub struct TopoBenchOptions {
+    /// Feature payload for the closed-form/DES comparisons (bytes).
+    pub nd_bytes: f64,
+    /// NIC settings of the split-quad comm sweep (GB/s, descending).
+    pub sweep_nics_gbps: Vec<f64>,
+    /// NIC settings of the papers100M end-to-end sweep (GB/s, descending).
+    pub e2e_nics_gbps: Vec<f64>,
+    /// Epochs of the traced traffic-split run.
+    pub traffic_epochs: usize,
+}
+
+impl Default for TopoBenchOptions {
+    fn default() -> Self {
+        Self {
+            nd_bytes: 1.0e9,
+            sweep_nics_gbps: vec![200.0, 150.0, 120.0, 80.0, 50.0, 25.0],
+            e2e_nics_gbps: vec![400.0, 200.0, 100.0, 50.0, 25.0, 12.5],
+            traffic_epochs: 1,
+        }
+    }
+}
+
+/// Everything `BENCH_topo.json` reports.
+#[derive(Clone, Debug)]
+pub struct TopoBench {
+    pub paper_dgx1: PaperVerdict,
+    pub paper_a100: PaperVerdict,
+    pub sweep: Vec<SweepPoint>,
+    pub crossover_gbps: Option<f64>,
+    pub e2e: Vec<E2ePoint>,
+    pub traffic_1d: TrafficSplit,
+    pub traffic_15d: TrafficSplit,
+    pub preflight: PreflightSummary,
+}
+
+/// The six pass/fail gates of the card.
+#[derive(Clone, Copy, Debug)]
+pub struct Verdicts {
+    /// DGX-1: 1.5D ≈ 1.5× slower (closed form exact, DES within 2%).
+    pub dgx1_1d_wins: bool,
+    /// DGX-A100: 1.5D ≈ 4/3× faster (closed form exact, DES within 2%).
+    pub a100_15d_wins: bool,
+    /// The split-quad comm crossover lands at 100 ± 10 GB/s.
+    pub crossover_in_band: bool,
+    /// Papers100M end to end: 1D still wins at the highest NIC…
+    pub e2e_1d_wins_at_high_nic: bool,
+    /// …and 1.5D wins at the lowest.
+    pub e2e_15d_wins_at_low_nic: bool,
+    /// 1.5D moved its broadcasts off the NIC without adding NIC bytes:
+    /// `intra_1d = 0`, `intra_15d > 0`, `inter_15d = inter_1d`.
+    pub traffic_relocated: bool,
+    /// Every generated schedule passed `mggcn-analyze`.
+    pub preflight_clean: bool,
+}
+
+impl Verdicts {
+    pub fn all_ok(&self) -> bool {
+        self.dgx1_1d_wins
+            && self.a100_15d_wins
+            && self.crossover_in_band
+            && self.e2e_1d_wins_at_high_nic
+            && self.e2e_15d_wins_at_low_nic
+            && self.traffic_relocated
+            && self.preflight_clean
+    }
+}
+
+fn near(x: f64, target: f64, rel: f64) -> bool {
+    (x - target).abs() <= rel * target
+}
+
+impl TopoBench {
+    pub fn verdicts(&self) -> Verdicts {
+        let first = self.e2e.first();
+        let last = self.e2e.last();
+        Verdicts {
+            dgx1_1d_wins: near(self.paper_dgx1.slowdown_closed, 1.5, 1e-9)
+                && near(self.paper_dgx1.slowdown_sim, 1.5, 0.02),
+            a100_15d_wins: near(self.paper_a100.slowdown_closed, 0.75, 1e-9)
+                && near(self.paper_a100.slowdown_sim, 0.75, 0.02),
+            crossover_in_band: self.crossover_gbps.is_some_and(|x| (90.0..=110.0).contains(&x)),
+            e2e_1d_wins_at_high_nic: first.is_some_and(|p| p.slowdown_15d() > 1.0),
+            e2e_15d_wins_at_low_nic: last.is_some_and(|p| p.slowdown_15d() < 1.0),
+            traffic_relocated: self.traffic_1d.intra_node == 0
+                && self.traffic_15d.intra_node > 0
+                && self.traffic_15d.inter_node == self.traffic_1d.inter_node,
+            preflight_clean: self.preflight.schedules > 0
+                && self.preflight.clean == self.preflight.schedules,
+        }
+    }
+
+    pub fn ok(&self) -> bool {
+        self.verdicts().all_ok()
+    }
+
+    /// Render the `BENCH_topo.json` document.
+    pub fn to_json(&self) -> String {
+        let paper = |v: &PaperVerdict| {
+            JsonWriter::new()
+                .str("machine", &v.machine)
+                .f64("slowdown_closed", v.slowdown_closed, 6)
+                .f64("slowdown_sim", v.slowdown_sim, 6)
+                .f64("mem_factor_15d", v.mem_factor_15d, 2)
+                .finish()
+        };
+        let paper_51 = JsonWriter::new()
+            .raw("dgx1", &paper(&self.paper_dgx1))
+            .raw("a100", &paper(&self.paper_a100))
+            .finish();
+        let sweep = format!(
+            "[{}]",
+            self.sweep
+                .iter()
+                .map(|p| JsonWriter::new()
+                    .f64("nic_gbps", p.nic_gbps, 3)
+                    .f64("slowdown_closed", p.slowdown_closed, 6)
+                    .f64("slowdown_sim", p.slowdown_sim, 6)
+                    .finish())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let e2e_points = format!(
+            "[{}]",
+            self.e2e
+                .iter()
+                .map(|p| JsonWriter::new()
+                    .f64("nic_gbps", p.nic_gbps, 3)
+                    .f64("t_1d_s", p.t_1d, 6)
+                    .f64("t_15d_s", p.t_15d, 6)
+                    .f64("slowdown_15d", p.slowdown_15d(), 6)
+                    .finish())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let e2e = JsonWriter::new()
+            .str("dataset", "papers100M")
+            .usize("gpus", 8)
+            .str("machine", "A100-quad-cluster")
+            .raw("points", &e2e_points)
+            .finish();
+        let split = |t: &TrafficSplit| {
+            JsonWriter::new()
+                .u64("intra_node", t.intra_node)
+                .u64("inter_node", t.inter_node)
+                .u64("total", t.total)
+                .finish()
+        };
+        let traffic = JsonWriter::new()
+            .str("machine", "A100-2x2")
+            .usize("gpus", 4)
+            .usize("epochs", 1)
+            .raw("one_d", &split(&self.traffic_1d))
+            .raw("one_five_d", &split(&self.traffic_15d))
+            .finish();
+        let preflight = JsonWriter::new()
+            .usize("schedules", self.preflight.schedules)
+            .usize("clean", self.preflight.clean)
+            .finish();
+        let v = self.verdicts();
+        let verdict = JsonWriter::new()
+            .bool("dgx1_1d_wins", v.dgx1_1d_wins)
+            .bool("a100_15d_wins", v.a100_15d_wins)
+            .bool("crossover_in_band", v.crossover_in_band)
+            .bool("e2e_1d_wins_at_high_nic", v.e2e_1d_wins_at_high_nic)
+            .bool("e2e_15d_wins_at_low_nic", v.e2e_15d_wins_at_low_nic)
+            .bool("traffic_relocated", v.traffic_relocated)
+            .bool("preflight_clean", v.preflight_clean)
+            .finish();
+        let mut w = JsonWriter::new()
+            .str("bench", "topo")
+            .str("schema", BENCH_TOPO_SCHEMA)
+            .raw("paper_51", &paper_51)
+            .raw("nic_sweep", &sweep);
+        w = match self.crossover_gbps {
+            Some(x) => w.f64("crossover_nic_gbps", x, 3),
+            None => w.raw("crossover_nic_gbps", "null"),
+        };
+        w.raw("e2e", &e2e)
+            .raw("traffic", &traffic)
+            .raw("preflight", &preflight)
+            .raw("verdict", &verdict)
+            .finish()
+    }
+}
+
+/// Run every study and assemble the card.
+pub fn run_topo_bench(opts: &TopoBenchOptions) -> TopoBench {
+    let (paper_dgx1, paper_a100) = paper_51_verdicts(opts.nd_bytes);
+    let sweep = nic_sweep(&opts.sweep_nics_gbps, opts.nd_bytes);
+    let crossover_gbps = crossover_nic_gbps(&sweep);
+    let e2e = e2e_sweep(&opts.e2e_nics_gbps);
+    let traffic_1d = traffic_split(Partition::OneD, opts.traffic_epochs);
+    let traffic_15d = traffic_split(Partition::OneFiveD, opts.traffic_epochs);
+    let preflight = preflight_sweep();
+    TopoBench {
+        paper_dgx1,
+        paper_a100,
+        sweep,
+        crossover_gbps,
+        e2e,
+        traffic_1d,
+        traffic_15d,
+        preflight,
+    }
+}
+
+fn req<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// Validate a `BENCH_topo.json` document: schema tag, structural
+/// completeness, and every verdict gate true.
+pub fn validate_topo_bench(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    if req(&doc, "bench")?.as_str() != Some("topo") {
+        return Err("bench must be \"topo\"".into());
+    }
+    if req(&doc, "schema")?.as_str() != Some(BENCH_TOPO_SCHEMA) {
+        return Err(format!("schema must be {BENCH_TOPO_SCHEMA:?}"));
+    }
+    let paper = req(&doc, "paper_51")?;
+    for m in ["dgx1", "a100"] {
+        let v = req(paper, m)?;
+        for k in ["slowdown_closed", "slowdown_sim", "mem_factor_15d"] {
+            req(v, k)?.as_num().ok_or_else(|| format!("paper_51.{m}.{k} must be a number"))?;
+        }
+    }
+    let sweep = req(&doc, "nic_sweep")?.as_arr().ok_or("nic_sweep must be an array")?;
+    if sweep.is_empty() {
+        return Err("nic_sweep must be non-empty".into());
+    }
+    req(&doc, "crossover_nic_gbps")?
+        .as_num()
+        .ok_or("crossover_nic_gbps must be a number (no crossover found)")?;
+    let e2e = req(&doc, "e2e")?;
+    let points = req(e2e, "points")?.as_arr().ok_or("e2e.points must be an array")?;
+    if points.len() < 2 {
+        return Err("e2e.points needs at least two NIC settings".into());
+    }
+    let traffic = req(&doc, "traffic")?;
+    for part in ["one_d", "one_five_d"] {
+        let t = req(traffic, part)?;
+        for k in ["intra_node", "inter_node", "total"] {
+            req(t, k)?.as_num().ok_or_else(|| format!("traffic.{part}.{k} must be a number"))?;
+        }
+    }
+    let pre = req(&doc, "preflight")?;
+    let schedules = req(pre, "schedules")?.as_num().ok_or("preflight.schedules")?;
+    let clean = req(pre, "clean")?.as_num().ok_or("preflight.clean")?;
+    if schedules < 1.0 || clean != schedules {
+        return Err(format!("preflight not clean: {clean}/{schedules}"));
+    }
+    let verdict = req(&doc, "verdict")?;
+    for k in [
+        "dgx1_1d_wins",
+        "a100_15d_wins",
+        "crossover_in_band",
+        "e2e_1d_wins_at_high_nic",
+        "e2e_15d_wins_at_low_nic",
+        "traffic_relocated",
+        "preflight_clean",
+    ] {
+        match req(verdict, k)?.as_bool() {
+            Some(true) => {}
+            Some(false) => return Err(format!("verdict.{k} is false")),
+            None => return Err(format!("verdict.{k} must be a bool")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mates_and_groups() {
+        assert_eq!(mate(0, 8), 4);
+        assert_eq!(mate(5, 8), 1);
+        let [g0, g1] = replication_groups(8);
+        assert_eq!(g0, vec![0, 1, 2, 3]);
+        assert_eq!(g1, vec![4, 5, 6, 7]);
+        for j in 0..8 {
+            assert_eq!(mate(mate(j, 8), 8), j, "mate is an involution");
+        }
+    }
+
+    #[test]
+    fn paper_51_verdicts_from_closed_form_and_des() {
+        let (dgx1, a100) = paper_51_verdicts(1.0e9);
+        assert!((dgx1.slowdown_closed - 1.5).abs() < 1e-9, "DGX-1 closed {}", dgx1.slowdown_closed);
+        assert!((a100.slowdown_closed - 0.75).abs() < 1e-9, "A100 closed {}", a100.slowdown_closed);
+        assert!((dgx1.slowdown_sim - 1.5).abs() < 0.03, "DGX-1 sim {}", dgx1.slowdown_sim);
+        assert!((a100.slowdown_sim - 0.75).abs() < 0.02, "A100 sim {}", a100.slowdown_sim);
+        assert_eq!(dgx1.mem_factor_15d, 2.0);
+    }
+
+    #[test]
+    fn nic_sweep_crosses_at_100_gbps() {
+        let sweep = nic_sweep(&[200.0, 150.0, 120.0, 80.0, 50.0, 25.0], 1.0e9);
+        // Slowdown is monotone non-increasing as the NIC shrinks.
+        for w in sweep.windows(2) {
+            assert!(w[1].slowdown_sim <= w[0].slowdown_sim + 1e-9);
+        }
+        assert!(sweep.first().unwrap().slowdown_sim > 1.0, "1D must win at 200 GB/s");
+        assert!(sweep.last().unwrap().slowdown_sim < 1.0, "1.5D must win at 25 GB/s");
+        let x = crossover_nic_gbps(&sweep).expect("sweep must cross");
+        assert!((x - 100.0).abs() < 2.0, "crossover at {x} GB/s, expected ≈100");
+    }
+
+    #[test]
+    fn e2e_crossover_exists_at_papers_scale() {
+        let pts = e2e_sweep(&[400.0, 12.5]);
+        assert!(pts[0].slowdown_15d() > 1.0, "1D must win e2e at 400 GB/s: {:?}", pts[0]);
+        assert!(pts[1].slowdown_15d() < 1.0, "1.5D must win e2e at 12.5 GB/s: {:?}", pts[1]);
+    }
+
+    #[test]
+    fn traffic_split_relocates_broadcasts_off_the_nic() {
+        let t1 = traffic_split(Partition::OneD, 1);
+        let t15 = traffic_split(Partition::OneFiveD, 1);
+        assert_eq!(t1.intra_node, 0, "every 1D collective spans both nodes");
+        assert!(t15.intra_node > 0, "1.5D group broadcasts are node-local");
+        assert_eq!(
+            t15.inter_node, t1.inter_node,
+            "1.5D adds zero NIC bytes: reductions replace broadcasts exactly"
+        );
+        assert_eq!(t1.intra_node + t1.inter_node, t1.total);
+        assert_eq!(t15.intra_node + t15.inter_node, t15.total);
+        assert!(t15.total > t1.total, "the relocated bytes exist on NVLink");
+    }
+
+    #[test]
+    fn preflight_is_clean_for_every_generated_schedule() {
+        let p = preflight_sweep();
+        assert!(p.schedules >= 24, "sweep must cover the shape grid: {p:?}");
+        assert_eq!(p.clean, p.schedules, "analyze found findings: {p:?}");
+    }
+
+    #[test]
+    fn bench_card_round_trips_and_validates() {
+        let bench = run_topo_bench(&TopoBenchOptions::default());
+        assert!(bench.ok(), "verdicts: {:?}", bench.verdicts());
+        let json = bench.to_json();
+        validate_topo_bench(&json).expect("own card must validate");
+        // Any failing gate must fail validation.
+        let broken = json.replace("\"preflight_clean\":true", "\"preflight_clean\":false");
+        assert!(broken != json, "substitution must hit");
+        assert!(validate_topo_bench(&broken).is_err());
+        // Schema drift must fail validation.
+        let drifted = json.replace(BENCH_TOPO_SCHEMA, "mggcn-topo-v0");
+        assert!(validate_topo_bench(&drifted).is_err());
+    }
+}

@@ -30,8 +30,8 @@ pub mod metrics;
 use derive::Overlap;
 use metrics::{json_f64, MetricsRegistry, LATENCY_BOUNDS};
 use mggcn_exec::WallSpan;
-use mggcn_gpusim::{Category, Timeline};
-use std::collections::BTreeSet;
+use mggcn_gpusim::{Category, MachineSpec, Timeline};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
@@ -104,6 +104,37 @@ impl Tracer {
     /// are deduplicated by op id (collectives span every lane but move
     /// their payload once).
     pub fn ingest_sim_timeline(&self, tl: &Timeline, makespan: f64) {
+        self.ingest_sim(tl, makespan, None);
+    }
+
+    /// [`Tracer::ingest_sim_timeline`] with node topology: comm bytes are
+    /// additionally split into `sim.comm.bytes.intra_node` /
+    /// `sim.comm.bytes.inter_node` counters by whether each op's
+    /// participant GPUs span a node boundary of `machine`. On a
+    /// single-node machine everything is intra-node, so the split is
+    /// purely additive — every counter the plain ingest writes is written
+    /// identically.
+    pub fn ingest_sim_timeline_on(&self, tl: &Timeline, makespan: f64, machine: &MachineSpec) {
+        self.ingest_sim(tl, makespan, Some(machine));
+    }
+
+    fn ingest_sim(&self, tl: &Timeline, makespan: f64, machine: Option<&MachineSpec>) {
+        // Collectives span one lane per participant; gather each comm op's
+        // GPU set first so node-crossing is judged on the full group.
+        let op_gpus: BTreeMap<usize, Vec<usize>> = machine
+            .map(|_| {
+                let mut m: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for s in &tl.spans {
+                    if s.category == Category::Comm {
+                        let gpus = m.entry(s.op).or_default();
+                        if !gpus.contains(&s.gpu) {
+                            gpus.push(s.gpu);
+                        }
+                    }
+                }
+                m
+            })
+            .unwrap_or_default();
         let mut inner = self.lock();
         let at = inner.sim_cursor;
         let mut seen_ops: BTreeSet<usize> = BTreeSet::new();
@@ -127,6 +158,15 @@ impl Tracer {
             if s.category == Category::Comm && seen_ops.insert(s.op) {
                 let bytes = s.bytes.round() as u64;
                 inner.metrics.counter_add("sim.comm.bytes.total", bytes);
+                if let Some(m) = machine {
+                    let crosses = m.crosses_nodes(&op_gpus[&s.op]);
+                    let key = if crosses {
+                        "sim.comm.bytes.inter_node"
+                    } else {
+                        "sim.comm.bytes.intra_node"
+                    };
+                    inner.metrics.counter_add(key, bytes);
+                }
                 if let Some(stage) = s.stage {
                     inner.metrics.counter_add(&format!("sim.bcast.bytes.stage.{stage:05}"), bytes);
                     inner.metrics.counter_add("sim.bcast.bytes.total", bytes);
@@ -379,6 +419,37 @@ mod tests {
         assert_eq!(t.broadcast_stage_bytes(), vec![400, 120]);
         assert_eq!(t.counter("sim.bcast.bytes.total"), 520);
         assert_eq!(t.counter("sim.comm.bytes.total"), 520);
+    }
+
+    #[test]
+    fn node_aware_ingest_splits_intra_and_inter_bytes() {
+        use mggcn_gpusim::{GpuSpec, MachineSpec};
+        // 2 nodes × 2 GPUs: op 2 spans GPUs {0,1} (node 0, intra) and op 3
+        // runs on GPU 1 alone (intra by definition).
+        let m = MachineSpec::hier_cluster("2x2", GpuSpec::a100(), 2, 2, 12, 25.0e9, 12.5e9);
+        let t = Tracer::new();
+        t.ingest_sim_timeline_on(&tl(), 2.0, &m);
+        assert_eq!(t.counter("sim.comm.bytes.intra_node"), 520);
+        assert_eq!(t.counter("sim.comm.bytes.inter_node"), 0);
+        // Every counter the plain ingest writes is written identically.
+        assert_eq!(t.counter("sim.comm.bytes.total"), 520);
+        assert_eq!(t.broadcast_stage_bytes(), vec![400, 120]);
+
+        // Move op 2's second lane to GPU 2 (node 1): its 400 bytes become
+        // inter-node; op 3's 120 stay intra.
+        let mut cross = tl();
+        cross.spans[2].gpu = 2;
+        let t2 = Tracer::new();
+        t2.ingest_sim_timeline_on(&cross, 2.0, &m);
+        assert_eq!(t2.counter("sim.comm.bytes.inter_node"), 400);
+        assert_eq!(t2.counter("sim.comm.bytes.intra_node"), 120);
+        assert_eq!(t2.counter("sim.comm.bytes.total"), 520);
+
+        // The machine-blind ingest writes neither split counter.
+        let t3 = Tracer::new();
+        t3.ingest_sim_timeline(&cross, 2.0);
+        assert_eq!(t3.counter("sim.comm.bytes.intra_node"), 0);
+        assert_eq!(t3.counter("sim.comm.bytes.inter_node"), 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]
 //!                [--no-overlap] [--no-permute] [--checkpoint PATH]
 //!                [--resume PATH] [--backend simulated|threaded] [--threads T]
+//!                [--partition 1d|1.5d] [--nodes N] [--nic GBPS]
 //!                [--trace PATH.json]
 //! mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N]
 //!                [--model a|b|c|d] [--profile] [--trace PATH.json]
@@ -27,7 +28,10 @@
 //!                [--out BENCH_trace.json] [--chrome PATH.json]
 //! mggcn trace    --check PATH.json
 //! mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]
-//! mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--dump]
+//! mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d]
+//!                [--partition 1d|1.5d] [--dump]
+//! mggcn topo-bench [--out BENCH_topo.json]
+//! mggcn topo-bench --check PATH.json
 //! ```
 //!
 //! `train` runs real full-batch training on a generated community graph;
@@ -54,10 +58,19 @@
 //! if a check fails, making it a CI gate. `--check PATH` validates an
 //! existing trace artifact (either kind, auto-detected) without running.
 //! `analyze` statically verifies recorded schedules — data-hazard freedom,
-//! deadlock freedom, and the §4.2 `L + 3` liveness budget — across a
-//! P ∈ {1,2,4,8} × op-order × overlap sweep plus a serving batch schedule
-//! (or one paper-scale dataset schedule with `--dataset`); it exits
-//! nonzero on any finding, and `--dump` prints the annotated op stream.
+//! deadlock freedom, and the partition's liveness budget (§4.2 `L + 3`
+//! for 1D, `L + 4` for 1.5D) — across a P ∈ {1,2,4,8} × partition ×
+//! op-order × overlap sweep plus a serving batch schedule (or one
+//! paper-scale dataset schedule with `--dataset`); it exits nonzero on
+//! any finding, and `--dump` prints the annotated op stream.
+//! `topo-bench` runs the §5.1 hierarchical-machine study — closed-form
+//! and DES 1D-vs-1.5D verdicts on DGX-1 and DGX-A100, a split-quad NIC
+//! sweep pinning the crossover bandwidth, a papers100M-scale end-to-end
+//! epoch sweep on two A100 quads, a traced intra-/inter-node byte split
+//! on a 2-node machine, and an analyze preflight over every generated
+//! schedule — then writes + schema-validates `BENCH_topo.json`, exiting
+//! nonzero if any verdict fails. `--check PATH` validates an existing
+//! artifact offline.
 
 use mg_gcn::core::checkpoint::Checkpoint;
 use mg_gcn::gpusim::Profile;
@@ -94,7 +107,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn serve-bench --check PATH\n  mggcn cluster-bench [--shards P] [--gpus-per-shard G] [--qps-mult M] [--requests N]\n                      [--vertices V] [--epochs E] [--seed S] [--slo-ms MS] [--max-degraded R]\n                      [--batch-window S] [--max-batch B] [--cache-mb MB]\n                      [--backend simulated|threaded] [--threads T] [--out PATH] [--trace PATH]\n  mggcn cluster-bench --check PATH\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--dump]"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n                 [--partition 1d|1.5d] [--nodes N] [--nic GBPS]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn serve-bench --check PATH\n  mggcn cluster-bench [--shards P] [--gpus-per-shard G] [--qps-mult M] [--requests N]\n                      [--vertices V] [--epochs E] [--seed S] [--slo-ms MS] [--max-degraded R]\n                      [--batch-window S] [--max-batch B] [--cache-mb MB]\n                      [--backend simulated|threaded] [--threads T] [--out PATH] [--trace PATH]\n  mggcn cluster-bench --check PATH\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST] [--out PATH]\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d]\n                 [--partition 1d|1.5d] [--dump]\n  mggcn topo-bench [--out BENCH_topo.json]\n  mggcn topo-bench --check PATH"
     );
     exit(2)
 }
@@ -113,6 +126,7 @@ fn main() {
         "bench-exec" => cmd_bench_exec(&flags),
         "trace" => cmd_trace(&flags),
         "analyze" => cmd_analyze(&flags),
+        "topo-bench" => cmd_topo_bench(&flags),
         _ => usage(),
     }
 }
@@ -149,12 +163,45 @@ fn cmd_train(flags: &HashMap<String, String>) {
         std::env::set_var("MGGCN_THREADS", t.to_string());
         set_pool_threads(t);
     }
+    let partition = match flags.get("partition").map(String::as_str) {
+        None => Partition::OneD,
+        Some(s) => Partition::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown partition {s:?} (expected 1d or 1.5d)");
+            exit(2)
+        }),
+    };
+    let nodes: usize = get(flags, "nodes", 1);
     let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
     let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
-    let mut opts = TrainOptions::quick(gpus);
+    let mut opts = if nodes > 1 {
+        // A hierarchical cluster of A100 nodes: gpus must split evenly
+        // across nodes so the 1.5D replication groups stay node-aligned.
+        if !gpus.is_multiple_of(nodes) {
+            eprintln!("--gpus ({gpus}) must be a multiple of --nodes ({nodes})");
+            exit(2)
+        }
+        let nic_gbps: f64 = get(flags, "nic", 50.0);
+        let machine = mg_gcn::gpusim::MachineSpec::hier_cluster(
+            &format!("A100-{nodes}x{}", gpus / nodes),
+            mg_gcn::gpusim::GpuSpec::a100(),
+            nodes,
+            gpus / nodes,
+            12,
+            25.0e9,
+            nic_gbps * 1e9,
+        );
+        let mut o = TrainOptions::full(machine, gpus);
+        // Exact gradients, matching `quick`'s single-node defaults.
+        o.skip_first_backward_spmm = false;
+        o
+    } else {
+        TrainOptions::quick(gpus)
+    };
+    opts.partition = partition;
     opts.overlap = !flags.contains_key("no-overlap");
     opts.permute = !flags.contains_key("no-permute");
     opts.backend = backend;
+    let opts_machine_name = opts.machine.name.clone();
     let problem = Problem::from_graph(&graph, &cfg, &opts);
     let mut trainer = match Trainer::new(problem, cfg, opts) {
         Ok(t) => t,
@@ -179,10 +226,12 @@ fn cmd_train(flags: &HashMap<String, String>) {
         trainer.set_tracer(t.clone());
     }
     println!(
-        "training: {} vertices, {} edges, {} GPUs, hidden {}, backend {}",
+        "training: {} vertices, {} edges, {} GPUs on {}, {} partition, hidden {}, backend {}",
         graph.n(),
         graph.adj.nnz(),
         gpus,
+        opts_machine_name,
+        partition.name(),
         hidden,
         backend.name()
     );
@@ -932,8 +981,16 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
             }
         };
         let gpus: usize = get(flags, "gpus", 4);
+        let partition = match flags.get("partition").map(String::as_str) {
+            None => Partition::OneD,
+            Some(s) => Partition::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown partition {s:?} (expected 1d or 1.5d)");
+                exit(2)
+            }),
+        };
         let cfg = model_for(flags.get("model").map(String::as_str).unwrap_or("a"), &card);
-        let opts = TrainOptions::full(machine.clone(), gpus);
+        let mut opts = TrainOptions::full(machine.clone(), gpus);
+        opts.partition = partition;
         let problem = Problem::from_stats(&card, &opts);
         let trainer = match Trainer::new(problem, cfg.clone(), opts) {
             Ok(t) => t,
@@ -943,11 +1000,15 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
             }
         };
         let sched = trainer.epoch_schedule();
-        let report = analyze_budget(&sched, &BudgetSpec::mg_gcn(cfg.layers()));
+        let budget = match partition {
+            Partition::OneD => BudgetSpec::mg_gcn(cfg.layers()),
+            Partition::OneFiveD => BudgetSpec::mg_gcn_15d(cfg.layers()),
+        };
+        let report = analyze_budget(&sched, &budget);
         if dump {
             print!("{}", sched.dump_ops());
         }
-        println!("{} on {} x{}:", card.name, machine.name, gpus);
+        println!("{} on {} x{} ({}):", card.name, machine.name, gpus, partition.name());
         print!("{}", report.render());
         exit(if report.clean() { 0 } else { 1 });
     }
@@ -957,7 +1018,6 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
     let hidden: usize = get(flags, "hidden", 16);
     let graph = sbm::generate(&SbmConfig::community_benchmark(vertices, 5), 42);
     let cfg = GcnConfig::new(graph.features.cols(), &[hidden], graph.classes);
-    let budget = BudgetSpec::mg_gcn(cfg.layers());
     let gpu_list: Vec<usize> = match flags.get("gpus") {
         Some(v) => vec![v.parse().unwrap_or_else(|_| {
             eprintln!("--gpus expects a positive integer");
@@ -968,29 +1028,41 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
     let mut dirty = 0usize;
     let mut total = 0usize;
     for &gpus in &gpu_list {
-        for overlap in [false, true] {
-            for op_order in [false, true] {
-                let mut opts = TrainOptions::quick(gpus);
-                opts.overlap = overlap;
-                opts.op_order_opt = op_order;
-                let problem = Problem::from_graph(&graph, &cfg, &opts);
-                let trainer = match Trainer::new(problem, cfg.clone(), opts) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        exit(1)
-                    }
-                };
-                let sched = trainer.epoch_schedule();
-                let report = analyze_budget(&sched, &budget);
-                let label = format!(
-                    "trainer P={gpus} overlap={} op-order={}",
-                    if overlap { "on " } else { "off" },
-                    if op_order { "on " } else { "off" },
-                );
-                print_schedule_report(&label, dump.then(|| sched.dump_ops()), &report);
-                total += 1;
-                dirty += usize::from(!report.clean());
+        for partition in [Partition::OneD, Partition::OneFiveD] {
+            // 1.5D needs an even GPU count ≥ 2.
+            if partition == Partition::OneFiveD && (gpus < 2 || !gpus.is_multiple_of(2)) {
+                continue;
+            }
+            for overlap in [false, true] {
+                for op_order in [false, true] {
+                    let mut opts = TrainOptions::quick(gpus);
+                    opts.overlap = overlap;
+                    opts.op_order_opt = op_order;
+                    opts.partition = partition;
+                    let problem = Problem::from_graph(&graph, &cfg, &opts);
+                    let trainer = match Trainer::new(problem, cfg.clone(), opts) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            exit(1)
+                        }
+                    };
+                    let sched = trainer.epoch_schedule();
+                    let budget = match partition {
+                        Partition::OneD => BudgetSpec::mg_gcn(cfg.layers()),
+                        Partition::OneFiveD => BudgetSpec::mg_gcn_15d(cfg.layers()),
+                    };
+                    let report = analyze_budget(&sched, &budget);
+                    let label = format!(
+                        "trainer P={gpus} {:<4} overlap={} op-order={}",
+                        partition.name(),
+                        if overlap { "on " } else { "off" },
+                        if op_order { "on " } else { "off" },
+                    );
+                    print_schedule_report(&label, dump.then(|| sched.dump_ops()), &report);
+                    total += 1;
+                    dirty += usize::from(!report.clean());
+                }
             }
         }
     }
@@ -1059,6 +1131,87 @@ fn print_schedule_report(label: &str, dump: Option<String>, report: &mg_gcn::ana
         for f in &report.findings {
             println!("    {f}");
         }
+    }
+}
+
+/// `topo-bench`: the §5.1 hierarchical-machine study. Runs the closed-form
+/// and DES 1D-vs-1.5D verdicts on DGX-1/DGX-A100, the split-quad NIC sweep
+/// (crossover ≈ 100 GB/s), a papers100M-scale end-to-end epoch sweep on
+/// two A100 quads, the traced intra-/inter-node byte split on a 2-node
+/// machine, and an analyze preflight over every generated 1D and 1.5D
+/// schedule; writes + schema-validates `BENCH_topo.json` and exits
+/// nonzero if any verdict fails (a CI gate). `--check PATH` validates an
+/// existing artifact without running anything.
+fn cmd_topo_bench(flags: &HashMap<String, String>) {
+    use mg_gcn::topo::{self, TopoBenchOptions};
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        match topo::validate_topo_bench(&text) {
+            Ok(()) => {
+                println!("{path}: valid {} stat card, all verdicts pass", topo::BENCH_TOPO_SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1)
+            }
+        }
+    }
+    let out = flags.get("out").cloned().unwrap_or_else(|| "BENCH_topo.json".to_string());
+    let start = Instant::now();
+    let bench = topo::run_topo_bench(&TopoBenchOptions::default());
+    println!("§5.1 verdicts (t_15d / t_1d; above 1 means 1D wins):");
+    for v in [&bench.paper_dgx1, &bench.paper_a100] {
+        println!(
+            "  {:<12} closed {:.4}  sim {:.4}  (1.5D memory ×{:.0})",
+            v.machine, v.slowdown_closed, v.slowdown_sim, v.mem_factor_15d
+        );
+    }
+    match bench.crossover_gbps {
+        Some(x) => println!("split-quad NIC sweep: 1.5D overtakes 1D below {x:.1} GB/s"),
+        None => println!("split-quad NIC sweep: no crossover found"),
+    }
+    println!("papers100M end-to-end epochs (P=8, two A100 quads):");
+    for p in &bench.e2e {
+        println!(
+            "  NIC {:>6.1} GB/s: 1D {:>7.3} s   1.5D {:>7.3} s   ratio {:.3}  ({} wins)",
+            p.nic_gbps,
+            p.t_1d,
+            p.t_15d,
+            p.slowdown_15d(),
+            if p.slowdown_15d() < 1.0 { "1.5D" } else { "1D" }
+        );
+    }
+    println!(
+        "2-node traced bytes: 1D intra {} / inter {}; 1.5D intra {} / inter {}",
+        bench.traffic_1d.intra_node,
+        bench.traffic_1d.inter_node,
+        bench.traffic_15d.intra_node,
+        bench.traffic_15d.inter_node
+    );
+    println!(
+        "analyze preflight: {}/{} schedules clean",
+        bench.preflight.clean, bench.preflight.schedules
+    );
+    let json = bench.to_json();
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    }
+    let written = std::fs::read_to_string(&out).unwrap_or_default();
+    let ok = match topo::validate_topo_bench(&written) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("{out}: verdicts FAILED validation: {e}");
+            false
+        }
+    };
+    println!("wrote {out} in {:.1}s", start.elapsed().as_secs_f64());
+    if !ok {
+        exit(1);
     }
 }
 

@@ -29,6 +29,7 @@
 //! | [`cluster`] | `mggcn-cluster` | sharded serving tier: consistent-hash routing, cache-aware partitioning, admission control, load shedding |
 //! | [`exec`] | `mggcn-exec` | real execution: worker-per-GPU runtime, deterministic kernel pool, wall-clock profiling |
 //! | [`trace`] | `mggcn-trace` | observability: structured spans, metrics registry, Chrome-trace export, derived overlap/memory metrics |
+//! | [`topo`] | `mggcn-topo` | hierarchical multi-node studies: §5.1 1D/1.5D crossover, NIC sweeps, `BENCH_topo.json` |
 //!
 //! ## Quick start
 //!
@@ -62,12 +63,13 @@ pub use mggcn_gpusim as gpusim;
 pub use mggcn_graph as graph;
 pub use mggcn_serve as serve;
 pub use mggcn_sparse as sparse;
+pub use mggcn_topo as topo;
 pub use mggcn_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
     pub use mggcn_cluster::{AdmissionPolicy, Cluster, ClusterConfig, PartitionPlan};
-    pub use mggcn_core::config::{GcnConfig, TrainOptions};
+    pub use mggcn_core::config::{GcnConfig, Partition, TrainOptions};
     pub use mggcn_core::memplan::{max_layers, BufferPolicy, MemoryPlan};
     pub use mggcn_core::metrics::EpochReport;
     pub use mggcn_core::problem::Problem;
