@@ -32,7 +32,9 @@ MGGCN_FUZZ_SEEDS=50 cargo test -q -p mggcn-testkit
 
 echo "==> chaos conformance (seeded fault matrix x pool widths)"
 # Seeded fault plans — worker death mid-collective, slow links, preemption,
-# cluster cache-node loss — against every subsystem on the sched core.
+# cluster cache-node loss, kills landing inside a pipelined epoch's
+# prefetch window (Scenario::StaleEpochKill) — against every subsystem
+# on the sched core.
 # Budgeted like the fuzz pass: 2 widths x 2 base seeds x 8-seed sweeps.
 # A red run names its seed; replay with
 #   MGGCN_CHAOS_SEED=<seed> cargo test -p mggcn-testkit --test chaos_invariants
@@ -44,20 +46,42 @@ for threads in 1 4; do
 done
 
 echo "==> bench-exec smoke (threaded runtime really executes; JSON schema)"
-# Speedup is asserted only in shape, not magnitude — CI cores vary.
+# Wall-clock speedup is asserted only in shape, not magnitude — CI cores
+# vary. The staleness_sim card is simulated-clock and deterministic, so
+# the validator's k=1 speedup floor is a real gate on the fresh artifact
+# AND on the committed one (regenerate with
+#   ./target/release/mggcn bench-exec --gpus 2 --vertices 800 --hidden 32 \
+#     --epochs 5 --out BENCH_exec.json
+# whenever the cost models change).
 BENCH_OUT="$(mktemp -d)/BENCH_exec.json"
 ./target/release/mggcn bench-exec --gpus 2 --vertices 500 --hidden 32 \
   --epochs 3 --threads 1,2 --out "${BENCH_OUT}" >/dev/null
 for key in '"bench":"exec"' '"backend":"threaded"' '"pool_size":' \
            '"results":[' '"threads":1' '"threads":2' \
-           '"epoch_ms_p50":' '"speedup":' '"category_ms":'; do
+           '"epoch_ms_p50":' '"speedup":' '"category_ms":' \
+           '"staleness_sim":' '"speedup_vs_fresh":'; do
   grep -qF "${key}" "${BENCH_OUT}" || {
     echo "BENCH_exec.json missing ${key}:" >&2
     cat "${BENCH_OUT}" >&2
     exit 1
   }
 done
+./target/release/mggcn bench-exec --check "${BENCH_OUT}" >/dev/null
 rm -f "${BENCH_OUT}"
+./target/release/mggcn bench-exec --check BENCH_exec.json >/dev/null
+
+echo "==> staleness smoke (DESIGN §15: fused pipelines on a 2x2 cluster)"
+# k=0 must be the old trainer bit for bit (covered by the differential
+# suite); here the CLI path trains end-to-end at k in {0,1} on the
+# 2-node hierarchical cluster under both pool widths. The analyze smoke
+# below re-verifies every fused shape with stale reads declared.
+for threads in 1 4; do
+  for k in 0 1; do
+    MGGCN_THREADS="${threads}" ./target/release/mggcn train \
+      --gpus 4 --nodes 2 --nic 1 --staleness "${k}" \
+      --vertices 400 --hidden 16 --epochs 3 --backend threaded >/dev/null
+  done
+done
 
 echo "==> trace smoke (traced epoch; §5.1 bytes + §4.2 memory bound; schemas)"
 # `mggcn trace` exits nonzero if the traced broadcast byte counters
@@ -121,8 +145,9 @@ rm -rf "${CLUSTER_DIR}"
 
 echo "==> analyze smoke (static schedule verification; Reddit model A, P=4)"
 # `mggcn analyze` exits nonzero if any recorded schedule has an unordered
-# buffer conflict, a dependency cycle, or a liveness coloring that needs
-# more big buffers than the §4.2 L+3 plan.
+# buffer conflict, a dependency cycle, an undeclared cross-epoch stale
+# read (§15 fused pipelines), or a liveness coloring that needs more big
+# buffers than the budget (L+3, +RP for 1.5D, +SF under staleness).
 ./target/release/mggcn analyze >/dev/null
 ./target/release/mggcn analyze --dataset reddit --gpus 4
 ./target/release/mggcn analyze --dataset reddit --gpus 4 --partition 1.5d

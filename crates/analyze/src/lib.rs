@@ -71,6 +71,23 @@ pub enum Finding {
     Deadlock { cycle: Vec<OpId> },
     /// A GPU's live ranges need more big buffers than the plan budgets.
     OverBudget { gpu: usize, needed: usize, budget: usize },
+    /// An epoch-tagged op reads `buf` whose last happens-before writer ran
+    /// `age` epochs earlier, without declaring a sufficient
+    /// [`mggcn_gpusim::StaleRead`] bound. Cross-epoch consumption must be
+    /// *explicit state*, never an accident: a bounded-staleness pipeline
+    /// declares every such read (and is then clean); anything else is a
+    /// latent ordering bug even though the pair is HB-ordered.
+    StaleRead {
+        buf: BufId,
+        writer: OpId,
+        writer_label: &'static str,
+        reader: OpId,
+        reader_label: &'static str,
+        /// Actual epoch gap between writer and reader.
+        age: usize,
+        /// The bound the reader declared, if any (insufficient when `Some`).
+        declared: Option<usize>,
+    },
 }
 
 impl fmt::Display for Finding {
@@ -89,6 +106,28 @@ impl fmt::Display for Finding {
             Finding::OverBudget { gpu, needed, budget } => {
                 write!(f, "GPU {gpu} needs {needed} big buffers but the plan budgets {budget}")
             }
+            Finding::StaleRead {
+                buf,
+                writer,
+                writer_label,
+                reader,
+                reader_label,
+                age,
+                declared,
+            } => match declared {
+                None => write!(
+                    f,
+                    "undeclared stale read of {buf}: op {reader} ({reader_label}) consumes \
+                         op {writer} ({writer_label}) from {age} epoch(s) earlier without a \
+                         StaleRead declaration"
+                ),
+                Some(d) => write!(
+                    f,
+                    "under-declared stale read of {buf}: op {reader} ({reader_label}) \
+                         declares age<={d} but consumes op {writer} ({writer_label}) from \
+                         {age} epoch(s) earlier"
+                ),
+            },
         }
     }
 }
@@ -115,6 +154,18 @@ impl BudgetSpec {
     /// reduction — the §5.1 memory-replication cost, L+4 per GPU.
     pub fn mg_gcn_15d(layers: usize) -> Self {
         Self { names: vec!["AHW", "HW", "BC1", "BC2", "RP"], budget: layers + 4 }
+    }
+
+    /// Extend a plan with the bounded-staleness snapshot family `SF`:
+    /// `sf` extra per-GPU big buffers hold the previous epoch's broadcast
+    /// sources (one per non-constant broadcast source; the 2-layer spmm-first
+    /// model needs exactly one, hence the §15 L+4 → L+5 delta on 1.5D).
+    pub fn with_staleness(mut self, sf: usize) -> Self {
+        if sf > 0 {
+            self.names.push("SF");
+            self.budget += sf;
+        }
+        self
     }
 }
 
@@ -219,6 +270,59 @@ pub fn analyze_ops(ops: &[OpInfo<'_>], budget: Option<&BudgetSpec>) -> Report {
                 };
                 let finding =
                     Finding::Hazard { kind, buf, first, first_label, second, second_label };
+                if !findings.contains(&finding) {
+                    findings.push(finding);
+                }
+            }
+        }
+    }
+
+    // Cross-epoch pass (fused bounded-staleness schedules only): a read
+    // whose *last* happens-before writer belongs to an earlier epoch is a
+    // stale consumption and must carry a sufficient StaleRead declaration.
+    // Such pairs are HB-ordered — the plain hazard pass cannot see them —
+    // but an undeclared one means the schedule silently trains on old
+    // state. Classic one-epoch schedules carry no epoch tags and skip
+    // this entirely.
+    if ops.iter().any(|op| op.desc.epoch.is_some()) && hb.cycle.is_none() {
+        type WriterRec = (OpId, Option<usize>, &'static str);
+        let mut writers: BTreeMap<BufId, Vec<WriterRec>> = BTreeMap::new();
+        for op in ops {
+            for &b in &op.effects.writes {
+                writers.entry(b).or_default().push((op.id, op.desc.epoch, op.desc.label));
+            }
+        }
+        for op in ops {
+            let Some(reader_epoch) = op.desc.epoch else { continue };
+            for &b in &op.effects.reads {
+                let Some(list) = writers.get(&b) else { continue };
+                let mut last: Option<WriterRec> = None;
+                for &(w, we, wl) in list {
+                    if w == op.id || !hb.ordered(w, op.id) {
+                        continue;
+                    }
+                    if last.is_none_or(|(l, _, _)| hb.topo_pos(l) < hb.topo_pos(w)) {
+                        last = Some((w, we, wl));
+                    }
+                }
+                let Some((writer, Some(writer_epoch), writer_label)) = last else { continue };
+                let age = reader_epoch.saturating_sub(writer_epoch);
+                if age == 0 {
+                    continue;
+                }
+                let declared = op.effects.stale_age(b);
+                if declared.is_some_and(|d| d >= age) {
+                    continue;
+                }
+                let finding = Finding::StaleRead {
+                    buf: b,
+                    writer,
+                    writer_label,
+                    reader: op.id,
+                    reader_label: op.desc.label,
+                    age,
+                    declared,
+                };
                 if !findings.contains(&finding) {
                     findings.push(finding);
                 }
@@ -468,6 +572,119 @@ mod tests {
         let lv = r.liveness.unwrap();
         assert_eq!(lv.buffers_bound, 2);
         assert_eq!(lv.buffers_needed, 1, "disjoint ranges must share");
+    }
+
+    #[test]
+    fn declared_stale_read_is_clean_undeclared_is_flagged() {
+        use mggcn_gpusim::StaleRead;
+        let sf = BufId::indexed(0, "SF", 0);
+        // Writer in epoch 0, reader in epoch 1, ordered by the lane FIFO:
+        // invisible to the hazard pass, caught by the cross-epoch pass.
+        let build = |declared: Option<usize>| {
+            let mut s: Schedule<()> = Schedule::new(machine(1));
+            s.launch_fx(
+                0,
+                0,
+                fixed(),
+                desc("snapshot").in_epoch(0),
+                &[],
+                Effects::none().writes([sf]),
+                None,
+            );
+            let fx = match declared {
+                Some(age) => Effects::none().stale([StaleRead { buf: sf, age }]),
+                None => Effects::none().reads([sf]),
+            };
+            s.launch_fx(0, 0, fixed(), desc("bcast").in_epoch(1), &[], fx, None);
+            s
+        };
+        assert!(analyze(&build(Some(1))).clean());
+        assert!(analyze(&build(Some(2))).clean(), "over-declared bound is fine");
+        let r = analyze(&build(None));
+        assert_eq!(r.findings.len(), 1);
+        assert!(matches!(r.findings[0], Finding::StaleRead { age: 1, declared: None, .. }));
+        assert!(r.findings[0].to_string().contains("undeclared stale read of SF.0@g0"));
+    }
+
+    #[test]
+    fn under_declared_stale_read_is_flagged_with_bound() {
+        use mggcn_gpusim::StaleRead;
+        let sf = BufId::indexed(0, "SF", 0);
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            desc("snapshot").in_epoch(0),
+            &[],
+            Effects::none().writes([sf]),
+            None,
+        );
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            desc("bcast").in_epoch(2),
+            &[],
+            Effects::none().stale([StaleRead { buf: sf, age: 1 }]),
+            None,
+        );
+        let r = analyze(&s);
+        assert!(matches!(r.findings[..], [Finding::StaleRead { age: 2, declared: Some(1), .. }]));
+    }
+
+    #[test]
+    fn same_epoch_refresh_resets_the_stale_clock() {
+        let sf = BufId::indexed(0, "SF", 0);
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            desc("snap0").in_epoch(0),
+            &[],
+            Effects::none().writes([sf]),
+            None,
+        );
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            desc("snap1").in_epoch(1),
+            &[],
+            Effects::none().writes([sf]),
+            None,
+        );
+        // Last HB-before writer is snap1 (same epoch): no staleness.
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            desc("read").in_epoch(1),
+            &[],
+            Effects::none().reads([sf]),
+            None,
+        );
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn untagged_schedules_skip_the_cross_epoch_pass() {
+        let sf = BufId::indexed(0, "SF", 0);
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("w"), &[], Effects::none().writes([sf]), None);
+        s.launch_fx(0, 0, fixed(), desc("r"), &[], Effects::none().reads([sf]), None);
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn staleness_budget_adds_the_sf_family() {
+        let spec = BudgetSpec::mg_gcn_15d(2).with_staleness(1);
+        assert_eq!(spec.budget, 7); // L+5 for the 2-layer 1.5D plan
+        assert!(spec.names.contains(&"SF"));
+        let unchanged = BudgetSpec::mg_gcn(2).with_staleness(0);
+        assert_eq!(unchanged.budget, 5);
+        assert!(!unchanged.names.contains(&"SF"));
     }
 
     #[test]

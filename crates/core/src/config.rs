@@ -146,6 +146,16 @@ pub struct TrainOptions {
     /// cross-group reduction re-folds in canonical stage order) but moves
     /// bytes on a different wire pattern and needs `L + 4` big buffers.
     pub partition: Partition,
+    /// Bounded training staleness `k` (PipeGCN-style cross-epoch
+    /// pipelining, DESIGN §15). `0` — the default — is the paper's fully
+    /// synchronous pipeline, bit-identical to every prior behaviour.
+    /// With `k >= 1`, epoch `e`'s *remote* feature broadcasts read a
+    /// snapshot (`SF`) of the sources taken up to `k` epochs earlier, so
+    /// they carry no dependency on the current epoch's producers and the
+    /// engine issues them during the previous epoch's backward pass. The
+    /// local (diagonal) tile always reads live state, so the local
+    /// gradient path stays exact.
+    pub staleness: usize,
 }
 
 impl TrainOptions {
@@ -166,6 +176,7 @@ impl TrainOptions {
             epoch_host_overhead: 3.0e-3,
             backend: Backend::Simulated,
             partition: Partition::default(),
+            staleness: 0,
         }
     }
 
@@ -187,6 +198,14 @@ impl TrainOptions {
     /// with compute) otherwise.
     pub fn comm_stream(&self) -> usize {
         usize::from(self.overlap)
+    }
+
+    /// Stream used for the bounded-staleness prefetch broadcasts: a
+    /// dedicated lane past the comm stream, so epoch `e+1`'s stale
+    /// broadcasts are not FIFO-serialized behind epoch `e`'s gradient
+    /// all-reduce on the comm lane.
+    pub fn prefetch_stream(&self) -> usize {
+        self.comm_stream() + 1
     }
 }
 

@@ -83,6 +83,18 @@ impl MemoryPlan {
         plan
     }
 
+    /// Add the bounded-staleness snapshot buffers (DESIGN §15): `sf` extra
+    /// big buffers per GPU (`SF.l`, one per non-constant forward broadcast
+    /// source, sized like the others). The 2-layer spmm-first model
+    /// snapshots exactly one source, taking the 1.5D plan from `L+4` to
+    /// `L+5`. A no-op when `sf == 0`, so `staleness = 0` plans are
+    /// byte-identical to before.
+    pub fn with_staleness(mut self, n: u64, gpus: u64, cfg: &GcnConfig, sf: u64) -> Self {
+        let n_p = n.div_ceil(gpus);
+        self.big_buffers += sf * n_p * cfg.max_dim() as u64 * 4;
+        self
+    }
+
     pub fn total(&self) -> u64 {
         self.adjacency + self.features + self.big_buffers + self.weights + self.labels
     }
@@ -193,6 +205,22 @@ mod tests {
         let layers = cfg.layers() as u64;
         assert_eq!(p1d.big_buffers, (layers + 3) * one_buffer);
         assert_eq!(p15.big_buffers, (layers + 4) * one_buffer);
+    }
+
+    #[test]
+    fn staleness_adds_sf_buffers_and_zero_is_identity() {
+        let cfg = GcnConfig::model_a(602, 41);
+        let base = MemoryPlan::new_15d(REDDIT_N, REDDIT_M, &cfg, 4, BufferPolicy::MgGcn);
+        let n_p = REDDIT_N.div_ceil(4);
+        let one_buffer = n_p * cfg.max_dim() as u64 * 4;
+        let layers = cfg.layers() as u64;
+        // k >= 1 with one snapshotted source: L+4 → L+5.
+        let stale = base.with_staleness(REDDIT_N, 4, &cfg, 1);
+        assert_eq!(stale.big_buffers, (layers + 5) * one_buffer);
+        // sf = 0 (staleness off) is byte-identical.
+        let off = base.with_staleness(REDDIT_N, 4, &cfg, 0);
+        assert_eq!(off.big_buffers, base.big_buffers);
+        assert_eq!(off.total(), base.total());
     }
 
     #[test]

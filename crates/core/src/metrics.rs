@@ -86,6 +86,7 @@ mod tests {
             bytes: 0.0,
             reads: 0,
             writes: 0,
+            epoch: None,
         });
         tl.spans.push(Span {
             gpu: 0,
@@ -99,6 +100,7 @@ mod tests {
             bytes: 0.0,
             reads: 0,
             writes: 0,
+            epoch: None,
         });
         EpochReport {
             epoch: 0,

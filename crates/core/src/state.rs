@@ -48,6 +48,12 @@ pub struct GpuState {
     /// 0×0 under 1D — zero capacity, so the L+3 accounting is unchanged —
     /// and grown lazily by the first 1.5D SpMM body.
     pub rp: Dense,
+    /// Bounded-staleness snapshot buffers (`SF.l`, DESIGN §15): a copy of
+    /// layer `l`'s forward broadcast source, taken at the last snapshot
+    /// epoch, that later epochs' remote broadcasts read instead of the live
+    /// buffer. Empty (zero capacity) when `staleness == 0`, so the `L + 3`
+    /// accounting is unchanged; grown lazily by the first snapshot body.
+    pub sf: Vec<Dense>,
     /// Replicated weights, one per layer.
     pub weights: Vec<Dense>,
     /// Weight gradients.
@@ -66,7 +72,17 @@ pub struct GpuState {
     pub train_total: usize,
     pub test_correct: usize,
     pub test_total: usize,
+    /// Per-epoch statistics log for fused multi-epoch (staleness)
+    /// schedules: the loss body pushes `(loss_sum, train_correct,
+    /// train_total, test_correct, test_total)` once per epoch and zeroes
+    /// the scratch counters, so a single schedule run yields one entry per
+    /// epoch. Empty in classic one-epoch mode.
+    pub epoch_stats: Vec<EpochStats>,
 }
+
+/// One epoch's accumulated counters: `(loss_sum, train_correct,
+/// train_total, test_correct, test_total)`.
+pub type EpochStats = (f64, usize, usize, usize, usize);
 
 impl GpuState {
     pub fn bc(&mut self, slot: BcSlot) -> &mut Dense {
@@ -133,6 +149,7 @@ impl DeviceState {
                     bc1: Dense::zeros(max_rows, max_d),
                     bc2: Dense::zeros(max_rows, max_d),
                     rp: Dense::zeros(0, 0),
+                    sf: (0..layers).map(|_| Dense::zeros(0, 0)).collect(),
                     // All GPUs seed identically: replicated weights agree.
                     weights: (0..layers)
                         .map(|l| {
@@ -150,6 +167,7 @@ impl DeviceState {
                     train_total: 0,
                     test_correct: 0,
                     test_total: 0,
+                    epoch_stats: Vec::new(),
                 }
             })
             .map(Mutex::new)
@@ -246,7 +264,9 @@ impl DeviceState {
     pub fn big_buffer_bytes(&self, i: usize) -> u64 {
         let g = self.gpu(i);
         let ahw: usize = g.ahw.iter().map(Dense::capacity_bytes).sum();
-        (ahw + g.hw.capacity_bytes()
+        let sf: usize = g.sf.iter().map(Dense::capacity_bytes).sum();
+        (ahw + sf
+            + g.hw.capacity_bytes()
             + g.bc1.capacity_bytes()
             + g.bc2.capacity_bytes()
             + g.rp.capacity_bytes()) as u64
@@ -261,6 +281,7 @@ impl DeviceState {
             g.train_total = 0;
             g.test_correct = 0;
             g.test_total = 0;
+            g.epoch_stats.clear();
         }
     }
 

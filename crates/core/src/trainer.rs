@@ -31,7 +31,9 @@ use crate::state::{BcSlot, DeviceState, GpuState};
 use mggcn_dense::{gemm, gemm_a_bt, gemm_at_b, relu_inplace, Accumulate, Dense};
 use mggcn_exec::Backend;
 use mggcn_gpusim::engine::{Body, OpDesc};
-use mggcn_gpusim::{BufId, Category, Effects, OomError, OpId, RunReport, Schedule};
+use mggcn_gpusim::{
+    BufId, Category, Effects, OomError, OpId, RunReport, Schedule, StaleRead, Timeline,
+};
 use mggcn_sparse::spmm;
 use std::sync::Arc;
 
@@ -95,6 +97,11 @@ fn rp_id(g: usize) -> BufId {
     BufId::new(g, "RP")
 }
 
+/// Layer `l`'s bounded-staleness snapshot buffer on GPU `g` (DESIGN §15).
+fn sf_id(g: usize, l: usize) -> BufId {
+    BufId::indexed(g, "SF", l)
+}
+
 /// Layer `l`'s weights on GPU `g`.
 fn w_id(g: usize, l: usize) -> BufId {
     BufId::indexed(g, "W", l)
@@ -117,6 +124,33 @@ enum Dir {
     Bwd,
 }
 
+/// What a bounded-staleness forward broadcast reads instead of the live
+/// layer input (DESIGN §15). Carrying no dependency on the current epoch's
+/// producers is exactly what lets the engine issue the broadcast during the
+/// previous epoch's backward pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PrefetchSrc {
+    /// The source tile is the constant input features `X`: prefetching is
+    /// exact (no snapshot, no staleness declaration needed).
+    Const,
+    /// Layer `layer`'s snapshot buffer `SF`, `age` epochs stale.
+    Snapshot { layer: usize, age: usize },
+}
+
+/// Number of per-GPU snapshot (`SF`) big buffers a bounded-staleness run
+/// needs: one per layer whose broadcast source is not the constant input
+/// features (layer 0 under the §4.4 spmm-first order broadcasts `X`
+/// itself, which never goes stale). Zero when `staleness == 0` — the
+/// memory plan and the `L + 3` liveness bound are untouched.
+pub fn sf_buffer_count(cfg: &GcnConfig, opts: &TrainOptions) -> usize {
+    if opts.staleness == 0 {
+        return 0;
+    }
+    (0..cfg.layers())
+        .filter(|&l| !(l == 0 && opts.op_order_opt && cfg.d_in(0) < cfg.d_out(0)))
+        .count()
+}
+
 /// The MG-GCN multi-GPU trainer.
 pub struct Trainer {
     cfg: GcnConfig,
@@ -124,6 +158,11 @@ pub struct Trainer {
     problem: Problem,
     state: DeviceState,
     epoch: usize,
+    /// Epoch of the most recent `SF` snapshot, `None` until one exists
+    /// (fresh trainer, or right after a checkpoint restore — snapshots are
+    /// scratch, not checkpointed, so the first post-restore epoch trains
+    /// fully fresh). Only meaningful when `opts.staleness >= 1`.
+    sf_epoch: Option<usize>,
     plan: MemoryPlan,
     /// Observation-only tracer; `None` (the default) records nothing and
     /// costs nothing. Ingestion happens strictly after a schedule has run,
@@ -159,6 +198,12 @@ impl Trainer {
                 )
             }
         };
+        let plan = if opts.staleness > 0 {
+            let sf = sf_buffer_count(&cfg, &opts) as u64;
+            plan.with_staleness(problem.n as u64, opts.gpus as u64, &cfg, sf)
+        } else {
+            plan
+        };
         let capacity = opts.machine.gpus[0].mem_bytes;
         if !plan.fits(capacity) {
             return Err(OomError {
@@ -174,7 +219,7 @@ impl Trainer {
         } else {
             DeviceState::empty()
         };
-        Ok(Self { cfg, opts, problem, state, epoch: 0, plan, tracer: None })
+        Ok(Self { cfg, opts, problem, state, epoch: 0, sf_epoch: None, plan, tracer: None })
     }
 
     /// Attach a tracer. Every subsequent epoch/evaluation ingests its
@@ -241,6 +286,7 @@ impl Trainer {
             g.adam_v = ck.adam_v.clone();
         }
         self.epoch = ck.epoch as usize;
+        self.sf_epoch = None;
         Ok(())
     }
 
@@ -252,6 +298,13 @@ impl Trainer {
     /// [`TrainError::Exec`] (never a hang), and the report carries the
     /// measured wall-clock profile in [`EpochReport::measured`].
     pub fn train_epoch(&mut self) -> Result<EpochReport, TrainError> {
+        if self.opts.staleness > 0 {
+            // One-epoch pipelined schedule: numerically identical to the
+            // fused multi-epoch build because snapshot ages and cadence are
+            // functions of the absolute epoch counter, and `SF` persists in
+            // device state between calls.
+            return self.train_pipelined(1).map(|mut v| v.pop().expect("one epoch"));
+        }
         let sched = self.build_epoch();
         self.state.reset_scratch();
         let (run, measured) = self.dispatch(sched)?;
@@ -298,9 +351,107 @@ impl Trainer {
         Ok((run, measured))
     }
 
-    /// Train `epochs` epochs, returning every report.
+    /// Train `epochs` epochs, returning every report. With
+    /// `--staleness >= 1` all epochs are recorded into ONE fused,
+    /// epoch-tagged schedule so epoch `e + 1`'s prefetch broadcasts really
+    /// issue during epoch `e`'s backward pass (DESIGN §15).
     pub fn train(&mut self, epochs: usize) -> Result<Vec<EpochReport>, TrainError> {
-        (0..epochs).map(|_| self.train_epoch()).collect()
+        if self.opts.staleness == 0 || epochs == 0 {
+            (0..epochs).map(|_| self.train_epoch()).collect()
+        } else {
+            self.train_pipelined(epochs)
+        }
+    }
+
+    /// Record `epochs` consecutive training epochs into one fused schedule
+    /// (DESIGN §15): every op carries its epoch tag, remote forward
+    /// broadcasts read the bounded-staleness `SF` snapshots, and prefetch
+    /// broadcasts ride a dedicated stream past the comm lane. Returns the
+    /// schedule plus the epoch of the last snapshot taken (the trainer's
+    /// `sf_epoch` after a run).
+    fn build_pipelined(&self, epochs: usize) -> (Schedule<DeviceState>, Option<usize>) {
+        let k = self.opts.staleness;
+        assert!(k >= 1, "pipelined schedules need staleness >= 1");
+        assert!(epochs >= 1, "pipelined schedules need at least one epoch");
+        let mut b = EpochBuilder::new(&self.cfg, &self.opts, &self.problem, self.epoch);
+        let mut last_snap = self.sf_epoch;
+        for e in self.epoch..self.epoch + epochs {
+            // Snapshot cadence: refresh `SF` whenever the current snapshot
+            // would otherwise exceed age `k`, so every stale read has age
+            // in `1..=k`. The very first epoch (no snapshot yet) trains
+            // fully fresh and seeds `SF`.
+            let sf_age = last_snap.map(|s| e - s);
+            let snap = last_snap.is_none_or(|s| e - s >= k);
+            b.begin_epoch(e, sf_age, snap);
+            b.forward();
+            b.loss();
+            b.backward();
+            if snap {
+                last_snap = Some(e);
+            }
+        }
+        (b.sched, last_snap)
+    }
+
+    /// A fused `epochs`-epoch bounded-staleness schedule, recorded but not
+    /// run — the epoch-tagged input `mggcn-analyze` verifies (every stale
+    /// read declared with its true age) and the conformance suites mutate.
+    /// Requires `staleness >= 1`.
+    pub fn pipelined_schedule(&self, epochs: usize) -> Schedule<DeviceState> {
+        self.build_pipelined(epochs).0
+    }
+
+    /// Run a fused bounded-staleness schedule and split the single run
+    /// report back into per-epoch reports using the span epoch tags.
+    fn train_pipelined(&mut self, epochs: usize) -> Result<Vec<EpochReport>, TrainError> {
+        let base = self.epoch;
+        let (sched, sf_epoch) = self.build_pipelined(epochs);
+        self.state.reset_scratch();
+        let (run, mut measured) = self.dispatch(sched)?;
+        self.sf_epoch = sf_epoch;
+        self.epoch = base + epochs;
+        let stats: Vec<Vec<crate::state::EpochStats>> =
+            (0..self.state.gpu_count()).map(|g| self.state.gpu(g).epoch_stats.clone()).collect();
+        let mut reports = Vec::with_capacity(epochs);
+        let mut prev_boundary = 0.0f64;
+        for i in 0..epochs {
+            let e = base + i;
+            // Epoch e ends when its last tagged span ends. Epoch e + 1's
+            // prefetch spans are tagged e + 1, so time they overlap into
+            // epoch e's backward is — correctly — not billed to epoch e.
+            let boundary = run
+                .timeline
+                .spans
+                .iter()
+                .filter(|s| s.epoch.is_some_and(|se| se <= e))
+                .map(|s| s.end)
+                .fold(prev_boundary, f64::max);
+            let mut timeline = Timeline::default();
+            timeline
+                .spans
+                .extend(run.timeline.spans.iter().filter(|s| s.epoch == Some(e)).cloned());
+            let (mut loss, mut tc, mut tt, mut ec, mut et) = (0.0f64, 0usize, 0, 0, 0);
+            for per_gpu in &stats {
+                if let Some(&(ls, a, b, c, d)) = per_gpu.get(i) {
+                    loss += ls;
+                    tc += a;
+                    tt += b;
+                    ec += c;
+                    et += d;
+                }
+            }
+            reports.push(EpochReport {
+                epoch: e,
+                sim_seconds: boundary - prev_boundary + self.opts.epoch_host_overhead,
+                loss,
+                train_acc: if tt == 0 { 0.0 } else { tc as f64 / tt as f64 },
+                test_acc: if et == 0 { 0.0 } else { ec as f64 / et as f64 },
+                timeline,
+                measured: if i + 1 == epochs { measured.take() } else { None },
+            });
+            prev_boundary = boundary;
+        }
+        Ok(reports)
     }
 
     /// Forward pass + loss only — inference. Weights are untouched (the
@@ -413,6 +564,23 @@ struct EpochBuilder<'a> {
     pending_sync: Vec<OpId>,
     /// Which GPUs have already consumed [`EpochBuilder::pending_sync`].
     sync_taken: Vec<bool>,
+    /// `Some(e)` while recording epoch `e` of a fused bounded-staleness
+    /// schedule (DESIGN §15); `None` for classic single-epoch builds, which
+    /// therefore dump, analyze and run bit-identically to every prior
+    /// release.
+    epoch_tag: Option<usize>,
+    /// Age (epochs) of the `SF` snapshot this epoch's remote forward
+    /// broadcasts read; `None` means train fully fresh.
+    sf_age: Option<usize>,
+    /// Whether this epoch refreshes the `SF` snapshots after its forward
+    /// reads them.
+    snap_this_epoch: bool,
+    /// `sf_writer[l][g]`: the op that last wrote `SF(l)` on GPU `g` (the
+    /// RAW guard for stale broadcasts).
+    sf_writer: Vec<Vec<Option<OpId>>>,
+    /// `sf_reader[l][g]`: the broadcast that last read `SF(l)` rooted at
+    /// GPU `g` (the WAR guard for snapshot refreshes).
+    sf_reader: Vec<Vec<Option<OpId>>>,
 }
 
 impl<'a> EpochBuilder<'a> {
@@ -431,7 +599,63 @@ impl<'a> EpochBuilder<'a> {
             bc_readers15: [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()]],
             pending_sync: Vec::new(),
             sync_taken: vec![false; opts.gpus],
+            epoch_tag: None,
+            sf_age: None,
+            snap_this_epoch: false,
+            sf_writer: vec![vec![None; opts.gpus]; cfg.layers()],
+            sf_reader: vec![vec![None; opts.gpus]; cfg.layers()],
         }
+    }
+
+    /// Start recording epoch `epoch` of a fused bounded-staleness schedule.
+    /// Layer-input producers reset (the prefetch paths supply their own
+    /// dependencies); the broadcast-buffer WAR chains, the 1.5D pending
+    /// sync and the `SF` reader/writer guards deliberately persist — they
+    /// carry the cross-epoch ordering that makes every stale read *declared
+    /// state* rather than a race.
+    fn begin_epoch(&mut self, epoch: usize, sf_age: Option<usize>, snap: bool) {
+        self.t = epoch as u64 + 1;
+        self.epoch_tag = Some(epoch);
+        self.sf_age = sf_age;
+        self.snap_this_epoch = snap;
+        self.producers = vec![None; self.opts.gpus];
+    }
+
+    /// Epoch-tagged [`OpDesc`] (classic builds stay untagged).
+    fn mk_desc(&self, cat: Category, label: &'static str) -> OpDesc {
+        let d = OpDesc::new(cat, label);
+        match self.epoch_tag {
+            Some(e) => d.in_epoch(e),
+            None => d,
+        }
+    }
+
+    /// Epoch-tagged staged [`OpDesc`] (classic builds stay untagged).
+    fn mk_staged(&self, cat: Category, label: &'static str, stage: usize) -> OpDesc {
+        let d = OpDesc::staged(cat, label, stage);
+        match self.epoch_tag {
+            Some(e) => d.in_epoch(e),
+            None => d,
+        }
+    }
+
+    /// Declare the epoch-carried read of `buf` (weights / Adam moments
+    /// written by the previous epoch's optimizer) on fused schedules: that
+    /// cross-epoch RAW is the intended age-1 pipeline dependency, not a
+    /// hazard. Lane FIFO already orders it; the declaration tells
+    /// `mggcn-analyze` it is deliberate.
+    fn declare_epoch_carry(&self, fx: Effects, buf: BufId) -> Effects {
+        if self.epoch_tag.is_some() {
+            fx.stale([StaleRead { buf, age: 1 }])
+        } else {
+            fx
+        }
+    }
+
+    /// Whether layer `l`'s forward broadcast needs an `SF` snapshot to go
+    /// stale (layer 0 under spmm-first broadcasts the constant `X`).
+    fn needs_sf(&self, l: usize) -> bool {
+        !(l == 0 && self.opts.op_order_opt && self.cfg.d_in(0) < self.cfg.d_out(0))
     }
 
     /// The pending cross-group-reduction waits GPU `g` still owes, consumed
@@ -448,6 +672,8 @@ impl<'a> EpochBuilder<'a> {
 
     /// Partition dispatch: the paper's 1D broadcast pipeline or the §5.1
     /// 1.5D replicated pipeline. Both return the per-GPU producer of `dst`.
+    /// `prefetch` (forward layers of a bounded-staleness epoch only)
+    /// replaces the remote broadcast source with snapshot/constant state.
     fn staged(
         &mut self,
         dir: Dir,
@@ -455,10 +681,11 @@ impl<'a> EpochBuilder<'a> {
         dst: Buf,
         d: usize,
         src_producers: Vec<Option<OpId>>,
+        prefetch: Option<PrefetchSrc>,
     ) -> Vec<OpId> {
         match self.opts.partition {
-            Partition::OneD => self.staged_spmm(dir, src, dst, d, src_producers),
-            Partition::OneFiveD => self.staged_spmm_15d(dir, src, dst, d, src_producers),
+            Partition::OneD => self.staged_spmm(dir, src, dst, d, src_producers, prefetch),
+            Partition::OneFiveD => self.staged_spmm_15d(dir, src, dst, d, src_producers, prefetch),
         }
     }
 
@@ -478,24 +705,73 @@ impl<'a> EpochBuilder<'a> {
             let d_out = self.cfg.d_out(l);
             let input = if l == 0 { Buf::X } else { Buf::Ahw(l - 1) };
             let spmm_first = self.opts.op_order_opt && d_in < d_out;
+            // Bounded-staleness epochs prefetch every forward broadcast:
+            // from the layer's SF snapshot when the source can go stale,
+            // or straight from the constant X (exact) when it cannot.
+            let prefetch = self.sf_age.map(|age| {
+                if self.needs_sf(l) {
+                    PrefetchSrc::Snapshot { layer: l, age }
+                } else {
+                    PrefetchSrc::Const
+                }
+            });
 
+            let (snap_src, snap_d);
             if spmm_first {
                 // AH = Âᵀ·H (width d_in) into HW, then AHW = AH·W.
-                let spmm_ops = self.staged(Dir::Fwd, input, Buf::Hw, d_in, self.producers.clone());
+                let spmm_ops =
+                    self.staged(Dir::Fwd, input, Buf::Hw, d_in, self.producers.clone(), prefetch);
                 let gemm_ops = self.local_gemm_xw(l, Buf::Hw, Buf::Ahw(l), &spmm_ops);
                 self.producers = gemm_ops.into_iter().map(Some).collect();
+                (snap_src, snap_d) = (input, d_in);
             } else {
                 // HW = H·W (width d_out) into HW, then AHW = Âᵀ·HW.
                 let gemm_ops = self.local_gemm_xw(l, input, Buf::Hw, &[]);
                 let srcs: Vec<Option<OpId>> = gemm_ops.into_iter().map(Some).collect();
-                let spmm_ops = self.staged(Dir::Fwd, Buf::Hw, Buf::Ahw(l), d_out, srcs);
+                let spmm_ops = self.staged(Dir::Fwd, Buf::Hw, Buf::Ahw(l), d_out, srcs, prefetch);
                 self.producers = spmm_ops.into_iter().map(Some).collect();
+                (snap_src, snap_d) = (Buf::Hw, d_out);
             }
+            self.snapshot_source(l, snap_src, snap_d);
 
             if l + 1 < layers {
                 let relu_ops = self.relu_forward(l);
                 self.producers = relu_ops.into_iter().map(Some).collect();
             }
+        }
+    }
+
+    /// Refresh layer `l`'s `SF` snapshot from this epoch's live broadcast
+    /// source (DESIGN §15) — recorded right after the layer's staged SpMM,
+    /// while the source buffer still holds this layer's operand. Waits on
+    /// the broadcast that last read the old snapshot (WAR); lane-0 FIFO
+    /// orders it against the local source writers.
+    fn snapshot_source(&mut self, l: usize, src: Buf, d: usize) {
+        if !(self.snap_this_epoch && self.needs_sf(l)) {
+            return;
+        }
+        for g in 0..self.p() {
+            let n_g = self.problem.rows_of(g);
+            let work = self.opts.cost.elementwise((n_g * d) as u64, 2.0);
+            let body = self.real.as_ref().map(|_| {
+                Box::new(move |ctx: &DeviceState| {
+                    let gs = &mut *ctx.gpu(g);
+                    let v = read_buf(gs, src).as_slice()[..n_g * d].to_vec();
+                    gs.sf[l].resize(n_g, d);
+                    gs.sf[l].as_mut_slice()[..n_g * d].copy_from_slice(&v);
+                }) as Body<DeviceState>
+            });
+            let waits: Vec<OpId> = self.sf_reader[l][g].into_iter().collect();
+            let op = self.sched.launch_fx(
+                g,
+                0,
+                work,
+                self.mk_desc(Category::Other, "sf-snap"),
+                &waits,
+                Effects::none().reads([buf_id(g, src)]).writes([sf_id(g, l)]),
+                body,
+            );
+            self.sf_writer[l][g] = Some(op);
         }
     }
 
@@ -505,6 +781,7 @@ impl<'a> EpochBuilder<'a> {
         let classes = self.cfg.d_out(last);
         let train_count = self.problem.train_count.max(1);
         let mut ops = Vec::with_capacity(self.p());
+        let fused = self.epoch_tag.is_some();
         for g in 0..self.p() {
             let n_g = self.problem.rows_of(g);
             let work = self.opts.cost.loss(n_g as u64, classes as u64);
@@ -523,6 +800,19 @@ impl<'a> EpochBuilder<'a> {
                     gs.train_total = stats.train_total;
                     gs.test_correct = stats.test_correct;
                     gs.test_total = stats.test_total;
+                    if fused {
+                        // Fused multi-epoch schedules keep a per-epoch
+                        // trail: epoch e's loss is HB-before epoch e+1's
+                        // (through backward → Adam → forward), so push
+                        // order is epoch order on every GPU.
+                        gs.epoch_stats.push((
+                            stats.loss_sum,
+                            stats.train_correct,
+                            stats.train_total,
+                            stats.test_correct,
+                            stats.test_total,
+                        ));
+                    }
                 }) as Body<DeviceState>
             });
             let waits = self.take_sync(g);
@@ -530,7 +820,7 @@ impl<'a> EpochBuilder<'a> {
                 g,
                 0,
                 work,
-                OpDesc::new(Category::LossLayer, "softmax-xent"),
+                self.mk_desc(Category::LossLayer, "softmax-xent"),
                 &waits,
                 Effects::none().rw(buf_id(g, Buf::Ahw(last))),
                 body,
@@ -564,8 +854,14 @@ impl<'a> EpochBuilder<'a> {
             let skip_spmm = l == 0 && self.opts.skip_first_backward_spmm;
             let hwg_buf = if skip_spmm { Buf::Ahw(0) } else { Buf::Hw };
             if !skip_spmm {
-                let ops =
-                    self.staged(Dir::Bwd, Buf::Ahw(l), Buf::Hw, d_out, self.producers.clone());
+                let ops = self.staged(
+                    Dir::Bwd,
+                    Buf::Ahw(l),
+                    Buf::Hw,
+                    d_out,
+                    self.producers.clone(),
+                    None,
+                );
                 self.producers = ops.into_iter().map(Some).collect();
             }
 
@@ -600,47 +896,82 @@ impl<'a> EpochBuilder<'a> {
         dst: Buf,
         d: usize,
         src_producers: Vec<Option<OpId>>,
+        prefetch: Option<PrefetchSrc>,
     ) -> Vec<OpId> {
         let p = self.p();
+        // A single GPU broadcasts nothing and always consumes its own live
+        // tile: staleness never changes P = 1 numerics.
+        let prefetch = if p > 1 { prefetch } else { None };
         let comm_stream = self.opts.comm_stream();
+        // Prefetched broadcasts ride a dedicated stream: on the comm lane
+        // they would FIFO behind the previous epoch's gradient all-reduce,
+        // which is exactly the serialization staleness exists to break.
+        let bcast_stream =
+            if prefetch.is_some() { self.opts.prefetch_stream() } else { comm_stream };
         let group: Vec<usize> = self.opts.gpu_ids();
-        let lanes: Vec<(usize, usize)> = group.iter().map(|&g| (g, comm_stream)).collect();
+        let lanes: Vec<(usize, usize)> = group.iter().map(|&g| (g, bcast_stream)).collect();
         let mut last_spmm: Vec<OpId> = Vec::with_capacity(p);
         for (s, &src_producer) in src_producers.iter().enumerate() {
             let slot = BcSlot::for_stage(s);
             let slot_idx = s % 2;
             let rows = self.problem.rows_of(s);
-            // Broadcast stage s: wait for the source tile's producer and for
-            // the previous readers of this double buffer (WAR).
+            // Broadcast stage s: wait for the previous readers of this
+            // double buffer (WAR) plus the source of truth — the live
+            // tile's producer when fresh, the snapshot's writer when stale
+            // (constant X needs neither).
             let mut waits: Vec<OpId> = self.bc_readers[slot_idx].clone();
-            if let Some(prod) = src_producer {
-                waits.push(prod);
-            }
+            let bcast_fx = match prefetch {
+                Some(PrefetchSrc::Snapshot { layer, age }) => {
+                    if let Some(w) = self.sf_writer[layer][s] {
+                        waits.push(w);
+                    }
+                    Effects::none()
+                        .stale([StaleRead { buf: sf_id(s, layer), age }])
+                        .writes(group.iter().map(|&g| bc_id(g, slot_idx)))
+                }
+                Some(PrefetchSrc::Const) | None => {
+                    if prefetch.is_none() {
+                        if let Some(prod) = src_producer {
+                            waits.push(prod);
+                        }
+                    }
+                    Effects::none()
+                        .reads([buf_id(s, src)])
+                        .writes(group.iter().map(|&g| bc_id(g, slot_idx)))
+                }
+            };
             let bytes = rows as f64 * d as f64 * 4.0;
             let bw = self.opts.machine.broadcast_bw(s, &group);
             let body = self.real.as_ref().map(|_| {
-                Box::new(move |ctx: &DeviceState| {
-                    ctx.broadcast_into_bc(s, move |g| read_buf(g, src), rows, d, slot);
+                Box::new(move |ctx: &DeviceState| match prefetch {
+                    Some(PrefetchSrc::Snapshot { layer, .. }) => {
+                        ctx.broadcast_into_bc(s, move |g| &g.sf[layer], rows, d, slot);
+                    }
+                    _ => {
+                        ctx.broadcast_into_bc(s, move |g| read_buf(g, src), rows, d, slot);
+                    }
                 }) as Body<DeviceState>
             });
-            // The root's source tile is read once; every participant's
-            // double-buffer slot is overwritten.
-            let bcast_fx = Effects::none()
-                .reads([buf_id(s, src)])
-                .writes(group.iter().map(|&g| bc_id(g, slot_idx)));
             let bcast = self.sched.collective_fx(
                 &lanes,
                 bytes,
                 bw,
-                OpDesc::staged(Category::Comm, "bcast-H", s),
+                self.mk_staged(Category::Comm, "bcast-H", s),
                 &waits,
                 bcast_fx,
                 body,
             );
+            if let Some(PrefetchSrc::Snapshot { layer, .. }) = prefetch {
+                self.sf_reader[layer][s] = Some(bcast);
+            }
 
-            // SpMM stage s on every GPU.
+            // SpMM stage s on every GPU. Under prefetch, the diagonal tile
+            // (j == s, the stage's data lives here) reads the live source
+            // directly instead of the stale double buffer, preserving the
+            // exact local gradient path (DESIGN §15).
             let mut readers = Vec::with_capacity(p);
             for j in 0..p {
+                let local_fresh = prefetch.is_some() && j == s;
                 let nnz = match dir {
                     Dir::Fwd => self.problem.fwd_tile_nnz(j, s),
                     Dir::Bwd => self.problem.bwd_tile_nnz(j, s),
@@ -674,7 +1005,11 @@ impl<'a> EpochBuilder<'a> {
                         if !acc {
                             out.resize(n_j, d);
                         }
-                        spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                        if local_fresh {
+                            spmm(tile, read_buf(g, src), &mut out, accumulate);
+                        } else {
+                            spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                        }
                         match dst {
                             Buf::Hw => g.hw = out,
                             Buf::Ahw(l) => g.ahw[l] = out,
@@ -682,7 +1017,18 @@ impl<'a> EpochBuilder<'a> {
                         }
                     }) as Body<DeviceState>
                 });
-                let mut fx = Effects::none().reads([bc_id(j, slot_idx)]).writes([buf_id(j, dst)]);
+                let mut waits = Vec::new();
+                let mut fx = if local_fresh {
+                    // local_fresh implies j == s, so the diagonal tile's
+                    // source producer is this stage's.
+                    if let Some(prod) = src_producer {
+                        waits.push(prod);
+                    }
+                    Effects::none().reads([buf_id(j, src)]).writes([buf_id(j, dst)])
+                } else {
+                    waits.push(bcast);
+                    Effects::none().reads([bc_id(j, slot_idx)]).writes([buf_id(j, dst)])
+                };
                 if acc {
                     // Accumulating stages read the running sum too.
                     fx = fx.reads([buf_id(j, dst)]);
@@ -691,17 +1037,22 @@ impl<'a> EpochBuilder<'a> {
                     j,
                     0,
                     work,
-                    OpDesc::staged(Category::SpMM, "spmm", s),
-                    &[bcast],
+                    self.mk_staged(Category::SpMM, "spmm", s),
+                    &waits,
                     fx,
                     body,
                 );
-                readers.push(op);
+                if !local_fresh {
+                    readers.push(op);
+                }
                 if s == p - 1 {
                     last_spmm.push(op);
                 }
             }
-            self.bc_readers[slot_idx] = readers;
+            // When every consumer took the fresh local path (possible only
+            // under prefetch), the broadcast itself anchors the slot's
+            // WAR/WAW chain so later writers of this buffer stay ordered.
+            self.bc_readers[slot_idx] = if readers.is_empty() { vec![bcast] } else { readers };
         }
         last_spmm
     }
@@ -729,11 +1080,16 @@ impl<'a> EpochBuilder<'a> {
         dst: Buf,
         d: usize,
         src_producers: Vec<Option<OpId>>,
+        prefetch: Option<PrefetchSrc>,
     ) -> Vec<OpId> {
         let p = self.p();
         assert!(p >= 2 && p.is_multiple_of(2), "1.5D needs an even GPU count >= 2");
         let half = p / 2;
         let comm_stream = self.opts.comm_stream();
+        // Prefetched broadcasts ride the dedicated staleness stream (same
+        // reasoning as the 1D pipeline).
+        let bcast_stream =
+            if prefetch.is_some() { self.opts.prefetch_stream() } else { comm_stream };
         let groups: [Vec<usize>; 2] = [(0..half).collect(), (half..p).collect()];
         // Tail of each GPU's phase-A lane-0 chain — what the reductions wait on.
         let mut tail: Vec<Option<OpId>> = vec![None; p];
@@ -747,38 +1103,68 @@ impl<'a> EpochBuilder<'a> {
                 let slot = BcSlot::for_stage(s);
                 let rows = self.problem.rows_of(s);
                 let mut waits: Vec<OpId> = self.bc_readers15[gi][slot_idx].clone();
-                if let Some(prod) = src_producers[s] {
-                    waits.push(prod);
-                }
+                let fx = match prefetch {
+                    Some(PrefetchSrc::Snapshot { layer, age }) => {
+                        if let Some(w) = self.sf_writer[layer][s] {
+                            waits.push(w);
+                        }
+                        Effects::none()
+                            .stale([StaleRead { buf: sf_id(s, layer), age }])
+                            .writes(members.iter().map(|&g| bc_id(g, slot_idx)))
+                    }
+                    Some(PrefetchSrc::Const) | None => {
+                        if prefetch.is_none() {
+                            if let Some(prod) = src_producers[s] {
+                                waits.push(prod);
+                            }
+                        }
+                        Effects::none()
+                            .reads([buf_id(s, src)])
+                            .writes(members.iter().map(|&g| bc_id(g, slot_idx)))
+                    }
+                };
                 let bytes = rows as f64 * d as f64 * 4.0;
                 let bw = self.opts.machine.broadcast_bw(s, members);
                 let lanes: Vec<(usize, usize)> =
-                    members.iter().map(|&g| (g, comm_stream)).collect();
+                    members.iter().map(|&g| (g, bcast_stream)).collect();
                 let mem = members.clone();
                 let body = self.real.as_ref().map(|_| {
-                    Box::new(move |ctx: &DeviceState| {
-                        ctx.broadcast_into_bc_group(
-                            s,
-                            move |g| read_buf(g, src),
-                            rows,
-                            d,
-                            slot,
-                            &mem,
-                        );
+                    Box::new(move |ctx: &DeviceState| match prefetch {
+                        Some(PrefetchSrc::Snapshot { layer, .. }) => {
+                            ctx.broadcast_into_bc_group(
+                                s,
+                                move |g| &g.sf[layer],
+                                rows,
+                                d,
+                                slot,
+                                &mem,
+                            );
+                        }
+                        _ => {
+                            ctx.broadcast_into_bc_group(
+                                s,
+                                move |g| read_buf(g, src),
+                                rows,
+                                d,
+                                slot,
+                                &mem,
+                            );
+                        }
                     }) as Body<DeviceState>
                 });
-                let fx = Effects::none()
-                    .reads([buf_id(s, src)])
-                    .writes(members.iter().map(|&g| bc_id(g, slot_idx)));
-                bcasts[gi] = Some(self.sched.collective_fx(
+                let bcast = self.sched.collective_fx(
                     &lanes,
                     bytes,
                     bw,
-                    OpDesc::staged(Category::Comm, "bcast-H", s),
+                    self.mk_staged(Category::Comm, "bcast-H", s),
                     &waits,
                     fx,
                     body,
-                ));
+                );
+                if let Some(PrefetchSrc::Snapshot { layer, .. }) = prefetch {
+                    self.sf_reader[layer][s] = Some(bcast);
+                }
+                bcasts[gi] = Some(bcast);
             }
 
             // Each member folds the received stage twice: into its own
@@ -792,7 +1178,18 @@ impl<'a> EpochBuilder<'a> {
                 let acc = r > 0;
                 let mut readers = Vec::with_capacity(members.len() * 2);
                 for &j in members {
-                    let mut waits = vec![bcast];
+                    // The stage's data lives on GPU s: when prefetching,
+                    // that member folds both its partials from the live
+                    // source, keeping the diagonal contribution exact.
+                    let local_fresh = prefetch.is_some() && j == s;
+                    let mut waits = Vec::new();
+                    if local_fresh {
+                        if let Some(prod) = src_producers[j] {
+                            waits.push(prod);
+                        }
+                    } else {
+                        waits.push(bcast);
+                    }
                     if r == 0 {
                         waits.extend(self.take_sync(j));
                     }
@@ -827,7 +1224,11 @@ impl<'a> EpochBuilder<'a> {
                             if !acc {
                                 out.resize(n_j, d);
                             }
-                            spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                            if local_fresh {
+                                spmm(tile, read_buf(g, src), &mut out, accumulate);
+                            } else {
+                                spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                            }
                             match dst {
                                 Buf::Hw => g.hw = out,
                                 Buf::Ahw(l) => g.ahw[l] = out,
@@ -835,8 +1236,11 @@ impl<'a> EpochBuilder<'a> {
                             }
                         }) as Body<DeviceState>
                     });
-                    let mut fx =
-                        Effects::none().reads([bc_id(j, slot_idx)]).writes([buf_id(j, dst)]);
+                    let mut fx = if local_fresh {
+                        Effects::none().reads([buf_id(j, src)]).writes([buf_id(j, dst)])
+                    } else {
+                        Effects::none().reads([bc_id(j, slot_idx)]).writes([buf_id(j, dst)])
+                    };
                     if acc {
                         fx = fx.reads([buf_id(j, dst)]);
                     }
@@ -844,12 +1248,14 @@ impl<'a> EpochBuilder<'a> {
                         j,
                         0,
                         work,
-                        OpDesc::staged(Category::SpMM, "spmm", s),
+                        self.mk_staged(Category::SpMM, "spmm", s),
                         &waits,
                         fx,
                         body,
                     );
-                    readers.push(own);
+                    if !local_fresh {
+                        readers.push(own);
+                    }
 
                     // Mate's partition: tile row mate(j) into the RP replica.
                     let m = (j + half) % p;
@@ -879,11 +1285,24 @@ impl<'a> EpochBuilder<'a> {
                             if !acc {
                                 out.resize(n_m, d);
                             }
-                            spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                            if local_fresh {
+                                spmm(tile, read_buf(g, src), &mut out, accumulate);
+                            } else {
+                                spmm(tile, g.bc_ref(slot), &mut out, accumulate);
+                            }
                             g.rp = out;
                         }) as Body<DeviceState>
                     });
-                    let mut fx_m = Effects::none().reads([bc_id(j, slot_idx)]).writes([rp_id(j)]);
+                    let mut waits_m = Vec::new();
+                    let mut fx_m = if local_fresh {
+                        if let Some(prod) = src_producers[j] {
+                            waits_m.push(prod);
+                        }
+                        Effects::none().reads([buf_id(j, src)]).writes([rp_id(j)])
+                    } else {
+                        waits_m.push(bcast);
+                        Effects::none().reads([bc_id(j, slot_idx)]).writes([rp_id(j)])
+                    };
                     if acc {
                         fx_m = fx_m.reads([rp_id(j)]);
                     }
@@ -891,15 +1310,20 @@ impl<'a> EpochBuilder<'a> {
                         j,
                         0,
                         work_m,
-                        OpDesc::staged(Category::SpMM, "spmm-rp", s),
-                        &[bcast],
+                        self.mk_staged(Category::SpMM, "spmm-rp", s),
+                        &waits_m,
                         fx_m,
                         body_m,
                     );
-                    readers.push(mate);
+                    if !local_fresh {
+                        readers.push(mate);
+                    }
                     tail[j] = Some(mate);
                 }
-                self.bc_readers15[gi][slot_idx] = readers;
+                // Singleton groups under prefetch record no readers; the
+                // broadcast anchors the slot chain (see staged_spmm).
+                self.bc_readers15[gi][slot_idx] =
+                    if readers.is_empty() { vec![bcast] } else { readers };
             }
         }
 
@@ -916,56 +1340,91 @@ impl<'a> EpochBuilder<'a> {
             let waits =
                 [tail[a].expect("phase A emitted for a"), tail[b].expect("phase A emitted for b")];
             let rows_body = rows_all.clone();
-            let body = self.real.clone().map(|rc| {
-                Box::new(move |ctx: &DeviceState| {
-                    // Stage every GPU's src shard to the host, one lock at
-                    // a time (collective bodies run at rendezvous
-                    // quiescence; concurrent pair reductions only ever
-                    // share read access to these shards).
-                    let views: Vec<Dense> = (0..p)
-                        .map(|s| {
-                            let g = ctx.gpu(s);
-                            let v = read_buf(&g, src).as_slice()[..rows_body[s] * d].to_vec();
-                            Dense::from_vec(rows_body[s], d, v)
-                        })
-                        .collect();
-                    // Finalize both members by re-folding in the canonical
-                    // 1D stage order — bit-identical to the 1D pipeline.
-                    for &t in &[a, b] {
-                        let n_t = rows_body[t];
-                        let gs = &mut *ctx.gpu(t);
-                        let mut out = match dst {
-                            Buf::Hw => std::mem::take(&mut gs.hw),
-                            Buf::Ahw(l) => std::mem::take(&mut gs.ahw[l]),
-                            Buf::X => unreachable!("X is never an SpMM destination"),
-                        };
-                        out.resize(n_t, d);
-                        for (s, view) in views.iter().enumerate() {
-                            let tile = match dir {
-                                Dir::Fwd => &rc.fwd_tiles[t * p + s],
-                                Dir::Bwd => &rc.bwd_tiles[t * p + s],
+            let (fx, body);
+            if self.epoch_tag.is_some() {
+                // Fused bounded-staleness schedules use the genuine
+                // pairwise exchange: each member's final result is its own
+                // partial plus its mate's RP replica. The canonical refold
+                // below would re-read every GPU's live src shard — an
+                // undeclared cross-epoch RAW once stale broadcasts drop
+                // their producer edges. The pairwise sum's f32 association
+                // differs from the 1D fold, so k >= 1 1.5D runs are
+                // oracle-band-equal, not bit-equal, to 1D (DESIGN §15).
+                body = self.real.clone().map(|_| {
+                    Box::new(move |ctx: &DeviceState| {
+                        for &(t, o) in &[(a, b), (b, a)] {
+                            let n_t = rows_body[t];
+                            let partial = {
+                                let g = ctx.gpu(o);
+                                g.rp.as_slice()[..n_t * d].to_vec()
                             };
-                            let accumulate =
-                                if s == 0 { Accumulate::Overwrite } else { Accumulate::Add };
-                            spmm(tile, view, &mut out, accumulate);
+                            let gs = &mut *ctx.gpu(t);
+                            let out = match dst {
+                                Buf::Hw => &mut gs.hw,
+                                Buf::Ahw(l) => &mut gs.ahw[l],
+                                Buf::X => unreachable!("X is never an SpMM destination"),
+                            };
+                            for (x, v) in out.as_mut_slice()[..n_t * d].iter_mut().zip(&partial) {
+                                *x += v;
+                            }
                         }
-                        match dst {
-                            Buf::Hw => gs.hw = out,
-                            Buf::Ahw(l) => gs.ahw[l] = out,
-                            Buf::X => unreachable!(),
+                    }) as Body<DeviceState>
+                });
+                fx = Effects::none()
+                    .reads([rp_id(a), rp_id(b), buf_id(a, dst), buf_id(b, dst)])
+                    .writes([buf_id(a, dst), buf_id(b, dst)]);
+            } else {
+                body = self.real.clone().map(|rc| {
+                    Box::new(move |ctx: &DeviceState| {
+                        // Stage every GPU's src shard to the host, one lock at
+                        // a time (collective bodies run at rendezvous
+                        // quiescence; concurrent pair reductions only ever
+                        // share read access to these shards).
+                        let views: Vec<Dense> = (0..p)
+                            .map(|s| {
+                                let g = ctx.gpu(s);
+                                let v = read_buf(&g, src).as_slice()[..rows_body[s] * d].to_vec();
+                                Dense::from_vec(rows_body[s], d, v)
+                            })
+                            .collect();
+                        // Finalize both members by re-folding in the canonical
+                        // 1D stage order — bit-identical to the 1D pipeline.
+                        for &t in &[a, b] {
+                            let n_t = rows_body[t];
+                            let gs = &mut *ctx.gpu(t);
+                            let mut out = match dst {
+                                Buf::Hw => std::mem::take(&mut gs.hw),
+                                Buf::Ahw(l) => std::mem::take(&mut gs.ahw[l]),
+                                Buf::X => unreachable!("X is never an SpMM destination"),
+                            };
+                            out.resize(n_t, d);
+                            for (s, view) in views.iter().enumerate() {
+                                let tile = match dir {
+                                    Dir::Fwd => &rc.fwd_tiles[t * p + s],
+                                    Dir::Bwd => &rc.bwd_tiles[t * p + s],
+                                };
+                                let accumulate =
+                                    if s == 0 { Accumulate::Overwrite } else { Accumulate::Add };
+                                spmm(tile, view, &mut out, accumulate);
+                            }
+                            match dst {
+                                Buf::Hw => gs.hw = out,
+                                Buf::Ahw(l) => gs.ahw[l] = out,
+                                Buf::X => unreachable!(),
+                            }
                         }
-                    }
-                }) as Body<DeviceState>
-            });
-            let fx = Effects::none()
-                .reads((0..p).map(|s| buf_id(s, src)))
-                .reads([rp_id(a), rp_id(b)])
-                .writes([buf_id(a, dst), buf_id(b, dst)]);
+                    }) as Body<DeviceState>
+                });
+                fx = Effects::none()
+                    .reads((0..p).map(|s| buf_id(s, src)))
+                    .reads([rp_id(a), rp_id(b)])
+                    .writes([buf_id(a, dst), buf_id(b, dst)]);
+            }
             let op = self.sched.collective_fx(
                 &lanes,
                 bytes,
                 bw,
-                OpDesc::new(Category::Comm, "reduce-AH"),
+                self.mk_desc(Category::Comm, "reduce-AH"),
                 &waits,
                 fx,
                 body,
@@ -1013,13 +1472,19 @@ impl<'a> EpochBuilder<'a> {
                     }
                 }) as Body<DeviceState>
             });
+            // On fused schedules W(l) was last written by the previous
+            // epoch's Adam step — the intended age-1 epoch carry.
+            let fx = self.declare_epoch_carry(
+                Effects::none().reads([buf_id(g, src), w_id(g, l)]).writes([buf_id(g, dst)]),
+                w_id(g, l),
+            );
             let op = self.sched.launch_fx(
                 g,
                 0,
                 work,
-                OpDesc::new(Category::GeMM, "gemm-HW"),
+                self.mk_desc(Category::GeMM, "gemm-HW"),
                 &waits,
-                Effects::none().reads([buf_id(g, src), w_id(g, l)]).writes([buf_id(g, dst)]),
+                fx,
                 body,
             );
             ops.push(op);
@@ -1044,7 +1509,7 @@ impl<'a> EpochBuilder<'a> {
                 g,
                 0,
                 work,
-                OpDesc::new(Category::Activation, "relu"),
+                self.mk_desc(Category::Activation, "relu"),
                 &waits,
                 Effects::none().rw(buf_id(g, Buf::Ahw(l))),
                 body,
@@ -1073,7 +1538,7 @@ impl<'a> EpochBuilder<'a> {
                 g,
                 0,
                 work,
-                OpDesc::new(Category::Activation, "relu-bwd"),
+                self.mk_desc(Category::Activation, "relu-bwd"),
                 &waits,
                 Effects::none().reads([buf_id(g, Buf::Ahw(l + 1))]).rw(buf_id(g, Buf::Ahw(l))),
                 body,
@@ -1109,7 +1574,7 @@ impl<'a> EpochBuilder<'a> {
                 g,
                 0,
                 work,
-                OpDesc::new(Category::GeMM, "gemm-WG"),
+                self.mk_desc(Category::GeMM, "gemm-WG"),
                 &waits,
                 Effects::none().reads([buf_id(g, x_buf), buf_id(g, hwg_buf)]).writes([wg_id(g, l)]),
                 body,
@@ -1138,7 +1603,7 @@ impl<'a> EpochBuilder<'a> {
             &lanes,
             bytes,
             bw,
-            OpDesc::new(Category::Comm, "allreduce-WG"),
+            self.mk_desc(Category::Comm, "allreduce-WG"),
             waits,
             fx,
             body,
@@ -1162,19 +1627,23 @@ impl<'a> EpochBuilder<'a> {
                 }) as Body<DeviceState>
             });
             let waits = self.take_sync(g);
-            ops.push(
-                self.sched.launch_fx(
-                    g,
-                    0,
-                    work,
-                    OpDesc::new(Category::GeMM, "gemm-HG"),
-                    &waits,
-                    Effects::none()
-                        .reads([buf_id(g, Buf::Hw), w_id(g, l)])
-                        .writes([buf_id(g, Buf::Ahw(l))]),
-                    body,
-                ),
+            // W(l) here still carries the previous epoch's Adam write on
+            // fused schedules (this epoch's Adam for layer l runs after).
+            let fx = self.declare_epoch_carry(
+                Effects::none()
+                    .reads([buf_id(g, Buf::Hw), w_id(g, l)])
+                    .writes([buf_id(g, Buf::Ahw(l))]),
+                w_id(g, l),
             );
+            ops.push(self.sched.launch_fx(
+                g,
+                0,
+                work,
+                self.mk_desc(Category::GeMM, "gemm-HG"),
+                &waits,
+                fx,
+                body,
+            ));
         }
         ops
     }
@@ -1205,13 +1674,19 @@ impl<'a> EpochBuilder<'a> {
             });
             let mut waits = self.take_sync(g);
             waits.push(reduce_op);
+            // The Adam moments read here were last written by the previous
+            // epoch's Adam step — the optimizer's own age-1 epoch carry.
+            let fx = self.declare_epoch_carry(
+                Effects::none().reads([wg_id(g, l)]).rw(adam_id(g, l)).writes([w_id(g, l)]),
+                adam_id(g, l),
+            );
             self.sched.launch_fx(
                 g,
                 0,
                 work,
-                OpDesc::new(Category::Adam, "adam"),
+                self.mk_desc(Category::Adam, "adam"),
                 &waits,
-                Effects::none().reads([wg_id(g, l)]).rw(adam_id(g, l)).writes([w_id(g, l)]),
+                fx,
                 body,
             );
         }

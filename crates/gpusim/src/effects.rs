@@ -43,12 +43,34 @@ impl fmt::Display for BufId {
     }
 }
 
+/// A declared bounded-stale read: the op intentionally consumes `buf`
+/// written up to `age` epochs earlier (PipeGCN-style cross-epoch
+/// pipelining). The analyzer treats a cross-epoch RAW on `buf` as safe iff
+/// the reader declares it here with a sufficient age; undeclared
+/// cross-epoch reads stay hazards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StaleRead {
+    pub buf: BufId,
+    /// Maximum tolerated staleness in epochs (>= 1).
+    pub age: usize,
+}
+
+impl fmt::Display for StaleRead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<={}", self.buf, self.age)
+    }
+}
+
 /// The declared read/write footprint of one op. A read-modify-write
 /// buffer (in-place ReLU, an accumulating SpMM) appears in both sets.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Effects {
     pub reads: Vec<BufId>,
     pub writes: Vec<BufId>,
+    /// Reads in `reads` that are *declared* bounded-stale (cross-epoch).
+    /// Empty for all single-epoch schedules, so rendering and equality are
+    /// unchanged for legacy schedules.
+    pub stale_reads: Vec<StaleRead>,
 }
 
 impl Effects {
@@ -80,6 +102,24 @@ impl Effects {
         self
     }
 
+    /// Builder: declare bounded-stale reads (the buffers are also added to
+    /// `reads` so the plain hazard footprint stays complete).
+    pub fn stale(mut self, decls: impl IntoIterator<Item = StaleRead>) -> Self {
+        for d in decls {
+            assert!(d.age >= 1, "stale read age must be >= 1 (got {} for {})", d.age, d.buf);
+            if !self.reads.contains(&d.buf) {
+                self.reads.push(d.buf);
+            }
+            self.stale_reads.push(d);
+        }
+        self
+    }
+
+    /// Declared staleness bound for `buf`, if any (max over declarations).
+    pub fn stale_age(&self, buf: BufId) -> Option<usize> {
+        self.stale_reads.iter().filter(|d| d.buf == buf).map(|d| d.age).max()
+    }
+
     /// Compact textual form for dumps: ` R[a,b] W[c]`, empty sets omitted,
     /// entries sorted so the rendering is deterministic regardless of
     /// declaration order.
@@ -94,7 +134,16 @@ impl Effects {
             let items: Vec<String> = sorted.iter().map(|b| b.to_string()).collect();
             format!(" {tag}[{}]", items.join(","))
         }
-        format!("{}{}", set("R", &self.reads), set("W", &self.writes))
+        let stale = if self.stale_reads.is_empty() {
+            String::new()
+        } else {
+            let mut sorted = self.stale_reads.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let items: Vec<String> = sorted.iter().map(|d| d.to_string()).collect();
+            format!(" S[{}]", items.join(","))
+        };
+        format!("{}{}{}", set("R", &self.reads), set("W", &self.writes), stale)
     }
 }
 
@@ -124,6 +173,18 @@ mod tests {
         let fx = Effects::none().rw(BufId::new(0, "HW"));
         assert_eq!(fx.reads, fx.writes);
         assert_eq!(fx.render(), " R[HW@g0] W[HW@g0]");
+    }
+
+    #[test]
+    fn stale_declaration_renders_and_reads() {
+        let sf = BufId::indexed(1, "SF", 0);
+        let fx = Effects::none().stale([StaleRead { buf: sf, age: 2 }]);
+        assert_eq!(fx.reads, vec![sf], "stale buffers join the read set");
+        assert_eq!(fx.render(), " R[SF.0@g1] S[SF.0@g1<=2]");
+        assert_eq!(fx.stale_age(sf), Some(2));
+        assert_eq!(fx.stale_age(BufId::new(0, "HW")), None);
+        // Legacy schedules (no declarations) render exactly as before.
+        assert_eq!(Effects::none().render(), "");
     }
 
     #[test]

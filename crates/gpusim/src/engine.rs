@@ -49,15 +49,25 @@ pub struct OpDesc {
     pub category: Category,
     pub label: &'static str,
     pub stage: Option<usize>,
+    /// Training epoch for fused multi-epoch (bounded staleness) schedules.
+    /// `None` for the classic one-epoch schedules; the analyzer's
+    /// cross-epoch pass and per-epoch trace accounting key off this.
+    pub epoch: Option<usize>,
 }
 
 impl OpDesc {
     pub fn new(category: Category, label: &'static str) -> Self {
-        Self { category, label, stage: None }
+        Self { category, label, stage: None, epoch: None }
     }
 
     pub fn staged(category: Category, label: &'static str, stage: usize) -> Self {
-        Self { category, label, stage: Some(stage) }
+        Self { category, label, stage: Some(stage), epoch: None }
+    }
+
+    /// Builder: tag this op with the training epoch it belongs to.
+    pub fn in_epoch(mut self, epoch: usize) -> Self {
+        self.epoch = Some(epoch);
+        self
     }
 }
 
@@ -313,6 +323,9 @@ impl<Ctx> Schedule<Ctx> {
                 format!("op {id:3} {kind:7} {:10} {}", op.desc.category.name(), op.desc.label);
             if let Some(s) = op.desc.stage {
                 let _ = write!(line, "@{s}");
+            }
+            if let Some(e) = op.desc.epoch {
+                let _ = write!(line, " e{e}");
             }
             let lanes: Vec<String> = op.lanes.iter().map(|(g, st)| format!("g{g}s{st}")).collect();
             let _ = write!(line, " lanes=[{}]", lanes.join(","));
@@ -653,6 +666,7 @@ impl<Ctx> Component for RateCore<'_, Ctx> {
                     bytes,
                     reads: op.effects.reads.len() as u32,
                     writes: op.effects.writes.len() as u32,
+                    epoch: op.desc.epoch,
                 });
             }
             for lane in &op.lanes {

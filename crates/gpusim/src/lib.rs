@@ -67,7 +67,7 @@ pub mod specs;
 pub mod timeline;
 pub mod trace;
 
-pub use effects::{BufId, Effects};
+pub use effects::{BufId, Effects, StaleRead};
 pub use engine::{OpId, OpInfo, RunReport, Schedule, SimOutcome, Work};
 pub use memory::{MemoryTracker, OomError};
 pub use model::CostModel;

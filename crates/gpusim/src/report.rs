@@ -220,6 +220,7 @@ mod tests {
                     bytes: 0.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
                 Span {
                     gpu: 0,
@@ -233,6 +234,7 @@ mod tests {
                     bytes: 0.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
                 Span {
                     gpu: 1,
@@ -246,6 +248,7 @@ mod tests {
                     bytes: 0.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
             ],
         }

@@ -71,6 +71,9 @@ pub struct Span {
     pub reads: u32,
     /// Number of logical buffers the op declared it writes.
     pub writes: u32,
+    /// Training epoch the op belongs to, for fused multi-epoch (bounded
+    /// staleness) schedules. `None` for single-epoch schedules.
+    pub epoch: Option<usize>,
 }
 
 impl Span {
@@ -189,6 +192,7 @@ mod tests {
             bytes: 0.0,
             reads: 0,
             writes: 0,
+            epoch: None,
         }
     }
 

@@ -87,6 +87,7 @@ mod tests {
                     bytes: 0.0,
                     reads: 2,
                     writes: 1,
+                    epoch: None,
                 },
                 Span {
                     gpu: 1,
@@ -100,6 +101,7 @@ mod tests {
                     bytes: 64.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
             ],
         }

@@ -138,6 +138,12 @@ pub enum Scenario {
     /// hierarchical machine (GPU indices node-major: node `k` owns GPUs
     /// `k·gpus_per_node..(k+1)·gpus_per_node`).
     NicDegrade { nodes: usize, gpus_per_node: usize },
+    /// Kill one worker while the *next* epoch's prefetch broadcasts are
+    /// in flight: the dispatch index lands inside the second epoch of a
+    /// fused bounded-staleness schedule (`ops_per_epoch` per GPU per
+    /// epoch), where epoch e+1's stale broadcasts overlap epoch e's
+    /// backward pass (DESIGN §15).
+    StaleEpochKill { gpus: usize, ops_per_epoch: usize },
 }
 
 impl FaultPlan {
@@ -195,6 +201,13 @@ impl FaultPlan {
                 for g in node * gpus_per_node..(node + 1) * gpus_per_node {
                     plan.slow_links.push(SlowLink { gpu: g, factor });
                 }
+            }
+            Scenario::StaleEpochKill { gpus, ops_per_epoch } => {
+                assert!(gpus > 0 && ops_per_epoch > 0);
+                plan.kills.push(Kill {
+                    gpu: rng.gen_range(0..gpus),
+                    seq: ops_per_epoch + rng.gen_range(0..ops_per_epoch),
+                });
             }
             Scenario::CacheLoss { shards, horizon } => {
                 assert!(shards > 0 && horizon > 0.0);
@@ -315,6 +328,24 @@ mod tests {
         assert_eq!(inj.comm_slowdown(3).to_bits(), 1.0f64.to_bits());
         assert_eq!(inj.shard_down(0, f64::INFINITY), None);
         assert!(inj.fired().is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_kill_lands_in_the_second_epoch() {
+        let sc = Scenario::StaleEpochKill { gpus: 4, ops_per_epoch: 32 };
+        for seed in 0..32 {
+            let plan = FaultPlan::seeded(seed, sc);
+            assert_eq!(plan.kills.len(), 1);
+            let k = plan.kills[0];
+            assert!(k.gpu < 4);
+            assert!(
+                (32..64).contains(&k.seq),
+                "seed {seed}: kill at seq {} must land inside epoch 1, where \
+                 epoch 2's prefetch broadcasts are in flight",
+                k.seq
+            );
+            assert_eq!(plan, FaultPlan::seeded(seed, sc), "plans must replay");
+        }
     }
 
     #[test]

@@ -280,10 +280,16 @@ impl Server {
 
     /// Apply a graph delta and invalidate the affected cache rows.
     /// Returns (vertices whose aggregation changed, rows actually evicted).
+    ///
+    /// Terminology: these are cache-*invalidated* vertices — rows whose
+    /// cached propagation no longer matches the mutated graph and must be
+    /// recomputed on next touch. This is unrelated to training-time
+    /// bounded staleness (`--staleness`, DESIGN §15), where reads of
+    /// k-epoch-old snapshots are *declared, intentional* state.
     pub fn apply_delta(&mut self, edges: &[(u32, u32)]) -> (Vec<u32>, usize) {
-        let stale = self.model.apply_delta(edges);
-        let dropped = self.cache.invalidate_many(&stale);
-        (stale, dropped)
+        let invalidated = self.model.apply_delta(edges);
+        let evicted = self.cache.invalidate_many(&invalidated);
+        (invalidated, evicted)
     }
 
     /// Serve a full arrival-ordered trace under the configured batching

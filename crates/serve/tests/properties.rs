@@ -68,8 +68,8 @@ proptest! {
         for (i, &g) in all.iter().enumerate() {
             cache.insert(g, rows.row(i));
         }
-        let stale = model.apply_delta(&[(u, v)]);
-        cache.invalidate_many(&stale);
+        let invalidated = model.apply_delta(&[(u, v)]);
+        cache.invalidate_many(&invalidated);
 
         // The evicted set is exactly the 1-hop out-neighborhood of {u, v}
         // in the updated operator: those vertices are gone, all others
@@ -77,10 +77,10 @@ proptest! {
         let mut expected = khop_neighborhood(model.a_hat_t(), &[u, v], 1);
         expected.sort_unstable();
         for g in 0..n as u32 {
-            let should_be_stale = expected.binary_search(&g).is_ok();
+            let should_be_invalid = expected.binary_search(&g).is_ok();
             prop_assert_eq!(
                 cache.contains(g),
-                !should_be_stale,
+                !should_be_invalid,
                 "vertex {} residency wrong after delta ({}, {})", g, u, v
             );
         }

@@ -57,10 +57,10 @@ fn outputs_stay_bit_identical_after_graph_delta() {
     server.query(&all);
     assert!(server.cache().stats().insertions > 0);
 
-    // Mutate the graph; stale rows must be invalidated.
-    let (stale, dropped) = server.apply_delta(&[(3, 77), (10, 140)]);
-    assert!(!stale.is_empty());
-    assert!(dropped > 0, "warm cache must lose the affected rows");
+    // Mutate the graph; affected cached rows must be invalidated.
+    let (invalidated, evicted) = server.apply_delta(&[(3, 77), (10, 140)]);
+    assert!(!invalidated.is_empty());
+    assert!(evicted > 0, "warm cache must lose the affected rows");
 
     // Every output — served through the surviving cache entries plus
     // recomputation — matches the post-delta reference bit-for-bit.
@@ -118,4 +118,39 @@ fn warm_cache_reduces_mean_per_request_compute() {
         warm.compute_per_request_us,
         cold.compute_per_request_us
     );
+}
+
+/// Pins `Server::apply_delta`'s contract through the cache-invalidation
+/// rename: the first element is the 1-hop out-neighborhood of the delta
+/// endpoints in the updated operator (the *invalidated* vertices —
+/// serve-side cache coherence, nothing to do with training-time bounded
+/// staleness), and the second counts rows actually evicted, which is
+/// zero on a cold cache and bounded by the invalidated set when warm.
+#[test]
+fn apply_delta_returns_invalidated_vertices_and_eviction_count() {
+    let m = model(120, 10, 8, 4, 17);
+    let mut server = Server::new(m, config(BatchPolicy::new(1e-3, 16), 1 << 20));
+
+    // Cold cache: the invalidated set is purely structural, evictions 0.
+    let (cold_invalidated, cold_evicted) = server.apply_delta(&[(5, 60)]);
+    assert!(cold_invalidated.contains(&5) && cold_invalidated.contains(&60));
+    assert_eq!(cold_evicted, 0, "nothing cached, nothing to evict");
+
+    // Warm the cache, re-apply the same delta: the structural set is
+    // identical (same endpoints, same operator shape — the edge already
+    // exists, so re-adding it changes no sparsity pattern), and now the
+    // eviction count is positive but never exceeds the invalidated set.
+    let all: Vec<u32> = (0..120).collect();
+    server.query(&all);
+    let (warm_invalidated, warm_evicted) = server.apply_delta(&[(5, 60)]);
+    assert_eq!(warm_invalidated, cold_invalidated, "structural set must not depend on cache state");
+    assert!(warm_evicted > 0, "warm cache must evict the affected rows");
+    assert!(warm_evicted <= warm_invalidated.len());
+
+    // Served outputs still match a from-scratch forward bit-for-bit.
+    let reference = server.model().forward_full();
+    let out = server.query(&all);
+    for v in 0..120usize {
+        assert_eq!(out.row(v), reference.row(v), "post-delta row {v}");
+    }
 }

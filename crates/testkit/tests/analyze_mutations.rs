@@ -19,9 +19,9 @@
 //!   analyzer's report corresponds to actual data corruption.
 
 use mggcn_analyze::{analyze_budget, analyze_ops, BudgetSpec, Hb};
-use mggcn_core::config::{GcnConfig, TrainOptions};
+use mggcn_core::config::{GcnConfig, Partition, TrainOptions};
 use mggcn_core::problem::Problem;
-use mggcn_core::trainer::Trainer;
+use mggcn_core::trainer::{sf_buffer_count, Trainer};
 use mggcn_gpusim::{GpuSpec, MachineSpec, OpId};
 use mggcn_graph::generators::sbm::{self, SbmConfig};
 use mggcn_graph::Graph;
@@ -249,5 +249,169 @@ fn flagged_war_mutant_corrupts_real_training() {
         rel_diff(mutant_loss, oracle_loss) > P_LOSS_TOL,
         "mutant loss {mutant_loss} still matches the oracle {oracle_loss} — \
          the flagged hazard did not manifest"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-staleness (DESIGN §15): the epoch-crossing happens-before pass.
+// ---------------------------------------------------------------------------
+
+fn stale_trainer(g: &Graph, gpus: usize, partition: Partition, k: usize) -> Trainer {
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let mut opts = TrainOptions::quick(gpus);
+    opts.permute = false;
+    opts.partition = partition;
+    opts.staleness = k;
+    let problem = Problem::from_graph(g, &cfg, &opts);
+    Trainer::new(problem, cfg, opts).expect("toy problem fits")
+}
+
+/// Every fused schedule the trainer builds analyzes clean under the
+/// §15 budget (`L + 3` plus the SF snapshot family): all stale reads are
+/// *declared*, so the epoch-crossing pass reports nothing — and the
+/// claim is non-vacuous because the schedules really do carry StaleRead
+/// declarations.
+#[test]
+fn pipelined_schedules_analyze_clean_with_declared_stale_reads() {
+    let g = graph();
+    for partition in [Partition::OneD, Partition::OneFiveD] {
+        for gpus in [2usize, 4, 8] {
+            for k in [1usize, 2] {
+                let t = stale_trainer(&g, gpus, partition, k);
+                let layers = t.config().layers();
+                let sf = sf_buffer_count(t.config(), t.options());
+                let base = match partition {
+                    Partition::OneD => BudgetSpec::mg_gcn(layers),
+                    Partition::OneFiveD => BudgetSpec::mg_gcn_15d(layers),
+                };
+                let sched = t.pipelined_schedule(3);
+                let report = analyze_budget(&sched, &base.with_staleness(sf));
+                assert!(
+                    report.clean(),
+                    "{} P={gpus} k={k}:\n{}",
+                    partition.name(),
+                    report.render()
+                );
+                let declared =
+                    sched.op_infos().iter().filter(|o| !o.effects.stale_reads.is_empty()).count();
+                assert!(
+                    declared > 0,
+                    "{} P={gpus} k={k}: no StaleRead declarations in a fused schedule",
+                    partition.name()
+                );
+            }
+        }
+    }
+}
+
+/// Deleting any *cross-epoch* wait edge must surface as a finding or be
+/// provably redundant (the pair stays happens-before-ordered through
+/// another path, which leaves the HB closure — and hence every finding
+/// class, including the stale-age computation — unchanged).
+#[test]
+fn deleted_cross_epoch_wait_edges_are_flagged_or_provably_redundant() {
+    let g = graph();
+    let t = stale_trainer(&g, 4, Partition::OneD, 1);
+    let sched = t.pipelined_schedule(2);
+    let infos = sched.op_infos();
+    let cross: Vec<(OpId, OpId)> = sched
+        .wait_edges()
+        .into_iter()
+        .filter(|&(op, wait)| {
+            let (oe, we) = (infos[op].desc.epoch, infos[wait].desc.epoch);
+            oe.is_some() && we.is_some() && oe != we
+        })
+        .collect();
+    drop(infos);
+    assert!(!cross.is_empty(), "fused schedule has no cross-epoch edges");
+
+    let (mut flagged, mut redundant) = (0usize, 0usize);
+    for &(op, wait) in &cross {
+        let mut mutant = t.pipelined_schedule(2);
+        mutant.remove_wait(op, wait);
+        let infos = mutant.op_infos();
+        let hb = Hb::of_ops(&infos);
+        assert!(hb.cycle.is_none());
+        let report = analyze_ops(&infos, None);
+        if hb.ordered(wait, op) {
+            redundant += 1;
+            assert!(
+                report.clean(),
+                "cross-epoch edge {wait}->{op} is redundant but flagged:\n{}",
+                report.render()
+            );
+        } else {
+            flagged += 1;
+            assert!(
+                !report.clean(),
+                "load-bearing cross-epoch edge {wait}->{op} deleted without a \
+                 finding (false negative)"
+            );
+        }
+    }
+    assert!(flagged > 0, "no load-bearing cross-epoch edges among {}", cross.len());
+    assert!(redundant > 0, "no redundant cross-epoch edges among {}", cross.len());
+}
+
+/// Stripping the StaleRead declaration off one prefetch broadcast turns
+/// it into an *undeclared* stale read: the analyzer must flag exactly
+/// that class, and executing the mutant on a fast-comm machine shows the
+/// flagged read really does consume old state — the stale epoch's loss
+/// measurably diverges from the fresh f64 oracle that the k = 0 pipeline
+/// matches on the same machine.
+#[test]
+fn undeclared_stale_read_mutant_is_flagged_and_corrupts_loss() {
+    let g = graph();
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let mut opts = TrainOptions::quick(4);
+    opts.permute = false;
+    opts.machine = MachineSpec::uniform("fast-comm", GpuSpec::a100(), 4, 12, 1.0e15);
+    opts.machine.comm_latency = 0.0;
+    opts.launch_overhead = 0.0;
+
+    // Fresh trainer matches the oracle at epoch 1 on this machine.
+    let mut oracle = ReferenceGcn::new(&g, &cfg);
+    let oracle_loss = oracle.train(2).last().expect("epochs").loss;
+    let problem = Problem::from_graph(&g, &cfg, &opts);
+    let mut fresh = Trainer::new(problem, cfg.clone(), opts.clone()).expect("fits");
+    let fresh_loss = fresh.train(2).expect("train").last().expect("epochs").loss;
+    assert!(
+        rel_diff(fresh_loss, oracle_loss) < P_LOSS_TOL,
+        "fresh pipeline diverges from oracle: {fresh_loss} vs {oracle_loss}"
+    );
+
+    opts.staleness = 1;
+    let problem = Problem::from_graph(&g, &cfg, &opts);
+    let t = Trainer::new(problem, cfg.clone(), opts).expect("fits");
+    let mut sched = t.pipelined_schedule(2);
+    let victim = sched
+        .op_infos()
+        .iter()
+        .find(|o| o.desc.epoch == Some(1) && !o.effects.stale_reads.is_empty())
+        .expect("epoch-1 prefetch broadcast declares a stale read")
+        .id;
+    sched.effects_mut(victim).stale_reads.clear();
+
+    let report = analyze_ops(&sched.op_infos(), None);
+    let stale_findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| f.to_string())
+        .filter(|s| s.contains("undeclared stale read"))
+        .collect();
+    assert!(
+        !stale_findings.is_empty(),
+        "stripping the declaration must surface an undeclared StaleRead:\n{}",
+        report.render()
+    );
+
+    // Execute: the flagged read genuinely consumes epoch-0 state.
+    t.state().reset_scratch();
+    sched.run(t.state());
+    let stale_loss: f64 = (0..4).map(|gpu| t.state().gpu(gpu).epoch_stats[1].0).sum();
+    assert!(
+        rel_diff(stale_loss, oracle_loss) > P_LOSS_TOL,
+        "undeclared stale read did not manifest: epoch-1 loss {stale_loss} \
+         still matches the fresh oracle {oracle_loss}"
     );
 }

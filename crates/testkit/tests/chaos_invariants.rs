@@ -418,3 +418,134 @@ fn seeded_plans_are_deterministic_for_every_scenario_class() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Scenario: worker death while the next epoch's stale broadcasts are in
+// flight (DESIGN §15). Three invariants: the sim surfaces a bounded,
+// labeled stall (or is oracle-identical when the kill coordinate
+// misses); the threaded executor dies tagged; and restarting from the
+// checkpoint at the last completed epoch is clean — bit-identical to a
+// never-faulted run from the same checkpoint.
+// ---------------------------------------------------------------------
+
+/// A fused bounded-staleness schedule: 3 epochs at k=1 on 2 GPUs, where
+/// epoch e+1's prefetch broadcasts overlap epoch e's backward pass.
+fn pipelined_trainer(gpus: usize) -> Trainer {
+    let g = sbm::generate(&SbmConfig::community_benchmark(60, 3), 5);
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let mut opts = TrainOptions::quick(gpus);
+    opts.permute = false;
+    opts.staleness = 1;
+    let problem = Problem::from_graph(&g, &cfg, &opts);
+    Trainer::new(problem, cfg, opts).expect("fits")
+}
+
+#[test]
+fn sim_stale_epoch_kill_stalls_labeled_or_matches_the_oracle() {
+    let t = pipelined_trainer(2);
+    let s = t.pipelined_schedule(3);
+    let base = s.simulate();
+    // k=1 snapshots every epoch, so the three epochs have identical op
+    // counts and the global op-id range of epoch 1 is exactly the second
+    // third — the window `Scenario::StaleEpochKill` aims at.
+    let n_ops = base.report.ops_executed;
+    assert_eq!(n_ops % 3, 0, "fused k=1 epochs must have equal op counts");
+    for seed in seeds() {
+        let plan =
+            FaultPlan::seeded(seed, Scenario::StaleEpochKill { gpus: 2, ops_per_epoch: n_ops / 3 });
+        let start = Instant::now();
+        match s.simulate_with(Policy::DiscreteEvent, &Injector::new(plan)) {
+            // Kill coordinate missed (wrong GPU for that op id): the run
+            // must be indistinguishable from fault-free.
+            Ok(out) => {
+                assert_eq!(out.report.makespan.to_bits(), base.report.makespan.to_bits());
+                assert_eq!(out.completion_order, base.completion_order);
+            }
+            Err(stall) => {
+                assert!(!stall.stuck.is_empty(), "seed {seed}: unlabeled stall");
+                assert!(
+                    stall.stuck.iter().all(|l| l.contains("lane")),
+                    "seed {seed}: stuck entries must name lanes: {:?}",
+                    stall.stuck
+                );
+            }
+        }
+        assert!(start.elapsed() < BOUND, "seed {seed} blew the time bound");
+    }
+}
+
+#[test]
+fn stale_epoch_kill_dies_tagged_and_restarts_cleanly_from_checkpoint() {
+    let mut t = pipelined_trainer(2);
+    t.train(1).expect("epoch 0");
+    let ck = mggcn_core::checkpoint::Checkpoint::from_trainer(&t);
+    assert_eq!(ck.epoch, 1, "checkpoint records the last completed epoch");
+
+    // Per-worker dispatches in one epoch of the fused schedule: the
+    // seeded kill window `[ops_per_epoch, 2·ops_per_epoch)` then lands
+    // inside the second epoch of any ≥2-epoch run for every GPU.
+    let sched = t.pipelined_schedule(2);
+    let infos = sched.op_infos();
+    let first_epoch = infos.iter().filter_map(|o| o.desc.epoch).min().expect("tagged ops");
+    let ops_per_epoch = (0..2)
+        .map(|g| {
+            infos
+                .iter()
+                .filter(|o| {
+                    o.desc.epoch == Some(first_epoch) && o.lanes.iter().any(|&(l, _)| l == g)
+                })
+                .count()
+        })
+        .min()
+        .expect("two workers");
+    drop(infos);
+    drop(sched);
+    assert!(ops_per_epoch > 0);
+
+    // Never-faulted control: restore the checkpoint, train two epochs.
+    let mut control = pipelined_trainer(2);
+    control.restore(&ck).expect("restore control");
+    let control_reports = control.train(2).expect("control");
+    let control_weights = control.state().gpu(0).weights.clone();
+
+    let mut killed = 0usize;
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed, Scenario::StaleEpochKill { gpus: 2, ops_per_epoch });
+        let mut victim = pipelined_trainer(2);
+        victim.restore(&ck).expect("restore victim");
+        let sched = victim.pipelined_schedule(2);
+        victim.state().reset_scratch();
+        let start = Instant::now();
+        match execute_chaos(sched, victim.state(), &Injector::new(plan)) {
+            Ok(_) => {}
+            Err(err) => {
+                killed += 1;
+                assert!(
+                    err.message.contains("injected worker death"),
+                    "seed {seed}: untagged error: {err}"
+                );
+            }
+        }
+        assert!(start.elapsed() < BOUND, "seed {seed}: peers hung on the dead worker");
+
+        // Clean restart over the (possibly mid-epoch-corrupt) state:
+        // restore the checkpoint and retrain — bit-identical to the
+        // never-faulted control, resuming at the checkpointed epoch.
+        victim.restore(&ck).expect("restore after crash");
+        let reports = victim.train(2).expect("recovery");
+        for (r, c) in reports.iter().zip(&control_reports) {
+            assert_eq!(r.epoch, c.epoch, "seed {seed}: epochs must resume at ck.epoch");
+            assert!(
+                r.loss == c.loss,
+                "seed {seed}: recovery epoch {} loss {} != control {} — the crash left residue",
+                r.epoch,
+                r.loss,
+                c.loss
+            );
+        }
+        for (l, (x, y)) in victim.state().gpu(0).weights.iter().zip(&control_weights).enumerate() {
+            assert_eq!(x.as_slice(), y.as_slice(), "seed {seed}: layer {l} weights differ");
+        }
+    }
+    assert!(killed > 0, "no seed's kill fired inside the stale-broadcast window");
+}

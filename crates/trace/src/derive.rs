@@ -11,6 +11,7 @@
 //! every byte was exposed on the critical path.
 
 use mggcn_gpusim::{Category, Timeline};
+use std::collections::BTreeSet;
 
 /// Comm/compute overlap totals across all GPUs.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -95,6 +96,43 @@ pub fn overlap_of_timeline(tl: &Timeline) -> Overlap {
     out
 }
 
+/// Per-epoch comm overlap over a fused multi-epoch timeline (DESIGN §15).
+/// The comm side is epoch `e`'s tagged comm spans — optionally restricted
+/// to the op set `ops` (e.g. the node-crossing collectives, for NIC
+/// overlap efficiency) — while the hiding compute union spans the whole
+/// timeline: a prefetch broadcast issued during the *previous* epoch's
+/// backward pass counts as hidden, which is exactly the quantity
+/// bounded-staleness pipelining improves.
+pub fn overlap_of_epoch_comm(tl: &Timeline, e: usize, ops: Option<&BTreeSet<usize>>) -> Overlap {
+    let gpus = tl.spans.iter().map(|s| s.gpu + 1).max().unwrap_or(0);
+    let mut out = Overlap::default();
+    for g in 0..gpus {
+        let comm: Vec<(f64, f64)> = tl
+            .spans
+            .iter()
+            .filter(|s| {
+                s.gpu == g
+                    && s.category == Category::Comm
+                    && s.epoch == Some(e)
+                    && ops.is_none_or(|set| set.contains(&s.op))
+            })
+            .map(|s| (s.start, s.end))
+            .collect();
+        let compute = interval_union(
+            tl.spans
+                .iter()
+                .filter(|s| {
+                    s.gpu == g && s.category != Category::Comm && s.category != Category::Barrier
+                })
+                .map(|s| (s.start, s.end))
+                .collect(),
+        );
+        out.comm_seconds += comm.iter().map(|(a, b)| b - a).sum::<f64>();
+        out.hidden_seconds += covered_length(&comm, &compute);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +151,7 @@ mod tests {
             bytes: 0.0,
             reads: 0,
             writes: 0,
+            epoch: None,
         }
     }
 
@@ -177,5 +216,28 @@ mod tests {
     fn no_comm_is_zero_efficiency() {
         let tl = Timeline { spans: vec![span(0, Category::SpMM, 0.0, 1.0)] };
         assert_eq!(overlap_of_timeline(&tl).efficiency(), 0.0);
+    }
+
+    #[test]
+    fn epoch_comm_hides_under_any_epochs_compute() {
+        // Epoch 1's prefetch broadcast [1,3] rides under epoch 0's backward
+        // compute [0,4]: it must count as hidden for epoch 1 even though
+        // the hiding compute is tagged epoch 0.
+        let mut compute = span(0, Category::SpMM, 0.0, 4.0);
+        compute.epoch = Some(0);
+        let mut bcast = span(0, Category::Comm, 1.0, 3.0);
+        bcast.epoch = Some(1);
+        bcast.op = 7;
+        let tl = Timeline { spans: vec![compute, bcast] };
+        let o = overlap_of_epoch_comm(&tl, 1, None);
+        assert!((o.comm_seconds - 2.0).abs() < 1e-12);
+        assert!((o.hidden_seconds - 2.0).abs() < 1e-12);
+        // Epoch 0 has no comm at all.
+        assert_eq!(overlap_of_epoch_comm(&tl, 0, None).comm_seconds, 0.0);
+        // An op filter that excludes the broadcast zeroes the comm side.
+        let none: BTreeSet<usize> = BTreeSet::new();
+        assert_eq!(overlap_of_epoch_comm(&tl, 1, Some(&none)).comm_seconds, 0.0);
+        let nic: BTreeSet<usize> = [7].into_iter().collect();
+        assert!((overlap_of_epoch_comm(&tl, 1, Some(&nic)).hidden_seconds - 2.0).abs() < 1e-12);
     }
 }

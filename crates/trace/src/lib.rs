@@ -177,6 +177,44 @@ impl Tracer {
         inner.overlap.accumulate(overlap);
         inner.metrics.gauge_add("sim.overlap.comm_seconds", overlap.comm_seconds);
         inner.metrics.gauge_add("sim.overlap.hidden_seconds", overlap.hidden_seconds);
+        // Fused bounded-staleness timelines (epoch-tagged spans, DESIGN
+        // §15) additionally report broadcast-hidden time per epoch, plus
+        // the NIC (node-crossing) slice when topology is known. Untagged
+        // timelines write none of these, so every pre-staleness trace
+        // artifact is byte-identical.
+        let epochs: BTreeSet<usize> = tl.spans.iter().filter_map(|s| s.epoch).collect();
+        if !epochs.is_empty() {
+            let nic_ops: BTreeSet<usize> = machine
+                .map(|m| {
+                    op_gpus
+                        .iter()
+                        .filter(|(_, gpus)| m.crosses_nodes(gpus))
+                        .map(|(&op, _)| op)
+                        .collect()
+                })
+                .unwrap_or_default();
+            for &e in &epochs {
+                let o = derive::overlap_of_epoch_comm(tl, e, None);
+                inner
+                    .metrics
+                    .gauge_add(&format!("sim.overlap.epoch{e:05}.comm_seconds"), o.comm_seconds);
+                inner.metrics.gauge_add(
+                    &format!("sim.overlap.epoch{e:05}.hidden_seconds"),
+                    o.hidden_seconds,
+                );
+                if machine.is_some() {
+                    let n = derive::overlap_of_epoch_comm(tl, e, Some(&nic_ops));
+                    inner.metrics.gauge_add(
+                        &format!("sim.overlap.epoch{e:05}.nic_comm_seconds"),
+                        n.comm_seconds,
+                    );
+                    inner.metrics.gauge_add(
+                        &format!("sim.overlap.epoch{e:05}.nic_hidden_seconds"),
+                        n.hidden_seconds,
+                    );
+                }
+            }
+        }
         inner.metrics.counter_add("sim.timelines", 1);
         inner.sim_cursor += makespan;
     }
@@ -367,6 +405,7 @@ mod tests {
                     bytes: 0.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
                 // One collective on two lanes: bytes must count once.
                 Span {
@@ -381,6 +420,7 @@ mod tests {
                     bytes: 400.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
                 Span {
                     gpu: 1,
@@ -394,6 +434,7 @@ mod tests {
                     bytes: 400.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
                 Span {
                     gpu: 1,
@@ -407,6 +448,7 @@ mod tests {
                     bytes: 120.0,
                     reads: 0,
                     writes: 0,
+                    epoch: None,
                 },
             ],
         }
