@@ -13,6 +13,23 @@ cargo fmt --check
 echo "==> clippy -D warnings (workspace, all targets)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> unsafe audit (forbid(unsafe_code) everywhere but the rayon shim)"
+# Every crate root carries #![forbid(unsafe_code)]. The single sanctioned
+# unsafe site is the in-tree rayon shim's type-erased job dispatch
+# (crates/rayon/src/pool.rs); any other `unsafe` token fails CI.
+for lib in src/lib.rs crates/*/src/lib.rs; do
+  [ "${lib}" = "crates/rayon/src/lib.rs" ] && continue
+  grep -qF '#![forbid(unsafe_code)]' "${lib}" || {
+    echo "${lib} is missing #![forbid(unsafe_code)]" >&2
+    exit 1
+  }
+done
+if grep -rn '\bunsafe\b' --include='*.rs' src crates \
+  | grep -v 'unsafe_code' | grep -v '^crates/rayon/src/pool.rs:'; then
+  echo "new unsafe code outside crates/rayon/src/pool.rs" >&2
+  exit 1
+fi
+
 echo "==> build (release, workspace)"
 cargo build --release --workspace
 
@@ -151,6 +168,33 @@ echo "==> analyze smoke (static schedule verification; Reddit model A, P=4)"
 ./target/release/mggcn analyze >/dev/null
 ./target/release/mggcn analyze --dataset reddit --gpus 4
 ./target/release/mggcn analyze --dataset reddit --gpus 4 --partition 1.5d
+
+echo "==> effect-soundness + model-check smoke (shadow oracle; DPOR linearizations)"
+# `--audit-effects` shadow-executes every materialized schedule's bodies
+# and fails on any read/write/stale-age the declarations miss;
+# `--model-check` DPOR-explores the HB linearizations of P in {1,2,3}
+# schedules and fails unless final weights are bit-identical. The JSON
+# report must round-trip the in-tree parser and be byte-stable.
+ANALYZE_DIR="$(mktemp -d)"
+for gpus in 1 2; do
+  ./target/release/mggcn analyze --gpus "${gpus}" --audit-effects --model-check \
+    --json --out "${ANALYZE_DIR}/analyze_p${gpus}.json" >/dev/null
+  ./target/release/mggcn analyze --gpus "${gpus}" --audit-effects --model-check \
+    --json --out "${ANALYZE_DIR}/analyze_p${gpus}_again.json" >/dev/null
+  cmp "${ANALYZE_DIR}/analyze_p${gpus}.json" "${ANALYZE_DIR}/analyze_p${gpus}_again.json" || {
+    echo "analyze --json is not byte-stable at P=${gpus}" >&2
+    exit 1
+  }
+  for key in '"schema":"mggcn-analyze-v1"' '"dirty":0' '"model_check":[' \
+             '"deterministic":true'; do
+    grep -qF "${key}" "${ANALYZE_DIR}/analyze_p${gpus}.json" || {
+      echo "analyze_p${gpus}.json missing ${key}:" >&2
+      cat "${ANALYZE_DIR}/analyze_p${gpus}.json" >&2
+      exit 1
+    }
+  done
+done
+rm -rf "${ANALYZE_DIR}"
 
 echo "==> topo smoke (2-node cluster training; §5.1 crossover card; schema)"
 # Train on a 2-node x 2-GPU hierarchical machine under both partitionings

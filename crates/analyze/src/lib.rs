@@ -4,7 +4,7 @@
 //! dependency will corrupt real data the same way real hardware would"
 //! (`gpusim::engine`). This crate turns that class of bug into a static
 //! finding: every `launch_fx`/`collective_fx` site declares the logical
-//! buffers it reads and writes ([`mggcn_gpusim::Effects`]), and three
+//! buffers it reads and writes ([`mggcn_gpusim::Effects`]), and the
 //! analyses run over the happens-before relation induced by lane FIFOs,
 //! explicit waits, and collective rendezvous ([`hb::Hb`]):
 //!
@@ -13,18 +13,44 @@
 //! 2. **Deadlock-freedom** — the dependency digraph must be acyclic; a
 //!    cycle is exactly a simulator deadlock and a threaded-backend hang
 //!    ([`Finding::Deadlock`]);
-//! 3. **Liveness coloring** — big-buffer live ranges must be colorable
+//! 3. **Def-use dataflow** — every read of a scratch-family buffer must
+//!    see a happens-before writer ([`Finding::UninitRead`]), and writes
+//!    nothing ever consumes are advisory [`Warning::DeadWrite`]s;
+//! 4. **Liveness coloring** — big-buffer live ranges must be colorable
 //!    within `core::memplan`'s `L + 3` budget ([`Finding::OverBudget`];
 //!    see [`liveness`]).
 //!
-//! Entry points: [`analyze`] (hazards + deadlock), [`analyze_budget`]
-//! (adds the liveness bound), and [`preflight`] (the cheap gate
-//! `mggcn-exec` runs before spawning workers). The CLI surface is
-//! `mggcn analyze`.
+//! Two further passes verify the *inputs* of the above rather than the
+//! schedule itself:
+//!
+//! * [`audit::audit_effects`] — the effect-soundness oracle. It diffs the
+//!   declared `Effects` against the [`mggcn_gpusim::ActualEffects`] a
+//!   shadow-interpreted run observed, so a body touching an undeclared
+//!   buffer (which would make every analysis above unsound) is a hard
+//!   finding.
+//! * [`dpor::model_check`] — a sleep-set DPOR model checker that executes
+//!   every HB-distinct linearization of a small schedule and asserts the
+//!   final weights are bit-identical, proving the declared dependency
+//!   structure (not just the one simulated order) determines the result.
+//!
+//! Entry points: [`analyze`] (hazards + deadlock + def-use),
+//! [`analyze_budget`] (adds the liveness bound), and [`preflight`] (the
+//! cheap gate `mggcn-exec` runs before spawning workers). The CLI surface
+//! is `mggcn analyze` (with `--audit-effects`, `--model-check`, `--json`).
+//!
+//! Findings and warnings are reported in a deterministic order (sorted by
+//! class, anchor op ids, buffer, kind) so rendered reports and `--json`
+//! output are byte-stable across runs.
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod dpor;
 pub mod hb;
 pub mod liveness;
 
+pub use audit::{audit_effects, EffectAudit};
+pub use dpor::{model_check, Divergence, DporOptions, DporResult};
 pub use hb::Hb;
 pub use liveness::Liveness;
 
@@ -88,6 +114,118 @@ pub enum Finding {
         /// The bound the reader declared, if any (insufficient when `Some`).
         declared: Option<usize>,
     },
+    /// An op reads a scratch-family buffer with no happens-before writer:
+    /// the value consumed is whatever the allocator left there. Scratch
+    /// buffers carry no cross-schedule state, so this is always a bug.
+    UninitRead { op: OpId, label: &'static str, buf: BufId },
+    /// The shadow interpreter observed the op's body reading `buf`, but
+    /// the site never declared the read: the hazard analysis ran on an
+    /// unsound footprint.
+    UndeclaredRead { op: OpId, label: &'static str, buf: BufId },
+    /// The shadow interpreter observed the op's body writing `buf`
+    /// without a declaration — the worst class: every pass above assumed
+    /// this op leaves `buf` alone.
+    UndeclaredWrite { op: OpId, label: &'static str, buf: BufId },
+    /// The shadow interpreter observed the op consuming `buf` at `age`
+    /// epochs old, exceeding the declared [`mggcn_gpusim::StaleRead`]
+    /// bound (or with none declared).
+    UndeclaredStaleAge {
+        op: OpId,
+        label: &'static str,
+        buf: BufId,
+        /// Observed age: reader epoch minus last-writer epoch.
+        age: usize,
+        /// The declared bound, if any (insufficient when `Some`).
+        declared: Option<usize>,
+    },
+}
+
+impl Finding {
+    /// Deterministic report order: class, anchor op ids, buffer, kind —
+    /// independent of detection order, so `render()` and `--json` output
+    /// are byte-stable.
+    fn sort_key(&self) -> (u8, usize, usize, Option<BufId>, u8) {
+        match self {
+            Finding::Deadlock { .. } => (0, 0, 0, None, 0),
+            Finding::Hazard { kind, buf, first, second, .. } => {
+                let k = match kind {
+                    HazardKind::Raw => 0,
+                    HazardKind::War => 1,
+                    HazardKind::Waw => 2,
+                };
+                (1, *first, *second, Some(*buf), k)
+            }
+            Finding::StaleRead { reader, writer, buf, .. } => (2, *reader, *writer, Some(*buf), 0),
+            Finding::UninitRead { op, buf, .. } => (3, *op, 0, Some(*buf), 0),
+            Finding::UndeclaredRead { op, buf, .. } => (4, *op, 0, Some(*buf), 0),
+            Finding::UndeclaredWrite { op, buf, .. } => (4, *op, 0, Some(*buf), 1),
+            Finding::UndeclaredStaleAge { op, buf, .. } => (4, *op, 0, Some(*buf), 2),
+            Finding::OverBudget { gpu, .. } => (5, *gpu, 0, None, 0),
+        }
+    }
+}
+
+/// Sort findings into the canonical order and drop exact duplicates.
+pub(crate) fn canonicalize(findings: &mut Vec<Finding>) {
+    findings.sort_by_key(Finding::sort_key);
+    findings.dedup();
+}
+
+/// An advisory observation: not a correctness failure, but a declaration
+/// or schedule shape worth a second look. Warnings never fail
+/// [`Report::clean`] or [`preflight`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Warning {
+    /// The site declares a read the shadow-interpreted body never
+    /// performed. Over-declaration only costs precision (extra hazard
+    /// edges), never soundness. Expected on the classic 1.5D reduce,
+    /// which declares its `RP` source but refolds from shards.
+    OverDeclaredRead { op: OpId, label: &'static str, buf: BufId },
+    /// The site declares a write the body never performed (and the
+    /// buffer is not a declared-and-observed read — a read-modify-write
+    /// site may legitimately leave the bytes unchanged).
+    OverDeclaredWrite { op: OpId, label: &'static str, buf: BufId },
+    /// A scratch-family write no happens-before-later op ever reads.
+    /// Legitimate at partition boundaries (e.g. a singleton-group
+    /// broadcast anchor), suspicious elsewhere.
+    DeadWrite { op: OpId, label: &'static str, buf: BufId },
+}
+
+impl Warning {
+    fn sort_key(&self) -> (u8, usize, BufId) {
+        match self {
+            Warning::OverDeclaredRead { op, buf, .. } => (0, *op, *buf),
+            Warning::OverDeclaredWrite { op, buf, .. } => (1, *op, *buf),
+            Warning::DeadWrite { op, buf, .. } => (2, *op, *buf),
+        }
+    }
+}
+
+/// Sort warnings into the canonical order and drop exact duplicates.
+pub(crate) fn canonicalize_warnings(warnings: &mut Vec<Warning>) {
+    warnings.sort_by_key(Warning::sort_key);
+    warnings.dedup();
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::OverDeclaredRead { op, label, buf } => write!(
+                f,
+                "over-declared read of {buf}: op {op} ({label}) declares it but the body \
+                 never reads it"
+            ),
+            Warning::OverDeclaredWrite { op, label, buf } => write!(
+                f,
+                "over-declared write of {buf}: op {op} ({label}) declares it but the body \
+                 never writes it"
+            ),
+            Warning::DeadWrite { op, label, buf } => write!(
+                f,
+                "dead write of {buf}: op {op} ({label}) writes it but no later op reads it"
+            ),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -126,6 +264,32 @@ impl fmt::Display for Finding {
                     "under-declared stale read of {buf}: op {reader} ({reader_label}) \
                          declares age<={d} but consumes op {writer} ({writer_label}) from \
                          {age} epoch(s) earlier"
+                ),
+            },
+            Finding::UninitRead { op, label, buf } => write!(
+                f,
+                "uninitialized read of {buf}: op {op} ({label}) has no happens-before writer"
+            ),
+            Finding::UndeclaredRead { op, label, buf } => write!(
+                f,
+                "undeclared read of {buf}: op {op} ({label}) actually reads it but the \
+                 site declares no read"
+            ),
+            Finding::UndeclaredWrite { op, label, buf } => write!(
+                f,
+                "undeclared write of {buf}: op {op} ({label}) actually writes it but the \
+                 site declares no write"
+            ),
+            Finding::UndeclaredStaleAge { op, label, buf, age, declared } => match declared {
+                None => write!(
+                    f,
+                    "undeclared stale consumption of {buf}: op {op} ({label}) actually \
+                     consumes a value {age} epoch(s) old with no StaleRead declaration"
+                ),
+                Some(d) => write!(
+                    f,
+                    "under-declared stale consumption of {buf}: op {op} ({label}) declares \
+                     age<={d} but actually consumes a value {age} epoch(s) old"
                 ),
             },
         }
@@ -176,8 +340,12 @@ pub struct Report {
     pub ops: usize,
     /// Deduplicated dependency edges (lane-FIFO adjacency + waits).
     pub edges: usize,
-    /// All verification failures, in detection order.
+    /// All verification failures, in the canonical (class, op, buffer,
+    /// kind) order.
     pub findings: Vec<Finding>,
+    /// Advisory observations (never fail [`Report::clean`]), in the
+    /// canonical order.
+    pub warnings: Vec<Warning>,
     /// Liveness result; `None` when the schedule deadlocks or has
     /// hazards (ranges are ill-defined then), or when no op declares
     /// effects on the requested buffer families.
@@ -216,7 +384,22 @@ impl Report {
                 let _ = writeln!(out, "  {f}");
             }
         }
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "{} warning(s):", self.warnings.len());
+            for w in &self.warnings {
+                let _ = writeln!(out, "  {w}");
+            }
+        }
         out
+    }
+
+    /// Absorb findings and warnings produced by an auxiliary pass (e.g.
+    /// the effect audit) and re-establish the canonical order.
+    pub fn absorb(&mut self, findings: Vec<Finding>, warnings: Vec<Warning>) {
+        self.findings.extend(findings);
+        self.warnings.extend(warnings);
+        canonicalize(&mut self.findings);
+        canonicalize_warnings(&mut self.warnings);
     }
 }
 
@@ -232,47 +415,62 @@ pub fn analyze_ops(ops: &[OpInfo<'_>], budget: Option<&BudgetSpec>) -> Report {
             ops: ops.len(),
             edges: hb.edges.len(),
             findings,
+            warnings: Vec::new(),
             liveness: None,
             budget: budget.map(|b| b.budget),
         };
     }
 
-    // Hazards: group accesses per buffer; every conflicting pair (at
-    // least one write, distinct ops) must be HB-ordered.
-    let mut accesses: BTreeMap<BufId, Vec<(OpId, bool, &'static str)>> = BTreeMap::new();
+    // Hazards: merge each op's accesses per buffer first, then check every
+    // conflicting op *pair* for HB order. Merging (rather than walking raw
+    // access-list pairs) yields exactly one finding per unordered (pair,
+    // buffer) with a canonical kind — both-write is WAW even when a side
+    // also reads, writer-first is RAW, reader-first is WAR — so symmetric
+    // duplicates cannot arise and the report is deterministic.
+    let mut accesses: BTreeMap<BufId, BTreeMap<OpId, (bool, bool, &'static str)>> = BTreeMap::new();
     for op in ops {
         for &b in &op.effects.reads {
-            accesses.entry(b).or_default().push((op.id, false, op.desc.label));
+            accesses
+                .entry(b)
+                .or_default()
+                .entry(op.id)
+                .or_insert((false, false, op.desc.label))
+                .0 = true;
         }
         for &b in &op.effects.writes {
-            accesses.entry(b).or_default().push((op.id, true, op.desc.label));
+            accesses
+                .entry(b)
+                .or_default()
+                .entry(op.id)
+                .or_insert((false, false, op.desc.label))
+                .1 = true;
         }
     }
-    for (&buf, list) in &accesses {
-        for (i, &(a, a_w, a_label)) in list.iter().enumerate() {
-            for &(b, b_w, b_label) in &list[i + 1..] {
-                if a == b || (!a_w && !b_w) {
+    for (&buf, by_op) in &accesses {
+        let list: Vec<(OpId, bool, bool, &'static str)> =
+            by_op.iter().map(|(&id, &(r, w, label))| (id, r, w, label)).collect();
+        for (i, &(first, _, first_w, first_label)) in list.iter().enumerate() {
+            for &(second, _, second_w, second_label) in &list[i + 1..] {
+                if !first_w && !second_w {
+                    continue; // read/read never conflicts
+                }
+                if hb.ordered(first, second) || hb.ordered(second, first) {
                     continue;
                 }
-                if hb.ordered(a, b) || hb.ordered(b, a) {
-                    continue;
-                }
-                let (first, first_label, first_w, second, second_label, second_w) = if a < b {
-                    (a, a_label, a_w, b, b_label, b_w)
-                } else {
-                    (b, b_label, b_w, a, a_label, a_w)
-                };
                 let kind = match (first_w, second_w) {
                     (true, true) => HazardKind::Waw,
                     (true, false) => HazardKind::Raw,
                     (false, true) => HazardKind::War,
                     (false, false) => unreachable!("read/read pairs are skipped"),
                 };
-                let finding =
-                    Finding::Hazard { kind, buf, first, first_label, second, second_label };
-                if !findings.contains(&finding) {
-                    findings.push(finding);
-                }
+                findings.push(Finding::Hazard {
+                    kind,
+                    buf,
+                    first,
+                    first_label,
+                    second,
+                    second_label,
+                });
             }
         }
     }
@@ -330,7 +528,56 @@ pub fn analyze_ops(ops: &[OpInfo<'_>], budget: Option<&BudgetSpec>) -> Report {
         }
     }
 
-    // Liveness only over hazard-free schedules (ranges need an order).
+    // Def-use dataflow (hazard-free schedules only — "before" needs an
+    // unambiguous order): over the scratch families, which carry no
+    // cross-schedule state, a read must see a happens-before writer or it
+    // consumes whatever the allocator left behind. The dual — a write no
+    // later op ever reads — is only advisory: partition boundaries
+    // legitimately leave a few (e.g. a singleton-group broadcast anchor).
+    let mut warnings = Vec::new();
+    if findings.is_empty() {
+        const SCRATCH: [&str; 6] = ["AHW", "HW", "BC1", "BC2", "RP", "WG"];
+        let scratch = |b: BufId| SCRATCH.contains(&b.name);
+        let mut writers: BTreeMap<BufId, Vec<OpId>> = BTreeMap::new();
+        let mut readers: BTreeMap<BufId, Vec<OpId>> = BTreeMap::new();
+        for op in ops {
+            for &b in &op.effects.writes {
+                writers.entry(b).or_default().push(op.id);
+            }
+            for &b in &op.effects.reads {
+                readers.entry(b).or_default().push(op.id);
+            }
+            for s in &op.effects.stale_reads {
+                readers.entry(s.buf).or_default().push(op.id);
+            }
+        }
+        for op in ops {
+            for &b in &op.effects.reads {
+                if !scratch(b) {
+                    continue;
+                }
+                let initialized = writers
+                    .get(&b)
+                    .is_some_and(|ws| ws.iter().any(|&w| w != op.id && hb.ordered(w, op.id)));
+                if !initialized {
+                    findings.push(Finding::UninitRead { op: op.id, label: op.desc.label, buf: b });
+                }
+            }
+            for &b in &op.effects.writes {
+                if !scratch(b) {
+                    continue;
+                }
+                let consumed = readers
+                    .get(&b)
+                    .is_some_and(|rs| rs.iter().any(|&r| r != op.id && hb.ordered(op.id, r)));
+                if !consumed {
+                    warnings.push(Warning::DeadWrite { op: op.id, label: op.desc.label, buf: b });
+                }
+            }
+        }
+    }
+
+    // Liveness only over hazard-free, fully-initialized schedules.
     let liveness = if findings.is_empty() {
         budget.and_then(|spec| {
             let lv = liveness::liveness(ops, &hb, &spec.names);
@@ -348,10 +595,13 @@ pub fn analyze_ops(ops: &[OpInfo<'_>], budget: Option<&BudgetSpec>) -> Report {
         None
     };
 
+    canonicalize(&mut findings);
+    canonicalize_warnings(&mut warnings);
     Report {
         ops: ops.len(),
         edges: hb.edges.len(),
         findings,
+        warnings,
         liveness,
         budget: budget.map(|b| b.budget),
     }
@@ -444,9 +694,76 @@ mod tests {
     #[test]
     fn reads_never_conflict() {
         let mut s: Schedule<()> = Schedule::new(machine(2));
+        let w =
+            s.launch_fx(0, 0, fixed(), desc("init"), &[], Effects::none().writes([bc(0, 0)]), None);
         s.launch_fx(0, 0, fixed(), desc("r1"), &[], Effects::none().reads([bc(0, 0)]), None);
-        s.launch_fx(1, 0, fixed(), desc("r2"), &[], Effects::none().reads([bc(0, 0)]), None);
+        s.launch_fx(1, 0, fixed(), desc("r2"), &[w], Effects::none().reads([bc(0, 0)]), None);
         assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn uninitialized_scratch_read_is_a_finding() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("r"), &[], Effects::none().reads([bc(0, 0)]), None);
+        let r = analyze(&s);
+        assert!(matches!(r.findings[..], [Finding::UninitRead { op: 0, .. }]));
+        assert!(r.findings[0].to_string().contains("uninitialized read of BC1@g0"));
+        assert!(preflight(&s).is_err(), "preflight must reject uninit reads");
+    }
+
+    #[test]
+    fn non_scratch_families_skip_the_def_use_pass() {
+        // X (input features) and W (persistent weights) hold state the
+        // schedule legitimately never writes.
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        let x = BufId::new(0, "X");
+        let w = BufId::indexed(0, "W", 0);
+        s.launch_fx(0, 0, fixed(), desc("gemm"), &[], Effects::none().reads([x, w]), None);
+        assert!(analyze(&s).clean());
+    }
+
+    #[test]
+    fn dead_scratch_write_is_a_warning_not_a_finding() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+        let r = analyze(&s);
+        assert!(r.clean(), "warnings must not fail clean()");
+        assert!(matches!(r.warnings[..], [Warning::DeadWrite { op: 0, .. }]));
+        assert!(r.render().contains("dead write of BC1@g0"));
+        assert!(preflight(&s).is_ok());
+    }
+
+    #[test]
+    fn rmw_own_read_does_not_initialize_or_consume() {
+        // An op that RMWs an otherwise-untouched scratch buffer is both an
+        // uninit read (its own write is not HB-before its read) — nothing
+        // else initializes or consumes the buffer.
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("rmw"), &[], Effects::none().rw(bc(0, 0)), None);
+        let r = analyze(&s);
+        assert!(matches!(r.findings[..], [Finding::UninitRead { op: 0, .. }]));
+    }
+
+    /// The merged hazard pass emits exactly one finding per unordered
+    /// (pair, buffer), with both-write collapsing to WAW even when one
+    /// side also reads — and two analyze runs render byte-identically.
+    #[test]
+    fn hazard_findings_are_deduped_and_deterministic() {
+        let build = || {
+            let mut s: Schedule<()> = Schedule::new(machine(1));
+            // Op 0 RMWs, op 1 writes, unordered: the raw access pairs are
+            // (r0,w1) and (w0,w1), but the canonical report is one WAW.
+            s.launch_fx(0, 0, fixed(), desc("rmw"), &[], Effects::none().rw(bc(0, 0)), None);
+            s.launch_fx(0, 1, fixed(), desc("w"), &[], Effects::none().writes([bc(0, 0)]), None);
+            s
+        };
+        let r = analyze(&build());
+        assert_eq!(r.findings.len(), 1);
+        assert!(matches!(
+            r.findings[0],
+            Finding::Hazard { kind: HazardKind::Waw, first: 0, second: 1, .. }
+        ));
+        assert_eq!(analyze(&build()).render(), r.render());
     }
 
     #[test]

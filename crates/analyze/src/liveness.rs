@@ -143,3 +143,110 @@ pub fn liveness(ops: &[OpInfo<'_>], hb: &Hb, names: &[&str]) -> Liveness {
         per_gpu,
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mggcn_gpusim::engine::OpDesc;
+    use mggcn_gpusim::{Category, Effects, GpuSpec, MachineSpec, Schedule, Work};
+
+    fn machine(n: usize) -> MachineSpec {
+        MachineSpec::uniform("test", GpuSpec::v100(), n, 6, 25.0e9)
+    }
+
+    fn fixed() -> Work {
+        Work::Fixed { seconds: 0.1 }
+    }
+
+    fn desc(label: &'static str) -> OpDesc {
+        OpDesc::new(Category::Other, label)
+    }
+
+    fn run(s: &Schedule<()>, names: &[&str]) -> Liveness {
+        let infos = s.op_infos();
+        let hb = Hb::of_ops(&infos);
+        liveness(&infos, &hb, names)
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_everything() {
+        let s: Schedule<()> = Schedule::new(machine(2));
+        let lv = run(&s, &["AHW", "HW", "BC1", "BC2"]);
+        assert_eq!(lv.buffers_bound, 0);
+        assert_eq!(lv.buffers_needed, 0);
+        assert!(lv.per_gpu.is_empty());
+    }
+
+    #[test]
+    fn single_op_schedule_needs_exactly_one_buffer() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            desc("w"),
+            &[],
+            Effects::none().writes([BufId::new(0, "HW")]),
+            None,
+        );
+        let lv = run(&s, &["HW"]);
+        assert_eq!(lv.buffers_bound, 1);
+        assert_eq!(lv.buffers_needed, 1);
+        assert_eq!(lv.per_gpu, vec![(0, 1, 1)]);
+        // An op outside the requested families is invisible.
+        assert_eq!(run(&s, &["BC1"]).buffers_bound, 0);
+    }
+
+    /// P=1 single-lane "collective" degenerate case: the broadcast family
+    /// time-slices on the one lane, so one BC buffer suffices even though
+    /// two are named — the §4.2 claim that BC2 is bought for the overlap.
+    #[test]
+    fn single_lane_collectives_at_p1_share_one_allocation() {
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        for slot in 0..2 {
+            let name = if slot == 0 { "BC1" } else { "BC2" };
+            let b = BufId::new(0, name);
+            s.collective_fx(
+                &[(0, 0)],
+                1.0e6,
+                25.0e9,
+                desc("bcast"),
+                &[],
+                Effects::none().writes([b]),
+                None,
+            );
+            s.launch_fx(0, 0, fixed(), desc("spmm"), &[], Effects::none().reads([b]), None);
+        }
+        let lv = run(&s, &["BC1", "BC2"]);
+        assert_eq!(lv.buffers_bound, 2, "both slots are named");
+        assert_eq!(lv.buffers_needed, 1, "one lane time-slices them");
+    }
+
+    /// An RMW-only chain (accumulating SpMM shape: one defining write,
+    /// then rw, rw, ...) is a single value range — and re-derives the
+    /// §4.2 count: a second buffer defined strictly after the chain's
+    /// last access shares its allocation.
+    #[test]
+    fn rmw_only_chain_is_one_range_and_frees_its_color() {
+        let a = BufId::indexed(0, "AHW", 0);
+        let b = BufId::new(0, "HW");
+        let mut s: Schedule<()> = Schedule::new(machine(1));
+        s.launch_fx(0, 0, fixed(), desc("def"), &[], Effects::none().writes([a]), None);
+        for _ in 0..3 {
+            s.launch_fx(0, 0, fixed(), desc("acc"), &[], Effects::none().rw(a), None);
+        }
+        s.launch_fx(0, 0, fixed(), desc("def-b"), &[], Effects::none().writes([b]), None);
+        s.launch_fx(0, 0, fixed(), desc("use-b"), &[], Effects::none().reads([b]), None);
+        let lv = run(&s, &["AHW", "HW"]);
+        assert_eq!(lv.buffers_bound, 2);
+        assert_eq!(lv.buffers_needed, 1, "the RMW chain must not split into ranges");
+
+        // Contrast: pure writes split values, but same-buffer ranges
+        // still time-slice — a fresh def of `a` mid-chain changes nothing
+        // for the count.
+        s.launch_fx(0, 0, fixed(), desc("redef"), &[], Effects::none().writes([a]), None);
+        s.launch_fx(0, 0, fixed(), desc("use-a"), &[], Effects::none().reads([a]), None);
+        let lv = run(&s, &["AHW", "HW"]);
+        assert_eq!(lv.buffers_needed, 1);
+    }
+}

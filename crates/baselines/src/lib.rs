@@ -20,6 +20,8 @@
 //!   paper's §1 argues against; it exposes the neighborhood-explosion
 //!   statistic the argument rests on.
 
+#![forbid(unsafe_code)]
+
 pub mod cagnet;
 pub mod dgl;
 pub mod distgnn;

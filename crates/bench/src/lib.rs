@@ -5,6 +5,8 @@
 //! the runners they share. Bench targets use `harness = false` so that
 //! `cargo bench` regenerates the whole evaluation.
 
+#![forbid(unsafe_code)]
+
 use mggcn_baselines::{cagnet, dgl};
 use mggcn_core::config::{GcnConfig, TrainOptions};
 use mggcn_core::problem::Problem;

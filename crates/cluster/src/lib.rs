@@ -28,6 +28,8 @@
 //! ([`mggcn_serve::ServingModel::forward_full`]) for any shard count and
 //! either execution backend — asserted by the testkit differential suite.
 
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod cluster;
 pub mod partition;

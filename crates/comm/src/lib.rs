@@ -15,6 +15,8 @@
 //! [`analysis`] reproduces the paper's §5.1 link-count arithmetic comparing
 //! 1D against 1.5D partitioning on both machines.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod collectives;
 

@@ -45,6 +45,8 @@
 //! assert!(report.loss.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod checkpoint;
 pub mod config;
@@ -55,6 +57,7 @@ pub mod memplan;
 pub mod metrics;
 pub mod optimizer;
 pub mod problem;
+pub mod shadow;
 pub mod state;
 pub mod trainer;
 

@@ -11,7 +11,10 @@
 use crate::config::GcnConfig;
 use crate::problem::Problem;
 use mggcn_dense::{init, Dense};
-use std::sync::{Mutex, MutexGuard};
+use mggcn_gpusim::shadow::EffectRecorder;
+use mggcn_gpusim::BufId;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Which broadcast buffer a stage writes/reads (double buffering, §4.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +30,14 @@ impl BcSlot {
             BcSlot::Bc1
         } else {
             BcSlot::Bc2
+        }
+    }
+
+    /// The `BufId` family name of this slot (matches the declared effects).
+    pub fn buf_name(self) -> &'static str {
+        match self {
+            BcSlot::Bc1 => "BC1",
+            BcSlot::Bc2 => "BC2",
         }
     }
 }
@@ -78,6 +89,13 @@ pub struct GpuState {
     /// the scratch counters, so a single schedule run yields one entry per
     /// epoch. Empty in classic one-epoch mode.
     pub epoch_stats: Vec<EpochStats>,
+    /// This GPU's index within the [`DeviceState`] (buffer-access notes
+    /// attribute to it).
+    index: usize,
+    /// Shadow effect recorder, attached only while the effect-soundness
+    /// oracle observes a run ([`DeviceState::attach_recorder`]). `None` in
+    /// ordinary training/serving, where every note is a no-op.
+    recorder: Option<Arc<EffectRecorder>>,
 }
 
 /// One epoch's accumulated counters: `(loss_sum, train_correct,
@@ -93,6 +111,7 @@ impl GpuState {
     }
 
     pub fn bc_ref(&self, slot: BcSlot) -> &Dense {
+        self.note_read(BufId::new(self.index, slot.buf_name()));
         match slot {
             BcSlot::Bc1 => &self.bc1,
             BcSlot::Bc2 => &self.bc2,
@@ -101,9 +120,12 @@ impl GpuState {
 
     /// Borrow two distinct `AHW` buffers at once: `(read, write)` — the
     /// split the in-place ReLU backward needs (incoming gradient in
-    /// `ahw[read]`, activation/output in `ahw[write]`).
+    /// `ahw[read]`, activation/output in `ahw[write]`). Both buffers are
+    /// consumed by the caller, so both count as reads for the recorder.
     pub fn ahw_pair_mut(&mut self, read: usize, write: usize) -> (&Dense, &mut Dense) {
         assert_ne!(read, write, "ahw_pair_mut needs distinct buffers");
+        self.note_read(BufId::indexed(self.index, "AHW", read));
+        self.note_read(BufId::indexed(self.index, "AHW", write));
         if read < write {
             let (lo, hi) = self.ahw.split_at_mut(write);
             (&lo[read], &mut hi[0])
@@ -111,6 +133,46 @@ impl GpuState {
             let (lo, hi) = self.ahw.split_at_mut(read);
             (&hi[0], &mut lo[write])
         }
+    }
+
+    /// This GPU's index within its [`DeviceState`].
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Tell the attached shadow recorder (if any) that the current op read
+    /// `buf`. A no-op outside an observed run.
+    pub fn note_read(&self, buf: BufId) {
+        if let Some(rec) = &self.recorder {
+            rec.read(buf);
+        }
+    }
+
+    /// Tell the attached shadow recorder (if any) that the current op wrote
+    /// `buf`. Used for writes the post-op fingerprint diff cannot see —
+    /// collective copies that may land byte-identical payloads.
+    pub fn note_write(&self, buf: BufId) {
+        if let Some(rec) = &self.recorder {
+            rec.write(buf);
+        }
+    }
+
+    /// Layer-`l` weights, recorded as a read.
+    pub fn w_ref(&self, l: usize) -> &Dense {
+        self.note_read(BufId::indexed(self.index, "W", l));
+        &self.weights[l]
+    }
+
+    /// Layer-`l` staleness snapshot, recorded as a read.
+    pub fn sf_ref(&self, l: usize) -> &Dense {
+        self.note_read(BufId::indexed(self.index, "SF", l));
+        &self.sf[l]
+    }
+
+    /// The 1.5D replicated-partial buffer, recorded as a read.
+    pub fn rp_ref(&self) -> &Dense {
+        self.note_read(BufId::new(self.index, "RP"));
+        &self.rp
     }
 }
 
@@ -126,6 +188,82 @@ pub struct DeviceState {
     gpus: Vec<Mutex<GpuState>>,
     /// Adam step counter (shared; every GPU steps in lockstep).
     pub adam_t: u64,
+}
+
+/// A locked GPU. Derefs to [`GpuState`]; in debug builds its construction
+/// and drop maintain the per-thread held-lock stack behind the
+/// ascending-order assertion in [`DeviceState::gpu`].
+pub struct GpuGuard<'a> {
+    inner: MutexGuard<'a, GpuState>,
+    /// (owning `DeviceState` address, GPU index) — the lock-order
+    /// discipline is per state instance: holding GPU 0 of one state
+    /// while locking GPU 0 of an unrelated state is fine.
+    key: (usize, usize),
+}
+
+impl Deref for GpuGuard<'_> {
+    type Target = GpuState;
+    fn deref(&self) -> &GpuState {
+        &self.inner
+    }
+}
+
+impl DerefMut for GpuGuard<'_> {
+    fn deref_mut(&mut self) -> &mut GpuState {
+        &mut self.inner
+    }
+}
+
+impl Drop for GpuGuard<'_> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        lock_order::release(self.key);
+        #[cfg(not(debug_assertions))]
+        let _ = self.key;
+    }
+}
+
+/// Debug-build bookkeeping for the ascending lock-order assertion: a
+/// per-thread stack of currently held GPU indices.
+#[cfg(debug_assertions)]
+mod lock_order {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// `key` = (owning `DeviceState` address, GPU index). Only locks of
+    /// the *same* state participate in the ascending-order requirement —
+    /// distinct states have disjoint mutex sets, so no cross-state
+    /// acquisition can deadlock.
+    pub fn check_acquire(key: (usize, usize)) {
+        HELD.with(|h| {
+            let held = h.borrow();
+            let same_state: Vec<usize> =
+                held.iter().filter(|&&(s, _)| s == key.0).map(|&(_, j)| j).collect();
+            assert!(
+                same_state.iter().all(|&j| j < key.1),
+                "GPU lock order violation: acquiring GPU {} while holding {:?} — \
+                 collective bodies must lock GPUs in ascending index order",
+                key.1,
+                same_state
+            );
+        });
+    }
+
+    pub fn push(key: (usize, usize)) {
+        HELD.with(|h| h.borrow_mut().push(key));
+    }
+
+    pub fn release(key: (usize, usize)) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(at) = held.iter().rposition(|&k| k == key) {
+                held.remove(at);
+            }
+        });
+    }
 }
 
 impl DeviceState {
@@ -168,6 +306,8 @@ impl DeviceState {
                     test_correct: 0,
                     test_total: 0,
                     epoch_stats: Vec::new(),
+                    index: i,
+                    recorder: None,
                 }
             })
             .map(Mutex::new)
@@ -183,8 +323,37 @@ impl DeviceState {
     /// Lock GPU `i`'s memory. Recovers from poisoning: after a worker
     /// panic the executor reports an error and the trainer restores from
     /// a checkpoint, so the (possibly half-written) state stays readable.
-    pub fn gpu(&self, i: usize) -> MutexGuard<'_, GpuState> {
-        self.gpus[i].lock().unwrap_or_else(|e| e.into_inner())
+    ///
+    /// Debug builds assert the documented lock discipline: a thread may
+    /// acquire GPU `i` only while every GPU it already holds has a smaller
+    /// index (collective bodies lock ascending; kernel bodies hold one).
+    /// A descending acquisition is the deadlock-prone pattern the threaded
+    /// backend must never reach, so it trips immediately rather than
+    /// hanging intermittently under `mggcn-exec`.
+    pub fn gpu(&self, i: usize) -> GpuGuard<'_> {
+        let key = (self as *const Self as usize, i);
+        #[cfg(debug_assertions)]
+        lock_order::check_acquire(key);
+        let inner = self.gpus[i].lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(debug_assertions)]
+        lock_order::push(key);
+        GpuGuard { inner, key }
+    }
+
+    /// Attach a shadow effect recorder to every GPU: instrumented buffer
+    /// accessors start reporting reads/writes to it. Observation-only —
+    /// numerics are untouched.
+    pub fn attach_recorder(&self, rec: &Arc<EffectRecorder>) {
+        for i in 0..self.gpus.len() {
+            self.gpu(i).recorder = Some(Arc::clone(rec));
+        }
+    }
+
+    /// Detach the shadow recorder; accessor notes become no-ops again.
+    pub fn detach_recorder(&self) {
+        for i in 0..self.gpus.len() {
+            self.gpu(i).recorder = None;
+        }
     }
 
     /// An empty state for timing-only runs (bodies are never attached).
@@ -208,6 +377,10 @@ impl DeviceState {
         let payload: Vec<f32> = read(&self.gpu(src)).as_slice()[..rows * cols].to_vec();
         for i in 0..self.gpus.len() {
             let mut g = self.gpu(i);
+            // The copy may land byte-identical data (re-broadcast of an
+            // unchanged source), invisible to the oracle's fingerprint
+            // diff — note the write explicitly.
+            g.note_write(BufId::new(i, slot.buf_name()));
             let bc = g.bc(slot);
             bc.resize(rows, cols);
             bc.as_mut_slice().copy_from_slice(&payload);
@@ -230,6 +403,7 @@ impl DeviceState {
         let payload: Vec<f32> = read(&self.gpu(src)).as_slice()[..rows * cols].to_vec();
         for &i in members {
             let mut g = self.gpu(i);
+            g.note_write(BufId::new(i, slot.buf_name()));
             let bc = g.bc(slot);
             bc.resize(rows, cols);
             bc.as_mut_slice().copy_from_slice(&payload);
@@ -242,15 +416,19 @@ impl DeviceState {
         // All participants are quiescent (collective rendezvous), so all
         // guards can be held at once; ascending order fixes the reduce
         // order for bit reproducibility.
-        let mut guards: Vec<MutexGuard<'_, GpuState>> =
-            (0..self.gpus.len()).map(|i| self.gpu(i)).collect();
+        let mut guards: Vec<GpuGuard<'_>> = (0..self.gpus.len()).map(|i| self.gpu(i)).collect();
         let len = guards[0].wgrad[l].len();
         let mut acc = vec![0.0f32; len];
         {
             let srcs: Vec<&[f32]> = guards.iter().map(|g| g.wgrad[l].as_slice()).collect();
             mggcn_comm::reduce_sum(&srcs, &mut acc);
         }
-        for g in &mut guards {
+        for (i, g) in guards.iter_mut().enumerate() {
+            // RMW: every participant's gradient is consumed and replaced;
+            // at P=1 (or an all-zero sum) the bytes may not change, so the
+            // fingerprint diff alone would miss the write.
+            g.note_read(BufId::indexed(i, "WG", l));
+            g.note_write(BufId::indexed(i, "WG", l));
             g.wgrad[l].as_mut_slice().copy_from_slice(&acc);
         }
     }
@@ -304,6 +482,30 @@ impl DeviceState {
         let train = if tt == 0 { 0.0 } else { tc as f64 / tt as f64 };
         let test = if et == 0 { 0.0 } else { ec as f64 / et as f64 };
         (train, test)
+    }
+
+    /// FNV-1a digest over every GPU's weight bits (shapes included) — the
+    /// model checker's notion of "final model state". Bit-identical
+    /// weights across linearizations ⟺ equal digests.
+    pub fn weights_digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for i in 0..self.gpus.len() {
+            let g = self.gpu(i);
+            for w in &g.weights {
+                mix(&(w.rows() as u64).to_le_bytes());
+                mix(&(w.cols() as u64).to_le_bytes());
+                for v in w.as_slice() {
+                    mix(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h
     }
 }
 
@@ -370,5 +572,70 @@ mod tests {
         assert_eq!(BcSlot::for_stage(0), BcSlot::Bc1);
         assert_eq!(BcSlot::for_stage(1), BcSlot::Bc2);
         assert_eq!(BcSlot::for_stage(4), BcSlot::Bc1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn descending_lock_acquisition_trips_the_debug_assertion() {
+        let (p, cfg) = setup(2);
+        let st = DeviceState::for_problem(&p, &cfg);
+        // Ascending (and re-entrant-free) acquisition is fine...
+        {
+            let _a = st.gpu(0);
+            let _b = st.gpu(1);
+        }
+        // ...but descending is the deadlock pattern and must assert. The
+        // check fires before GPU 0's mutex is touched, so no lock is
+        // poisoned by the unwind.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _hi = st.gpu(1);
+            let _lo = st.gpu(0);
+        }))
+        .expect_err("descending acquisition must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("lock order violation"), "unexpected panic: {msg}");
+        // The held-stack unwound cleanly: ordinary locking still works.
+        let _ok = st.gpu(0);
+        drop(_ok);
+        // The discipline is per state instance: holding a GPU of one
+        // state while locking the same (or a lower) index of an
+        // unrelated state is not a deadlock pattern and must pass —
+        // the differential harness compares two trainers exactly so.
+        let other = DeviceState::for_problem(&p, &cfg);
+        let _mine = st.gpu(1);
+        let _theirs = other.gpu(0);
+    }
+
+    #[test]
+    fn weights_digest_tracks_weight_bits() {
+        let (p, cfg) = setup(2);
+        let st = DeviceState::for_problem(&p, &cfg);
+        let before = st.weights_digest();
+        assert_eq!(before, DeviceState::for_problem(&p, &cfg).weights_digest());
+        st.gpu(1).weights[0].as_mut_slice()[0] += 1.0;
+        assert_ne!(before, st.weights_digest());
+    }
+
+    #[test]
+    fn recorder_attaches_and_observes_collective_notes() {
+        let (p, cfg) = setup(2);
+        let st = DeviceState::for_problem(&p, &cfg);
+        let rec = EffectRecorder::new(1);
+        st.attach_recorder(&rec);
+        rec.begin(0);
+        st.all_reduce_wgrad(0);
+        rec.end();
+        st.detach_recorder();
+        let log = rec.take_log();
+        for g in 0..2 {
+            assert!(log[0].writes.contains(&BufId::indexed(g, "WG", 0)));
+            assert!(log[0].reads.contains(&BufId::indexed(g, "WG", 0)));
+        }
+        // Detached: notes no longer accumulate anywhere.
+        st.all_reduce_wgrad(0);
     }
 }

@@ -70,6 +70,7 @@ enum Buf {
 }
 
 fn read_buf(g: &GpuState, b: Buf) -> &Dense {
+    g.note_read(buf_id(g.index(), b));
     match b {
         Buf::X => &g.x,
         Buf::Hw => &g.hw,
@@ -510,6 +511,45 @@ impl Trainer {
         self.build_epoch()
     }
 
+    /// Run `sched`'s bodies against a *fresh* device state under the
+    /// shadow effect recorder and return what each op actually read and
+    /// wrote (`crate::shadow`) — the effect-soundness oracle's input. The
+    /// trainer's own state is untouched, so auditing is side-effect free.
+    /// Panics on a timing-only (non-materialized) problem, whose schedules
+    /// carry no bodies to observe.
+    pub fn record_actual_effects(
+        &self,
+        sched: Schedule<DeviceState>,
+    ) -> Vec<mggcn_gpusim::shadow::ActualEffects> {
+        assert!(
+            self.problem.is_materialized(),
+            "effect audit needs a materialized problem (bodies to observe)"
+        );
+        crate::shadow::record_actual_effects(sched, &self.problem, &self.cfg)
+    }
+
+    /// Execute one epoch schedule's bodies in an explicit linearization
+    /// `order` against a fresh, identically-seeded device state and digest
+    /// the resulting weight bits — the DPOR model checker's execution
+    /// oracle. `mutate` edits the rebuilt schedule first (the mutation
+    /// harness deletes a wait edge through it); pass `|_| {}` for the
+    /// as-declared schedule. The trainer's own state is untouched.
+    pub fn linearization_digest(
+        &self,
+        mutate: impl FnOnce(&mut Schedule<DeviceState>),
+        order: &[OpId],
+    ) -> u64 {
+        assert!(
+            self.problem.is_materialized(),
+            "model checking needs a materialized problem (bodies to execute)"
+        );
+        let mut sched = self.epoch_schedule();
+        mutate(&mut sched);
+        let fresh = DeviceState::for_problem(&self.problem, &self.cfg);
+        sched.run_in_order(&fresh, order);
+        fresh.weights_digest()
+    }
+
     /// Closed-form per-stage broadcast bytes for **one** training epoch of
     /// this trainer's schedule — the §5.1 prediction a tracer's
     /// `sim.bcast.bytes.stage.*` counters must match exactly (× epochs).
@@ -757,6 +797,9 @@ impl<'a> EpochBuilder<'a> {
                 Box::new(move |ctx: &DeviceState| {
                     let gs = &mut *ctx.gpu(g);
                     let v = read_buf(gs, src).as_slice()[..n_g * d].to_vec();
+                    // A snapshot of an unchanged source is byte-identical;
+                    // the oracle's fingerprint diff needs the explicit note.
+                    gs.note_write(sf_id(g, l));
                     gs.sf[l].resize(n_g, d);
                     gs.sf[l].as_mut_slice()[..n_g * d].copy_from_slice(&v);
                 }) as Body<DeviceState>
@@ -788,6 +831,7 @@ impl<'a> EpochBuilder<'a> {
             let body = self.real.as_ref().map(|_| {
                 Box::new(move |ctx: &DeviceState| {
                     let gs = &mut *ctx.gpu(g);
+                    gs.note_read(buf_id(g, Buf::Ahw(last)));
                     let stats = softmax_xent_inplace(
                         &mut gs.ahw[last],
                         &gs.labels,
@@ -945,7 +989,7 @@ impl<'a> EpochBuilder<'a> {
             let body = self.real.as_ref().map(|_| {
                 Box::new(move |ctx: &DeviceState| match prefetch {
                     Some(PrefetchSrc::Snapshot { layer, .. }) => {
-                        ctx.broadcast_into_bc(s, move |g| &g.sf[layer], rows, d, slot);
+                        ctx.broadcast_into_bc(s, move |g| g.sf_ref(layer), rows, d, slot);
                     }
                     _ => {
                         ctx.broadcast_into_bc(s, move |g| read_buf(g, src), rows, d, slot);
@@ -995,6 +1039,10 @@ impl<'a> EpochBuilder<'a> {
                         };
                         let g = &mut *ctx.gpu(j);
                         let accumulate = if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                        if acc {
+                            g.note_read(buf_id(j, dst));
+                        }
+                        g.note_write(buf_id(j, dst));
                         // Move the destination out so the broadcast buffer
                         // can be borrowed from the same GpuState.
                         let mut out = match dst {
@@ -1133,7 +1181,7 @@ impl<'a> EpochBuilder<'a> {
                         Some(PrefetchSrc::Snapshot { layer, .. }) => {
                             ctx.broadcast_into_bc_group(
                                 s,
-                                move |g| &g.sf[layer],
+                                move |g| g.sf_ref(layer),
                                 rows,
                                 d,
                                 slot,
@@ -1216,6 +1264,10 @@ impl<'a> EpochBuilder<'a> {
                             let g = &mut *ctx.gpu(j);
                             let accumulate =
                                 if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                            if acc {
+                                g.note_read(buf_id(j, dst));
+                            }
+                            g.note_write(buf_id(j, dst));
                             let mut out = match dst {
                                 Buf::Hw => std::mem::take(&mut g.hw),
                                 Buf::Ahw(l) => std::mem::take(&mut g.ahw[l]),
@@ -1281,6 +1333,10 @@ impl<'a> EpochBuilder<'a> {
                             let g = &mut *ctx.gpu(j);
                             let accumulate =
                                 if acc { Accumulate::Add } else { Accumulate::Overwrite };
+                            if acc {
+                                g.note_read(rp_id(j));
+                            }
+                            g.note_write(rp_id(j));
                             let mut out = std::mem::take(&mut g.rp);
                             if !acc {
                                 out.resize(n_m, d);
@@ -1356,9 +1412,11 @@ impl<'a> EpochBuilder<'a> {
                             let n_t = rows_body[t];
                             let partial = {
                                 let g = ctx.gpu(o);
-                                g.rp.as_slice()[..n_t * d].to_vec()
+                                g.rp_ref().as_slice()[..n_t * d].to_vec()
                             };
                             let gs = &mut *ctx.gpu(t);
+                            gs.note_read(buf_id(t, dst));
+                            gs.note_write(buf_id(t, dst));
                             let out = match dst {
                                 Buf::Hw => &mut gs.hw,
                                 Buf::Ahw(l) => &mut gs.ahw[l],
@@ -1392,6 +1450,7 @@ impl<'a> EpochBuilder<'a> {
                         for &t in &[a, b] {
                             let n_t = rows_body[t];
                             let gs = &mut *ctx.gpu(t);
+                            gs.note_write(buf_id(t, dst));
                             let mut out = match dst {
                                 Buf::Hw => std::mem::take(&mut gs.hw),
                                 Buf::Ahw(l) => std::mem::take(&mut gs.ahw[l]),
@@ -1464,7 +1523,7 @@ impl<'a> EpochBuilder<'a> {
                         Buf::X => unreachable!("X is never a GeMM destination"),
                     };
                     out.resize(n_g, d_out);
-                    gemm(read_buf(gs, src), &gs.weights[l], &mut out, Accumulate::Overwrite);
+                    gemm(read_buf(gs, src), gs.w_ref(l), &mut out, Accumulate::Overwrite);
                     match dst {
                         Buf::Hw => gs.hw = out,
                         Buf::Ahw(dl) => gs.ahw[dl] = out,
@@ -1501,7 +1560,12 @@ impl<'a> EpochBuilder<'a> {
             let work = self.opts.cost.elementwise((n_g * d_out) as u64, 2.0);
             let body = self.real.as_ref().map(|_| {
                 Box::new(move |ctx: &DeviceState| {
-                    relu_inplace(ctx.gpu(g).ahw[l].as_mut_slice());
+                    let mut gs = ctx.gpu(g);
+                    // In-place RMW: an all-nonnegative input leaves the
+                    // bytes unchanged, so both sides are noted explicitly.
+                    gs.note_read(buf_id(g, Buf::Ahw(l)));
+                    gs.note_write(buf_id(g, Buf::Ahw(l)));
+                    relu_inplace(gs.ahw[l].as_mut_slice());
                 }) as Body<DeviceState>
             });
             let waits = self.take_sync(g);
@@ -1558,6 +1622,7 @@ impl<'a> EpochBuilder<'a> {
             let body = self.real.as_ref().map(|_| {
                 Box::new(move |ctx: &DeviceState| {
                     let gs = &mut *ctx.gpu(g);
+                    gs.note_write(wg_id(g, l));
                     let mut out = std::mem::take(&mut gs.wgrad[l]);
                     out.resize(d_in, d_out);
                     gemm_at_b(
@@ -1622,7 +1687,7 @@ impl<'a> EpochBuilder<'a> {
                     let gs = &mut *ctx.gpu(g);
                     let mut out = std::mem::take(&mut gs.ahw[l]);
                     out.resize(n_g, d_in);
-                    gemm_a_bt(&gs.hw, &gs.weights[l], &mut out, Accumulate::Overwrite);
+                    gemm_a_bt(read_buf(gs, Buf::Hw), gs.w_ref(l), &mut out, Accumulate::Overwrite);
                     gs.ahw[l] = out;
                 }) as Body<DeviceState>
             });
@@ -1660,6 +1725,10 @@ impl<'a> EpochBuilder<'a> {
             let body = self.real.as_ref().map(|_| {
                 Box::new(move |ctx: &DeviceState| {
                     let gs = &mut *ctx.gpu(g);
+                    gs.note_read(wg_id(g, l));
+                    gs.note_read(adam_id(g, l));
+                    gs.note_write(adam_id(g, l));
+                    gs.note_write(w_id(g, l));
                     let grad = std::mem::take(&mut gs.wgrad[l]);
                     adam_step(
                         &params,

@@ -11,6 +11,8 @@
 //! then times `sample_size` batches and prints min/mean per-iteration
 //! times. Good enough to eyeball regressions; not a statistics suite.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

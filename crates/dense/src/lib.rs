@@ -7,6 +7,8 @@
 //! the GCN forward/backward pass needs, and the elementwise kernels (ReLU,
 //! AXPY, scaling) that the training loop is built from.
 
+#![forbid(unsafe_code)]
+
 pub mod elementwise;
 pub mod gemm;
 pub mod init;

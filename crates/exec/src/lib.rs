@@ -28,6 +28,8 @@
 //! profile next to the simulated timeline, so modeled and measured time
 //! can be compared in one report ([`ExecReport`]).
 
+#![forbid(unsafe_code)]
+
 use mggcn_gpusim::engine::{OpDesc, OpRecord, SimOutcome};
 use mggcn_gpusim::{Category, OpId, RunReport, Schedule};
 use mggcn_sched::{Action, DispatchSite, Injector};
@@ -419,9 +421,11 @@ pub fn execute_chaos<Ctx: Sync>(
     inj: &Injector,
 ) -> Result<ExecReport, ExecError> {
     // Static pre-flight before any worker starts: a schedule with a
-    // dependency cycle would hang the barriers, and one with an unordered
+    // dependency cycle would hang the barriers, one with an unordered
     // buffer conflict would corrupt data non-deterministically under real
-    // threads. Both are cheap to prove absent on the recorded op DAG.
+    // threads, and one reading a never-initialized scratch buffer would
+    // consume allocator garbage. All are cheap to prove absent on the
+    // recorded op DAG.
     if let Err(message) = mggcn_analyze::preflight(&sched) {
         return Err(ExecError { gpu: 0, label: "preflight", message });
     }
@@ -817,6 +821,29 @@ mod tests {
         let err = execute(s, &ran).expect_err("hazardous schedule accepted");
         assert_eq!(err.label, "preflight");
         assert!(err.message.contains("RAW hazard"), "unexpected message: {}", err.message);
+        assert!(!ran.load(Ordering::SeqCst), "a body ran despite preflight failure");
+    }
+
+    /// The def-use pass rides along in preflight: a schedule reading a
+    /// scratch-family buffer nothing ever wrote is rejected before any
+    /// worker thread (or body) starts.
+    #[test]
+    fn preflight_rejects_uninitialized_scratch_read() {
+        use mggcn_gpusim::{BufId, Effects};
+        let ran = AtomicBool::new(false);
+        let mut s: Schedule<AtomicBool> = Schedule::new(machine(1));
+        s.launch_fx(
+            0,
+            0,
+            fixed(),
+            OpDesc::new(Category::SpMM, "reader"),
+            &[],
+            Effects::none().reads([BufId::new(0, "BC1")]),
+            Some(Box::new(|r: &AtomicBool| r.store(true, Ordering::SeqCst))),
+        );
+        let err = execute(s, &ran).expect_err("uninitialized read accepted");
+        assert_eq!(err.label, "preflight");
+        assert!(err.message.contains("uninitialized read"), "unexpected message: {}", err.message);
         assert!(!ran.load(Ordering::SeqCst), "a body ran despite preflight failure");
     }
 }

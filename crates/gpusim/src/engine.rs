@@ -353,6 +353,44 @@ impl<Ctx> Schedule<Ctx> {
         report
     }
 
+    /// [`Schedule::run`] with observation hooks: `before(id)`/`after(id)`
+    /// bracket each body that executes (ops without bodies are skipped).
+    /// The effect-soundness oracle uses this to attribute recorded buffer
+    /// accesses ([`crate::shadow::EffectRecorder`]) and to fingerprint
+    /// buffer state between bodies.
+    pub fn run_observed(
+        mut self,
+        ctx: &Ctx,
+        mut before: impl FnMut(OpId),
+        mut after: impl FnMut(OpId),
+    ) -> RunReport {
+        let SimOutcome { report, completion_order } = self.simulate();
+        for id in completion_order {
+            if let Some(body) = self.ops[id].body.take() {
+                before(id);
+                body(ctx);
+                after(id);
+            }
+        }
+        report
+    }
+
+    /// Execute bodies in an explicit caller-chosen order, skipping the
+    /// simulator entirely — the DPOR model checker's execution primitive.
+    /// `order` must be a permutation of all op ids; each op's body (when
+    /// present) runs exactly once. The caller is responsible for `order`
+    /// being a linearization of the dependency DAG; this method does not
+    /// check it, because the model checker's whole point is to execute
+    /// orders the DES would never pick on its own.
+    pub fn run_in_order(mut self, ctx: &Ctx, order: &[OpId]) {
+        assert_eq!(order.len(), self.ops.len(), "order must cover every op");
+        for &id in order {
+            if let Some(body) = self.ops[id].body.take() {
+                body(ctx);
+            }
+        }
+    }
+
     /// Surrender the recorded ops (with their bodies) for execution by an
     /// external runtime, e.g. the `mggcn-exec` worker-per-GPU executor.
     pub fn into_records(self) -> Vec<OpRecord<Ctx>> {

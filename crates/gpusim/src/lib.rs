@@ -56,6 +56,8 @@
 //! assert_eq!(report.timeline.spans.len(), 3); // kernel + 2 collective lanes
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mggcn_sched as sched;
 
 pub mod effects;
@@ -63,6 +65,7 @@ pub mod engine;
 pub mod memory;
 pub mod model;
 pub mod report;
+pub mod shadow;
 pub mod specs;
 pub mod timeline;
 pub mod trace;
@@ -72,5 +75,6 @@ pub use engine::{OpId, OpInfo, RunReport, Schedule, SimOutcome, Work};
 pub use memory::{MemoryTracker, OomError};
 pub use model::CostModel;
 pub use report::{LatencyStats, Profile};
+pub use shadow::{ActualEffects, EffectRecorder};
 pub use specs::{GpuSpec, Interconnect, MachineSpec};
 pub use timeline::{Category, Span, Timeline};

@@ -1,0 +1,150 @@
+//! Shadow effect recording — the runtime half of the effect-soundness
+//! oracle.
+//!
+//! The declared [`crate::effects::Effects`] on each op are hand-maintained
+//! metadata; everything `mggcn-analyze` proves is only as sound as those
+//! declarations. This module records what an op body *actually* touches
+//! while the simulator runs it: instrumented buffer accessors in the
+//! context call [`EffectRecorder::read`]/[`EffectRecorder::write`], and the
+//! runner ([`crate::engine::Schedule::run_observed`]) brackets each body
+//! with [`EffectRecorder::begin`]/[`EffectRecorder::end`] so accesses
+//! attribute to the op that performed them. Diffing the resulting
+//! [`ActualEffects`] log against the declarations is `analyze`'s
+//! `audit_effects` pass: an access the body performed but the site never
+//! declared is a hard finding (the hazard analysis was unsound); a
+//! declaration the body never exercised is a warning.
+//!
+//! The recorder is deliberately passive: when no op is current (e.g. a
+//! buffer accessor used outside a schedule body, or a schedule run without
+//! observation), every call is a no-op, so instrumentation never perturbs
+//! ordinary training or serving paths.
+
+use crate::effects::BufId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// What one op body actually did to tracked buffers, as observed during
+/// one simulated run. `stale` maps each read buffer to the age (in epochs)
+/// of the value it consumed, for readers in epoch-tagged fused schedules;
+/// the runner fills it in from the observed write history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ActualEffects {
+    pub reads: BTreeSet<BufId>,
+    pub writes: BTreeSet<BufId>,
+    /// Observed cross-epoch read ages: reader epoch minus last-writer epoch,
+    /// only present when > 0.
+    pub stale: BTreeMap<BufId, usize>,
+}
+
+impl ActualEffects {
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
+struct Inner {
+    /// Op currently executing a body, if any; accesses attribute here.
+    current: Option<usize>,
+    log: Vec<ActualEffects>,
+}
+
+/// Shared recorder threaded through a context's buffer accessors. One
+/// slot per op id; `begin`/`end` select the attribution target.
+pub struct EffectRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl EffectRecorder {
+    pub fn new(op_count: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(Inner {
+                current: None,
+                log: vec![ActualEffects::default(); op_count],
+            }),
+        })
+    }
+
+    /// Start attributing accesses to `op`.
+    pub fn begin(&self, op: usize) {
+        let mut g = self.lock();
+        debug_assert!(g.current.is_none(), "recorder begin({op}) while an op is current");
+        g.current = Some(op);
+    }
+
+    /// Stop attributing (subsequent accesses are dropped).
+    pub fn end(&self) {
+        self.lock().current = None;
+    }
+
+    /// Record a read of `buf` by the current op (no-op when none).
+    pub fn read(&self, buf: BufId) {
+        let mut g = self.lock();
+        if let Some(op) = g.current {
+            g.log[op].reads.insert(buf);
+        }
+    }
+
+    /// Record a write of `buf` by the current op (no-op when none).
+    pub fn write(&self, buf: BufId) {
+        let mut g = self.lock();
+        if let Some(op) = g.current {
+            g.log[op].writes.insert(buf);
+        }
+    }
+
+    /// Snapshot of what the given op has recorded so far.
+    pub fn snapshot(&self, op: usize) -> ActualEffects {
+        self.lock().log[op].clone()
+    }
+
+    /// Record the observed staleness of a read `buf` by op `op`.
+    pub fn note_stale(&self, op: usize, buf: BufId, age: usize) {
+        let mut g = self.lock();
+        let slot = g.log[op].stale.entry(buf).or_insert(0);
+        *slot = (*slot).max(age);
+    }
+
+    /// Surrender the per-op log (recorder can be dropped afterwards).
+    pub fn take_log(&self) -> Vec<ActualEffects> {
+        let mut g = self.lock();
+        g.current = None;
+        std::mem::take(&mut g.log)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_follows_begin_end() {
+        let rec = EffectRecorder::new(2);
+        let hw = BufId::new(0, "HW");
+        rec.read(hw); // no current op: dropped
+        rec.begin(0);
+        rec.read(hw);
+        rec.write(hw);
+        rec.end();
+        rec.begin(1);
+        rec.write(BufId::new(1, "BC1"));
+        rec.end();
+        let log = rec.take_log();
+        assert!(log[0].reads.contains(&hw) && log[0].writes.contains(&hw));
+        assert!(log[1].reads.is_empty());
+        assert!(log[1].writes.contains(&BufId::new(1, "BC1")));
+    }
+
+    #[test]
+    fn stale_notes_keep_the_max_age() {
+        let rec = EffectRecorder::new(1);
+        let sf = BufId::indexed(0, "SF", 0);
+        rec.note_stale(0, sf, 1);
+        rec.note_stale(0, sf, 2);
+        rec.note_stale(0, sf, 1);
+        assert_eq!(rec.take_log()[0].stale.get(&sf), Some(&2));
+    }
+}

@@ -39,6 +39,8 @@
 //! assert_eq!(balanced.adj.nnz(), graph.adj.nnz());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod connectivity;
 pub mod datasets;
 pub mod generators;

@@ -13,6 +13,8 @@
 //! so failures reproduce exactly across runs. Case count defaults to 64
 //! and can be raised with the `PROPTEST_CASES` environment variable.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use rand::rngs::SmallRng;
     use rand::Rng;

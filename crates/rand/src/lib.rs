@@ -11,6 +11,8 @@
 //! Sequences differ from upstream `rand` (nothing in the workspace relies
 //! on the exact values, only on determinism per seed).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A random number generator's low-level interface.

@@ -27,6 +27,8 @@
 //! guaranteed side-effect free (multiplies bandwidth by exactly `1.0`, adds
 //! `0.0` seconds), so fault-free runs through the hooks stay bit-identical.
 
+#![forbid(unsafe_code)]
+
 pub mod inject;
 pub mod queue;
 

@@ -44,6 +44,8 @@
 //! assert_eq!(out.row(0), reference.row(3)); // bit-identical
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batcher;
 pub mod cache;
 pub mod loadgen;

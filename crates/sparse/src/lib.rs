@@ -41,6 +41,8 @@
 //! assert_eq!(out.row(0), h.row(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod csc;
 pub mod csr;
 pub mod partition;

@@ -38,6 +38,8 @@
 //! reference side (with a floor), never elementwise — per-element relative
 //! error is meaningless where a gradient passes through zero.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod dense64;
 pub mod oracle;

@@ -1,0 +1,166 @@
+//! Effect-soundness oracle harness: the declared `Effects` the static
+//! analyses trust are checked against what schedule bodies *actually* do.
+//!
+//! Two claims pin the oracle to the real trainer:
+//!
+//! * **Every real schedule audits clean** — across partitions, GPU
+//!   counts, overlap modes, and staleness depths, the shadow-interpreted
+//!   run observes no read, write, or stale consumption the site did not
+//!   declare. Over-declarations may warn (the classic 1.5D reduce
+//!   declares its `RP` source but refolds from shards); under-declaration
+//!   is a hard finding and there must be none.
+//! * **The oracle is not vacuous** — stripping a declaration off a site
+//!   whose body really performs the access is caught as exactly the
+//!   right finding class (undeclared write / read / stale age).
+
+use mggcn_analyze::{audit_effects, Finding};
+use mggcn_core::config::{GcnConfig, Partition, TrainOptions};
+use mggcn_core::problem::Problem;
+use mggcn_core::trainer::Trainer;
+use mggcn_graph::generators::sbm::{self, SbmConfig};
+use mggcn_graph::Graph;
+
+fn graph() -> Graph {
+    sbm::generate(&SbmConfig::community_benchmark(60, 3), 5)
+}
+
+fn trainer(g: &Graph, gpus: usize, partition: Partition, overlap: bool, k: usize) -> Trainer {
+    let cfg = GcnConfig::new(g.features.cols(), &[8], g.classes);
+    let mut opts = TrainOptions::quick(gpus);
+    opts.permute = false;
+    opts.partition = partition;
+    opts.overlap = overlap;
+    opts.staleness = k;
+    let problem = Problem::from_graph(g, &cfg, &opts);
+    Trainer::new(problem, cfg, opts).expect("toy problem fits")
+}
+
+#[test]
+fn every_real_schedule_audits_clean() {
+    let g = graph();
+    let mut audited = 0usize;
+    let mut observed_accesses = 0usize;
+    for partition in [Partition::OneD, Partition::OneFiveD] {
+        for gpus in [1usize, 2, 4] {
+            if partition == Partition::OneFiveD && gpus == 1 {
+                continue;
+            }
+            for overlap in [true, false] {
+                let t = trainer(&g, gpus, partition, overlap, 0);
+                let sched = t.epoch_schedule();
+                let actual = t.record_actual_effects(t.epoch_schedule());
+                let audit = audit_effects(&sched.op_infos(), &actual);
+                assert!(audit.clean(), "{} P={gpus} overlap={overlap}:\n{audit}", partition.name());
+                audited += 1;
+                observed_accesses +=
+                    actual.iter().map(|a| a.reads.len() + a.writes.len()).sum::<usize>();
+            }
+        }
+    }
+    assert!(audited >= 10, "sweep too small: {audited} schedules");
+    assert!(observed_accesses > 0, "shadow run observed nothing — oracle is vacuous");
+}
+
+#[test]
+fn pipelined_schedules_audit_clean_including_observed_stale_ages() {
+    let g = graph();
+    let mut stale_observed = 0usize;
+    for partition in [Partition::OneD, Partition::OneFiveD] {
+        for gpus in [2usize, 4] {
+            for k in [1usize, 2] {
+                let t = trainer(&g, gpus, partition, true, k);
+                let sched = t.pipelined_schedule(3);
+                let actual = t.record_actual_effects(t.pipelined_schedule(3));
+                let audit = audit_effects(&sched.op_infos(), &actual);
+                assert!(audit.clean(), "{} P={gpus} k={k}:\n{audit}", partition.name());
+                stale_observed += actual.iter().filter(|a| !a.stale.is_empty()).count();
+            }
+        }
+    }
+    // The stale half of the oracle really ran: cross-epoch consumptions
+    // were observed (and all were covered by declarations).
+    assert!(stale_observed > 0, "no stale consumption observed in any fused schedule");
+}
+
+#[test]
+fn stripping_a_declared_write_is_caught() {
+    let g = graph();
+    let t = trainer(&g, 2, Partition::OneD, true, 0);
+    let actual = t.record_actual_effects(t.epoch_schedule());
+    // Victim: the first op whose body observably writes a declared buffer.
+    let mut sched = t.epoch_schedule();
+    let (op, buf) = sched
+        .op_infos()
+        .iter()
+        .find_map(|o| {
+            actual[o.id].writes.iter().find(|b| o.effects.writes.contains(b)).map(|&b| (o.id, b))
+        })
+        .expect("some op observably writes a declared buffer");
+    sched.effects_mut(op).writes.retain(|b| *b != buf);
+
+    let audit = audit_effects(&sched.op_infos(), &actual);
+    assert!(
+        audit.findings.iter().any(|f| matches!(
+            f,
+            Finding::UndeclaredWrite { op: o, buf: b, .. } if *o == op && *b == buf
+        )),
+        "stripped write of {buf} on op {op} not caught:\n{audit}"
+    );
+}
+
+#[test]
+fn stripping_a_declared_read_is_caught() {
+    let g = graph();
+    let t = trainer(&g, 2, Partition::OneD, true, 0);
+    let actual = t.record_actual_effects(t.epoch_schedule());
+    let mut sched = t.epoch_schedule();
+    let (op, buf) = sched
+        .op_infos()
+        .iter()
+        .find_map(|o| {
+            actual[o.id].reads.iter().find(|b| o.effects.reads.contains(b)).map(|&b| (o.id, b))
+        })
+        .expect("some op observably reads a declared buffer");
+    sched.effects_mut(op).reads.retain(|b| *b != buf);
+
+    let audit = audit_effects(&sched.op_infos(), &actual);
+    assert!(
+        audit.findings.iter().any(|f| matches!(
+            f,
+            Finding::UndeclaredRead { op: o, buf: b, .. } if *o == op && *b == buf
+        )),
+        "stripped read of {buf} on op {op} not caught:\n{audit}"
+    );
+}
+
+#[test]
+fn stripping_a_stale_declaration_is_caught_with_the_observed_age() {
+    let g = graph();
+    let t = trainer(&g, 4, Partition::OneD, true, 1);
+    let actual = t.record_actual_effects(t.pipelined_schedule(2));
+    let mut sched = t.pipelined_schedule(2);
+    // Victim: an op that observably consumed stale state under a
+    // matching declaration.
+    let (op, buf, age) = sched
+        .op_infos()
+        .iter()
+        .find_map(|o| {
+            actual[o.id]
+                .stale
+                .iter()
+                .find(|&(b, _)| o.effects.stale_age(*b).is_some())
+                .map(|(&b, &a)| (o.id, b, a))
+        })
+        .expect("some op observably consumes declared stale state");
+    sched.effects_mut(op).stale_reads.clear();
+
+    let audit = audit_effects(&sched.op_infos(), &actual);
+    assert!(
+        audit.findings.iter().any(|f| matches!(
+            f,
+            Finding::UndeclaredStaleAge { op: o, buf: b, age: a, declared: None, .. }
+                if *o == op && *b == buf && *a == age
+        )),
+        "stripped stale declaration on op {op} ({buf}, age {age}) not caught:\n{audit}"
+    );
+}

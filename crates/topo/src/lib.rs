@@ -28,6 +28,8 @@
 //! * [`run_topo_bench`] — the schema-validated `BENCH_topo.json` stat card
 //!   gating all of the above in CI ([`validate_topo_bench`]).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use mggcn_analyze::{analyze_budget, BudgetSpec};

@@ -22,6 +22,8 @@
 //! reading completed timelines — never touching schedule construction,
 //! numerics, or op ordering. With `None` there is no tracer call at all.
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod derive;
 pub mod json;

@@ -28,8 +28,9 @@
 //!                [--out BENCH_trace.json] [--chrome PATH.json]
 //! mggcn trace    --check PATH.json
 //! mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]
+//!                [--audit-effects] [--model-check] [--json] [--out PATH]
 //! mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d]
-//!                [--partition 1d|1.5d] [--dump]
+//!                [--partition 1d|1.5d] [--dump] [--json] [--out PATH]
 //! mggcn topo-bench [--out BENCH_topo.json]
 //! mggcn topo-bench --check PATH.json
 //! ```
@@ -63,6 +64,12 @@
 //! op-order × overlap sweep plus a serving batch schedule (or one
 //! paper-scale dataset schedule with `--dataset`); it exits nonzero on
 //! any finding, and `--dump` prints the annotated op stream.
+//! `--audit-effects` shadow-executes each materialized schedule's op
+//! bodies and fails on any access the declarations miss;
+//! `--model-check` DPOR-explores every HB-distinct linearization of
+//! small P ∈ {1,2,3} schedules and requires bit-identical final
+//! weights; `--json` (with optional `--out PATH`) emits the byte-stable
+//! `mggcn-analyze-v1` machine-readable report.
 //! `topo-bench` runs the §5.1 hierarchical-machine study — closed-form
 //! and DES 1D-vs-1.5D verdicts on DGX-1 and DGX-A100, a split-quad NIC
 //! sweep pinning the crossover bandwidth, a papers100M-scale end-to-end
@@ -107,7 +114,7 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n                 [--partition 1d|1.5d] [--nodes N] [--nic GBPS] [--staleness K]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn serve-bench --check PATH\n  mggcn cluster-bench [--shards P] [--gpus-per-shard G] [--qps-mult M] [--requests N]\n                      [--vertices V] [--epochs E] [--seed S] [--slo-ms MS] [--max-degraded R]\n                      [--batch-window S] [--max-batch B] [--cache-mb MB]\n                      [--backend simulated|threaded] [--threads T] [--out PATH] [--trace PATH]\n  mggcn cluster-bench --check PATH\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST]\n                    [--staleness LIST] [--nic GBPS] [--out PATH]\n  mggcn bench-exec  --check PATH\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d]\n                 [--partition 1d|1.5d] [--dump]\n  mggcn topo-bench [--out BENCH_topo.json]\n  mggcn topo-bench --check PATH"
+        "usage:\n  mggcn train    [--gpus N] [--epochs E] [--hidden H] [--vertices V]\n                 [--no-overlap] [--no-permute] [--checkpoint PATH] [--resume PATH]\n                 [--backend simulated|threaded] [--threads T] [--trace PATH]\n                 [--partition 1d|1.5d] [--nodes N] [--nic GBPS] [--staleness K]\n  mggcn simulate --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d] [--profile] [--trace PATH]\n  mggcn memory   --dataset NAME [--hidden H] [--layers L]\n  mggcn datasets\n  mggcn serve-bench [--qps Q] [--batch-window S] [--max-batch B] [--cache-mb MB]\n                    [--requests N] [--vertices V] [--gpus N] [--epochs E] [--seed S] [--trace PATH]\n  mggcn serve-bench --check PATH\n  mggcn cluster-bench [--shards P] [--gpus-per-shard G] [--qps-mult M] [--requests N]\n                      [--vertices V] [--epochs E] [--seed S] [--slo-ms MS] [--max-degraded R]\n                      [--batch-window S] [--max-batch B] [--cache-mb MB]\n                      [--backend simulated|threaded] [--threads T] [--out PATH] [--trace PATH]\n  mggcn cluster-bench --check PATH\n  mggcn bench-exec  [--gpus P] [--vertices V] [--hidden H] [--epochs E] [--threads LIST]\n                    [--staleness LIST] [--nic GBPS] [--out PATH]\n  mggcn bench-exec  --check PATH\n  mggcn trace    [--gpus N] [--vertices V] [--hidden H] [--epochs E]\n                 [--backend simulated|threaded] [--threads T] [--out PATH] [--chrome PATH]\n  mggcn trace    --check PATH\n  mggcn analyze  [--gpus N] [--vertices V] [--hidden H] [--dump]\n                 [--audit-effects] [--model-check] [--json] [--out PATH]\n  mggcn analyze  --dataset NAME [--machine v100|a100] [--gpus N] [--model a|b|c|d]\n                 [--partition 1d|1.5d] [--dump] [--json] [--out PATH]\n  mggcn topo-bench [--out BENCH_topo.json]\n  mggcn topo-bench --check PATH"
     );
     exit(2)
 }
@@ -1141,15 +1148,190 @@ fn cmd_trace(flags: &HashMap<String, String>) {
     }
 }
 
+/// One verified schedule in the analyze report: its static verification
+/// result plus (under `--audit-effects`) the effect-soundness audit.
+struct AnalyzedSchedule {
+    label: String,
+    report: mg_gcn::analyze::Report,
+    audit: Option<mg_gcn::analyze::EffectAudit>,
+}
+
+impl AnalyzedSchedule {
+    fn clean(&self) -> bool {
+        self.report.clean() && self.audit.as_ref().is_none_or(|a| a.clean())
+    }
+}
+
+/// One model-checked schedule: exhaustive footprint-reduced exploration
+/// plus a capped device-level cross-check.
+struct ModelChecked {
+    label: String,
+    exhaustive: mg_gcn::analyze::DporResult,
+    device: mg_gcn::analyze::DporResult,
+}
+
+impl ModelChecked {
+    fn clean(&self) -> bool {
+        self.exhaustive.deterministic() && !self.exhaustive.truncated && self.device.deterministic()
+    }
+}
+
+const ANALYZE_SCHEMA: &str = "mggcn-analyze-v1";
+
+/// Render the machine-readable analyze report. Deterministic: findings
+/// and warnings are canonically sorted by the analyzer, labels are fixed
+/// by the sweep order, so the output is byte-stable across runs.
+fn analyze_json(rows: &[AnalyzedSchedule], mc: &[ModelChecked]) -> String {
+    use mg_gcn::trace::json::{escape, JsonWriter};
+    // `arr` takes pre-rendered JSON values, so quote + escape each line.
+    let render = |xs: &[String]| -> Vec<String> {
+        xs.iter().map(|s| format!("\"{}\"", escape(s))).collect()
+    };
+    let schedules: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let findings: Vec<String> = r.report.findings.iter().map(|f| f.to_string()).collect();
+            let warnings: Vec<String> = r.report.warnings.iter().map(|w| w.to_string()).collect();
+            let mut w = JsonWriter::new()
+                .str("label", r.label.trim_end())
+                .usize("ops", r.report.ops)
+                .usize("edges", r.report.edges)
+                .bool("clean", r.clean())
+                .arr("findings", &render(&findings))
+                .arr("warnings", &render(&warnings));
+            if let Some(lv) = &r.report.liveness {
+                w = w.usize("buffers_needed", lv.buffers_needed);
+            }
+            if let Some(b) = r.report.budget {
+                w = w.usize("budget", b);
+            }
+            if let Some(a) = &r.audit {
+                let af: Vec<String> = a.findings.iter().map(|f| f.to_string()).collect();
+                let aw: Vec<String> = a.warnings.iter().map(|x| x.to_string()).collect();
+                w = w.raw(
+                    "audit",
+                    &JsonWriter::new()
+                        .bool("clean", a.clean())
+                        .arr("findings", &render(&af))
+                        .arr("warnings", &render(&aw))
+                        .finish(),
+                );
+            }
+            w.finish()
+        })
+        .collect();
+    let checks: Vec<String> = mc
+        .iter()
+        .map(|m| {
+            JsonWriter::new()
+                .str("label", &m.label)
+                .bool("clean", m.clean())
+                .usize("executions", m.exhaustive.executions)
+                .bool("truncated", m.exhaustive.truncated)
+                .bool("deterministic", m.exhaustive.deterministic())
+                .usize("device_executions", m.device.executions)
+                .bool("device_deterministic", m.device.deterministic())
+                .finish()
+        })
+        .collect();
+    let dirty =
+        rows.iter().filter(|r| !r.clean()).count() + mc.iter().filter(|m| !m.clean()).count();
+    let mut w = JsonWriter::new()
+        .str("schema", ANALYZE_SCHEMA)
+        .usize("schedules", rows.len())
+        .usize("dirty", dirty)
+        .raw("reports", &format!("[{}]", schedules.join(",")));
+    if !mc.is_empty() {
+        w = w.raw("model_check", &format!("[{}]", checks.join(",")));
+    }
+    w.finish()
+}
+
+/// Validate an analyze JSON document against the `mggcn-analyze-v1`
+/// schema using the in-tree parser.
+fn validate_analyze_json(text: &str) -> Result<(), String> {
+    use mg_gcn::trace::json::parse;
+    let doc = parse(text)?;
+    let schema = doc.get("schema").and_then(|v| v.as_str()).ok_or("missing schema")?;
+    if schema != ANALYZE_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {ANALYZE_SCHEMA:?}"));
+    }
+    let n = doc.get("schedules").and_then(|v| v.as_num()).ok_or("missing schedules count")?;
+    doc.get("dirty").and_then(|v| v.as_num()).ok_or("missing dirty count")?;
+    let reports = doc.get("reports").and_then(|v| v.as_arr()).ok_or("missing reports array")?;
+    if reports.len() != n as usize {
+        return Err(format!("reports array has {} entries, header says {n}", reports.len()));
+    }
+    for (i, r) in reports.iter().enumerate() {
+        for key in ["label", "ops", "edges", "clean", "findings", "warnings"] {
+            if r.get(key).is_none() {
+                return Err(format!("reports[{i}] missing {key:?}"));
+            }
+        }
+    }
+    if let Some(mc) = doc.get("model_check") {
+        let arr = mc.as_arr().ok_or("model_check is not an array")?;
+        for (i, m) in arr.iter().enumerate() {
+            for key in ["label", "clean", "executions", "deterministic"] {
+                if m.get(key).is_none() {
+                    return Err(format!("model_check[{i}] missing {key:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emit the analyze JSON (stdout, or `--out PATH` with re-read
+/// validation — the file on disk is what CI consumes, so it is what gets
+/// checked).
+fn emit_analyze_json(
+    rows: &[AnalyzedSchedule],
+    mc: &[ModelChecked],
+    flags: &HashMap<String, String>,
+) {
+    let text = analyze_json(rows, mc);
+    if let Err(e) = validate_analyze_json(&text) {
+        eprintln!("internal error: emitted JSON fails its own schema: {e}");
+        exit(1);
+    }
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{text}\n")) {
+                eprintln!("failed to write {path}: {e}");
+                exit(1);
+            }
+            let back = std::fs::read_to_string(path).expect("just wrote it");
+            if let Err(e) = validate_analyze_json(&back) {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1);
+            }
+            println!("wrote {path} (schema {ANALYZE_SCHEMA})");
+        }
+        None => println!("{text}"),
+    }
+}
+
 /// `analyze`: statically verify recorded schedules. Without `--dataset`,
 /// sweeps trainer schedules over P ∈ {1,2,4,8} (or just `--gpus`) ×
 /// op-order × overlap on a generated community graph, plus one serving
 /// batch schedule; with `--dataset`, verifies a single paper-scale epoch
 /// schedule. Exits nonzero if any schedule has a finding, so CI can gate
 /// on it. `--dump` prints each op stream annotated with buffer effects.
+///
+/// `--audit-effects` additionally shadow-executes every materialized
+/// schedule's bodies and diffs observed reads/writes/stale ages against
+/// the declarations (under-declaration fails the run). `--model-check`
+/// exhaustively executes every HB-distinct linearization of small
+/// schedules at P ∈ {1,2,3} and requires bit-identical final weights.
+/// `--json` (optionally with `--out PATH`) emits the byte-stable
+/// `mggcn-analyze-v1` machine-readable report.
 fn cmd_analyze(flags: &HashMap<String, String>) {
-    use mg_gcn::analyze::{analyze, analyze_budget, BudgetSpec};
+    use mg_gcn::analyze::{analyze, analyze_budget, audit_effects, BudgetSpec};
     let dump = flags.contains_key("dump");
+    let audit = flags.contains_key("audit-effects");
+    let want_json = flags.contains_key("json") || flags.contains_key("out");
+    let mut rows: Vec<AnalyzedSchedule> = Vec::new();
 
     // Dataset path: one paper-scale schedule (the CI smoke target).
     if let Some(name) = flags.get("dataset") {
@@ -1195,7 +1377,21 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
         }
         println!("{} on {} x{} ({}):", card.name, machine.name, gpus, partition.name());
         print!("{}", report.render());
-        exit(if report.clean() { 0 } else { 1 });
+        if audit {
+            // Descriptor-backed problems carry shapes, not tensors: the
+            // ops have no bodies, so there is nothing to shadow-execute.
+            println!("effect audit skipped: descriptor-only dataset schedules have no op bodies");
+        }
+        let row = AnalyzedSchedule {
+            label: format!("{} on {} x{} ({})", card.name, machine.name, gpus, partition.name()),
+            report,
+            audit: None,
+        };
+        let ok = row.clean();
+        if want_json {
+            emit_analyze_json(&[row], &[], flags);
+        }
+        exit(if ok { 0 } else { 1 });
     }
 
     // Sweep path: every trainer schedule shape on a generated graph.
@@ -1245,8 +1441,16 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
                         if op_order { "on " } else { "off" },
                     );
                     print_schedule_report(&label, dump.then(|| sched.dump_ops()), &report);
+                    let fx = audit.then(|| {
+                        let actual = trainer.record_actual_effects(trainer.epoch_schedule());
+                        let a = audit_effects(&sched.op_infos(), &actual);
+                        print_effect_audit(&a);
+                        a
+                    });
                     total += 1;
-                    dirty += usize::from(!report.clean());
+                    let row = AnalyzedSchedule { label, report, audit: fx };
+                    dirty += usize::from(!row.clean());
+                    rows.push(row);
                 }
             }
         }
@@ -1283,8 +1487,16 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
                 let report = analyze_budget(&sched, &budget);
                 let label = format!("stale   P={gpus} {:<4} k={k} (3 epochs)   ", partition.name());
                 print_schedule_report(&label, dump.then(|| sched.dump_ops()), &report);
+                let fx = audit.then(|| {
+                    let actual = trainer.record_actual_effects(trainer.pipelined_schedule(3));
+                    let a = audit_effects(&sched.op_infos(), &actual);
+                    print_effect_audit(&a);
+                    a
+                });
                 total += 1;
-                dirty += usize::from(!report.clean());
+                let row = AnalyzedSchedule { label, report, audit: fx };
+                dirty += usize::from(!row.clean());
+                rows.push(row);
             }
         }
     }
@@ -1317,19 +1529,101 @@ fn cmd_analyze(flags: &HashMap<String, String>) {
     let batch: Vec<u32> = vec![3, 17, 42, 101];
     let sched = server.batch_schedule(&batch, 0);
     let report = analyze(&sched);
-    print_schedule_report(
-        &format!("serve  batch of {} on 1 replica  ", batch.len()),
-        dump.then(|| sched.dump_ops()),
-        &report,
-    );
+    let label = format!("serve  batch of {} on 1 replica  ", batch.len());
+    print_schedule_report(&label, dump.then(|| sched.dump_ops()), &report);
+    if audit {
+        // The serving context is a frozen inference state, not the
+        // trainer's device state; its bodies run under a different ctx
+        // type, so the training-side shadow interpreter does not apply.
+        println!("  effect audit skipped: serving schedules use a frozen inference context");
+    }
     total += 1;
-    dirty += usize::from(!report.clean());
+    let row = AnalyzedSchedule { label, report, audit: None };
+    dirty += usize::from(!row.clean());
+    rows.push(row);
 
+    // DPOR linearization model checking: exhaustively execute every
+    // HB-distinct linearization of small schedules and require
+    // bit-identical final weights. Footprint dependence (sound given the
+    // effect audit) must reduce a clean schedule to one trace; the capped
+    // device-dependence pass cross-checks the reduction empirically.
+    let mut checks: Vec<ModelChecked> = Vec::new();
+    if flags.contains_key("model-check") {
+        use mg_gcn::analyze::{model_check, DporOptions};
+        let small = sbm::generate(&SbmConfig::community_benchmark(24, 2), 11);
+        let small_cfg = GcnConfig::new(small.features.cols(), &[4], small.classes);
+        for gpus in [1usize, 2, 3] {
+            let mut opts = TrainOptions::quick(gpus);
+            opts.permute = false;
+            opts.overlap = true;
+            let problem = Problem::from_graph(&small, &small_cfg, &opts);
+            let trainer = Trainer::new(problem, small_cfg.clone(), opts).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(1)
+            });
+            let sched = trainer.epoch_schedule();
+            let infos = sched.op_infos();
+            let exhaustive = model_check(&infos, &DporOptions::default(), &mut |order| {
+                trainer.linearization_digest(|_| {}, order)
+            });
+            let device_opts = DporOptions { max_executions: 128, device_dependence: true };
+            let device = model_check(&infos, &device_opts, &mut |order| {
+                trainer.linearization_digest(|_| {}, order)
+            });
+            let mc = ModelChecked {
+                label: format!("model-check P={gpus} ({} ops)", sched.op_count()),
+                exhaustive,
+                device,
+            };
+            let verdict = if mc.clean() {
+                format!(
+                    "deterministic ({} trace, {} device-level interleavings agree)",
+                    mc.exhaustive.executions, mc.device.executions
+                )
+            } else if let Some(d) =
+                mc.exhaustive.divergence.as_ref().or(mc.device.divergence.as_ref())
+            {
+                format!("DIVERGENT: digest {:#018x} != baseline {:#018x}", d.digest, d.baseline)
+            } else {
+                "TRUNCATED before the exploration finished".to_string()
+            };
+            println!("{:<42} {verdict}", mc.label);
+            total += 1;
+            dirty += usize::from(!mc.clean());
+            checks.push(mc);
+        }
+    }
+
+    if want_json {
+        emit_analyze_json(&rows, &checks, flags);
+    }
     if dirty > 0 {
-        eprintln!("{dirty} of {total} schedules FAILED static verification");
+        eprintln!("{dirty} of {total} schedules FAILED verification");
         exit(1);
     }
-    println!("all {total} schedules verified: hazard-free, deadlock-free, within budget");
+    let extra = match (audit, checks.is_empty()) {
+        (true, false) => ", effect-sound, linearization-deterministic",
+        (true, true) => ", effect-sound",
+        (false, false) => ", linearization-deterministic",
+        (false, true) => "",
+    };
+    println!("all {total} schedules verified: hazard-free, deadlock-free, within budget{extra}");
+}
+
+/// One-line audit verdict printed under each swept schedule when
+/// `--audit-effects` is on (full detail comes from `render()` on
+/// failure).
+fn print_effect_audit(a: &mg_gcn::analyze::EffectAudit) {
+    if a.clean() {
+        let warn = a.warnings.len();
+        if warn == 0 {
+            println!("  effect audit: declarations match observed accesses");
+        } else {
+            println!("  effect audit: sound ({warn} over-declaration warning(s))");
+        }
+    } else {
+        print!("{}", a.render());
+    }
 }
 
 /// Print one schedule's verification result: a one-line verdict in sweep

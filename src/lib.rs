@@ -52,6 +52,8 @@
 //! numerics, measured wall-clock in `report.measured`), select the
 //! threaded backend: `opts.backend = Backend::Threaded;`.
 
+#![forbid(unsafe_code)]
+
 pub use mggcn_analyze as analyze;
 pub use mggcn_baselines as baselines;
 pub use mggcn_cluster as cluster;
